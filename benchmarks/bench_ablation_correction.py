@@ -1,0 +1,27 @@
+"""Ablation: greedy initialization alone vs greedy + measured correction.
+
+On the paper's workloads greedy is already near-optimal (their device
+contrasts are extreme); on the communication-heavy workload only the
+measured correction step (§IV-C step 3) can see the PCIe cost and fix the
+placement.
+"""
+
+from conftest import emit
+
+from repro.bench import ablation_correction, format_table
+
+
+def test_ablation_correction_step(benchmark, machine):
+    rows = benchmark.pedantic(
+        ablation_correction, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Ablation — greedy-only vs greedy+correction"))
+
+    by = {r["model"]: r for r in rows}
+    for r in rows:
+        assert r["corrected_ms"] <= r["greedy_only_ms"] + 1e-9
+        if r["ideal_ms"] != "-":
+            assert r["corrected_ms"] <= float(r["ideal_ms"]) * 1.001
+    ch = by["comm_heavy"]
+    assert ch["swaps"] >= 1
+    assert ch["gain"] > 1.5  # correction pays for itself decisively

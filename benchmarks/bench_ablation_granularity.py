@@ -1,0 +1,23 @@
+"""Ablation: coarse-grained phases vs operator-level scheduling (§III-B).
+
+Operator-granularity subgraphs cannot be fused across (each compiles
+alone) and multiply the candidate CPU↔GPU hand-offs — the two costs the
+paper's coarse partitioning is designed to avoid (footnote 1).
+"""
+
+from conftest import emit
+
+from repro.bench import ablation_granularity, format_table
+
+
+def test_ablation_partition_granularity(benchmark, machine):
+    rows = benchmark.pedantic(
+        ablation_granularity, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Ablation — coarse vs per-operator partitioning"))
+
+    for r in rows:
+        assert r["per_op_subgraphs"] > 3 * r["coarse_subgraphs"]
+        assert r["per_op_ms"] >= r["coarse_ms"] * 0.999, r
+    # At least one model pays a clear penalty for fine granularity.
+    assert max(r["penalty"] for r in rows) > 1.25

@@ -1,0 +1,32 @@
+"""Fig. 4: execution timeline of Wide&Deep on GPU vs CPU.
+
+Paper observation: on GPU the RNN dominates the timeline; on CPU the CNN
+does.  That contrast is the motivation for heterogeneous co-execution.
+"""
+
+from conftest import emit
+
+from repro.bench import fig04_timeline, format_timeline
+
+
+def test_fig04_timeline(benchmark, machine):
+    data = benchmark.pedantic(
+        fig04_timeline, kwargs={"machine": machine}, rounds=2, iterations=1
+    )
+    for dev in ("gpu", "cpu"):
+        total = max(s["end_ms"] for s in data[dev])
+        emit(
+            format_timeline(
+                data[dev],
+                title=f"Fig 4 — Wide&Deep single-device timeline on {dev.upper()} "
+                f"(total {total:.2f} ms)",
+                max_rows=12,
+            )
+        )
+
+    def time_of(dev, marker):
+        return sum(s["duration_ms"] for s in data[dev] if marker in s["kernel"])
+
+    # The paper's contrast: RNN is the GPU bottleneck, CNN the CPU one.
+    assert time_of("gpu", "lstm") > 0.5 * time_of("gpu", "conv2d")
+    assert time_of("cpu", "conv2d") > time_of("cpu", "lstm")

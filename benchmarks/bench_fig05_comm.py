@@ -1,0 +1,25 @@
+"""Fig. 5: CPU↔GPU point-to-point transfer latency vs message size.
+
+Paper shape: latency grows almost linearly with message size; small
+messages sit on a fixed-latency floor far below typical NN operator
+execution times.
+"""
+
+from conftest import emit
+
+from repro.bench import fig05_comm, format_table
+
+
+def test_fig05_comm(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig05_comm, kwargs={"machine": machine}, rounds=3, iterations=1
+    )
+    emit(format_table(rows[::3], title="Fig 5 — PCIe transfer cost (every 3rd size)"))
+
+    latencies = [r["latency_ms"] for r in rows]
+    assert latencies == sorted(latencies)
+    # Linear regime: doubling a large message doubles its latency.
+    big = [r for r in rows if r["bytes"] >= 2**24]
+    assert big[1]["latency_ms"] / big[0]["latency_ms"] > 1.8
+    # Floor: a 1 KiB message costs ~the base latency, in microseconds.
+    assert rows[0]["latency_ms"] < 0.1

@@ -1,0 +1,32 @@
+"""Fig. 11: end-to-end latency of PyTorch/TF/TVM (CPU & GPU) vs DUET.
+
+Paper claims reproduced in shape:
+* DUET 1.5-2.3x faster than TVM-GPU and 1.3-15.9x faster than TVM-CPU;
+* DUET 2.1-8.4x faster than frameworks on GPU, 2.3-18.8x on CPU.
+"""
+
+from conftest import emit
+
+from repro.bench import fig11_end2end, format_bars, format_table
+
+
+def test_fig11_end2end(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig11_end2end, kwargs={"machine": machine}, rounds=2, iterations=1
+    )
+    emit(format_table(rows, title="Fig 11 — end-to-end latency (ms)"))
+    for model in ("wide_deep", "siamese", "mtdnn"):
+        subset = [r for r in rows if r["model"] == model]
+        emit(format_bars(subset, "system", "latency_ms", title=f"Fig 11 — {model}"))
+
+    by = {(r["model"], r["system"]): r for r in rows}
+    for model in ("wide_deep", "siamese", "mtdnn"):
+        duet = by[(model, "DUET")]["latency_ms"]
+        assert duet <= min(
+            r["latency_ms"] for r in rows if r["model"] == model
+        ), model
+        # Band checks (loose envelopes around the paper's ranges).
+        assert 1.2 <= by[(model, "TVM-GPU")]["speedup_vs_duet"] <= 3.5
+        assert 1.2 <= by[(model, "TVM-CPU")]["speedup_vs_duet"] <= 16.0
+        assert 1.8 <= by[(model, "PyTorch-GPU")]["speedup_vs_duet"] <= 9.0
+        assert 2.0 <= by[(model, "PyTorch-CPU")]["speedup_vs_duet"] <= 19.0

@@ -1,0 +1,30 @@
+"""Fig. 13: scheduling-algorithm comparison on Wide&Deep.
+
+Paper shape: Random and Round-Robin are clearly worse; both
+correction-based schemes approach the optimum; Greedy+Correction matches
+the exhaustively-found Ideal schedule.
+"""
+
+from conftest import emit
+
+from repro.bench import fig13_schedulers, format_bars, format_table
+
+
+def test_fig13_scheduler_comparison(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig13_schedulers,
+        kwargs={"machine": machine, "n_random": 20},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_table(rows, title="Fig 13 — scheduling algorithms (Wide&Deep)"))
+    emit(format_bars(rows, "scheme", "latency_ms", title="Fig 13 — latency (ms)"))
+
+    lat = {r["scheme"]: r["latency_ms"] for r in rows}
+    assert lat["Random"] > 1.5 * lat["Greedy+Correction"]
+    assert lat["Round-Robin"] >= lat["Greedy+Correction"] * 0.999
+    assert lat["Random+Correction"] <= lat["Round-Robin"] * 1.001
+    # §VI-C: greedy-correction finds the exact optimum on this instance.
+    assert abs(lat["Greedy+Correction"] - lat["Ideal"]) < 1e-9 * max(
+        lat["Ideal"], 1.0
+    ) + 1e-6

@@ -1,0 +1,30 @@
+"""Fig. 14: Wide&Deep with 1/2/4/8 stacked RNN layers.
+
+Paper shape: all systems slow down as RNN depth grows, the GPU fastest
+(RNN is GPU-hostile); DUET stays ahead of TVM-GPU (paper: 2.3-2.5x) and
+TVM-CPU throughout.
+"""
+
+from conftest import emit
+
+from repro.bench import fig14_rnn_layers, format_table
+
+
+def test_fig14_rnn_layer_sweep(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig14_rnn_layers, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Fig 14 — varying stacked RNN layers"))
+
+    # Monotone growth everywhere.
+    for key in ("tvm_cpu_ms", "tvm_gpu_ms", "duet_ms"):
+        series = [r[key] for r in rows]
+        assert series == sorted(series), key
+    # GPU degrades fastest with RNN depth.
+    gpu_growth = rows[-1]["tvm_gpu_ms"] / rows[0]["tvm_gpu_ms"]
+    cpu_growth = rows[-1]["tvm_cpu_ms"] / rows[0]["tvm_cpu_ms"]
+    assert gpu_growth > cpu_growth
+    # DUET never loses to either single device.
+    for r in rows:
+        assert r["speedup_vs_gpu"] >= 1.0 and r["speedup_vs_cpu"] >= 1.0
+        assert 1.5 <= r["speedup_vs_gpu"] <= 3.5  # paper: 2.3-2.5

@@ -1,0 +1,28 @@
+"""Fig. 15: Wide&Deep with ResNet-18/34/50/101 CNN encoders.
+
+Paper shape: TVM-CPU degrades fastest (conv is CPU-hostile); DUET's
+latency stays almost flat while the CNN (on GPU) is hidden behind the RNN
+(on CPU), then grows once the CNN dominates.
+"""
+
+from conftest import emit
+
+from repro.bench import fig15_cnn_depth, format_table
+
+
+def test_fig15_cnn_depth_sweep(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig15_cnn_depth, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Fig 15 — varying CNN (ResNet) depth"))
+
+    cpu_growth = rows[-1]["tvm_cpu_ms"] / rows[0]["tvm_cpu_ms"]
+    gpu_growth = rows[-1]["tvm_gpu_ms"] / rows[0]["tvm_gpu_ms"]
+    assert cpu_growth > gpu_growth
+    # DUET nearly flat while the CNN hides behind the RNN: 18 -> 34 grows
+    # far less than the CPU baseline does.
+    duet_small_growth = rows[1]["duet_ms"] / rows[0]["duet_ms"]
+    assert duet_small_growth < 1.25
+    for r in rows:
+        assert r["speedup_vs_gpu"] >= 1.0
+        assert r["speedup_vs_cpu"] >= 1.0

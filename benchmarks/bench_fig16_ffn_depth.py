@@ -1,0 +1,23 @@
+"""Fig. 16: Wide&Deep with 1/2/4/8 hidden layers in the Deep (FFN) branch.
+
+Paper shape: latency barely moves — FFN layers are GEMMs, fast on both
+devices, so the branch never becomes the bottleneck.
+"""
+
+from conftest import emit
+
+from repro.bench import fig16_ffn_depth, format_table
+
+
+def test_fig16_ffn_depth_sweep(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig16_ffn_depth, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Fig 16 — varying FFN hidden layers"))
+
+    for key in ("tvm_cpu_ms", "tvm_gpu_ms", "duet_ms"):
+        lo = min(r[key] for r in rows)
+        hi = max(r[key] for r in rows)
+        assert hi < lo * 1.3, key  # "does not change much"
+    for r in rows:
+        assert r["speedup_vs_gpu"] >= 1.0

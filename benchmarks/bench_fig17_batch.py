@@ -1,0 +1,26 @@
+"""Fig. 17: Wide&Deep at frozen batch sizes 2/4/8/16/32.
+
+Paper shape: DUET's advantage over TVM-GPU is largest at small batch and
+gradually diminishes — larger batches expose enough parallelism to keep
+the GPU busy on everything.
+"""
+
+from conftest import emit
+
+from repro.bench import fig17_batch_size, format_table
+
+
+def test_fig17_batch_size_sweep(benchmark, machine):
+    rows = benchmark.pedantic(
+        fig17_batch_size, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Fig 17 — varying batch size"))
+
+    speedups = [r["speedup_vs_gpu"] for r in rows]
+    # Diminishing advantage: first batch size beats the last clearly.
+    assert speedups[0] > speedups[-1]
+    # Never worse than the best single device (fallback guards this).
+    for r in rows:
+        assert r["speedup_vs_gpu"] >= 1.0
+    # Small-batch speedup is substantial (paper: ~1.5x at batch 2).
+    assert speedups[0] >= 1.4

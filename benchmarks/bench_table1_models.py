@@ -1,0 +1,31 @@
+"""Table I: model parameters of the evaluation workloads.
+
+Also reports per-model graph statistics (nodes, params, GFLOPs) so the
+scale of each workload is visible next to its configuration.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table, table1_rows
+from repro.models import build_model
+
+
+def test_table1_model_parameters(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=3, iterations=1)
+    emit(format_table(rows, title="Table I — model parameters"))
+
+    stats = []
+    for name in ("wide_deep", "siamese", "mtdnn"):
+        g = build_model(name)
+        stats.append(
+            {
+                "model": name,
+                "op_nodes": len(g.op_nodes()),
+                "params_M": g.num_params() / 1e6,
+                "gflops": g.total_flops() / 1e9,
+            }
+        )
+    emit(format_table(stats, title="Workload scale"))
+
+    assert [r["model"] for r in rows] == ["Wide-and-Deep", "Siamese", "MT-DNN"]
+    assert all(r["batch"] == 1 for r in rows)

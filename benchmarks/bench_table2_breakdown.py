@@ -1,0 +1,29 @@
+"""Table II: per-subgraph computation cost and final placement decisions.
+
+Paper's Wide&Deep row: RNN subgraph 2.4 ms CPU / 6.4 ms GPU → placed on
+CPU; CNN subgraph 14.9 ms CPU / 0.9 ms GPU → placed on GPU.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table, table2_breakdown
+
+
+def test_table2_breakdown(benchmark, machine):
+    rows = benchmark.pedantic(
+        table2_breakdown, kwargs={"machine": machine}, rounds=2, iterations=1
+    )
+    emit(
+        format_table(
+            rows, title="Table II — subgraph costs (ms) and placements"
+        )
+    )
+
+    wd = [r for r in rows if r["model"] == "wide_deep"]
+    rnn = max(wd, key=lambda r: r["gpu_ms"] - r["cpu_ms"])  # GPU-hostile
+    cnn = max(wd, key=lambda r: r["cpu_ms"] - r["gpu_ms"])  # CPU-hostile
+    assert rnn["placement"] == "cpu"
+    assert cnn["placement"] == "gpu"
+    # Magnitudes near the paper's Table II.
+    assert 1.0 < rnn["cpu_ms"] < 6.0 and 4.0 < rnn["gpu_ms"] < 12.0
+    assert 7.0 < cnn["cpu_ms"] < 30.0 and 0.4 < cnn["gpu_ms"] < 3.0

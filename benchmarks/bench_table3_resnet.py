@@ -1,0 +1,27 @@
+"""Table III: traditional sequential models (ResNet-50, VGG-16, SqueezeNet).
+
+Paper: DUET offers the same performance as the best-performing baseline
+(TVM-GPU) — the models are sequential (or, for SqueezeNet's fire modules,
+branch-parallel but single-device-preferring), so DUET falls back to
+single-device execution rather than pay communication for no parallelism.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table, table3_resnet
+
+
+def test_table3_traditional_fallback(benchmark, machine):
+    rows = benchmark.pedantic(
+        table3_resnet, kwargs={"machine": machine}, rounds=1, iterations=1
+    )
+    emit(format_table(rows, title="Table III — traditional models (ms)"))
+
+    for model in {r["model"] for r in rows}:
+        lat = {r["system"]: r["latency_ms"] for r in rows if r["model"] == model}
+        assert lat["DUET"] == min(lat.values()), model
+        assert abs(lat["DUET"] - lat["TVM-GPU"]) < 1e-9 + 1e-6 * lat["TVM-GPU"]
+        duet = next(
+            r for r in rows if r["model"] == model and r["system"] == "DUET"
+        )
+        assert duet["fallback"] == "gpu", model

@@ -1,0 +1,24 @@
+"""Benchmark fixtures: shared machines and a table printer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import default_machine
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """Noiseless machine (mean latencies) for deterministic benches."""
+    return default_machine(noisy=False)
+
+
+@pytest.fixture(scope="session")
+def noisy_machine():
+    """Noisy machine for tail-latency benches."""
+    return default_machine(noisy=True)
+
+
+def emit(text: str) -> None:
+    """Print a result table so `pytest -s benchmarks/` shows the figures."""
+    print("\n" + text + "\n")

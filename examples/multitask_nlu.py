@@ -1,0 +1,82 @@
+"""Multi-task NLU serving with MT-DNN: one encoder, many heads.
+
+MT-DNN (paper Fig. 3) runs a shared transformer trunk and several
+independent task heads.  DUET spreads the heads across CPU and GPU so they
+finish concurrently, and sends each trunk phase to whichever device runs
+it faster.  This example shows the per-phase decisions and verifies the
+numeric outputs against the reference interpreter.
+
+Run:  python examples/multitask_nlu.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import DuetEngine, PhaseType
+from repro.devices import default_machine
+from repro.ir import make_inputs, run_graph
+from repro.models import MTDNNConfig, build_mtdnn
+
+
+def main() -> None:
+    cfg = MTDNNConfig()
+    graph = build_mtdnn(cfg)
+    print(
+        f"MT-DNN: {cfg.num_layers} encoder layers, {cfg.num_tasks} task heads, "
+        f"seq_len {cfg.seq_len}, d_model {cfg.d_model}\n"
+    )
+
+    engine = DuetEngine(machine=default_machine(noisy=False))
+    opt = engine.optimize(graph)
+
+    rows = []
+    for phase in opt.partition.phases:
+        for sg in phase.subgraphs:
+            prof = opt.profiles[sg.id]
+            rows.append(
+                {
+                    "phase": phase.index,
+                    "type": "multi" if phase.type is PhaseType.MULTI_PATH else "seq",
+                    "subgraph": sg.id,
+                    "cpu_ms": prof.time_on("cpu") * 1e3,
+                    "gpu_ms": prof.time_on("gpu") * 1e3,
+                    "device": opt.placement[sg.id],
+                }
+            )
+    print(format_table(rows, title="Per-phase placement"))
+
+    heads = [r for r in rows if r["phase"] == opt.partition.phases[-1].index]
+    devices = {r["device"] for r in heads}
+    print(
+        f"\nTask heads run on: {sorted(devices)} "
+        f"({'split across devices' if len(devices) == 2 else 'one device'})"
+    )
+    print(
+        f"DUET {opt.latency * 1e3:.3f} ms vs TVM-GPU "
+        f"{opt.single_device_latency['gpu'] * 1e3:.3f} ms vs TVM-CPU "
+        f"{opt.single_device_latency['cpu'] * 1e3:.3f} ms"
+    )
+
+    # Verify heterogeneous execution numerically on the tiny variant.
+    tiny = build_mtdnn(
+        MTDNNConfig(
+            seq_len=8, vocab_size=100, d_model=16, num_heads=2, d_ff=32,
+            num_layers=2, num_tasks=3, head_hidden=16, head_classes=4,
+        )
+    )
+    tiny_opt = engine.optimize(tiny)
+    feeds = make_inputs(tiny)
+    result = engine.run(tiny_opt, inputs=feeds)
+    ref = run_graph(tiny, feeds)
+    for got, want in zip(result.outputs, ref):
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+    print(
+        f"\nNumeric check (tiny variant): {len(ref)} task outputs match the "
+        "reference interpreter bit-for-bit tolerances."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: build a model, let DUET schedule it across CPU and GPU.
+
+Builds a small two-branch network (a GPU-friendly convolutional branch and
+a CPU-friendly recurrent branch), runs the full DUET pipeline — partition,
+compiler-aware profiling, greedy-correction scheduling — and executes one
+inference numerically.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_hetero_timeline, format_table
+from repro.core import DuetEngine
+from repro.devices import default_machine
+from repro.ir import GraphBuilder, make_inputs
+from repro.models.common import conv_bn_relu, dense_layer, last_timestep, lstm_layer
+
+
+def build_two_branch_model():
+    """An image branch (conv) and a text branch (LSTM), joined by a head."""
+    b = GraphBuilder("two_branch_demo")
+
+    image = b.input("image", (1, 3, 64, 64))
+    text = b.input("text", (1, 50, 128))
+
+    # Conv branch: three conv blocks + global pooling.
+    y = image
+    for i, ch in enumerate((32, 64, 128)):
+        y = conv_bn_relu(b, y, ch, 3, 2, 1, f"conv{i}")
+    y = b.op("global_avg_pool2d", y)
+    img_feat = b.op("reshape", y, shape=(1, 128))
+
+    # Recurrent branch: one LSTM, last hidden state.
+    seq = lstm_layer(b, text, 128, "lstm", return_sequences=True)
+    txt_feat = last_timestep(b, seq)
+
+    joint = b.op("concat", img_feat, txt_feat, axis=1)
+    head = dense_layer(b, joint, 64, "head")
+    logits = dense_layer(b, head, 10, "out", activation=None)
+    return b.build(b.op("softmax", logits, axis=-1))
+
+
+def main() -> None:
+    graph = build_two_branch_model()
+    print(f"Model: {graph.name} ({len(graph.op_nodes())} ops, "
+          f"{graph.total_flops() / 1e6:.1f} MFLOPs)\n")
+
+    engine = DuetEngine(machine=default_machine(noisy=False))
+    opt = engine.optimize(graph)
+
+    rows = []
+    for sg in opt.partition.subgraphs:
+        prof = opt.profiles[sg.id]
+        rows.append(
+            {
+                "subgraph": sg.id,
+                "ops": len(sg.node_ids),
+                "cpu_ms": prof.time_on("cpu") * 1e3,
+                "gpu_ms": prof.time_on("gpu") * 1e3,
+                "placed_on": opt.placement[sg.id],
+            }
+        )
+    print(format_table(rows, title="Compiler-aware profile and placement"))
+
+    print(
+        f"\nDUET latency:    {opt.latency * 1e3:.3f} ms"
+        f"\nTVM-CPU latency: {opt.single_device_latency['cpu'] * 1e3:.3f} ms"
+        f"\nTVM-GPU latency: {opt.single_device_latency['gpu'] * 1e3:.3f} ms"
+        f"\nFallback used:   {opt.fallback_device or 'no — co-execution wins'}"
+    )
+
+    # Execute one real inference (NumPy numerics flow through the plan).
+    feeds = make_inputs(graph, seed=42)
+    result = engine.run(opt, inputs=feeds)
+    probs = result.outputs[0]
+    print(f"\nInference output: class {int(np.argmax(probs))} "
+          f"(p = {float(probs.max()):.3f}); simulated latency "
+          f"{result.latency * 1e3:.3f} ms, "
+          f"{len(result.transfers)} PCIe transfer(s)\n")
+    print(format_hetero_timeline(result, title="Execution timeline"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""DUET reproduction.
+
+A compiler-runtime subgraph scheduling engine for tensor programs on a
+coupled CPU-GPU architecture, reproducing Zhang, Hu & Li (IPDPS 2021).
+
+Public entry points:
+
+* :class:`repro.ir.GraphBuilder` — build tensor computation graphs.
+* :mod:`repro.models` — the paper's workload zoo (Wide&Deep, Siamese,
+  MT-DNN, ResNet).
+* :class:`repro.core.engine.DuetEngine` — partition + profile + schedule +
+  execute a model across CPU and GPU.
+* :mod:`repro.baselines` — TVM-like and framework-like single-device
+  baselines used in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,15 @@
+"""Single-device baselines used in the paper's evaluation."""
+
+from repro.baselines.framework_like import (
+    FrameworkBaseline,
+    pytorch_like,
+    tensorflow_like,
+)
+from repro.baselines.tvm_like import TVMLikeBaseline
+
+__all__ = [
+    "FrameworkBaseline",
+    "TVMLikeBaseline",
+    "pytorch_like",
+    "tensorflow_like",
+]

@@ -1,0 +1,69 @@
+"""Benchmark harness: experiment drivers, workloads, and reporting."""
+
+from repro.bench.ablations import (
+    ablation_correction,
+    ablation_granularity,
+    ablation_profiling,
+    build_comm_heavy_model,
+    build_fusion_sensitive_model,
+)
+from repro.bench.experiments import (
+    fig04_timeline,
+    fig05_comm,
+    fig11_end2end,
+    fig12_tail,
+    fig13_schedulers,
+    fig14_rnn_layers,
+    fig15_cnn_depth,
+    fig16_ffn_depth,
+    fig17_batch_size,
+    table2_breakdown,
+    table3_resnet,
+)
+from repro.bench.reporting import (
+    format_bars,
+    format_hetero_timeline,
+    format_table,
+    format_timeline,
+)
+from repro.bench.workloads import (
+    BATCH_SIZE_SWEEP,
+    CNN_DEPTH_SWEEP,
+    EVAL_MODELS,
+    FFN_DEPTH_SWEEP,
+    RNN_LAYER_SWEEP,
+    Workload,
+    evaluation_workloads,
+    table1_rows,
+)
+
+__all__ = [
+    "BATCH_SIZE_SWEEP",
+    "ablation_correction",
+    "ablation_granularity",
+    "ablation_profiling",
+    "build_comm_heavy_model",
+    "build_fusion_sensitive_model",
+    "CNN_DEPTH_SWEEP",
+    "EVAL_MODELS",
+    "FFN_DEPTH_SWEEP",
+    "RNN_LAYER_SWEEP",
+    "Workload",
+    "evaluation_workloads",
+    "fig04_timeline",
+    "fig05_comm",
+    "fig11_end2end",
+    "fig12_tail",
+    "fig13_schedulers",
+    "fig14_rnn_layers",
+    "fig15_cnn_depth",
+    "fig16_ffn_depth",
+    "fig17_batch_size",
+    "format_bars",
+    "format_hetero_timeline",
+    "format_table",
+    "format_timeline",
+    "table1_rows",
+    "table2_breakdown",
+    "table3_resnet",
+]

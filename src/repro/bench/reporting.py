@@ -1,0 +1,117 @@
+"""Plain-text reporting: tables, bars, and timelines for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_bars", "format_timeline", "format_hetero_timeline"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    rows: Sequence[Mapping[str, object]],
+    label_key: str,
+    value_key: str,
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """Render a horizontal bar chart (one bar per row)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    values = [float(r[value_key]) for r in rows]
+    labels = [str(r[label_key]) for r in rows]
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)}  {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def format_timeline(
+    segments: Sequence[Mapping[str, object]],
+    total_ms: float | None = None,
+    width: int = 72,
+    max_rows: int = 30,
+    title: str = "",
+) -> str:
+    """Render kernel segments (from fig04_timeline) as an ASCII Gantt strip.
+
+    Segments shorter than one cell are shown as a single mark; only the
+    ``max_rows`` longest segments get their own labelled row.
+    """
+    if not segments:
+        return f"{title}\n(no segments)"
+    end = total_ms or max(float(s["end_ms"]) for s in segments)
+    end = end or 1.0
+    ordered = sorted(segments, key=lambda s: -float(s["duration_ms"]))[:max_rows]
+    ordered.sort(key=lambda s: float(s["start_ms"]))
+    lines = [title] if title else []
+    lines.append(f"0 ms {' ' * (width - 12)} {end:.2f} ms")
+    for seg in ordered:
+        start = int(width * float(seg["start_ms"]) / end)
+        span = max(1, int(width * float(seg["duration_ms"]) / end))
+        strip = " " * start + "█" * min(span, width - start)
+        name = str(seg["kernel"])
+        if len(name) > 34:
+            name = name[:31] + "..."
+        lines.append(f"|{strip.ljust(width)}| {name} ({float(seg['duration_ms']):.2f} ms)")
+    return "\n".join(lines)
+
+
+def format_hetero_timeline(result, width: int = 72, title: str = "") -> str:
+    """Render an ExecutionResult as two device lanes plus a PCIe lane.
+
+    One character cell per time slice; ``█`` marks busy time.  Gives the
+    Fig. 4-style at-a-glance view of how a heterogeneous plan overlaps the
+    devices and where the transfers sit.
+    """
+    spans = {"cpu": [], "gpu": [], "pcie": []}
+    for rec in result.tasks:
+        spans[rec.device].append((rec.start, rec.finish, rec.task_id))
+    for tr in result.transfers:
+        spans["pcie"].append((tr.start, tr.finish, tr.what))
+    end = max(
+        [result.latency]
+        + [f for lane in spans.values() for _, f, _ in lane]
+    )
+    end = end or 1.0
+    lines = [title] if title else []
+    lines.append(f"total {end * 1e3:.3f} ms; one cell = {end / width * 1e3:.3f} ms")
+    for lane in ("cpu", "gpu", "pcie"):
+        cells = [" "] * width
+        for start, finish, _label in spans[lane]:
+            lo = int(width * start / end)
+            hi = max(lo + 1, int(width * finish / end))
+            for i in range(lo, min(hi, width)):
+                cells[i] = "█"
+        busy = sum(f - s for s, f, _ in spans[lane])
+        lines.append(f"{lane:4s} |{''.join(cells)}| busy {busy * 1e3:7.3f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Canonical workload configurations for the paper's evaluation (§VI-A).
+
+Table I of the paper lists the model parameters of Wide-and-Deep, Siamese,
+and MT-DNN; the exact numbers are not reproduced in the text, so the
+defaults here are the representative configurations calibrated in
+DESIGN.md.  The sweep lists mirror the model-variation experiments
+(Figs. 14-17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import Graph
+from repro.models import (
+    MTDNNConfig,
+    ResNetConfig,
+    SiameseConfig,
+    WideDeepConfig,
+    build_model,
+)
+
+__all__ = [
+    "EVAL_MODELS",
+    "RNN_LAYER_SWEEP",
+    "CNN_DEPTH_SWEEP",
+    "FFN_DEPTH_SWEEP",
+    "BATCH_SIZE_SWEEP",
+    "Workload",
+    "evaluation_workloads",
+    "table1_rows",
+]
+
+EVAL_MODELS = ("wide_deep", "siamese", "mtdnn")
+
+# Fig. 14: stacked RNN layers in Wide&Deep.
+RNN_LAYER_SWEEP = (1, 2, 4, 8)
+# Fig. 15: ResNet encoder depth in Wide&Deep.
+CNN_DEPTH_SWEEP = (18, 34, 50, 101)
+# Fig. 16: hidden layers in the Deep (FFN) component.
+FFN_DEPTH_SWEEP = (1, 2, 4, 8)
+# Fig. 17: frozen batch sizes (TVM-style static batch).
+BATCH_SIZE_SWEEP = (2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named evaluation workload: model graph + its configuration."""
+
+    name: str
+    graph: Graph
+    config: object
+
+
+def evaluation_workloads() -> list[Workload]:
+    """The paper's three complex-structure evaluation models at batch 1."""
+    return [
+        Workload(name, build_model(name), _default(name)) for name in EVAL_MODELS
+    ]
+
+
+def _default(name: str):
+    return {
+        "wide_deep": WideDeepConfig(),
+        "siamese": SiameseConfig(),
+        "mtdnn": MTDNNConfig(),
+        "resnet": ResNetConfig(depth=50),
+    }[name]
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Table I: the model parameters used in the evaluation."""
+    wd = WideDeepConfig()
+    si = SiameseConfig()
+    mt = MTDNNConfig()
+    return [
+        {
+            "model": "Wide-and-Deep",
+            "batch": wd.batch,
+            "components": "wide linear + FFN + LSTM + ResNet",
+            "seq_len": wd.seq_len,
+            "hidden": wd.rnn_hidden,
+            "rnn_layers": wd.rnn_layers,
+            "cnn_depth": wd.cnn_depth,
+            "ffn": f"{wd.ffn_layers}x{wd.ffn_hidden}",
+        },
+        {
+            "model": "Siamese",
+            "batch": si.batch,
+            "components": "2 shared-weight LSTM towers + distance head",
+            "seq_len": si.seq_len,
+            "hidden": si.hidden,
+            "rnn_layers": si.num_layers,
+            "cnn_depth": "-",
+            "ffn": "-",
+        },
+        {
+            "model": "MT-DNN",
+            "batch": mt.batch,
+            "components": f"{mt.num_layers}-layer transformer + {mt.num_tasks} task heads",
+            "seq_len": mt.seq_len,
+            "hidden": mt.d_model,
+            "rnn_layers": "-",
+            "cnn_depth": "-",
+            "ffn": f"heads {mt.head_hidden}",
+        },
+    ]

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list
+    python -m repro info wide_deep
+    python -m repro print siamese --tiny
+    python -m repro optimize wide_deep --runs 2000
+    python -m repro bench fig13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import (
+    ablation_correction,
+    ablation_granularity,
+    ablation_profiling,
+    fig05_comm,
+    fig11_end2end,
+    fig12_tail,
+    fig13_schedulers,
+    fig14_rnn_layers,
+    fig15_cnn_depth,
+    fig16_ffn_depth,
+    fig17_batch_size,
+    format_table,
+    table1_rows,
+    table2_breakdown,
+    table3_resnet,
+)
+from repro.core import DuetEngine, PhaseType, partition_graph
+from repro.devices import default_machine
+from repro.errors import ReproError
+from repro.ir import format_graph
+from repro.models import MODEL_NAMES, build_model
+
+__all__ = ["main"]
+
+_EXPERIMENTS: dict[str, Callable[..., list[dict]]] = {
+    "fig5": fig05_comm,
+    "fig11": fig11_end2end,
+    "fig12": fig12_tail,
+    "fig13": fig13_schedulers,
+    "fig14": fig14_rnn_layers,
+    "fig15": fig15_cnn_depth,
+    "fig16": fig16_ffn_depth,
+    "fig17": fig17_batch_size,
+    "table2": table2_breakdown,
+    "table3": table3_resnet,
+    "ablation-profiling": ablation_profiling,
+    "ablation-granularity": ablation_granularity,
+    "ablation-correction": ablation_correction,
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("models:      " + ", ".join(MODEL_NAMES))
+    print("experiments: table1, " + ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, tiny=args.tiny)
+    print(f"model:   {graph.name}")
+    print(f"ops:     {len(graph.op_nodes())}")
+    print(f"params:  {graph.num_params() / 1e6:.2f} M")
+    print(f"flops:   {graph.total_flops() / 1e9:.3f} G")
+    part = partition_graph(graph)
+    print(f"phases:  {len(part.phases)} ({len(part.subgraphs)} subgraphs)")
+    for phase in part.phases:
+        kind = "seq  " if phase.type is PhaseType.SEQUENTIAL else "multi"
+        sizes = ", ".join(str(len(sg.node_ids)) for sg in phase.subgraphs)
+        print(f"  phase {phase.index:2d} [{kind}] op counts: {sizes}")
+    return 0
+
+
+def _cmd_print(args: argparse.Namespace) -> int:
+    graph = build_model(args.model, tiny=args.tiny)
+    print(format_graph(graph))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    machine = default_machine(noisy=args.noisy)
+    engine = DuetEngine(machine=machine)
+    if args.spec:
+        from pathlib import Path
+
+        from repro.ir import build_from_json
+
+        graph = build_from_json(Path(args.spec).read_text())
+    elif args.model:
+        graph = build_model(args.model, tiny=args.tiny)
+    else:
+        print("error: provide a model name or --spec PATH", file=sys.stderr)
+        return 2
+    opt = engine.optimize(graph, profile_path=args.profile_cache)
+
+    rows = []
+    for sg in opt.partition.subgraphs:
+        prof = opt.profiles[sg.id]
+        rows.append(
+            {
+                "subgraph": sg.id,
+                "ops": len(sg.node_ids),
+                "cpu_ms": prof.time_on("cpu") * 1e3,
+                "gpu_ms": prof.time_on("gpu") * 1e3,
+                "device": opt.placement[sg.id],
+            }
+        )
+    print(format_table(rows, title=f"{graph.name}: profile and placement"))
+    print()
+    print(f"DUET latency:     {opt.latency * 1e3:.3f} ms")
+    print(f"TVM-CPU latency:  {opt.single_device_latency['cpu'] * 1e3:.3f} ms")
+    print(f"TVM-GPU latency:  {opt.single_device_latency['gpu'] * 1e3:.3f} ms")
+    print(f"fallback:         {opt.fallback_device or 'none (co-execution)'}")
+    mem = opt.memory_report()
+    print(
+        f"resident weights: cpu {mem.cpu.param_bytes / 1e6:.1f} MB, "
+        f"gpu {mem.gpu.param_bytes / 1e6:.1f} MB"
+    )
+    if args.runs > 0:
+        stats = engine.latency_stats(opt, n_runs=args.runs)
+        print(
+            f"distribution ({args.runs} runs): P50 {stats.p50_ms:.3f}  "
+            f"P99 {stats.p99_ms:.3f}  P99.9 {stats.p999_ms:.3f} ms"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every experiment table into a results directory."""
+    import pathlib
+
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    machine = default_machine(noisy=False)
+    noisy = default_machine(noisy=True)
+    jobs = [("table1", lambda: table1_rows())]
+    for name, fn in sorted(_EXPERIMENTS.items()):
+        m = noisy if name == "fig12" else machine
+        if name == "fig12":
+            jobs.append((name, lambda fn=fn, m=m: fn(m, n_runs=args.runs)))
+        else:
+            jobs.append((name, lambda fn=fn, m=m: fn(m)))
+    for name, job in jobs:
+        rows = job()
+        text = format_table(rows, title=name)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {out_dir / (name + '.txt')}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    machine = default_machine(noisy=args.experiment == "fig12")
+    if args.experiment == "table1":
+        print(format_table(table1_rows(), title="Table I"))
+        return 0
+    fn = _EXPERIMENTS.get(args.experiment)
+    if fn is None:
+        print(
+            f"unknown experiment {args.experiment!r}; options: table1, "
+            + ", ".join(sorted(_EXPERIMENTS)),
+            file=sys.stderr,
+        )
+        return 2
+    rows = fn(machine)
+    print(format_table(rows, title=args.experiment))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DUET reproduction: schedule DNN inference across CPU+GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models and experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    p_info = sub.add_parser("info", help="model and partition statistics")
+    p_info.add_argument("model", choices=MODEL_NAMES)
+    p_info.add_argument("--tiny", action="store_true", help="test-scale config")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_print = sub.add_parser("print", help="dump the Relay-style IR")
+    p_print.add_argument("model", choices=MODEL_NAMES)
+    p_print.add_argument("--tiny", action="store_true")
+    p_print.set_defaults(fn=_cmd_print)
+
+    p_opt = sub.add_parser("optimize", help="run the full DUET pipeline")
+    p_opt.add_argument("model", nargs="?", choices=MODEL_NAMES)
+    p_opt.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="optimize a declarative JSON model spec instead of a zoo model",
+    )
+    p_opt.add_argument("--tiny", action="store_true")
+    p_opt.add_argument("--noisy", action="store_true", help="enable latency noise")
+    p_opt.add_argument(
+        "--runs", type=int, default=0,
+        help="additionally sample a latency distribution of this many runs",
+    )
+    p_opt.add_argument(
+        "--profile-cache", default=None, metavar="PATH",
+        help="reuse/write the offline profiling artifact at PATH",
+    )
+    p_opt.set_defaults(fn=_cmd_optimize)
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument("experiment")
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every experiment table into a directory"
+    )
+    p_report.add_argument("--output", default="results", metavar="DIR")
+    p_report.add_argument(
+        "--runs", type=int, default=2000,
+        help="sample count for the tail-latency experiment",
+    )
+    p_report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

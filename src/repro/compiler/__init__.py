@@ -1,0 +1,26 @@
+"""Mini DL compiler: graph passes, fusion, lowering to costed kernels."""
+
+from repro.compiler.fusion import FusionGroup, plan_fusion
+from repro.compiler.kernel import CompiledKernel, KernelCost
+from repro.compiler.lowering import CompiledModule, lower
+from repro.compiler.pass_manager import PassManager, PassRecord, default_passes
+from repro.compiler.pipeline import Compiler, CompileResult, compile_graph
+from repro.compiler.target import CPU_TARGET, GPU_TARGET, Target
+
+__all__ = [
+    "CPU_TARGET",
+    "GPU_TARGET",
+    "CompileResult",
+    "CompiledKernel",
+    "CompiledModule",
+    "Compiler",
+    "FusionGroup",
+    "KernelCost",
+    "PassManager",
+    "PassRecord",
+    "Target",
+    "compile_graph",
+    "default_passes",
+    "lower",
+    "plan_fusion",
+]

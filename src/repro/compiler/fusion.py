@@ -1,0 +1,125 @@
+"""Operator fusion planning.
+
+Implements a TVM-style greedy fusion over the operator patterns
+(:class:`~repro.ir.ops.registry.OpPattern`): elementwise/broadcast ops are
+absorbed into their producers (including compute anchors such as dense and
+conv2d), injective data movement fuses with other cheap ops, reductions
+absorb preceding elementwise chains, and OPAQUE ops (recurrent layers)
+never fuse.
+
+Fusion is the reason the paper partitions *coarsely* (§III-B, third
+opportunity): a subgraph handed to the compiler as one piece keeps these
+fusion opportunities, which per-operator scheduling would destroy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.ops import OpPattern, get_op
+
+__all__ = ["FusionGroup", "plan_fusion"]
+
+# Pattern strength ordering used to pick a group's anchor.
+_STRENGTH = {
+    OpPattern.OPAQUE: 5,
+    OpPattern.OUT_FUSABLE: 4,
+    OpPattern.REDUCE: 3,
+    OpPattern.INJECTIVE: 2,
+    OpPattern.BROADCAST: 1,
+    OpPattern.ELEMWISE: 0,
+}
+
+
+@dataclass
+class FusionGroup:
+    """A set of operator nodes compiled into a single kernel.
+
+    Attributes:
+        node_ids: members in topological order.
+        anchor_id: the member with the strongest pattern — its cost
+            metadata (parallelism, kind) represents the whole kernel.
+        output_id: the unique member whose value escapes the group.
+    """
+
+    node_ids: list[str] = field(default_factory=list)
+    anchor_id: str = ""
+    output_id: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+
+def _pattern(node: Node) -> OpPattern:
+    return get_op(node.op).pattern
+
+
+def _can_absorb(anchor: OpPattern, incoming: OpPattern) -> bool:
+    """Whether a group anchored at ``anchor`` may absorb an ``incoming``
+    consumer op."""
+    if anchor is OpPattern.OPAQUE or incoming is OpPattern.OPAQUE:
+        return False
+    if incoming in (OpPattern.ELEMWISE, OpPattern.BROADCAST):
+        return True
+    if incoming is OpPattern.INJECTIVE:
+        return anchor in (
+            OpPattern.ELEMWISE,
+            OpPattern.BROADCAST,
+            OpPattern.INJECTIVE,
+        )
+    if incoming is OpPattern.REDUCE:
+        return anchor in (
+            OpPattern.ELEMWISE,
+            OpPattern.BROADCAST,
+            OpPattern.INJECTIVE,
+        )
+    return False  # OUT_FUSABLE never joins an existing group
+
+
+def plan_fusion(graph: Graph) -> list[FusionGroup]:
+    """Greedy single-pass fusion in topological order.
+
+    A consumer joins its producer's group only when (a) the producer is the
+    group's current output, (b) the consumer is the producer's *sole*
+    consumer (so no intermediate value must escape), and (c) the pattern
+    table allows it.  This keeps every group single-output by construction.
+    """
+    group_of: dict[str, int] = {}
+    groups: list[FusionGroup] = []
+
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            continue
+        pat = _pattern(node)
+        target_group: int | None = None
+        if pat is not OpPattern.OPAQUE and pat is not OpPattern.OUT_FUSABLE:
+            for src in node.inputs:
+                src_node = graph.node(src)
+                if not src_node.is_op or src not in group_of:
+                    continue
+                gidx = group_of[src]
+                group = groups[gidx]
+                if group.output_id != src:
+                    continue  # producer's value already internal elsewhere
+                if len(graph.consumers(src)) != 1 or src in graph.outputs:
+                    continue  # value escapes to another consumer / the caller
+                anchor_pat = _pattern(graph.node(group.anchor_id))
+                if _can_absorb(anchor_pat, pat):
+                    target_group = gidx
+                    break
+        if target_group is None:
+            groups.append(FusionGroup(node_ids=[nid], anchor_id=nid, output_id=nid))
+            group_of[nid] = len(groups) - 1
+        else:
+            group = groups[target_group]
+            group.node_ids.append(nid)
+            group.output_id = nid
+            if _STRENGTH[pat] > _STRENGTH[_pattern(graph.node(group.anchor_id))]:
+                group.anchor_id = nid
+            group_of[nid] = target_group
+
+    return groups

@@ -1,0 +1,81 @@
+"""Pass manager: ordered, instrumented application of graph passes.
+
+Mirrors the graph-level optimization layer of the DL-compiler pipeline in
+the paper's Fig. 1.  Each pass is a pure ``Graph -> Graph`` function; the
+manager records per-pass node counts so tests and benchmarks can assert
+that optimizations actually fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import CompilerError
+from repro.ir.graph import Graph
+
+from repro.compiler.passes.constant_fold import constant_fold
+from repro.compiler.passes.cse import common_subexpression_elimination
+from repro.compiler.passes.dce import dead_code_elimination
+from repro.compiler.passes.simplify import simplify
+
+__all__ = ["PassRecord", "PassManager", "default_passes"]
+
+GraphPass = Callable[[Graph], Graph]
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """What one pass did: node counts before/after."""
+
+    name: str
+    nodes_before: int
+    nodes_after: int
+
+    @property
+    def removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+@dataclass
+class PassManager:
+    """Runs a pipeline of graph passes, keeping a trace of their effects."""
+
+    passes: Sequence[tuple[str, GraphPass]]
+    trace: list[PassRecord] = field(default_factory=list)
+
+    def run(self, graph: Graph) -> Graph:
+        """Apply every pass in order; validates after each."""
+        self.trace = []
+        for name, fn in self.passes:
+            before = len(graph)
+            try:
+                graph = fn(graph)
+            except Exception as exc:
+                raise CompilerError(f"pass {name!r} failed: {exc}") from exc
+            graph.validate()
+            self.trace.append(PassRecord(name, before, len(graph)))
+        return graph
+
+
+def default_passes(opt_level: int = 2) -> list[tuple[str, GraphPass]]:
+    """The standard graph-optimization pipeline.
+
+    * level 0: validation only (no rewrites)
+    * level 1: DCE + simplify
+    * level 2: + constant folding + CSE (default, mirrors "graph-level
+      optimizations enabled" in the paper's TVM baseline)
+    """
+    if opt_level <= 0:
+        return []
+    passes: list[tuple[str, GraphPass]] = [
+        ("simplify", simplify),
+        ("dce", dead_code_elimination),
+    ]
+    if opt_level >= 2:
+        passes += [
+            ("constant_fold", constant_fold),
+            ("cse", common_subexpression_elimination),
+            ("dce_post", dead_code_elimination),
+        ]
+    return passes

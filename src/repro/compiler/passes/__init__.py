@@ -1,0 +1,13 @@
+"""Graph-level optimization passes (Graph -> Graph)."""
+
+from repro.compiler.passes.constant_fold import constant_fold
+from repro.compiler.passes.cse import common_subexpression_elimination
+from repro.compiler.passes.dce import dead_code_elimination
+from repro.compiler.passes.simplify import simplify
+
+__all__ = [
+    "constant_fold",
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+    "simplify",
+]

@@ -1,0 +1,53 @@
+"""Constant folding.
+
+Only *literal* constants (small payloads carried on the node) participate:
+lazily-initialized parameters are left alone so that folding never forces a
+multi-megabyte weight tensor to materialize at compile time and never
+changes which parameters a model owns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.node import Initializer, Node, NodeKind
+from repro.ir.ops import get_op
+
+__all__ = ["constant_fold"]
+
+# Never fold above this many elements: folding exists to clean up scalar
+# arithmetic, not to precompute layers.
+_MAX_FOLD_ELEMENTS = 4096
+
+
+def constant_fold(graph: Graph) -> Graph:
+    """Evaluate operator nodes whose inputs are all literal constants."""
+    nodes: dict[str, Node] = {}
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            nodes[nid] = node
+            continue
+        args: list[np.ndarray] = []
+        foldable = node.ty.num_elements <= _MAX_FOLD_ELEMENTS
+        if foldable:
+            for src in node.inputs:
+                src_node = nodes[src]
+                if src_node.is_const and src_node.init is Initializer.LITERAL:
+                    args.append(src_node.literal)  # type: ignore[arg-type]
+                else:
+                    foldable = False
+                    break
+        if not foldable:
+            nodes[nid] = node
+            continue
+        value = get_op(node.op).compute(args, node.attrs)
+        nodes[nid] = Node(
+            id=node.id,
+            kind=NodeKind.CONST,
+            ty=node.ty,
+            init=Initializer.LITERAL,
+            literal=np.asarray(value, dtype=node.ty.dtype.to_numpy()),
+        )
+    return Graph(graph.name, nodes.values(), graph.outputs).pruned()

@@ -1,0 +1,41 @@
+"""Common subexpression elimination.
+
+Two OP nodes with the same operator, identical (already-deduplicated)
+inputs, and equal attributes compute the same value; the later one is
+rewritten to reuse the earlier one.  Constants are *not* merged — distinct
+parameters materialize with distinct values even when their types match.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+
+__all__ = ["common_subexpression_elimination"]
+
+
+def _op_key(node: Node, remap: dict[str, str]) -> tuple:
+    inputs = tuple(remap.get(i, i) for i in node.inputs)
+    attrs = tuple(sorted((k, repr(v)) for k, v in node.attrs.items()))
+    return (node.op, inputs, attrs)
+
+
+def common_subexpression_elimination(graph: Graph) -> Graph:
+    """Deduplicate structurally identical operator nodes."""
+    remap: dict[str, str] = {}
+    seen: dict[tuple, str] = {}
+    kept: list[Node] = []
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            kept.append(node)
+            continue
+        key = _op_key(node, remap)
+        if key in seen:
+            remap[node.id] = seen[key]
+            continue
+        seen[key] = node.id
+        new_inputs = tuple(remap.get(i, i) for i in node.inputs)
+        kept.append(node.with_inputs(new_inputs) if new_inputs != node.inputs else node)
+    outputs = [remap.get(o, o) for o in graph.outputs]
+    return Graph(graph.name, kept, outputs)

@@ -1,0 +1,12 @@
+"""Dead code elimination: drop nodes unreachable from the graph outputs."""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+
+__all__ = ["dead_code_elimination"]
+
+
+def dead_code_elimination(graph: Graph) -> Graph:
+    """Remove every node with no path to an output."""
+    return graph.pruned()

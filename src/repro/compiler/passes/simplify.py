@@ -1,0 +1,92 @@
+"""Algebraic graph simplifications.
+
+Structural rewrites that need no numeric evaluation:
+
+* ``identity(x)`` → ``x``
+* ``reshape(reshape(x))`` → single reshape to the final shape
+* ``transpose(transpose(x))`` with inverse permutations → ``x``
+* ``reshape(x)`` to x's own shape → ``x``
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+
+__all__ = ["simplify"]
+
+
+def _resolve(remap: dict[str, str], nid: str) -> str:
+    while nid in remap:
+        nid = remap[nid]
+    return nid
+
+
+def _perm_of(node: Node, rank: int) -> tuple[int, ...]:
+    axes = node.attrs.get("axes")
+    if axes is None:
+        return tuple(reversed(range(rank)))
+    return tuple(int(a) for a in axes)  # type: ignore[union-attr]
+
+
+def simplify(graph: Graph) -> Graph:
+    """Apply local structural rewrites until none fire (single sweep is
+    sufficient because rewrites only look backwards in topo order)."""
+    remap: dict[str, str] = {}
+    kept: dict[str, Node] = {}
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            kept[nid] = node
+            continue
+        inputs = tuple(_resolve(remap, i) for i in node.inputs)
+        node = node.with_inputs(inputs) if inputs != node.inputs else node
+
+        if node.op == "identity":
+            remap[node.id] = node.inputs[0]
+            continue
+
+        if node.op == "reshape":
+            src = kept[node.inputs[0]]
+            if node.ty.shape == src.ty.shape:
+                remap[node.id] = src.id
+                continue
+            if src.is_op and src.op == "reshape":
+                # reshape(reshape(x, s1), s2) == reshape(x, s2)
+                node = Node(
+                    id=node.id,
+                    kind=node.kind,
+                    ty=node.ty,
+                    op="reshape",
+                    inputs=(src.inputs[0],),
+                    attrs={"shape": tuple(node.ty.shape)},
+                )
+
+        if node.op == "transpose":
+            src = kept[node.inputs[0]]
+            if src.is_op and src.op == "transpose":
+                inner = _perm_of(src, kept[src.inputs[0]].ty.rank)
+                outer = _perm_of(node, src.ty.rank)
+                composed = tuple(inner[a] for a in outer)
+                if composed == tuple(range(len(composed))):
+                    remap[node.id] = src.inputs[0]
+                    continue
+                node = Node(
+                    id=node.id,
+                    kind=node.kind,
+                    ty=node.ty,
+                    op="transpose",
+                    inputs=(src.inputs[0],),
+                    attrs={"axes": composed},
+                )
+
+        kept[node.id] = node
+
+    outputs = []
+    out_nodes = dict(kept)
+    for out in graph.outputs:
+        resolved = _resolve(remap, out)
+        # An output rewritten away must still be returned under some id; if
+        # the resolved node is a leaf that's fine, the graph returns it.
+        outputs.append(resolved)
+    return Graph(graph.name, out_nodes.values(), outputs).pruned()

@@ -1,0 +1,42 @@
+"""Compilation targets.
+
+A target names the backend a module is generated for.  Numerics are
+identical across targets (both lower to NumPy kernels); what differs is the
+cost metadata the backend attaches — on GPU every kernel is a device-kernel
+launch, while the CPU backend runs kernels as plain function calls — and
+which device cost model the runtime applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+
+__all__ = ["Target", "CPU_TARGET", "GPU_TARGET"]
+
+
+@dataclass(frozen=True)
+class Target:
+    """A code-generation target.
+
+    Attributes:
+        name: ``"cpu"`` or ``"gpu"``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ("cpu", "gpu"):
+            raise CompilerError(f"unknown target {self.name!r}")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.name == "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+CPU_TARGET = Target("cpu")
+GPU_TARGET = Target("gpu")

@@ -1,0 +1,51 @@
+"""DUET core: partitioning, profiling, scheduling, and the engine."""
+
+from repro.core.engine import DuetEngine, DuetOptimization
+from repro.core.nested import partition_graph_nested
+from repro.core.online import AdaptiveDuetEngine, ServeRecord
+from repro.core.profile_store import (
+    load_profiles,
+    partition_fingerprint,
+    save_profiles,
+)
+from repro.core.partition import (
+    find_separators,
+    partition_graph,
+    partition_per_operator,
+)
+from repro.core.phases import Phase, PhasedPartition, PhaseType
+from repro.core.placement import Placement, build_hetero_plan, validate_placement
+from repro.core.profiler import CompilerAwareProfiler, SubgraphProfile
+from repro.core.scheduler import (
+    GreedyCorrectionScheduler,
+    ScheduleResult,
+    correct_placement,
+)
+from repro.core.subgraph import SubgraphInfo, extract_subgraph
+
+__all__ = [
+    "AdaptiveDuetEngine",
+    "ServeRecord",
+    "CompilerAwareProfiler",
+    "DuetEngine",
+    "DuetOptimization",
+    "GreedyCorrectionScheduler",
+    "Phase",
+    "PhasedPartition",
+    "PhaseType",
+    "Placement",
+    "ScheduleResult",
+    "SubgraphInfo",
+    "SubgraphProfile",
+    "build_hetero_plan",
+    "correct_placement",
+    "extract_subgraph",
+    "find_separators",
+    "partition_graph",
+    "partition_graph_nested",
+    "partition_per_operator",
+    "load_profiles",
+    "partition_fingerprint",
+    "save_profiles",
+    "validate_placement",
+]

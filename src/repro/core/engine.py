@@ -1,0 +1,186 @@
+"""DuetEngine: the end-to-end inference engine (paper Fig. 6).
+
+Pipeline: coarse-grained partitioning → compiler-aware profiling →
+greedy-correction scheduling → heterogeneous execution, with an automatic
+fallback to the best single device when co-execution does not win
+(§VI-E, Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.compiler.lowering import CompiledModule
+from repro.compiler.pipeline import Compiler
+from repro.compiler.target import CPU_TARGET, GPU_TARGET
+from repro.core.partition import partition_graph
+from repro.core.phases import PhasedPartition
+from repro.core.profiler import CompilerAwareProfiler, SubgraphProfile
+from repro.core.scheduler import GreedyCorrectionScheduler, ScheduleResult
+from repro.devices.machine import Machine, default_machine
+from repro.ir.graph import Graph
+from repro.runtime.measurement import LatencyStats, measure_latency
+from repro.runtime.plan import HeteroPlan
+from repro.runtime.simulator import ExecutionResult, simulate
+from repro.runtime.single import run_single_device, single_device_plan
+
+__all__ = ["DuetOptimization", "DuetEngine"]
+
+
+@dataclass
+class DuetOptimization:
+    """Everything the engine decided for one model.
+
+    Attributes:
+        graph: the input model.
+        partition: its phased partition.
+        profiles: per-subgraph compiler-aware profiles.
+        schedule: the greedy-correction scheduling result.
+        plan: the plan actually executed — the heterogeneous plan, or a
+            single-device plan when the engine fell back.
+        fallback_device: the single device used on fallback, else ``None``.
+        latency: expected (mean) end-to-end latency of ``plan``.
+        single_device_latency: mean latency of the best single device.
+    """
+
+    graph: Graph
+    partition: PhasedPartition
+    profiles: dict[str, SubgraphProfile]
+    schedule: ScheduleResult
+    plan: HeteroPlan
+    fallback_device: str | None
+    latency: float
+    single_device_latency: dict[str, float]
+
+    @property
+    def used_fallback(self) -> bool:
+        return self.fallback_device is not None
+
+    @property
+    def placement(self) -> dict[str, str]:
+        return self.schedule.placement
+
+    def memory_report(self):
+        """Per-device memory footprint of the chosen plan."""
+        from repro.runtime.memory import memory_report
+
+        return memory_report(self.plan)
+
+
+@dataclass
+class DuetEngine:
+    """The DUET inference engine.
+
+    Typical use::
+
+        engine = DuetEngine()
+        opt = engine.optimize(graph)
+        result = engine.run(opt, inputs)      # numeric outputs + timing
+        stats = engine.latency_stats(opt)     # 5000-run distribution
+    """
+
+    machine: Machine = field(default_factory=default_machine)
+    compiler: Compiler = field(default_factory=Compiler)
+    profile_sample_runs: int = 0
+    fallback_margin: float = 0.0  # require DUET to beat single-device by this fraction
+
+    def _single_device_modules(self, graph: Graph) -> dict[str, CompiledModule]:
+        return {
+            "cpu": self.compiler.compile(graph, CPU_TARGET),
+            "gpu": self.compiler.compile(graph, GPU_TARGET),
+        }
+
+    def optimize(
+        self, graph: Graph, profile_path: str | None = None
+    ) -> DuetOptimization:
+        """Partition, profile, schedule, and pick hetero vs. fallback.
+
+        Args:
+            graph: the model.
+            profile_path: optional path to the offline profiling artifact
+                (§IV-B one-time cost).  When the file exists and matches
+                the partition, its timings are reused; otherwise the model
+                is profiled and the artifact is (re)written.
+        """
+        from repro.core.profile_store import load_profiles, save_profiles
+
+        partition = partition_graph(graph)
+        profiles = None
+        if profile_path is not None:
+            import os
+
+            if os.path.exists(profile_path):
+                try:
+                    profiles = load_profiles(
+                        partition, profile_path, compiler=self.compiler
+                    )
+                except Exception:
+                    profiles = None  # stale/corrupt artifact: re-profile
+        if profiles is None:
+            profiler = CompilerAwareProfiler(
+                machine=self.machine,
+                compiler=self.compiler,
+                sample_runs=self.profile_sample_runs,
+            )
+            profiles = profiler.profile_partition(partition)
+            if profile_path is not None:
+                save_profiles(partition, profiles, profile_path)
+        scheduler = GreedyCorrectionScheduler(machine=self.machine)
+        schedule = scheduler.schedule(graph, partition, profiles)
+
+        single_modules = self._single_device_modules(graph)
+        single_latency = {
+            dev: run_single_device(mod, dev, self.machine).latency
+            for dev, mod in single_modules.items()
+        }
+        best_dev = min(single_latency, key=lambda d: single_latency[d])
+        best_single = single_latency[best_dev]
+
+        # Fallback (§VI-E): co-execution must actually win, otherwise run
+        # on the fastest single device.
+        if schedule.latency < best_single * (1.0 - self.fallback_margin):
+            plan = schedule.plan
+            fallback = None
+            latency = schedule.latency
+        else:
+            plan = single_device_plan(single_modules[best_dev], best_dev)
+            fallback = best_dev
+            latency = best_single
+
+        return DuetOptimization(
+            graph=graph,
+            partition=partition,
+            profiles=profiles,
+            schedule=schedule,
+            plan=plan,
+            fallback_device=fallback,
+            latency=latency,
+            single_device_latency=single_latency,
+        )
+
+    def run(
+        self,
+        opt: DuetOptimization,
+        inputs: Mapping[str, np.ndarray] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ExecutionResult:
+        """Execute one inference of an optimized model."""
+        return simulate(opt.plan, self.machine, rng=rng, inputs=inputs)
+
+    def latency_stats(
+        self,
+        opt: DuetOptimization,
+        n_runs: int = 5000,
+        warmup: int = 50,
+        seed: int = 0,
+    ) -> LatencyStats:
+        """Sampled latency distribution of the chosen plan (paper §VI-A)."""
+        return measure_latency(
+            lambda rng: simulate(opt.plan, self.machine, rng=rng).latency,
+            n_runs=n_runs,
+            warmup=warmup,
+            seed=seed,
+        )

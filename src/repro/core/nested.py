@@ -1,0 +1,150 @@
+"""Multi-level (nested) partitioning — the paper's footnote-1 future work.
+
+The one-level partitioner treats each weakly-connected branch of a
+multi-path phase as a single opaque subgraph.  Nested partitioning
+recurses *into* branches that exceed a size threshold, exposing their
+internal phase structure as additional top-level phases.  That creates
+finer placement units (e.g. the q/k/v projections inside a transformer
+attention block become separately placeable), at the cost of more
+potential CPU↔GPU hand-offs and smaller fusion scopes — the trade-off the
+paper predicts ("doing so will decrease the computation granularity and
+incur more communication overhead").
+
+The output is a flat :class:`~repro.core.phases.PhasedPartition` whose
+phase sequence is a valid topological ordering of the units; the runtime
+does not barrier between phases, so concurrency between a split branch's
+internals and its sibling branches is preserved by the simulator's
+dependency tracking.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import find_separators, partition_graph
+from repro.core.phases import Phase, PhasedPartition, PhaseType
+from repro.core.subgraph import extract_subgraph
+from repro.errors import PartitionError
+from repro.ir.graph import Graph
+from repro.ir.traversal import weakly_connected_components
+
+__all__ = ["partition_graph_nested"]
+
+
+def _split_component(
+    graph: Graph, component: set[str], max_depth: int, min_split_ops: int
+) -> list[tuple[PhaseType, list[set[str]]]]:
+    """Recursively split one connected op-node set into (type, groups)
+    units, each group being the node set of one future subgraph."""
+    if max_depth <= 0 or len(component) < min_split_ops:
+        return [(PhaseType.MULTI_PATH, [component])]
+
+    # Analyze the component in isolation: extract it (ids are preserved)
+    # and find its internal separators.
+    iso = extract_subgraph(graph, component, "probe").graph
+    separators = set(find_separators(iso))
+    if not separators or separators == component:
+        # No internal structure to expose (pure chain or no separators).
+        return [(PhaseType.MULTI_PATH, [component])]
+
+    order = [nid for nid in iso.topo_order() if iso.node(nid).is_op]
+    units: list[tuple[PhaseType, list[set[str]]]] = []
+    run: list[str] = []
+    region: list[str] = []
+
+    def flush_run() -> None:
+        nonlocal run
+        if run:
+            units.append((PhaseType.SEQUENTIAL, [set(run)]))
+            run = []
+
+    def flush_region() -> None:
+        nonlocal region
+        if not region:
+            return
+        components = weakly_connected_components(iso, region)
+        groups: list[set[str]] = []
+        for comp in components:
+            for _type, sub in _split_component(
+                graph, comp, max_depth - 1, min_split_ops
+            ):
+                groups.extend(sub)
+        units.append((PhaseType.MULTI_PATH, groups))
+        region = []
+
+    for nid in order:
+        if nid in separators:
+            flush_region()
+            run.append(nid)
+        else:
+            flush_run()
+            region.append(nid)
+    flush_region()
+    flush_run()
+    return units
+
+
+def partition_graph_nested(
+    graph: Graph, max_depth: int = 1, min_split_ops: int = 12
+) -> PhasedPartition:
+    """Partition with up to ``max_depth`` levels of intra-branch splitting.
+
+    Args:
+        graph: the model graph.
+        max_depth: extra levels below the top-level phases.  ``0`` is
+            exactly :func:`~repro.core.partition.partition_graph`.
+        min_split_ops: branches smaller than this stay whole.
+    """
+    if max_depth <= 0:
+        return partition_graph(graph)
+    graph = graph.pruned()
+    base = partition_graph(graph)
+
+    phases: list[Phase] = []
+    index = 0
+
+    def emit(ptype: PhaseType, groups: list[set[str]]) -> None:
+        nonlocal index
+        if ptype is PhaseType.SEQUENTIAL and len(groups) == 1:
+            sg = extract_subgraph(graph, groups[0], f"n{index}_seq", index)
+            phases.append(
+                Phase(index=index, type=PhaseType.SEQUENTIAL, subgraphs=(sg,))
+            )
+        else:
+            subgraphs = tuple(
+                extract_subgraph(graph, grp, f"n{index}_b{i}", index)
+                for i, grp in enumerate(groups)
+            )
+            phases.append(
+                Phase(index=index, type=PhaseType.MULTI_PATH, subgraphs=subgraphs)
+            )
+        index += 1
+
+    for phase in base.phases:
+        if phase.type is PhaseType.SEQUENTIAL:
+            emit(PhaseType.SEQUENTIAL, [set(phase.subgraphs[0].node_ids)])
+            continue
+        # Split each branch independently, then merge aligned units: the
+        # k-th unit of every branch lands in the same emitted phase so
+        # siblings stay placeable side by side.
+        per_branch = [
+            _split_component(
+                graph, set(sg.node_ids), max_depth, min_split_ops
+            )
+            for sg in phase.subgraphs
+        ]
+        depth = max(len(u) for u in per_branch)
+        for k in range(depth):
+            groups: list[set[str]] = []
+            for units in per_branch:
+                if k < len(units):
+                    groups.extend(units[k][1])
+            if groups:
+                emit(PhaseType.MULTI_PATH, groups)
+
+    partition = PhasedPartition(phases=tuple(phases))
+    covered = partition.covered_node_ids()
+    expected = {n.id for n in graph.op_nodes()}
+    if covered != expected:
+        raise PartitionError(
+            f"nested partition lost nodes: {sorted(expected - covered)[:5]}"
+        )
+    return partition

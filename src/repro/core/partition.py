@@ -1,0 +1,176 @@
+"""Coarse-grained multi-phase graph partitioning (paper §IV-A).
+
+The partitioner finds *separator* operators — nodes every source→sink path
+passes through — and uses them as phase boundaries:
+
+* a maximal run of consecutive separators (a chain) forms a **sequential**
+  phase with one subgraph;
+* the nodes strictly between two separators form a **multi-path** phase,
+  one subgraph per weakly-connected component (the independent branches).
+
+Separator detection uses the jump-edge criterion: fixing any topological
+order of the op-only condensed graph, a node ``v`` is a separator iff no
+edge ``(u, w)`` satisfies ``pos(u) < pos(v) < pos(w)``.  (If such an edge
+existed, the path through it would bypass ``v``; conversely a true
+separator can never be jumped in any topological order.)
+
+Partitioning is deliberately one-level and coarse (footnote 1): each branch
+stays whole so the DL compiler keeps its fusion opportunities and the
+CPU↔GPU communication volume stays low (§III-B).
+"""
+
+from __future__ import annotations
+
+from repro.core.phases import Phase, PhasedPartition, PhaseType
+from repro.core.subgraph import extract_subgraph
+from repro.errors import PartitionError
+from repro.ir.graph import Graph
+from repro.ir.traversal import weakly_connected_components
+
+__all__ = ["partition_graph", "partition_per_operator", "find_separators"]
+
+
+def _op_topo(graph: Graph) -> list[str]:
+    return [nid for nid in graph.topo_order() if graph.node(nid).is_op]
+
+
+def _op_edges(graph: Graph) -> list[tuple[str, str]]:
+    """Edges of the condensed op-only graph (leaves are transparent)."""
+    edges: list[tuple[str, str]] = []
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            continue
+        for src in node.inputs:
+            if graph.node(src).is_op:
+                edges.append((src, nid))
+    return edges
+
+
+def find_separators(graph: Graph) -> list[str]:
+    """Op nodes every source→sink path of the op graph passes through."""
+    order = _op_topo(graph)
+    if not order:
+        return []
+    pos = {nid: i for i, nid in enumerate(order)}
+    edges = _op_edges(graph)
+
+    # For each position, the furthest endpoint over edges starting there;
+    # a running maximum then tells whether any edge jumps position i.
+    max_from: dict[int, int] = {}
+    for u, w in edges:
+        pu = pos[u]
+        max_from[pu] = max(max_from.get(pu, 0), pos[w])
+
+    # A separator must additionally come after every source and before
+    # every sink of the op graph — otherwise a path that starts (or ends)
+    # on the far side of it never crosses its position at all.
+    has_op_pred = {w for _, w in edges}
+    has_op_succ = {u for u, _ in edges}
+    last_source = max(pos[n] for n in order if n not in has_op_pred)
+    first_sink = min(pos[n] for n in order if n not in has_op_succ)
+
+    running = 0
+    separators: list[str] = []
+    for i, nid in enumerate(order):
+        if running <= i and last_source <= i <= first_sink:
+            separators.append(nid)
+        running = max(running, max_from.get(i, 0))
+    return separators
+
+
+def partition_graph(graph: Graph) -> PhasedPartition:
+    """Partition ``graph`` into alternating sequential/multi-path phases.
+
+    Dead operators (unreachable from the outputs) are pruned first — they
+    would otherwise form subgraphs with no outputs, and a compiler would
+    have eliminated them anyway.
+    """
+    graph = graph.pruned()
+    order = _op_topo(graph)
+    if not order:
+        raise PartitionError("graph has no operator nodes to partition")
+    pos = {nid: i for i, nid in enumerate(order)}
+    separators = find_separators(graph)
+    sep_set = set(separators)
+
+    # Build the region sequence: runs of separators and the gaps between.
+    phases: list[Phase] = []
+    phase_index = 0
+
+    def add_sequential(run: list[str]) -> None:
+        nonlocal phase_index
+        sg = extract_subgraph(
+            graph, set(run), f"p{phase_index}_seq", phase_index
+        )
+        phases.append(
+            Phase(index=phase_index, type=PhaseType.SEQUENTIAL, subgraphs=(sg,))
+        )
+        phase_index += 1
+
+    def add_multipath(region: list[str]) -> None:
+        nonlocal phase_index
+        components = weakly_connected_components(graph, region)
+        subgraphs = tuple(
+            extract_subgraph(
+                graph, comp, f"p{phase_index}_b{i}", phase_index
+            )
+            for i, comp in enumerate(components)
+        )
+        phases.append(
+            Phase(
+                index=phase_index, type=PhaseType.MULTI_PATH, subgraphs=subgraphs
+            )
+        )
+        phase_index += 1
+
+    run: list[str] = []  # current run of consecutive separators
+    region: list[str] = []  # current non-separator region
+    for nid in order:
+        if nid in sep_set:
+            if region:
+                add_multipath(region)
+                region = []
+            run.append(nid)
+        else:
+            if run:
+                add_sequential(run)
+                run = []
+            region.append(nid)
+    if region:
+        add_multipath(region)
+    if run:
+        add_sequential(run)
+
+    partition = PhasedPartition(phases=tuple(phases))
+
+    covered = partition.covered_node_ids()
+    expected = set(order)
+    if covered != expected:
+        missing = expected - covered
+        raise PartitionError(
+            f"partition lost operator nodes: {sorted(missing)[:5]}"
+        )
+    return partition
+
+
+def partition_per_operator(graph: Graph) -> PhasedPartition:
+    """Operator-granularity partition: every op is its own subgraph.
+
+    This is the *anti-pattern* the paper argues against (§III-B, related
+    work on operator-level placement): it destroys cross-operator fusion
+    (each one-op subgraph compiles alone) and maximizes the number of
+    potential CPU-GPU hand-offs.  Used by the granularity ablation bench
+    to quantify what coarse partitioning buys.
+    """
+    graph = graph.pruned()
+    order = _op_topo(graph)
+    if not order:
+        raise PartitionError("graph has no operator nodes to partition")
+    phases = []
+    for i, nid in enumerate(order):
+        sg = extract_subgraph(graph, {nid}, f"op{i}_{nid}", phase_index=i)
+        phases.append(
+            Phase(index=i, type=PhaseType.SEQUENTIAL, subgraphs=(sg,))
+        )
+    return PhasedPartition(phases=tuple(phases))

@@ -1,0 +1,86 @@
+"""Phased schedules (paper §IV-A).
+
+A valid schedule is a sequence of phases S1, S2, ... where each phase is a
+non-overlapping node subset, phases are totally ordered, and each phase is
+either *sequential* (one chain subgraph) or *multi-path* (several
+independent subgraphs that may run concurrently on different devices).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.subgraph import SubgraphInfo
+from repro.errors import PartitionError
+
+__all__ = ["PhaseType", "Phase", "PhasedPartition"]
+
+
+class PhaseType(enum.Enum):
+    """Phase flavour: one chain subgraph, or several independent ones."""
+
+    SEQUENTIAL = "sequential"
+    MULTI_PATH = "multi_path"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of the partition.
+
+    Attributes:
+        index: position in the phase ordering.
+        type: sequential or multi-path.
+        subgraphs: member subgraphs; exactly one for a sequential phase.
+    """
+
+    index: int
+    type: PhaseType
+    subgraphs: tuple[SubgraphInfo, ...]
+
+    def __post_init__(self) -> None:
+        if not self.subgraphs:
+            raise PartitionError(f"phase {self.index} has no subgraphs")
+        if self.type is PhaseType.SEQUENTIAL and len(self.subgraphs) != 1:
+            raise PartitionError(
+                f"sequential phase {self.index} must hold exactly one "
+                f"subgraph, got {len(self.subgraphs)}"
+            )
+
+
+@dataclass(frozen=True)
+class PhasedPartition:
+    """A complete phased partition of a model graph."""
+
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for phase in self.phases:
+            for sg in phase.subgraphs:
+                overlap = seen & sg.node_ids
+                if overlap:
+                    raise PartitionError(
+                        f"phases overlap on nodes {sorted(overlap)[:4]}"
+                    )
+                seen |= sg.node_ids
+
+    @property
+    def subgraphs(self) -> list[SubgraphInfo]:
+        """All subgraphs in phase order."""
+        return [sg for phase in self.phases for sg in phase.subgraphs]
+
+    def subgraph(self, subgraph_id: str) -> SubgraphInfo:
+        for sg in self.subgraphs:
+            if sg.id == subgraph_id:
+                return sg
+        raise PartitionError(f"unknown subgraph {subgraph_id!r}")
+
+    def multi_path_phases(self) -> list[Phase]:
+        return [p for p in self.phases if p.type is PhaseType.MULTI_PATH]
+
+    def covered_node_ids(self) -> set[str]:
+        out: set[str] = set()
+        for sg in self.subgraphs:
+            out |= sg.node_ids
+        return out

@@ -1,0 +1,93 @@
+"""Placements and plan construction.
+
+A *placement* maps each subgraph id to ``"cpu"`` or ``"gpu"``.  Combining a
+partition, per-device compiled modules (from the profiler), and a placement
+yields the :class:`~repro.runtime.plan.HeteroPlan` the executor runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.phases import PhasedPartition
+from repro.core.profiler import SubgraphProfile
+from repro.errors import SchedulingError
+from repro.ir.graph import Graph
+from repro.runtime.plan import HeteroPlan, Source, TaskSpec
+
+__all__ = ["Placement", "validate_placement", "build_hetero_plan"]
+
+Placement = Mapping[str, str]
+
+
+def validate_placement(partition: PhasedPartition, placement: Placement) -> None:
+    """Every subgraph placed exactly once, on a real device."""
+    ids = {sg.id for sg in partition.subgraphs}
+    missing = ids - set(placement)
+    if missing:
+        raise SchedulingError(f"placement misses subgraphs: {sorted(missing)}")
+    extra = set(placement) - ids
+    if extra:
+        raise SchedulingError(f"placement names unknown subgraphs: {sorted(extra)}")
+    for sid, dev in placement.items():
+        if dev not in ("cpu", "gpu"):
+            raise SchedulingError(f"subgraph {sid!r} placed on invalid device {dev!r}")
+
+
+def build_hetero_plan(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    placement: Placement,
+) -> HeteroPlan:
+    """Wire placed subgraphs into an executable heterogeneous plan."""
+    validate_placement(partition, placement)
+
+    # Which subgraph produces each boundary tensor (parent node id)?
+    producer: dict[str, tuple[str, int]] = {}
+    for sg in partition.subgraphs:
+        for idx, out_id in enumerate(sg.boundary_outputs):
+            producer[out_id] = (sg.id, idx)
+
+    tasks: list[TaskSpec] = []
+    for sg in partition.subgraphs:
+        profile = profiles.get(sg.id)
+        if profile is None:
+            raise SchedulingError(f"no profile for subgraph {sg.id!r}")
+        device = placement[sg.id]
+        module = profile.modules.get(device)
+        if module is None:
+            raise SchedulingError(
+                f"subgraph {sg.id!r} has no module compiled for {device!r}"
+            )
+        sources: dict[str, Source] = {}
+        for input_id in module.input_ids:
+            parent_node = graph.node(input_id)
+            if parent_node.is_input:
+                sources[input_id] = Source(kind="external", ref=input_id)
+            else:
+                if input_id not in producer:
+                    raise SchedulingError(
+                        f"boundary input {input_id!r} of subgraph {sg.id!r} "
+                        "has no producer"
+                    )
+                src_id, idx = producer[input_id]
+                sources[input_id] = Source(kind="task", ref=src_id, output_index=idx)
+        tasks.append(
+            TaskSpec(
+                task_id=sg.id,
+                device=device,
+                module=module,
+                sources=sources,
+                phase_index=sg.phase_index,
+            )
+        )
+
+    outputs: list[tuple[str, int]] = []
+    for out in graph.outputs:
+        if out not in producer:
+            raise SchedulingError(
+                f"model output {out!r} is not produced by any subgraph"
+            )
+        outputs.append(producer[out])
+    return HeteroPlan(tasks=tasks, outputs=outputs)

@@ -1,0 +1,106 @@
+"""Profile persistence: save/load the offline profiling artifact.
+
+The paper stresses that compiler-aware profiling "is only done during the
+offline phase and is therefore a one-time cost" (§IV-B).  This module
+makes that concrete: profiled timings are written to JSON once, and later
+engine runs reload them instead of re-measuring.  Compiled modules are
+*not* stored — compilation is deterministic and cheap, so loading
+recompiles per device and attaches the stored timings.
+
+A fingerprint of the partition (subgraph ids + op multisets) guards
+against applying stale profiles to a changed model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.compiler.pipeline import Compiler
+from repro.compiler.target import CPU_TARGET, GPU_TARGET
+from repro.core.phases import PhasedPartition
+from repro.core.profiler import SubgraphProfile
+from repro.errors import ProfilingError
+
+__all__ = ["partition_fingerprint", "save_profiles", "load_profiles"]
+
+_TARGETS = {"cpu": CPU_TARGET, "gpu": GPU_TARGET}
+
+
+def partition_fingerprint(partition: PhasedPartition) -> str:
+    """Stable digest of the partition's structure."""
+    h = hashlib.sha256()
+    for sg in partition.subgraphs:
+        ops = sorted(sg.graph.node(n).op or "" for n in sg.node_ids)
+        h.update(sg.id.encode())
+        h.update(",".join(ops).encode())
+        h.update(str(sorted(sg.boundary_inputs)).encode())
+        h.update(str(sorted(sg.boundary_outputs)).encode())
+    return h.hexdigest()[:16]
+
+
+def save_profiles(
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    path: str | Path,
+) -> None:
+    """Write the profiling artifact to ``path`` (JSON)."""
+    payload = {
+        "fingerprint": partition_fingerprint(partition),
+        "profiles": {
+            sid: {
+                "mean_time": dict(prof.mean_time),
+                "bytes_in": prof.bytes_in,
+                "bytes_out": prof.bytes_out,
+            }
+            for sid, prof in profiles.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_profiles(
+    partition: PhasedPartition,
+    path: str | Path,
+    compiler: Compiler | None = None,
+) -> dict[str, SubgraphProfile]:
+    """Reload a profiling artifact for ``partition``.
+
+    Modules are recompiled (deterministic); timings come from the file.
+    Raises :class:`ProfilingError` on fingerprint mismatch or missing
+    subgraphs.
+    """
+    compiler = compiler or Compiler()
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ProfilingError(f"cannot read profile artifact {path}: {exc}") from exc
+
+    expected = partition_fingerprint(partition)
+    if payload.get("fingerprint") != expected:
+        raise ProfilingError(
+            "profile artifact does not match this partition "
+            f"(artifact {payload.get('fingerprint')!r}, expected {expected!r}); "
+            "re-run the profiler"
+        )
+    stored = payload["profiles"]
+    profiles: dict[str, SubgraphProfile] = {}
+    for sg in partition.subgraphs:
+        if sg.id not in stored:
+            raise ProfilingError(f"artifact misses subgraph {sg.id!r}")
+        entry = stored[sg.id]
+        modules = {
+            dev: compiler.compile(sg.graph, target)
+            for dev, target in _TARGETS.items()
+        }
+        profiles[sg.id] = SubgraphProfile(
+            subgraph=sg,
+            modules=modules,
+            mean_time={k: float(v) for k, v in entry["mean_time"].items()},
+            stats=None,
+            bytes_in=float(entry["bytes_in"]),
+            bytes_out=float(entry["bytes_out"]),
+        )
+    return profiles

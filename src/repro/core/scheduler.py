@@ -1,0 +1,229 @@
+"""Greedy-correction subgraph scheduling (paper §IV-C, Algorithm 1).
+
+Three steps:
+
+1. **Critical path on the fastest device.**  Sequential-phase subgraphs go
+   to whichever device runs them faster.  In each multi-path phase, the
+   subgraph with the maximum cost (cost = fastest-device time) is the one
+   on the critical path; it is pinned to its fastest device.
+2. **Greedy placement of the rest.**  Remaining multi-path subgraphs are
+   sorted by execution time and placed, one by one, on the device that
+   minimizes the increase of the phase's makespan (the local proxy for
+   critical-path growth).
+3. **Correction.**  For each multi-path phase, repeatedly try swapping a
+   (CPU subgraph, GPU subgraph) pair — either side may be empty, i.e. a
+   single move — and keep the swap that most reduces *measured* end-to-end
+   latency.  Measuring real executions (here: the simulator in mean mode)
+   folds the communication cost in without having to estimate it, which
+   the paper argues is error-prone (§IV-C).  Stop when a round yields no
+   gain.
+
+The correction operator is Kernighan-Lin-style refinement, but the
+objective is latency, not edge cut.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.phases import PhasedPartition, PhaseType
+from repro.core.placement import build_hetero_plan, validate_placement
+from repro.core.profiler import SubgraphProfile
+from repro.devices.machine import Machine
+from repro.ir.graph import Graph
+from repro.runtime.plan import HeteroPlan
+from repro.runtime.simulator import simulate
+
+__all__ = ["ScheduleResult", "GreedyCorrectionScheduler", "correct_placement"]
+
+
+@dataclass(frozen=True)
+class CorrectionStep:
+    """One applied swap of the correction loop."""
+
+    phase_index: int
+    moved_to_gpu: str | None
+    moved_to_cpu: str | None
+    latency_before: float
+    latency_after: float
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling: the placement, its plan, and diagnostics."""
+
+    placement: dict[str, str]
+    plan: HeteroPlan
+    latency: float
+    initial_latency: float
+    corrections: list[CorrectionStep] = field(default_factory=list)
+    measurements: int = 0
+
+
+def _measure_factory(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    machine: Machine,
+) -> Callable[[Mapping[str, str]], float]:
+    """A latency oracle: placement -> measured mean end-to-end latency."""
+
+    def measure(placement: Mapping[str, str]) -> float:
+        plan = build_hetero_plan(graph, partition, profiles, placement)
+        return simulate(plan, machine).latency
+
+    return measure
+
+
+def correct_placement(
+    placement: dict[str, str],
+    partition: PhasedPartition,
+    measure: Callable[[Mapping[str, str]], float],
+    max_rounds: int = 32,
+    epsilon: float = 1e-9,
+) -> tuple[dict[str, str], list[CorrectionStep], int]:
+    """Step 3: KL-style swap refinement driven by measured latency.
+
+    Returns the refined placement, the applied steps, and the number of
+    latency measurements spent.
+    """
+    placement = dict(placement)
+    steps: list[CorrectionStep] = []
+    n_measures = 1
+    t_old = measure(placement)
+
+    for phase in partition.multi_path_phases():
+        ids = [sg.id for sg in phase.subgraphs]
+        for _round in range(max_rounds):
+            cpu_side = [s for s in ids if placement[s] == "cpu"]
+            gpu_side = [s for s in ids if placement[s] == "gpu"]
+            best_gain = 0.0
+            best_pair: tuple[str | None, str | None] | None = None
+            best_latency = t_old
+            # Pairs (si from CPU, sj from GPU); one side may be empty,
+            # which is a single-subgraph move.
+            for si, sj in itertools.product(cpu_side + [None], gpu_side + [None]):
+                if si is None and sj is None:
+                    continue
+                trial = dict(placement)
+                if si is not None:
+                    trial[si] = "gpu"
+                if sj is not None:
+                    trial[sj] = "cpu"
+                t_new = measure(trial)
+                n_measures += 1
+                gain = t_old - t_new
+                if gain > best_gain + epsilon:
+                    best_gain = gain
+                    best_pair = (si, sj)
+                    best_latency = t_new
+            if best_pair is None:
+                break
+            si, sj = best_pair
+            if si is not None:
+                placement[si] = "gpu"
+            if sj is not None:
+                placement[sj] = "cpu"
+            steps.append(
+                CorrectionStep(
+                    phase_index=phase.index,
+                    moved_to_gpu=si,
+                    moved_to_cpu=sj,
+                    latency_before=t_old,
+                    latency_after=best_latency,
+                )
+            )
+            t_old = best_latency
+    return placement, steps, n_measures
+
+
+@dataclass
+class GreedyCorrectionScheduler:
+    """The paper's scheduler: greedy initialization + measured correction."""
+
+    machine: Machine
+    max_correction_rounds: int = 32
+    epsilon: float = 1e-9
+
+    def initial_placement(
+        self,
+        partition: PhasedPartition,
+        profiles: Mapping[str, SubgraphProfile],
+    ) -> dict[str, str]:
+        """Steps 1 and 2: critical path + greedy balancing."""
+        placement: dict[str, str] = {}
+        for phase in partition.phases:
+            if phase.type is PhaseType.SEQUENTIAL:
+                sg = phase.subgraphs[0]
+                placement[sg.id] = profiles[sg.id].best_device
+                continue
+
+            # Step 1: the max-cost subgraph (cost = fastest-device time)
+            # defines the phase's critical path; pin it to its fast device.
+            members = sorted(
+                phase.subgraphs,
+                key=lambda sg: profiles[sg.id].best_time,
+                reverse=True,
+            )
+            critical = members[0]
+            placement[critical.id] = profiles[critical.id].best_device
+            loads = {"cpu": 0.0, "gpu": 0.0}
+            loads[placement[critical.id]] += profiles[critical.id].best_time
+
+            # Step 2: greedily place the rest, largest first, minimizing
+            # the phase makespan.
+            for sg in members[1:]:
+                prof = profiles[sg.id]
+                options = {}
+                for dev in ("cpu", "gpu"):
+                    trial = dict(loads)
+                    trial[dev] += prof.time_on(dev)
+                    options[dev] = max(trial.values())
+                dev = min(options, key=lambda d: (options[d], prof.time_on(d)))
+                placement[sg.id] = dev
+                loads[dev] += prof.time_on(dev)
+        return placement
+
+    def schedule(
+        self,
+        graph: Graph,
+        partition: PhasedPartition,
+        profiles: Mapping[str, SubgraphProfile],
+        initial: Mapping[str, str] | None = None,
+    ) -> ScheduleResult:
+        """Run the full greedy-correction pipeline.
+
+        Args:
+            graph: the model.
+            partition: its phased partition.
+            profiles: compiler-aware profiles per subgraph.
+            initial: override the greedy initialization (used by the
+                Random+Correction baseline of §VI-C).
+        """
+        measure = _measure_factory(graph, partition, profiles, self.machine)
+        if initial is None:
+            placement = self.initial_placement(partition, profiles)
+        else:
+            placement = dict(initial)
+        validate_placement(partition, placement)
+        initial_latency = measure(placement)
+
+        placement, steps, n_measures = correct_placement(
+            placement,
+            partition,
+            measure,
+            max_rounds=self.max_correction_rounds,
+            epsilon=self.epsilon,
+        )
+        plan = build_hetero_plan(graph, partition, profiles, placement)
+        latency = simulate(plan, self.machine).latency
+        return ScheduleResult(
+            placement=placement,
+            plan=plan,
+            latency=latency,
+            initial_latency=initial_latency,
+            corrections=steps,
+            measurements=n_measures + 1,
+        )

@@ -1,0 +1,129 @@
+"""Analytic dynamic-programming placement (paper §IV-C's alternative).
+
+The paper notes placement could be decided analytically with dynamic
+programming over profiled compute and communication costs (their ref [24],
+Jia et al.), but argues measured end-to-end refinement is more robust
+because *estimated* communication is error-prone.  This module implements
+that analytic DP so the claim can be tested:
+
+* state: the device assignment vector of one phase's subgraphs;
+* transition: estimated phase makespan (per-device compute sums) plus
+  estimated PCIe time for every tensor crossing devices between the
+  previous phase and this one;
+* assumptions (the standard layer-wise-DP simplifications): phases run
+  with barriers between them, and each phase consumes data only from its
+  immediate predecessor (older producers are priced as host-resident).
+
+Both assumptions are *approximations* of the real executor — there are no
+phase barriers, and consumers may reach further back — which is exactly
+the kind of model/reality gap the paper's measured correction sidesteps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.core.phases import PhasedPartition
+from repro.core.profiler import SubgraphProfile
+from repro.devices.machine import Machine
+from repro.errors import SchedulingError
+from repro.ir.graph import Graph
+
+__all__ = ["dp_placement"]
+
+_DEVICES = ("cpu", "gpu")
+
+
+def dp_placement(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    machine: Machine,
+    max_phase_subgraphs: int = 10,
+) -> tuple[dict[str, str], float]:
+    """Analytically optimal placement under the DP assumptions.
+
+    Returns the placement and the DP's *estimated* latency (which the
+    caller should re-measure with the simulator — the estimate embeds the
+    barrier and immediate-predecessor approximations).
+    """
+    link = machine.interconnect
+    phases = partition.phases
+    for phase in phases:
+        if len(phase.subgraphs) > max_phase_subgraphs:
+            raise SchedulingError(
+                f"phase {phase.index} has {len(phase.subgraphs)} subgraphs; "
+                f"DP enumerates 2^k assignments (cap {max_phase_subgraphs})"
+            )
+
+    # Producer lookup: boundary tensor id -> subgraph id.
+    producer: dict[str, str] = {}
+    for sg in partition.subgraphs:
+        for out in sg.boundary_outputs:
+            producer[out] = sg.id
+    phase_of = {sg.id: phase.index for phase in phases for sg in phase.subgraphs}
+
+    def phase_cost(phase, assignment, prev_assignment) -> float:
+        """Estimated makespan of one phase under a device assignment."""
+        compute = {"cpu": 0.0, "gpu": 0.0}
+        comm = 0.0
+        for sg, dev in zip(phase.subgraphs, assignment):
+            compute[dev] += profiles[sg.id].time_on(dev)
+            for tensor in sg.boundary_inputs:
+                n_bytes = float(sg.graph.node(tensor).ty.size_bytes)
+                src = producer.get(tensor)
+                if src is None:
+                    src_dev = "cpu"  # model input: host resident
+                elif phase_of[src] == phase.index - 1 and prev_assignment:
+                    src_dev = prev_assignment[src]
+                elif phase_of[src] == phase.index:
+                    continue  # intra-phase edges cannot exist (independent)
+                else:
+                    src_dev = "cpu"  # older producer: approximate as host
+                if src_dev != dev:
+                    comm += link.transfer_time(n_bytes)
+        return max(compute.values()) + comm
+
+    # DP over phases.  best[assignment] = (cost so far, placement so far)
+    best: dict[tuple, tuple[float, dict[str, str]]] = {(): (0.0, {})}
+    prev_phase = None
+    for phase in phases:
+        ids = [sg.id for sg in phase.subgraphs]
+        new_best: dict[tuple, tuple[float, dict[str, str]]] = {}
+        for assignment in itertools.product(_DEVICES, repeat=len(ids)):
+            for prev_key, (cost, placement) in best.items():
+                prev_assignment = (
+                    dict(zip([sg.id for sg in prev_phase.subgraphs], prev_key))
+                    if prev_phase is not None
+                    else {}
+                )
+                step = phase_cost(phase, assignment, prev_assignment)
+                total = cost + step
+                if (
+                    assignment not in new_best
+                    or total < new_best[assignment][0]
+                ):
+                    new_placement = dict(placement)
+                    new_placement.update(zip(ids, assignment))
+                    new_best[assignment] = (total, new_placement)
+        best = new_best
+        prev_phase = phase
+
+    # Account for final outputs landing on the host.
+    final_cost = float("inf")
+    final_placement: dict[str, str] | None = None
+    for assignment, (cost, placement) in best.items():
+        extra = 0.0
+        for out in graph.outputs:
+            src = producer.get(out)
+            if src is not None and placement[src] == "gpu":
+                n_bytes = float(
+                    partition.subgraph(src).graph.node(out).ty.size_bytes
+                )
+                extra += link.transfer_time(n_bytes)
+        if cost + extra < final_cost:
+            final_cost = cost + extra
+            final_placement = placement
+    assert final_placement is not None
+    return final_placement, final_cost

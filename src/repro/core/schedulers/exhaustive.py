@@ -1,0 +1,52 @@
+"""Exhaustive (Ideal) scheduling: enumerate every placement.
+
+The paper uses this to verify greedy-correction finds the optimum when the
+subgraph count is small enough (§VI-C); finding the optimal schedule in
+general is NP-hard.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.core.phases import PhasedPartition
+from repro.core.placement import build_hetero_plan
+from repro.core.profiler import SubgraphProfile
+from repro.devices.machine import Machine
+from repro.errors import SchedulingError
+from repro.ir.graph import Graph
+from repro.runtime.simulator import simulate
+
+__all__ = ["exhaustive_placement"]
+
+
+def exhaustive_placement(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    machine: Machine,
+    max_subgraphs: int = 16,
+) -> tuple[dict[str, str], float]:
+    """The latency-optimal placement by brute force.
+
+    Raises :class:`SchedulingError` when the search space exceeds
+    ``2 ** max_subgraphs``.
+    """
+    ids = [sg.id for sg in partition.subgraphs]
+    if len(ids) > max_subgraphs:
+        raise SchedulingError(
+            f"{len(ids)} subgraphs exceed the exhaustive-search cap "
+            f"({max_subgraphs}); the space is 2^n"
+        )
+    best_placement: dict[str, str] | None = None
+    best_latency = float("inf")
+    for assignment in itertools.product(("cpu", "gpu"), repeat=len(ids)):
+        placement = dict(zip(ids, assignment))
+        plan = build_hetero_plan(graph, partition, profiles, placement)
+        latency = simulate(plan, machine).latency
+        if latency < best_latency:
+            best_latency = latency
+            best_placement = placement
+    assert best_placement is not None
+    return best_placement, best_latency

@@ -1,0 +1,19 @@
+"""Random placement baseline (paper §VI-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phases import PhasedPartition
+
+__all__ = ["random_placement"]
+
+
+def random_placement(
+    partition: PhasedPartition, rng: np.random.Generator
+) -> dict[str, str]:
+    """Assign every subgraph to CPU or GPU uniformly at random."""
+    return {
+        sg.id: ("cpu" if rng.random() < 0.5 else "gpu")
+        for sg in partition.subgraphs
+    }

@@ -1,0 +1,16 @@
+"""Round-robin placement baseline (paper §VI-C): subgraphs alternate
+between CPU and GPU in partition order."""
+
+from __future__ import annotations
+
+from repro.core.phases import PhasedPartition
+
+__all__ = ["round_robin_placement"]
+
+
+def round_robin_placement(partition: PhasedPartition) -> dict[str, str]:
+    """Alternate cpu/gpu assignments across the subgraph sequence."""
+    placement: dict[str, str] = {}
+    for i, sg in enumerate(partition.subgraphs):
+        placement[sg.id] = "cpu" if i % 2 == 0 else "gpu"
+    return placement

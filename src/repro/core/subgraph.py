@@ -1,0 +1,127 @@
+"""Subgraph extraction.
+
+Cuts a set of operator nodes out of a parent graph and packages it as a
+standalone model (paper §IV-B: the profiler treats each subgraph as an
+independent DNN and sends it through the whole compiler pipeline).
+
+* Parameters referenced by the subgraph are copied in — weights live with
+  the subgraph on whatever device it is placed on, so only *activations*
+  ever cross the PCIe link.
+* Every external dependency (a parent input, or a value produced by
+  another subgraph) becomes a placeholder whose id equals the parent node
+  id.  When several subgraphs consume the same value, each gets its own
+  replicated placeholder pointing at the same upstream stream (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.ir.graph import Graph
+from repro.ir.node import Node, NodeKind
+
+__all__ = ["SubgraphInfo", "extract_subgraph"]
+
+
+@dataclass(frozen=True)
+class SubgraphInfo:
+    """One extracted subgraph.
+
+    Attributes:
+        id: unique subgraph id, e.g. ``"p1_b0"``.
+        phase_index: which partition phase it belongs to.
+        node_ids: parent-graph op-node ids folded into this subgraph.
+        graph: the standalone extracted graph.  Placeholder ids equal the
+            parent node ids they stand for; output ids are parent node ids.
+        boundary_inputs: placeholder ids (== parent node ids) the subgraph
+            reads from outside.
+        boundary_outputs: parent node ids this subgraph produces for the
+            outside (other subgraphs or the model caller).
+    """
+
+    id: str
+    phase_index: int
+    node_ids: frozenset[str]
+    graph: Graph
+    boundary_inputs: tuple[str, ...]
+    boundary_outputs: tuple[str, ...]
+
+    @property
+    def bytes_in(self) -> float:
+        """Total activation bytes entering the subgraph."""
+        return float(
+            sum(self.graph.node(i).ty.size_bytes for i in self.boundary_inputs)
+        )
+
+    @property
+    def bytes_out(self) -> float:
+        """Total activation bytes leaving the subgraph."""
+        return float(
+            sum(self.graph.node(o).ty.size_bytes for o in self.boundary_outputs)
+        )
+
+
+def extract_subgraph(
+    parent: Graph,
+    op_node_ids: set[str],
+    subgraph_id: str,
+    phase_index: int = 0,
+) -> SubgraphInfo:
+    """Extract ``op_node_ids`` from ``parent`` as a standalone graph."""
+    for nid in op_node_ids:
+        node = parent.node(nid)
+        if not node.is_op:
+            raise PartitionError(
+                f"subgraph member {nid!r} is a {node.kind.value} node; "
+                "only operator nodes are partitioned"
+            )
+
+    members = set(op_node_ids)
+    nodes: list[Node] = []
+    placeholders: list[str] = []
+    added: set[str] = set()
+
+    for nid in parent.topo_order():
+        if nid not in members:
+            continue
+        node = parent.node(nid)
+        for src in node.inputs:
+            if src in members or src in added:
+                continue
+            src_node = parent.node(src)
+            if src_node.is_const:
+                nodes.append(src_node)  # parameters are copied in
+            else:
+                # Parent input or external op value -> replicated placeholder.
+                nodes.append(
+                    Node(id=src, kind=NodeKind.INPUT, ty=src_node.ty,
+                         attrs=src_node.attrs)
+                )
+                placeholders.append(src)
+            added.add(src)
+        nodes.append(node)
+        added.add(nid)
+
+    outputs: list[str] = []
+    parent_outputs = set(parent.outputs)
+    for nid in parent.topo_order():
+        if nid not in members:
+            continue
+        escapes = any(c not in members for c in parent.consumers(nid))
+        if escapes or nid in parent_outputs:
+            outputs.append(nid)
+    if not outputs:
+        raise PartitionError(
+            f"subgraph {subgraph_id!r} has no outputs; it would be dead code"
+        )
+
+    graph = Graph(f"{parent.name}::{subgraph_id}", nodes, outputs)
+    return SubgraphInfo(
+        id=subgraph_id,
+        phase_index=phase_index,
+        node_ids=frozenset(members),
+        graph=graph,
+        boundary_inputs=tuple(placeholders),
+        boundary_outputs=tuple(outputs),
+    )

@@ -1,0 +1,75 @@
+"""Device cost model.
+
+Given a kernel's :class:`~repro.compiler.kernel.KernelCost`, a device
+computes its mean execution time:
+
+.. code-block:: text
+
+    util       = parallelism / (parallelism + saturation)
+    throughput = peak_flops * efficiency[kind] * util
+    step_time  = launches*overhead + max(flops_step/throughput,
+                                         bytes_step/mem_bw)
+    time       = sequential_steps * step_time
+
+The roofline-style ``max(compute, memory)`` makes elementwise kernels
+bandwidth-bound and GEMM/conv compute-bound, and the per-step structure
+charges recurrent layers ``seq_len`` rounds of launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.kernel import KernelCost
+from repro.devices.noise import NO_NOISE, NoiseModel
+from repro.devices.specs import DeviceSpec
+
+__all__ = ["Device"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A compute device: spec + noise model.
+
+    Two devices with the same spec are interchangeable for scheduling; the
+    identity that matters to placement is :attr:`name` (``"cpu"``/``"gpu"``).
+    """
+
+    name: str
+    spec: DeviceSpec
+    noise: NoiseModel = NO_NOISE
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    def utilization(self, parallelism: float) -> float:
+        """Fraction of peak throughput reachable at this parallelism."""
+        if parallelism <= 0:
+            return 0.0
+        return parallelism / (parallelism + self.spec.saturation_parallelism)
+
+    def kernel_time(self, cost: KernelCost) -> float:
+        """Mean execution time of one kernel invocation (seconds)."""
+        steps = max(1, cost.sequential_steps)
+        launch = self.spec.launch_overhead_s * cost.kernels_per_step
+        flops_step = cost.flops / steps
+        bytes_step = cost.total_bytes / steps
+
+        compute_t = 0.0
+        if flops_step > 0:
+            eff = self.spec.efficiency_for(cost.kind)
+            util = self.utilization(cost.parallelism)
+            throughput = self.spec.peak_gflops * 1e9 * eff * util
+            if throughput > 0:
+                compute_t = flops_step / throughput
+        memory_t = bytes_step / (self.spec.mem_bandwidth_gbps * 1e9)
+        return steps * (launch + max(compute_t, memory_t))
+
+    def sample_kernel_time(
+        self, cost: KernelCost, rng: np.random.Generator
+    ) -> float:
+        """One noisy latency sample for this kernel."""
+        return self.noise.sample(self.kernel_time(cost), rng)

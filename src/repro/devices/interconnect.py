@@ -1,0 +1,53 @@
+"""The CPU↔GPU interconnect: transfer timing + noise.
+
+Reproduces the micro-benchmark of the paper's Fig. 5: point-to-point bulk
+transfer latency grows essentially linearly with message size, with a fixed
+base latency floor for small messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.noise import NO_NOISE, NoiseModel
+from repro.devices.specs import PCIE3_X16, InterconnectSpec
+
+__all__ = ["Interconnect", "make_pcie3"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A host↔device link with a noise model."""
+
+    spec: InterconnectSpec
+    noise: NoiseModel = NO_NOISE
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Mean transfer time for ``n_bytes`` (seconds)."""
+        return self.spec.transfer_time(n_bytes)
+
+    def sample_transfer_time(
+        self, n_bytes: float, rng: np.random.Generator
+    ) -> float:
+        """One noisy transfer latency sample."""
+        return self.noise.sample(self.transfer_time(n_bytes), rng)
+
+    def bandwidth_at(self, n_bytes: float) -> float:
+        """Effective bandwidth (bytes/s) achieved for this message size.
+
+        Small messages are dominated by base latency and achieve a small
+        fraction of the link's peak — the left side of Fig. 5.
+        """
+        t = self.transfer_time(n_bytes)
+        return n_bytes / t if t > 0 else 0.0
+
+
+def make_pcie3(noise: NoiseModel = NO_NOISE) -> Interconnect:
+    """The paper's PCIe 3.0 x16 link."""
+    return Interconnect(spec=PCIE3_X16, noise=noise)

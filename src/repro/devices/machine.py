@@ -1,0 +1,81 @@
+"""The coupled CPU-GPU machine: the hardware a schedule maps onto."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import Device
+from repro.devices.interconnect import Interconnect, make_pcie3
+from repro.devices.noise import CPU_NOISE, GPU_NOISE, NO_NOISE, PCIE_NOISE
+from repro.devices.specs import TITAN_V, XEON_GOLD_6152, DeviceSpec
+from repro.errors import DeviceError
+
+__all__ = ["Machine", "default_machine", "make_cpu", "make_gpu", "scale_device"]
+
+
+def scale_device(device: Device, slowdown: float) -> Device:
+    """A copy of ``device`` running ``slowdown``x slower.
+
+    Models contention / thermal throttling: compute throughput and memory
+    bandwidth shrink by the factor; launch overhead is host-side and
+    unchanged.  Used by the online-adaptation engine both to *inject*
+    interference in experiments and to *represent* its current belief
+    about a drifted device.
+    """
+    if slowdown <= 0:
+        raise DeviceError(f"slowdown must be positive, got {slowdown}")
+    spec = device.spec
+    scaled = DeviceSpec(
+        name=f"{spec.name} (x{slowdown:.2f} load)",
+        kind=spec.kind,
+        peak_gflops=spec.peak_gflops / slowdown,
+        mem_bandwidth_gbps=spec.mem_bandwidth_gbps / slowdown,
+        launch_overhead_s=spec.launch_overhead_s,
+        saturation_parallelism=spec.saturation_parallelism,
+        efficiency=dict(spec.efficiency),
+    )
+    return Device(name=device.name, spec=scaled, noise=device.noise)
+
+
+def make_cpu(noisy: bool = True) -> Device:
+    """The paper's Xeon Gold 6152 host CPU."""
+    return Device(
+        name="cpu", spec=XEON_GOLD_6152, noise=CPU_NOISE if noisy else NO_NOISE
+    )
+
+
+def make_gpu(noisy: bool = True) -> Device:
+    """The paper's Titan V GPU."""
+    return Device(
+        name="gpu", spec=TITAN_V, noise=GPU_NOISE if noisy else NO_NOISE
+    )
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A server with one CPU, one GPU and a host↔device link (§VI-A)."""
+
+    cpu: Device
+    gpu: Device
+    interconnect: Interconnect
+
+    def device(self, name: str) -> Device:
+        """Look up a device by placement name (``"cpu"``/``"gpu"``)."""
+        if name == "cpu":
+            return self.cpu
+        if name == "gpu":
+            return self.gpu
+        raise DeviceError(f"unknown device {name!r}")
+
+    @property
+    def devices(self) -> tuple[Device, Device]:
+        return (self.cpu, self.gpu)
+
+
+def default_machine(noisy: bool = True) -> Machine:
+    """The paper's evaluation machine: Xeon 6152 + Titan V over PCIe 3.0."""
+    return Machine(
+        cpu=make_cpu(noisy),
+        gpu=make_gpu(noisy),
+        interconnect=make_pcie3(PCIE_NOISE if noisy else NO_NOISE),
+    )

@@ -1,0 +1,69 @@
+"""Stochastic latency noise.
+
+Real inference latency is a distribution, not a number — the paper reports
+P50/P99/P99.9 (Fig. 12) and observes that PCIe transfers add variance that
+shrinks DUET's P99.9 advantage.  The model: multiplicative lognormal jitter
+on every kernel/transfer, plus rare additive interference spikes (OS
+scheduling, ECC scrubs, clock ramps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = ["NoiseModel", "CPU_NOISE", "GPU_NOISE", "PCIE_NOISE", "NO_NOISE"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Latency noise parameters.
+
+    Attributes:
+        jitter_sigma: sigma of the lognormal multiplicative jitter.
+        spike_prob: probability that one sample suffers an interference
+            spike.
+        spike_scale: multiplier applied on a spike (e.g. 3.0 means the
+            operation takes 3x its mean time).
+    """
+
+    jitter_sigma: float = 0.0
+    spike_prob: float = 0.0
+    spike_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma < 0 or not 0 <= self.spike_prob <= 1:
+            raise DeviceError("invalid noise parameters")
+        if self.spike_scale < 1.0:
+            raise DeviceError("spike_scale must be >= 1")
+
+    def sample(self, mean_time: float, rng: np.random.Generator) -> float:
+        """One noisy latency sample with the given mean.
+
+        The lognormal factor is normalized by ``exp(sigma^2 / 2)`` so the
+        expected value of a sample equals ``mean_time`` (ignoring spikes).
+        """
+        if mean_time <= 0:
+            return 0.0
+        t = mean_time
+        if self.jitter_sigma > 0:
+            factor = math.exp(
+                rng.normal(0.0, self.jitter_sigma) - self.jitter_sigma**2 / 2
+            )
+            t *= factor
+        if self.spike_prob > 0 and rng.random() < self.spike_prob:
+            t *= self.spike_scale
+        return t
+
+
+NO_NOISE = NoiseModel()
+
+CPU_NOISE = NoiseModel(jitter_sigma=0.04, spike_prob=0.002, spike_scale=3.0)
+GPU_NOISE = NoiseModel(jitter_sigma=0.02, spike_prob=0.001, spike_scale=2.0)
+# The interconnect is the noisiest component (paper §VI-B: "the CPU-GPU
+# interconnect communication adds additional performance variation").
+PCIE_NOISE = NoiseModel(jitter_sigma=0.15, spike_prob=0.01, spike_scale=5.0)

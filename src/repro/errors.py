@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch everything with a single ``except`` clause while still being able
+to discriminate between IR construction problems, compilation failures, and
+scheduling/runtime issues.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad graph structure, unknown node ids, etc."""
+
+
+class ShapeError(IRError):
+    """Operator shape inference failed for the given input types."""
+
+
+class TypeCheckError(IRError):
+    """Dtype mismatch between operator inputs."""
+
+
+class GraphValidationError(IRError):
+    """A graph-level invariant (acyclicity, dangling edge, ...) is violated."""
+
+
+class UnknownOpError(IRError):
+    """An operator name is not present in the op registry."""
+
+
+class CompilerError(ReproError):
+    """A compiler pass or lowering step failed."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning produced or detected an invalid phase structure."""
+
+
+class SchedulingError(ReproError):
+    """Subgraph placement/scheduling failed or was given invalid input."""
+
+
+class ProfilingError(ReproError):
+    """The compiler-aware profiler could not profile a subgraph."""
+
+
+class ExecutionError(ReproError):
+    """Runtime execution of a compiled module failed."""
+
+
+class DeviceError(ReproError):
+    """Invalid device specification or cost-model query."""

@@ -1,0 +1,43 @@
+"""Tensor-program IR: dtypes, operators, graphs, builder, interpreter."""
+
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.frontend import (
+    SUPPORTED_LAYER_KINDS,
+    build_from_json,
+    build_from_spec,
+)
+from repro.ir.dtype import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    DType,
+    TensorType,
+)
+from repro.ir.graph import Graph
+from repro.ir.interpreter import make_inputs, run_graph
+from repro.ir.node import Initializer, Node, NodeKind
+from repro.ir.printer import format_graph
+
+__all__ = [
+    "BOOL",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "DType",
+    "TensorType",
+    "Graph",
+    "GraphBuilder",
+    "SUPPORTED_LAYER_KINDS",
+    "build_from_json",
+    "build_from_spec",
+    "Var",
+    "Initializer",
+    "Node",
+    "NodeKind",
+    "format_graph",
+    "make_inputs",
+    "run_graph",
+]

@@ -1,0 +1,151 @@
+"""Fluent graph construction API.
+
+Example::
+
+    bld = GraphBuilder("toy")
+    x = bld.input("x", (1, 64))
+    w = bld.const((32, 64), name="w")
+    y = bld.op("relu", bld.op("dense", x, w))
+    graph = bld.build(y)
+
+The builder performs shape inference on every :meth:`op` call, so malformed
+graphs fail at construction time with a precise error.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.dtype import FLOAT32, DType, TensorType
+from repro.ir.graph import Graph
+from repro.ir.node import Initializer, Node, NodeKind
+from repro.ir.ops import get_op
+
+__all__ = ["Var", "GraphBuilder"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """Handle to a node under construction: its id and output type."""
+
+    id: str
+    ty: TensorType
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.ty.shape
+
+
+class GraphBuilder:
+    """Incrementally builds a validated :class:`~repro.ir.graph.Graph`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: list[Node] = []
+        self._ids: set[str] = set()
+        self._counter = itertools.count()
+
+    def _fresh_id(self, hint: str) -> str:
+        nid = f"{hint}_{next(self._counter)}"
+        while nid in self._ids:
+            nid = f"{hint}_{next(self._counter)}"
+        return nid
+
+    def _add(self, node: Node) -> Var:
+        if node.id in self._ids:
+            raise IRError(f"duplicate node id {node.id!r}")
+        self._ids.add(node.id)
+        self._nodes.append(node)
+        return Var(node.id, node.ty)
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+
+    def input(
+        self, name: str, shape: Iterable[int], dtype: DType = FLOAT32
+    ) -> Var:
+        """Declare a placeholder input."""
+        return self._add(
+            Node(id=name, kind=NodeKind.INPUT, ty=TensorType(tuple(shape), dtype))
+        )
+
+    def const(
+        self,
+        shape: Iterable[int],
+        dtype: DType = FLOAT32,
+        init: Initializer = Initializer.NORMAL,
+        name: str | None = None,
+        **attrs: object,
+    ) -> Var:
+        """Declare a parameter tensor with a lazy initializer."""
+        nid = name if name is not None else self._fresh_id("const")
+        return self._add(
+            Node(
+                id=nid,
+                kind=NodeKind.CONST,
+                ty=TensorType(tuple(shape), dtype),
+                attrs=dict(attrs),
+                init=init,
+            )
+        )
+
+    def literal(self, value: np.ndarray, name: str | None = None) -> Var:
+        """Declare a constant with an explicit (small) payload."""
+        value = np.asarray(value)
+        nid = name if name is not None else self._fresh_id("lit")
+        ty = TensorType(value.shape if value.shape else (1,), FLOAT32)
+        if not value.shape:
+            value = value.reshape(1)
+        from repro.ir.dtype import dtype_from_name
+
+        ty = TensorType(value.shape, dtype_from_name(str(value.dtype)))
+        return self._add(
+            Node(
+                id=nid,
+                kind=NodeKind.CONST,
+                ty=ty,
+                init=Initializer.LITERAL,
+                literal=value,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+
+    def op(self, op_name: str, *inputs: Var, name: str | None = None, **attrs: object) -> Var:
+        """Apply an operator; shape inference runs immediately."""
+        spec = get_op(op_name)
+        if spec.arity is not None and len(inputs) != spec.arity:
+            raise IRError(
+                f"{op_name} expects {spec.arity} inputs, got {len(inputs)}"
+            )
+        in_types = [v.ty for v in inputs]
+        out_ty = spec.infer_type(in_types, attrs)
+        nid = name if name is not None else self._fresh_id(op_name)
+        return self._add(
+            Node(
+                id=nid,
+                kind=NodeKind.OP,
+                ty=out_ty,
+                op=op_name,
+                inputs=tuple(v.id for v in inputs),
+                attrs=dict(attrs),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+
+    def build(self, *outputs: Var) -> Graph:
+        """Finish construction and validate the graph."""
+        if not outputs:
+            raise IRError("build() requires at least one output Var")
+        return Graph(self.name, self._nodes, [v.id for v in outputs])

@@ -1,0 +1,105 @@
+"""Scalar dtypes and tensor types for the graph IR.
+
+The IR is deliberately small: a tensor type is a concrete shape plus a
+scalar dtype.  Shapes are fully static (the paper freezes batch size before
+compilation because TVM did not support dynamic batch at the time, §VI-D),
+which keeps shape inference, FLOP counting, and transfer-size estimation
+exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["DType", "TensorType", "normalize_shape"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar element type.
+
+    Attributes:
+        name: canonical name, e.g. ``"float32"``.
+        bits: storage width in bits.
+    """
+
+    name: str
+    bits: int
+
+    @property
+    def bytes(self) -> int:
+        """Storage size of one element in bytes."""
+        return self.bits // 8
+
+    def to_numpy(self) -> np.dtype:
+        """The equivalent NumPy dtype."""
+        return np.dtype(self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FLOAT32 = DType("float32", 32)
+FLOAT64 = DType("float64", 64)
+INT32 = DType("int32", 32)
+INT64 = DType("int64", 64)
+BOOL = DType("bool", 8)
+
+_DTYPES = {d.name: d for d in (FLOAT32, FLOAT64, INT32, INT64, BOOL)}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a :class:`DType` by canonical name."""
+    try:
+        return _DTYPES[name]
+    except KeyError as exc:
+        raise ShapeError(f"unknown dtype {name!r}") from exc
+
+
+def normalize_shape(shape: Iterable[int]) -> tuple[int, ...]:
+    """Validate and canonicalize a shape to a tuple of positive ints."""
+    out = tuple(int(d) for d in shape)
+    for d in out:
+        if d <= 0:
+            raise ShapeError(f"shape dimensions must be positive, got {out}")
+    return out
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """A concrete tensor type: static shape + scalar dtype."""
+
+    shape: tuple[int, ...]
+    dtype: DType = FLOAT32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", normalize_shape(self.shape))
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of scalar elements."""
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes (dense layout)."""
+        return self.num_elements * self.dtype.bytes
+
+    def with_shape(self, shape: Iterable[int]) -> "TensorType":
+        """A copy of this type with a different shape."""
+        return TensorType(tuple(shape), self.dtype)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.shape)
+        return f"Tensor[({dims}), {self.dtype}]"

@@ -1,0 +1,278 @@
+"""Declarative model frontend: JSON-style layer specs → graphs.
+
+Downstream users rarely want to hand-write builder calls; this frontend
+accepts a compact dict/JSON description — the role the paper's front-end
+layer plays for TensorFlow/PyTorch exports (Fig. 1) — and produces a
+validated :class:`~repro.ir.graph.Graph`::
+
+    spec = {
+        "name": "two_tower",
+        "inputs": [
+            {"name": "image", "shape": [1, 3, 64, 64]},
+            {"name": "text", "shape": [1, 50, 128]},
+        ],
+        "layers": [
+            {"kind": "conv", "name": "c1", "input": "image",
+             "channels": 32, "kernel": 3, "stride": 2, "padding": 1},
+            {"kind": "global_avg_pool", "name": "img_vec", "input": "c1"},
+            {"kind": "lstm", "name": "txt", "input": "text",
+             "hidden": 128, "return_sequences": False},
+            {"kind": "concat", "name": "joint", "inputs": ["img_vec", "txt"]},
+            {"kind": "dense", "name": "out", "input": "joint",
+             "units": 10, "activation": None},
+            {"kind": "softmax", "name": "probs", "input": "out"},
+        ],
+        "outputs": ["probs"],
+    }
+    graph = build_from_spec(spec)
+
+Each layer's ``input`` defaults to the previous layer, so purely
+sequential models need no explicit wiring.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.dtype import FLOAT32, INT64
+from repro.ir.graph import Graph
+
+__all__ = ["build_from_spec", "build_from_json", "SUPPORTED_LAYER_KINDS"]
+
+_ACTIVATIONS = ("relu", "tanh", "sigmoid", "gelu", "leaky_relu", "exp", "abs")
+
+
+class _SpecContext:
+    def __init__(self, spec: Mapping[str, Any]):
+        self.builder = GraphBuilder(str(spec.get("name", "spec_model")))
+        self.values: dict[str, Var] = {}
+        self.last: str | None = None
+
+    def resolve(self, layer: Mapping[str, Any], key: str = "input") -> Var:
+        name = layer.get(key, self.last)
+        if name is None:
+            raise IRError(
+                f"layer {layer.get('name', layer.get('kind'))!r} has no "
+                f"{key!r} and no previous layer to default to"
+            )
+        if name not in self.values:
+            raise IRError(f"unknown layer/input reference {name!r}")
+        return self.values[name]
+
+    def resolve_many(self, layer: Mapping[str, Any]) -> list[Var]:
+        names = layer.get("inputs")
+        if not names:
+            raise IRError(
+                f"layer {layer.get('name')!r} requires an 'inputs' list"
+            )
+        return [self.resolve({"input": n}) for n in names]
+
+
+def _layer_dense(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    from repro.models.common import dense_layer
+
+    return dense_layer(
+        ctx.builder,
+        ctx.resolve(layer),
+        int(layer["units"]),
+        prefix=layer["name"],
+        activation=layer.get("activation", "relu"),
+    )
+
+
+def _layer_mlp(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    from repro.models.common import mlp
+
+    return mlp(
+        ctx.builder,
+        ctx.resolve(layer),
+        [int(u) for u in layer["hidden"]],
+        prefix=layer["name"],
+        activation=layer.get("activation", "relu"),
+        final_activation=layer.get("final_activation"),
+    )
+
+
+def _layer_lstm(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    from repro.models.common import last_timestep, stacked_lstm
+
+    seq = stacked_lstm(
+        ctx.builder,
+        ctx.resolve(layer),
+        int(layer["hidden"]),
+        int(layer.get("layers", 1)),
+        prefix=layer["name"],
+        return_sequences=True,
+    )
+    if bool(layer.get("return_sequences", False)):
+        return seq
+    return last_timestep(ctx.builder, seq)
+
+
+def _layer_conv(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    from repro.models.common import conv_bn_relu
+
+    return conv_bn_relu(
+        ctx.builder,
+        ctx.resolve(layer),
+        int(layer["channels"]),
+        int(layer.get("kernel", 3)),
+        int(layer.get("stride", 1)),
+        int(layer.get("padding", 1)),
+        prefix=layer["name"],
+        relu=bool(layer.get("relu", True)),
+    )
+
+
+def _layer_resnet(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    from repro.models.resnet import ResNetConfig, resnet_backbone
+
+    x = ctx.resolve(layer)
+    cfg = ResNetConfig(
+        depth=int(layer.get("depth", 18)),
+        batch=x.shape[0],
+        image_size=x.shape[2],
+    )
+    return resnet_backbone(ctx.builder, x, cfg, prefix=layer["name"])
+
+
+def _layer_transformer(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    from repro.models.common import transformer_encoder_layer
+
+    y = ctx.resolve(layer)
+    for i in range(int(layer.get("layers", 1))):
+        y = transformer_encoder_layer(
+            ctx.builder,
+            y,
+            num_heads=int(layer.get("heads", 4)),
+            d_ff=int(layer.get("d_ff", 4 * y.shape[-1])),
+            prefix=f"{layer['name']}_l{i}",
+        )
+    return y
+
+
+def _layer_embedding(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    b = ctx.builder
+    table = b.const(
+        (int(layer["vocab"]), int(layer["dim"])),
+        name=f"{layer['name']}_table",
+        init_scale=0.02,
+    )
+    return b.op("embedding", table, ctx.resolve(layer))
+
+
+def _layer_concat(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    return ctx.builder.op(
+        "concat", *ctx.resolve_many(layer), axis=int(layer.get("axis", -1))
+    )
+
+
+def _layer_pool(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    k = int(layer.get("size", 2))
+    s = int(layer.get("stride", k))
+    return ctx.builder.op(
+        "max_pool2d", ctx.resolve(layer), pool_size=(k, k), strides=(s, s),
+        padding=(int(layer.get("padding", 0)),) * 2,
+    )
+
+
+def _layer_gap(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    b = ctx.builder
+    y = b.op("global_avg_pool2d", ctx.resolve(layer))
+    n, c = y.shape[0], y.shape[1]
+    return b.op("reshape", y, shape=(n, c))
+
+
+def _layer_flatten(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    return ctx.builder.op("flatten", ctx.resolve(layer))
+
+
+def _layer_softmax(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    return ctx.builder.op(
+        "softmax", ctx.resolve(layer), axis=int(layer.get("axis", -1))
+    )
+
+
+def _layer_activation(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    op = str(layer["kind"])
+    return ctx.builder.op(op, ctx.resolve(layer))
+
+
+def _layer_add(ctx: _SpecContext, layer: Mapping[str, Any]) -> Var:
+    lhs, rhs = ctx.resolve_many(layer)
+    return ctx.builder.op("add", lhs, rhs)
+
+
+_LAYERS: dict[str, Callable[[_SpecContext, Mapping[str, Any]], Var]] = {
+    "dense": _layer_dense,
+    "mlp": _layer_mlp,
+    "lstm": _layer_lstm,
+    "conv": _layer_conv,
+    "resnet": _layer_resnet,
+    "transformer": _layer_transformer,
+    "embedding": _layer_embedding,
+    "concat": _layer_concat,
+    "max_pool": _layer_pool,
+    "global_avg_pool": _layer_gap,
+    "flatten": _layer_flatten,
+    "softmax": _layer_softmax,
+    "add": _layer_add,
+    **{act: _layer_activation for act in _ACTIVATIONS},
+}
+
+SUPPORTED_LAYER_KINDS = tuple(sorted(_LAYERS))
+
+
+def build_from_spec(spec: Mapping[str, Any]) -> Graph:
+    """Build a graph from a declarative layer spec (see module docstring)."""
+    if "inputs" not in spec or not spec["inputs"]:
+        raise IRError("spec requires a non-empty 'inputs' list")
+    if "layers" not in spec or not spec["layers"]:
+        raise IRError("spec requires a non-empty 'layers' list")
+
+    ctx = _SpecContext(spec)
+    for inp in spec["inputs"]:
+        dtype = INT64 if inp.get("dtype") == "int64" else FLOAT32
+        name = str(inp["name"])
+        ctx.values[name] = ctx.builder.input(
+            name, tuple(int(d) for d in inp["shape"]), dtype=dtype
+        )
+    if len(spec["inputs"]) == 1:
+        # A single-input model's first layer may omit its 'input'.
+        ctx.last = str(spec["inputs"][0]["name"])
+
+    for i, layer in enumerate(spec["layers"]):
+        kind = str(layer.get("kind", ""))
+        fn = _LAYERS.get(kind)
+        if fn is None:
+            raise IRError(
+                f"unknown layer kind {kind!r}; supported: "
+                f"{', '.join(SUPPORTED_LAYER_KINDS)}"
+            )
+        layer = dict(layer)
+        layer.setdefault("name", f"{kind}_{i}")
+        name = str(layer["name"])
+        if name in ctx.values:
+            raise IRError(f"duplicate layer name {name!r}")
+        ctx.values[name] = fn(ctx, layer)
+        ctx.last = name
+
+    outputs = spec.get("outputs") or [ctx.last]
+    out_vars = []
+    for out in outputs:
+        if out not in ctx.values:
+            raise IRError(f"unknown output {out!r}")
+        out_vars.append(ctx.values[out])
+    return ctx.builder.build(*out_vars)
+
+
+def build_from_json(text: str) -> Graph:
+    """Build a graph from a JSON document of the spec format."""
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise IRError(f"invalid model spec JSON: {exc}") from exc
+    return build_from_spec(spec)

@@ -1,0 +1,131 @@
+"""Graph nodes.
+
+A node is either a placeholder (``INPUT``), a parameter/constant (``CONST``),
+or an operator application (``OP``).  Every node produces exactly one tensor;
+multi-output constructs (e.g. bidirectional RNNs) are expressed with several
+nodes.  Constants carry an *initializer spec* instead of materialized data so
+that timing-only simulation never has to allocate large weight tensors; the
+runtime materializes parameters lazily and deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.dtype import TensorType
+
+__all__ = ["NodeKind", "Initializer", "Node"]
+
+
+class NodeKind(enum.Enum):
+    """What a graph node is: placeholder, parameter, or operator."""
+
+    INPUT = "input"
+    CONST = "const"
+    OP = "op"
+
+
+class Initializer(enum.Enum):
+    """How a CONST node's data is materialized."""
+
+    NORMAL = "normal"  # N(0, scale) from the graph seed
+    ZEROS = "zeros"
+    ONES = "ones"
+    UNIFORM_INT = "uniform_int"  # integer in [0, high) — for index tensors
+    LITERAL = "literal"  # small literal payload carried on the node
+
+
+@dataclass(frozen=True)
+class Node:
+    """One vertex of the computation DAG.
+
+    Attributes:
+        id: unique identifier within its graph.
+        kind: INPUT / CONST / OP.
+        op: operator name for OP nodes, ``None`` otherwise.
+        inputs: ids of argument nodes, in positional order.
+        attrs: operator attributes (static configuration).
+        ty: the node's output tensor type.
+        init: initializer spec for CONST nodes.
+        literal: literal payload for ``Initializer.LITERAL`` constants.
+    """
+
+    id: str
+    kind: NodeKind
+    ty: TensorType
+    op: str | None = None
+    inputs: tuple[str, ...] = ()
+    attrs: Mapping[str, object] = field(default_factory=dict)
+    init: Initializer = Initializer.NORMAL
+    literal: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is NodeKind.OP and not self.op:
+            raise IRError(f"OP node {self.id!r} must name an operator")
+        if self.kind is not NodeKind.OP and self.op:
+            raise IRError(f"{self.kind.value} node {self.id!r} must not name an operator")
+        if self.kind is not NodeKind.OP and self.inputs:
+            raise IRError(f"{self.kind.value} node {self.id!r} cannot have inputs")
+        if self.init is Initializer.LITERAL and self.literal is None:
+            raise IRError(f"LITERAL const {self.id!r} is missing its payload")
+
+    @property
+    def is_op(self) -> bool:
+        return self.kind is NodeKind.OP
+
+    @property
+    def is_input(self) -> bool:
+        return self.kind is NodeKind.INPUT
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind is NodeKind.CONST
+
+    def with_inputs(self, inputs: tuple[str, ...]) -> "Node":
+        """Copy of this node with rewired inputs."""
+        return Node(
+            id=self.id,
+            kind=self.kind,
+            ty=self.ty,
+            op=self.op,
+            inputs=inputs,
+            attrs=self.attrs,
+            init=self.init,
+            literal=self.literal,
+        )
+
+    def with_id(self, new_id: str) -> "Node":
+        """Copy of this node under a different id."""
+        return Node(
+            id=new_id,
+            kind=self.kind,
+            ty=self.ty,
+            op=self.op,
+            inputs=self.inputs,
+            attrs=self.attrs,
+            init=self.init,
+            literal=self.literal,
+        )
+
+    def materialize(self, rng: np.random.Generator) -> np.ndarray:
+        """Create this CONST node's data from the given generator."""
+        if not self.is_const:
+            raise IRError(f"cannot materialize non-const node {self.id!r}")
+        np_dtype = self.ty.dtype.to_numpy()
+        if self.init is Initializer.LITERAL:
+            assert self.literal is not None
+            return self.literal.astype(np_dtype, copy=False)
+        if self.init is Initializer.ZEROS:
+            return np.zeros(self.ty.shape, dtype=np_dtype)
+        if self.init is Initializer.ONES:
+            return np.ones(self.ty.shape, dtype=np_dtype)
+        if self.init is Initializer.UNIFORM_INT:
+            high = int(self.attrs.get("init_high", 2))
+            return rng.integers(0, high, size=self.ty.shape).astype(np_dtype)
+        scale = float(self.attrs.get("init_scale", 0.05))
+        return (rng.standard_normal(self.ty.shape) * scale).astype(np_dtype)

@@ -1,0 +1,32 @@
+"""Operator definitions.
+
+Importing this package registers every built-in operator with the global
+registry (see :mod:`repro.ir.ops.registry`).
+"""
+
+from repro.ir.ops.registry import (
+    OpKind,
+    OpPattern,
+    OpSpec,
+    get_op,
+    has_op,
+    list_ops,
+    register_op,
+)
+
+# Importing these modules registers their operators as a side effect.
+from repro.ir.ops import elementwise as _elementwise  # noqa: F401
+from repro.ir.ops import nn as _nn  # noqa: F401
+from repro.ir.ops import recurrent as _recurrent  # noqa: F401
+from repro.ir.ops import reduction as _reduction  # noqa: F401
+from repro.ir.ops import tensor_ops as _tensor_ops  # noqa: F401
+
+__all__ = [
+    "OpKind",
+    "OpPattern",
+    "OpSpec",
+    "get_op",
+    "has_op",
+    "list_ops",
+    "register_op",
+]

@@ -1,0 +1,146 @@
+"""Reduction operators: softmax, sum/mean/max, argmax, log_softmax."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ir.dtype import INT64, TensorType
+from repro.ir.ops.registry import (
+    Attrs,
+    OpKind,
+    OpPattern,
+    OpSpec,
+    register_op,
+)
+
+
+def _axis_of(attrs: Attrs, rank: int) -> int:
+    axis = int(attrs.get("axis", -1))
+    if axis < 0:
+        axis += rank
+    if not 0 <= axis < rank:
+        raise ShapeError(f"axis {attrs.get('axis')} out of range for rank {rank}")
+    return axis
+
+
+def _same_type(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    _axis_of(attrs, in_types[0].rank)  # validate only
+    return in_types[0]
+
+
+def _softmax(xs: Sequence[np.ndarray], attrs: Attrs) -> np.ndarray:
+    x = xs[0]
+    axis = int(attrs.get("axis", -1))
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+register_op(
+    OpSpec(
+        name="softmax",
+        arity=1,
+        pattern=OpPattern.REDUCE,
+        kind=OpKind.REDUCTION,
+        infer_type=_same_type,
+        compute=_softmax,
+        flops=lambda i, o, a: 12.0 * o.num_elements,
+    )
+)
+
+
+def _log_softmax(xs: Sequence[np.ndarray], attrs: Attrs) -> np.ndarray:
+    x = xs[0]
+    axis = int(attrs.get("axis", -1))
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+register_op(
+    OpSpec(
+        name="log_softmax",
+        arity=1,
+        pattern=OpPattern.REDUCE,
+        kind=OpKind.REDUCTION,
+        infer_type=_same_type,
+        compute=_log_softmax,
+        flops=lambda i, o, a: 14.0 * o.num_elements,
+    )
+)
+
+
+def _reduce_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    (data,) = in_types
+    axis = _axis_of(attrs, data.rank)
+    keepdims = bool(attrs.get("keepdims", False))
+    shape = list(data.shape)
+    if keepdims:
+        shape[axis] = 1
+    else:
+        del shape[axis]
+    if not shape:
+        shape = [1]
+    return data.with_shape(shape)
+
+
+def _input_parallelism(in_types, out_type, attrs) -> float:
+    # Reductions are tree-parallel over their *input*: a sum over N
+    # elements exposes ~N parallel work items, even when the output is a
+    # single scalar.
+    return float(in_types[0].num_elements)
+
+
+def _make_reduce(name: str, np_fn) -> None:
+    def compute(xs: Sequence[np.ndarray], attrs: Attrs) -> np.ndarray:
+        axis = int(attrs.get("axis", -1))
+        keepdims = bool(attrs.get("keepdims", False))
+        out = np_fn(xs[0], axis=axis, keepdims=keepdims)
+        return np.atleast_1d(out)
+
+    register_op(
+        OpSpec(
+            name=name,
+            arity=1,
+            pattern=OpPattern.REDUCE,
+            kind=OpKind.REDUCTION,
+            infer_type=_reduce_infer,
+            compute=compute,
+            flops=lambda i, o, a: float(i[0].num_elements),
+            parallelism=_input_parallelism,
+        )
+    )
+
+
+_make_reduce("reduce_sum", np.sum)
+_make_reduce("reduce_mean", np.mean)
+_make_reduce("reduce_max", np.max)
+_make_reduce("reduce_min", np.min)
+
+
+def _argmax_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    (data,) = in_types
+    axis = _axis_of(attrs, data.rank)
+    shape = list(data.shape)
+    del shape[axis]
+    if not shape:
+        shape = [1]
+    return TensorType(shape, INT64)
+
+
+register_op(
+    OpSpec(
+        name="argmax",
+        arity=1,
+        pattern=OpPattern.REDUCE,
+        kind=OpKind.REDUCTION,
+        infer_type=_argmax_infer,
+        compute=lambda xs, attrs: np.atleast_1d(
+            np.argmax(xs[0], axis=int(attrs.get("axis", -1)))
+        ).astype(np.int64),
+        flops=lambda i, o, a: float(i[0].num_elements),
+        parallelism=lambda i, o, a: float(i[0].num_elements),
+    )
+)

@@ -1,0 +1,212 @@
+"""Data-movement operators: reshape, transpose, concat, slice, embedding.
+
+These are ``INJECTIVE`` (index-remapping) operators; they do no arithmetic
+and are modelled as memory traffic by the device cost models
+(:class:`~repro.ir.ops.registry.OpKind.MEMORY`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError, TypeCheckError
+from repro.ir.dtype import TensorType
+from repro.ir.ops.registry import (
+    Attrs,
+    OpKind,
+    OpPattern,
+    OpSpec,
+    register_op,
+)
+
+
+def _zero_flops(in_types, out_type, attrs) -> float:
+    return 0.0
+
+
+def _reshape_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    (data,) = in_types
+    new_shape = tuple(int(d) for d in attrs["shape"])  # type: ignore[index]
+    if -1 in new_shape:
+        known = math.prod(d for d in new_shape if d != -1)
+        if new_shape.count(-1) != 1 or data.num_elements % known != 0:
+            raise ShapeError(
+                f"cannot reshape {data.shape} into {new_shape}"
+            )
+        new_shape = tuple(
+            data.num_elements // known if d == -1 else d for d in new_shape
+        )
+    if math.prod(new_shape) != data.num_elements:
+        raise ShapeError(
+            f"reshape from {data.shape} ({data.num_elements} elems) to "
+            f"{new_shape} ({math.prod(new_shape)} elems) changes element count"
+        )
+    return data.with_shape(new_shape)
+
+
+register_op(
+    OpSpec(
+        name="reshape",
+        arity=1,
+        pattern=OpPattern.INJECTIVE,
+        kind=OpKind.MEMORY,
+        infer_type=_reshape_infer,
+        compute=lambda xs, attrs: xs[0].reshape(
+            tuple(int(d) for d in attrs["shape"])
+        ),
+        flops=_zero_flops,
+    )
+)
+
+
+def _flatten_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    (data,) = in_types
+    if data.rank < 1:
+        raise ShapeError("flatten requires rank >= 1")
+    lead = data.shape[0]
+    return data.with_shape((lead, data.num_elements // lead))
+
+
+register_op(
+    OpSpec(
+        name="flatten",
+        arity=1,
+        pattern=OpPattern.INJECTIVE,
+        kind=OpKind.MEMORY,
+        infer_type=_flatten_infer,
+        compute=lambda xs, attrs: xs[0].reshape(xs[0].shape[0], -1),
+        flops=_zero_flops,
+    )
+)
+
+
+def _transpose_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    (data,) = in_types
+    axes = attrs.get("axes")
+    if axes is None:
+        perm = tuple(reversed(range(data.rank)))
+    else:
+        perm = tuple(int(a) for a in axes)  # type: ignore[union-attr]
+    if sorted(perm) != list(range(data.rank)):
+        raise ShapeError(f"invalid transpose axes {perm} for rank {data.rank}")
+    return data.with_shape(tuple(data.shape[a] for a in perm))
+
+
+register_op(
+    OpSpec(
+        name="transpose",
+        arity=1,
+        pattern=OpPattern.INJECTIVE,
+        kind=OpKind.MEMORY,
+        infer_type=_transpose_infer,
+        compute=lambda xs, attrs: np.transpose(
+            xs[0],
+            tuple(int(a) for a in attrs["axes"]) if attrs.get("axes") else None,
+        ),
+        flops=_zero_flops,
+    )
+)
+
+
+def _concat_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    if not in_types:
+        raise ShapeError("concat requires at least one input")
+    axis = int(attrs.get("axis", 0))
+    first = in_types[0]
+    if axis < 0:
+        axis += first.rank
+    if not 0 <= axis < first.rank:
+        raise ShapeError(f"concat axis {axis} out of range for rank {first.rank}")
+    total = 0
+    for t in in_types:
+        if t.dtype != first.dtype:
+            raise TypeCheckError("concat inputs must share a dtype")
+        if t.rank != first.rank:
+            raise ShapeError("concat inputs must share a rank")
+        for d in range(first.rank):
+            if d != axis and t.shape[d] != first.shape[d]:
+                raise ShapeError(
+                    f"concat inputs disagree on non-concat axis {d}: "
+                    f"{t.shape} vs {first.shape}"
+                )
+        total += t.shape[axis]
+    shape = list(first.shape)
+    shape[axis] = total
+    return first.with_shape(shape)
+
+
+register_op(
+    OpSpec(
+        name="concat",
+        arity=None,
+        pattern=OpPattern.INJECTIVE,
+        kind=OpKind.MEMORY,
+        infer_type=_concat_infer,
+        compute=lambda xs, attrs: np.concatenate(
+            list(xs), axis=int(attrs.get("axis", 0))
+        ),
+        flops=_zero_flops,
+    )
+)
+
+
+def _slice_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    (data,) = in_types
+    begin = tuple(int(b) for b in attrs["begin"])  # type: ignore[index]
+    end = tuple(int(e) for e in attrs["end"])  # type: ignore[index]
+    if len(begin) != data.rank or len(end) != data.rank:
+        raise ShapeError("slice begin/end must match input rank")
+    shape = []
+    for b, e, d in zip(begin, end, data.shape):
+        if not (0 <= b < e <= d):
+            raise ShapeError(
+                f"invalid slice [{b}:{e}] for dimension of size {d}"
+            )
+        shape.append(e - b)
+    return data.with_shape(shape)
+
+
+def _slice_compute(xs: Sequence[np.ndarray], attrs: Attrs) -> np.ndarray:
+    idx = tuple(
+        slice(int(b), int(e)) for b, e in zip(attrs["begin"], attrs["end"])
+    )
+    return np.ascontiguousarray(xs[0][idx])
+
+
+register_op(
+    OpSpec(
+        name="strided_slice",
+        arity=1,
+        pattern=OpPattern.INJECTIVE,
+        kind=OpKind.MEMORY,
+        infer_type=_slice_infer,
+        compute=_slice_compute,
+        flops=_zero_flops,
+    )
+)
+
+
+def _take_infer(in_types: Sequence[TensorType], attrs: Attrs) -> TensorType:
+    """Embedding lookup: table [V, D] indexed by int tensor -> [..., D]."""
+    table, indices = in_types
+    if table.rank != 2:
+        raise ShapeError(f"embedding table must be rank 2, got {table.shape}")
+    if indices.dtype.name not in ("int32", "int64"):
+        raise TypeCheckError("embedding indices must be integer typed")
+    return TensorType(indices.shape + (table.shape[1],), table.dtype)
+
+
+register_op(
+    OpSpec(
+        name="embedding",
+        arity=2,
+        pattern=OpPattern.INJECTIVE,
+        kind=OpKind.EMBEDDING,
+        infer_type=_take_infer,
+        compute=lambda xs, attrs: xs[0][xs[1]],
+        flops=_zero_flops,
+    )
+)

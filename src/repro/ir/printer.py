@@ -1,0 +1,40 @@
+"""Relay-style textual printer for graphs.
+
+Produces a human-readable, BNF-flavoured listing of a graph (cf. paper §V,
+Listing 1): one ``let``-binding per operator in topological order.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+
+__all__ = ["format_graph"]
+
+
+def _fmt_attrs(attrs) -> str:
+    if not attrs:
+        return ""
+    items = ", ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+    return f" {{{items}}}"
+
+
+def format_graph(graph: Graph) -> str:
+    """Render the graph as Relay-like pseudocode."""
+    lines = [f"fn {graph.name}("]
+    for node in graph.input_nodes():
+        lines.append(f"  %{node.id}: {node.ty},")
+    lines.append(") {")
+    for node in graph.const_nodes():
+        lines.append(f"  param %{node.id}: {node.ty};  // {node.init.value}")
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            continue
+        args = ", ".join(f"%{i}" for i in node.inputs)
+        lines.append(
+            f"  let %{node.id}: {node.ty} = {node.op}({args}){_fmt_attrs(node.attrs)};"
+        )
+    outs = ", ".join(f"%{o}" for o in graph.outputs)
+    lines.append(f"  ({outs})")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""JSON (de)serialization for graphs.
+
+Round-trips the full graph structure — nodes, attrs, initializer specs, and
+small literal payloads — so pre-built models can be stored, diffed, and
+shipped to the profiler workers exactly the way DUET hands subgraphs to the
+compiler (§IV-B treats each subgraph as a standalone model).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.dtype import TensorType, dtype_from_name
+from repro.ir.graph import Graph
+from repro.ir.node import Initializer, Node, NodeKind
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dumps", "loads"]
+
+
+def _attrs_to_json(attrs) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, tuple):
+            out[k] = {"__tuple__": list(v)}
+        else:
+            out[k] = v
+    return out
+
+
+def _attrs_from_json(data: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for k, v in data.items():
+        if isinstance(v, dict) and "__tuple__" in v:
+            out[k] = tuple(v["__tuple__"])
+        else:
+            out[k] = v
+    return out
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dict."""
+    nodes = []
+    for node in graph.nodes.values():
+        entry: dict[str, Any] = {
+            "id": node.id,
+            "kind": node.kind.value,
+            "shape": list(node.ty.shape),
+            "dtype": node.ty.dtype.name,
+            "attrs": _attrs_to_json(node.attrs),
+        }
+        if node.is_op:
+            entry["op"] = node.op
+            entry["inputs"] = list(node.inputs)
+        if node.is_const:
+            entry["init"] = node.init.value
+            if node.literal is not None:
+                entry["literal"] = node.literal.tolist()
+        nodes.append(entry)
+    return {"name": graph.name, "nodes": nodes, "outputs": list(graph.outputs)}
+
+
+def graph_from_dict(data: dict[str, Any]) -> Graph:
+    """Deserialize a graph from :func:`graph_to_dict` output."""
+    nodes = []
+    for entry in data["nodes"]:
+        kind = NodeKind(entry["kind"])
+        ty = TensorType(tuple(entry["shape"]), dtype_from_name(entry["dtype"]))
+        literal = None
+        init = Initializer(entry.get("init", "normal"))
+        if "literal" in entry:
+            literal = np.asarray(entry["literal"], dtype=ty.dtype.to_numpy())
+        nodes.append(
+            Node(
+                id=entry["id"],
+                kind=kind,
+                ty=ty,
+                op=entry.get("op"),
+                inputs=tuple(entry.get("inputs", ())),
+                attrs=_attrs_from_json(entry.get("attrs", {})),
+                init=init,
+                literal=literal,
+            )
+        )
+    return Graph(data["name"], nodes, data["outputs"])
+
+
+def dumps(graph: Graph, indent: int | None = None) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> Graph:
+    """Deserialize a graph from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise IRError(f"invalid graph JSON: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,144 @@
+"""Graph traversal utilities: reachability, levels, critical paths.
+
+These helpers operate on node-id sets so they can be shared by the
+partitioner (which reasons about phases) and the scheduler (which reasons
+about critical paths through weighted DAGs, §IV-C Step 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.ir.graph import Graph
+
+__all__ = [
+    "ancestors",
+    "descendants",
+    "are_independent",
+    "node_depths",
+    "critical_path",
+    "weakly_connected_components",
+]
+
+
+def ancestors(graph: Graph, node_id: str) -> set[str]:
+    """All nodes with a directed path *to* ``node_id`` (exclusive)."""
+    seen: set[str] = set()
+    stack = list(graph.node(node_id).inputs)
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(graph.node(nid).inputs)
+    return seen
+
+
+def descendants(graph: Graph, node_id: str) -> set[str]:
+    """All nodes reachable *from* ``node_id`` (exclusive)."""
+    seen: set[str] = set()
+    stack = list(graph.consumers(node_id))
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(graph.consumers(nid))
+    return seen
+
+
+def are_independent(graph: Graph, a: Iterable[str], b: Iterable[str]) -> bool:
+    """Whether no dependency path connects node set ``a`` with set ``b``."""
+    set_a, set_b = set(a), set(b)
+    for nid in set_a:
+        if descendants(graph, nid) & set_b or ancestors(graph, nid) & set_b:
+            return False
+    return True
+
+
+def node_depths(graph: Graph, op_only: bool = True) -> dict[str, int]:
+    """Longest-path depth of each node from the graph sources.
+
+    With ``op_only`` (default), INPUT/CONST leaves do not contribute depth,
+    so depth counts operator hops only — this is what phase layering uses.
+    """
+    depths: dict[str, int] = {}
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        pred_depths = [depths[p] for p in node.inputs]
+        base = max(pred_depths, default=-1)
+        if op_only and not node.is_op:
+            depths[nid] = base  # leaves are transparent
+        else:
+            depths[nid] = base + 1
+    return depths
+
+
+def critical_path(
+    graph: Graph, cost: Callable[[str], float]
+) -> tuple[list[str], float]:
+    """Longest (most expensive) source→sink path by node cost.
+
+    Args:
+        graph: the DAG.
+        cost: node id -> cost; non-op nodes typically cost 0.
+
+    Returns:
+        (node ids along the path, in topological order; total path cost)
+    """
+    best: dict[str, float] = {}
+    pred: dict[str, str | None] = {}
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        incoming = [(best[p], p) for p in node.inputs]
+        if incoming:
+            prev_cost, prev_id = max(incoming)
+        else:
+            prev_cost, prev_id = 0.0, None
+        best[nid] = prev_cost + cost(nid)
+        pred[nid] = prev_id
+    end = max(best, key=lambda nid: best[nid])
+    path: list[str] = []
+    cur: str | None = end
+    while cur is not None:
+        path.append(cur)
+        cur = pred[cur]
+    path.reverse()
+    return path, best[end]
+
+
+def weakly_connected_components(
+    graph: Graph, nodes: Iterable[str]
+) -> list[set[str]]:
+    """Weakly-connected components of the subgraph induced by ``nodes``.
+
+    Used by the partitioner to split a multi-path phase into its independent
+    branch subgraphs.
+    """
+    node_set = set(nodes)
+    neighbours: dict[str, set[str]] = {n: set() for n in node_set}
+    for nid in node_set:
+        node = graph.node(nid)
+        for src in node.inputs:
+            if src in node_set:
+                neighbours[nid].add(src)
+                neighbours[src].add(nid)
+    components: list[set[str]] = []
+    unvisited = set(node_set)
+    while unvisited:
+        start = next(iter(unvisited))
+        comp: set[str] = set()
+        queue = deque([start])
+        while queue:
+            nid = queue.popleft()
+            if nid in comp:
+                continue
+            comp.add(nid)
+            queue.extend(neighbours[nid] - comp)
+        components.append(comp)
+        unvisited -= comp
+    # Deterministic ordering: by first node in graph topological order.
+    topo_index = {nid: i for i, nid in enumerate(graph.topo_order())}
+    components.sort(key=lambda c: min(topo_index[n] for n in c))
+    return components

@@ -1,0 +1,31 @@
+"""The paper's workload zoo: Wide&Deep, Siamese, MT-DNN, ResNet."""
+
+from repro.models.mobilenet import MobileNetConfig, build_mobilenet
+from repro.models.mtdnn import MTDNNConfig, build_mtdnn
+from repro.models.resnet import ResNetConfig, build_resnet
+from repro.models.siamese import SiameseConfig, build_siamese
+from repro.models.squeezenet import SqueezeNetConfig, build_squeezenet
+from repro.models.vgg import VGGConfig, build_vgg
+from repro.models.wide_deep import WideDeepConfig, build_wide_deep
+from repro.models.zoo import MODEL_NAMES, build_model, default_config, tiny_config
+
+__all__ = [
+    "MODEL_NAMES",
+    "MTDNNConfig",
+    "MobileNetConfig",
+    "ResNetConfig",
+    "SiameseConfig",
+    "SqueezeNetConfig",
+    "VGGConfig",
+    "WideDeepConfig",
+    "build_model",
+    "build_mtdnn",
+    "build_mobilenet",
+    "build_resnet",
+    "build_siamese",
+    "build_squeezenet",
+    "build_vgg",
+    "build_wide_deep",
+    "default_config",
+    "tiny_config",
+]

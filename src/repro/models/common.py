@@ -1,0 +1,240 @@
+"""Layer-level building blocks shared by the model zoo.
+
+Every helper takes the :class:`~repro.ir.builder.GraphBuilder` plus input
+:class:`~repro.ir.builder.Var` handles and returns output Vars, creating
+parameter constants with deterministic, human-readable names.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.node import Initializer
+
+__all__ = [
+    "dense_layer",
+    "mlp",
+    "lstm_layer",
+    "stacked_lstm",
+    "last_timestep",
+    "conv_bn_relu",
+    "basic_block",
+    "bottleneck_block",
+    "transformer_encoder_layer",
+]
+
+
+def dense_layer(
+    b: GraphBuilder,
+    x: Var,
+    units: int,
+    prefix: str,
+    activation: str | None = "relu",
+) -> Var:
+    """Fully-connected layer: dense + bias (+ activation)."""
+    in_dim = x.shape[-1]
+    w = b.const((units, in_dim), name=f"{prefix}_w")
+    bias = b.const((units,), name=f"{prefix}_b")
+    y = b.op("bias_add", b.op("dense", x, w), bias)
+    if activation is not None:
+        y = b.op(activation, y)
+    return y
+
+
+def mlp(
+    b: GraphBuilder,
+    x: Var,
+    hidden_sizes: Sequence[int],
+    prefix: str,
+    activation: str = "relu",
+    final_activation: str | None = None,
+) -> Var:
+    """Stack of dense layers; the last layer uses ``final_activation``."""
+    y = x
+    for i, units in enumerate(hidden_sizes):
+        act = activation if i < len(hidden_sizes) - 1 else final_activation
+        y = dense_layer(b, y, units, prefix=f"{prefix}_fc{i}", activation=act)
+    return y
+
+
+def lstm_layer(
+    b: GraphBuilder,
+    x: Var,
+    hidden: int,
+    prefix: str,
+    return_sequences: bool = True,
+) -> Var:
+    """One LSTM layer over ``[B, T, I]`` input."""
+    in_dim = x.shape[-1]
+    w_ih = b.const((4 * hidden, in_dim), name=f"{prefix}_wih")
+    w_hh = b.const((4 * hidden, hidden), name=f"{prefix}_whh")
+    bias = b.const((4 * hidden,), name=f"{prefix}_bias")
+    return b.op(
+        "lstm",
+        x,
+        w_ih,
+        w_hh,
+        bias,
+        hidden_size=hidden,
+        return_sequences=return_sequences,
+    )
+
+
+def stacked_lstm(
+    b: GraphBuilder,
+    x: Var,
+    hidden: int,
+    num_layers: int,
+    prefix: str,
+    return_sequences: bool = False,
+) -> Var:
+    """Stack of LSTM layers; only the last can drop the time dimension."""
+    y = x
+    for i in range(num_layers):
+        last = i == num_layers - 1
+        y = lstm_layer(
+            b,
+            y,
+            hidden,
+            prefix=f"{prefix}_l{i}",
+            return_sequences=return_sequences or not last,
+        )
+    return y
+
+
+def last_timestep(b: GraphBuilder, x: Var) -> Var:
+    """Select the final timestep of a ``[B, T, H]`` sequence → ``[B, H]``."""
+    bsz, t, h = x.shape
+    sl = b.op(
+        "strided_slice",
+        x,
+        begin=(0, t - 1, 0),
+        end=(bsz, t, h),
+    )
+    return b.op("reshape", sl, shape=(bsz, h))
+
+
+def conv_bn_relu(
+    b: GraphBuilder,
+    x: Var,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    prefix: str,
+    relu: bool = True,
+) -> Var:
+    """conv2d + batch_norm (+ relu), the ResNet workhorse."""
+    in_channels = x.shape[1]
+    w = b.const((out_channels, in_channels, kernel, kernel), name=f"{prefix}_w")
+    y = b.op("conv2d", x, w, strides=(stride, stride), padding=(padding, padding))
+    gamma = b.const((out_channels,), name=f"{prefix}_g")
+    beta = b.const((out_channels,), name=f"{prefix}_be")
+    mean = b.const((out_channels,), name=f"{prefix}_m")
+    # Variance must be positive for batch_norm's sqrt; ones is the standard
+    # choice for synthetic weights.
+    var = b.const((out_channels,), name=f"{prefix}_v", init=Initializer.ONES)
+    y = b.op("batch_norm", y, gamma, beta, mean, var)
+    if relu:
+        y = b.op("relu", y)
+    return y
+
+
+def basic_block(
+    b: GraphBuilder, x: Var, out_channels: int, stride: int, prefix: str
+) -> Var:
+    """ResNet-18/34 basic residual block (two 3x3 convs + skip)."""
+    identity = x
+    y = conv_bn_relu(b, x, out_channels, 3, stride, 1, f"{prefix}_c1")
+    y = conv_bn_relu(b, y, out_channels, 3, 1, 1, f"{prefix}_c2", relu=False)
+    if stride != 1 or x.shape[1] != out_channels:
+        identity = conv_bn_relu(
+            b, x, out_channels, 1, stride, 0, f"{prefix}_down", relu=False
+        )
+    return b.op("relu", b.op("add", y, identity))
+
+
+def bottleneck_block(
+    b: GraphBuilder, x: Var, out_channels: int, stride: int, prefix: str
+) -> Var:
+    """ResNet-50/101 bottleneck block (1x1 → 3x3 → 1x1, 4x expansion)."""
+    identity = x
+    mid = out_channels // 4
+    y = conv_bn_relu(b, x, mid, 1, 1, 0, f"{prefix}_c1")
+    y = conv_bn_relu(b, y, mid, 3, stride, 1, f"{prefix}_c2")
+    y = conv_bn_relu(b, y, out_channels, 1, 1, 0, f"{prefix}_c3", relu=False)
+    if stride != 1 or x.shape[1] != out_channels:
+        identity = conv_bn_relu(
+            b, x, out_channels, 1, stride, 0, f"{prefix}_down", relu=False
+        )
+    return b.op("relu", b.op("add", y, identity))
+
+
+def transformer_encoder_layer(
+    b: GraphBuilder,
+    x: Var,
+    num_heads: int,
+    d_ff: int,
+    prefix: str,
+) -> Var:
+    """Post-norm transformer encoder layer on ``[B, T, D]`` input.
+
+    Multi-head self-attention is expressed with the IR's primitive ops
+    (dense / reshape / transpose / batch_matmul / softmax), so the fusion
+    pass and the device cost models see the real kernel structure.
+    """
+    bsz, t, d = x.shape
+    if d % num_heads != 0:
+        raise ValueError(f"d_model {d} not divisible by heads {num_heads}")
+    dh = d // num_heads
+
+    flat = b.op("reshape", x, shape=(bsz * t, d))
+
+    def proj(name: str) -> Var:
+        w = b.const((d, d), name=f"{prefix}_{name}_w")
+        bias = b.const((d,), name=f"{prefix}_{name}_b")
+        y = b.op("bias_add", b.op("dense", flat, w), bias)
+        # [B*T, D] -> [B, T, H, dh] -> [B, H, T, dh] -> [B*H, T, dh]
+        y = b.op("reshape", y, shape=(bsz, t, num_heads, dh))
+        y = b.op("transpose", y, axes=(0, 2, 1, 3))
+        return b.op("reshape", y, shape=(bsz * num_heads, t, dh))
+
+    q, k, v = proj("q"), proj("k"), proj("v")
+    kt = b.op("transpose", k, axes=(0, 2, 1))
+    scores = b.op("batch_matmul", q, kt)  # [B*H, T, T]
+    scale = b.literal(
+        np.asarray([1.0 / dh**0.5], dtype=np.float32), name=f"{prefix}_scale"
+    )
+    scores = b.op("multiply", scores, scale)
+    attn = b.op("softmax", scores, axis=-1)
+    ctx = b.op("batch_matmul", attn, v)  # [B*H, T, dh]
+    ctx = b.op("reshape", ctx, shape=(bsz, num_heads, t, dh))
+    ctx = b.op("transpose", ctx, axes=(0, 2, 1, 3))
+    ctx = b.op("reshape", ctx, shape=(bsz * t, d))
+
+    w_o = b.const((d, d), name=f"{prefix}_o_w")
+    b_o = b.const((d,), name=f"{prefix}_o_b")
+    attn_out = b.op("bias_add", b.op("dense", ctx, w_o), b_o)
+
+    # Residual + layer norm.
+    res1 = b.op("add", attn_out, flat)
+    g1 = b.const((d,), name=f"{prefix}_ln1_g")
+    be1 = b.const((d,), name=f"{prefix}_ln1_b")
+    norm1 = b.op("layer_norm", res1, g1, be1)
+
+    # Feed-forward.
+    w1 = b.const((d_ff, d), name=f"{prefix}_ff1_w")
+    bf1 = b.const((d_ff,), name=f"{prefix}_ff1_b")
+    w2 = b.const((d, d_ff), name=f"{prefix}_ff2_w")
+    bf2 = b.const((d,), name=f"{prefix}_ff2_b")
+    ff = b.op("gelu", b.op("bias_add", b.op("dense", norm1, w1), bf1))
+    ff = b.op("bias_add", b.op("dense", ff, w2), bf2)
+
+    res2 = b.op("add", ff, norm1)
+    g2 = b.const((d,), name=f"{prefix}_ln2_g")
+    be2 = b.const((d,), name=f"{prefix}_ln2_b")
+    norm2 = b.op("layer_norm", res2, g2, be2)
+    return b.op("reshape", norm2, shape=(bsz, t, d))

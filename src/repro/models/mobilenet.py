@@ -1,0 +1,95 @@
+"""MobileNet-V1 (Howard et al. 2017): depthwise-separable convolutions.
+
+An edge-oriented sequential CNN: each block is a depthwise 3x3 conv
+followed by a pointwise 1x1 conv.  Like ResNet/VGG it exercises DUET's
+fallback path — but with a twist: depthwise convs have a *much* lower
+arithmetic intensity than dense convs, so the CPU/GPU gap is narrower
+than for the other CNNs, which stresses the fallback decision margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.graph import Graph
+from repro.ir.node import Initializer
+from repro.models.common import conv_bn_relu, dense_layer
+
+__all__ = ["MobileNetConfig", "build_mobilenet"]
+
+# (stride, out_channels) per depthwise-separable block (V1 layout).
+_BLOCKS = (
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+)
+
+
+@dataclass(frozen=True)
+class MobileNetConfig:
+    """Configuration of MobileNet-V1.
+
+    Attributes:
+        batch: batch size.
+        image_size: input resolution (multiple of 32).
+        num_classes: classifier width.
+        width_mult: channel width multiplier (0 < a <= 1).
+    """
+
+    batch: int = 1
+    image_size: int = 224
+    num_classes: int = 1000
+    width_mult: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.width_mult <= 1:
+            raise IRError(f"width_mult must be in (0, 1], got {self.width_mult}")
+        if self.image_size % 32 != 0:
+            raise IRError("MobileNet image_size must be a multiple of 32")
+
+
+def _dw_separable(
+    b: GraphBuilder, x: Var, out_channels: int, stride: int, prefix: str
+) -> Var:
+    """Depthwise 3x3 (+BN+ReLU) then pointwise 1x1 (+BN+ReLU)."""
+    channels = x.shape[1]
+    dw_w = b.const((channels, 1, 3, 3), name=f"{prefix}_dw_w")
+    y = b.op(
+        "depthwise_conv2d", x, dw_w, strides=(stride, stride), padding=(1, 1)
+    )
+    gamma = b.const((channels,), name=f"{prefix}_dw_g")
+    beta = b.const((channels,), name=f"{prefix}_dw_be")
+    mean = b.const((channels,), name=f"{prefix}_dw_m")
+    var = b.const((channels,), name=f"{prefix}_dw_v", init=Initializer.ONES)
+    y = b.op("relu", b.op("batch_norm", y, gamma, beta, mean, var))
+    return conv_bn_relu(b, y, out_channels, 1, 1, 0, f"{prefix}_pw")
+
+
+def build_mobilenet(cfg: MobileNetConfig | None = None) -> Graph:
+    """A complete MobileNet-V1 classifier graph."""
+    cfg = cfg or MobileNetConfig()
+    b = GraphBuilder("mobilenet_v1")
+
+    def width(ch: int) -> int:
+        return max(8, int(ch * cfg.width_mult))
+
+    y = b.input("image", (cfg.batch, 3, cfg.image_size, cfg.image_size))
+    y = conv_bn_relu(b, y, width(32), 3, 2, 1, "stem")
+    for i, (stride, channels) in enumerate(_BLOCKS):
+        y = _dw_separable(b, y, width(channels), stride, f"blk{i}")
+    y = b.op("global_avg_pool2d", y)
+    y = b.op("reshape", y, shape=(cfg.batch, width(1024)))
+    logits = dense_layer(b, y, cfg.num_classes, "head", activation=None)
+    return b.build(b.op("softmax", logits, axis=-1))

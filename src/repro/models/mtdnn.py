@@ -1,0 +1,88 @@
+"""MT-DNN: multi-task deep neural network (Liu et al. 2020), paper Fig. 3.
+
+A shared lexicon encoder (embedding) feeds a stacked bidirectional-style
+transformer encoder, whose output fans out to several *independent*
+task-specific heads.  The shared trunk is a sequential phase; the task
+heads form a multi-path phase DUET can spread across CPU and GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.dtype import INT64
+from repro.ir.graph import Graph
+from repro.models.common import mlp, transformer_encoder_layer
+
+__all__ = ["MTDNNConfig", "build_mtdnn"]
+
+
+@dataclass(frozen=True)
+class MTDNNConfig:
+    """Configuration of MT-DNN (paper Table I defaults).
+
+    Attributes:
+        batch: batch size.
+        seq_len: token sequence length.
+        vocab_size: lexicon size for the embedding table.
+        d_model: transformer width.
+        num_heads: attention heads.
+        d_ff: transformer feed-forward width.
+        num_layers: encoder layers in the shared trunk.
+        num_tasks: independent task-specific output heads.
+        head_hidden: hidden width of each task head's MLP.
+        head_classes: classifier width of each task head.
+    """
+
+    batch: int = 1
+    seq_len: int = 128
+    vocab_size: int = 30000
+    d_model: int = 256
+    num_heads: int = 8
+    d_ff: int = 1024
+    num_layers: int = 4
+    num_tasks: int = 6
+    head_hidden: int = 1024
+    head_classes: int = 16
+
+    def with_batch(self, b: int) -> "MTDNNConfig":
+        return replace(self, batch=b)
+
+
+def build_mtdnn(cfg: MTDNNConfig | None = None) -> Graph:
+    """Construct the MT-DNN graph of paper Fig. 3."""
+    cfg = cfg or MTDNNConfig()
+    b = GraphBuilder("mtdnn")
+
+    tokens = b.input("tokens", (cfg.batch, cfg.seq_len), dtype=INT64)
+    table = b.const(
+        (cfg.vocab_size, cfg.d_model), name="lexicon_table", init_scale=0.02
+    )
+    x = b.op("embedding", table, tokens)  # [B, T, D]
+
+    for layer in range(cfg.num_layers):
+        x = transformer_encoder_layer(
+            b, x, cfg.num_heads, cfg.d_ff, prefix=f"enc{layer}"
+        )
+
+    # [CLS]-style pooled representation: first timestep.
+    pooled = b.op(
+        "strided_slice",
+        x,
+        begin=(0, 0, 0),
+        end=(cfg.batch, 1, cfg.d_model),
+    )
+    pooled = b.op("reshape", pooled, shape=(cfg.batch, cfg.d_model))
+
+    # Independent task heads — the multi-path phase.
+    heads: list[Var] = []
+    for task in range(cfg.num_tasks):
+        h = mlp(
+            b,
+            pooled,
+            [cfg.head_hidden, cfg.head_hidden, cfg.head_classes],
+            prefix=f"task{task}",
+        )
+        heads.append(b.op("softmax", h, axis=-1))
+    return b.build(*heads)

@@ -1,0 +1,87 @@
+"""ResNet image classifiers (He et al. 2016).
+
+Used three ways in the paper: as the CNN encoder inside Wide-and-Deep
+(Fig. 15 varies its depth 18/34/50/101), as the "traditional model" for the
+fallback experiment (Table III), and as the canonical example of a model
+that is mostly sequential and GPU-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.graph import Graph
+from repro.models.common import basic_block, bottleneck_block, conv_bn_relu
+
+__all__ = ["ResNetConfig", "build_resnet", "resnet_backbone"]
+
+# (block builder is basic? , blocks per stage) keyed by depth
+_STAGE_SPECS: dict[int, tuple[bool, tuple[int, int, int, int]]] = {
+    18: (True, (2, 2, 2, 2)),
+    34: (True, (3, 4, 6, 3)),
+    50: (False, (3, 4, 6, 3)),
+    101: (False, (3, 4, 23, 3)),
+}
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Configuration of a ResNet classifier.
+
+    Attributes:
+        depth: 18, 34, 50 or 101.
+        batch: batch size (paper default: 1).
+        image_size: input height/width (224 in the paper; tests use small
+            sizes to keep full-numeric runs fast).
+        num_classes: classifier width.
+        base_channels: width of the first stage (64 in the standard model).
+    """
+
+    depth: int = 18
+    batch: int = 1
+    image_size: int = 224
+    num_classes: int = 1000
+    base_channels: int = 64
+
+    def __post_init__(self) -> None:
+        if self.depth not in _STAGE_SPECS:
+            raise IRError(
+                f"unsupported ResNet depth {self.depth}; "
+                f"choose from {sorted(_STAGE_SPECS)}"
+            )
+
+
+def resnet_backbone(
+    b: GraphBuilder, image: Var, cfg: ResNetConfig, prefix: str = "res"
+) -> Var:
+    """The convolutional trunk: image ``[B,3,S,S]`` → features ``[B, C]``."""
+    use_basic, stage_blocks = _STAGE_SPECS[cfg.depth]
+    block = basic_block if use_basic else bottleneck_block
+    expansion = 1 if use_basic else 4
+
+    y = conv_bn_relu(b, image, cfg.base_channels, 7, 2, 3, f"{prefix}_stem")
+    y = b.op("max_pool2d", y, pool_size=(3, 3), strides=(2, 2), padding=(1, 1))
+    channels = cfg.base_channels
+    for stage, num_blocks in enumerate(stage_blocks):
+        out_channels = cfg.base_channels * (2**stage) * expansion
+        for i in range(num_blocks):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            y = block(b, y, out_channels, stride, f"{prefix}_s{stage}b{i}")
+        channels = out_channels
+    y = b.op("global_avg_pool2d", y)
+    return b.op("reshape", y, shape=(cfg.batch, channels))
+
+
+def build_resnet(cfg: ResNetConfig | None = None) -> Graph:
+    """A complete ResNet classifier graph."""
+    cfg = cfg or ResNetConfig()
+    b = GraphBuilder(f"resnet{cfg.depth}")
+    image = b.input("image", (cfg.batch, 3, cfg.image_size, cfg.image_size))
+    feat = resnet_backbone(b, image, cfg)
+    w = b.const((cfg.num_classes, feat.shape[-1]), name="head_w")
+    bias = b.const((cfg.num_classes,), name="head_b")
+    logits = b.op("bias_add", b.op("dense", feat, w), bias)
+    probs = b.op("softmax", logits, axis=-1)
+    return b.build(probs)

@@ -1,0 +1,84 @@
+"""Siamese LSTM network for text-similarity ranking (Neculoiu et al. 2016).
+
+Two structurally identical LSTM towers encode a query and a candidate
+passage; the towers *share weights* (the same parameter nodes feed both
+branches — exercising DUET's shared-node handling, §IV-A) and are joined by
+an L1-distance similarity head.  The two towers are independent until the
+join, forming one clean multi-path phase with two subgraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.graph import Graph
+from repro.models.common import dense_layer, last_timestep
+
+__all__ = ["SiameseConfig", "build_siamese"]
+
+
+@dataclass(frozen=True)
+class SiameseConfig:
+    """Configuration of the Siamese network (paper Table I defaults).
+
+    Attributes:
+        batch: batch size.
+        seq_len: token sequence length of each side.
+        embed_dim: input embedding width (word2vec-scale).
+        hidden: LSTM hidden width.  The reference implementation uses a
+            wide recurrent state; a wide LSTM is compute-bound enough that
+            the GPU tower is < 2x slower than the CPU tower, which is what
+            makes splitting the two towers across devices profitable.
+        num_layers: stacked LSTM layers per tower.
+        proj_units: projection width before the distance head.
+    """
+
+    batch: int = 1
+    seq_len: int = 64
+    embed_dim: int = 300
+    hidden: int = 1536
+    num_layers: int = 1
+    proj_units: int = 128
+
+    def with_batch(self, b: int) -> "SiameseConfig":
+        return replace(self, batch=b)
+
+
+def build_siamese(cfg: SiameseConfig | None = None) -> Graph:
+    """Construct the Siamese network graph."""
+    cfg = cfg or SiameseConfig()
+    b = GraphBuilder("siamese")
+
+    left_in = b.input("query", (cfg.batch, cfg.seq_len, cfg.embed_dim))
+    right_in = b.input("passage", (cfg.batch, cfg.seq_len, cfg.embed_dim))
+
+    # Shared tower parameters: one set of constants, consumed by both sides.
+    weights: list[tuple[Var, Var, Var]] = []
+    in_dim = cfg.embed_dim
+    for i in range(cfg.num_layers):
+        w_ih = b.const((4 * cfg.hidden, in_dim), name=f"tower_l{i}_wih")
+        w_hh = b.const((4 * cfg.hidden, cfg.hidden), name=f"tower_l{i}_whh")
+        bias = b.const((4 * cfg.hidden,), name=f"tower_l{i}_bias")
+        weights.append((w_ih, w_hh, bias))
+        in_dim = cfg.hidden
+    proj_w = b.const((cfg.proj_units, cfg.hidden), name="tower_proj_w")
+    proj_b = b.const((cfg.proj_units,), name="tower_proj_b")
+
+    def tower(x: Var) -> Var:
+        y = x
+        for w_ih, w_hh, bias in weights:
+            y = b.op(
+                "lstm", y, w_ih, w_hh, bias,
+                hidden_size=cfg.hidden, return_sequences=True,
+            )
+        y = last_timestep(b, y)
+        return b.op("tanh", b.op("bias_add", b.op("dense", y, proj_w), proj_b))
+
+    left = tower(left_in)
+    right = tower(right_in)
+
+    # |l - r| -> dense -> sigmoid similarity score.
+    dist = b.op("abs", b.op("subtract", left, right))
+    score = dense_layer(b, dist, 1, "score", activation=None)
+    return b.build(b.op("sigmoid", score))

@@ -1,0 +1,72 @@
+"""SqueezeNet (Iandola et al. 2016).
+
+Cited by the paper (§III-A) among the sequential models TVM's scheduling
+already handles well.  Structurally interesting for DUET nonetheless: each
+*fire module* squeezes with a 1x1 conv and then expands through **two
+parallel conv branches** (1x1 and 3x3) — so the partitioner produces many
+small multi-path phases, all conv-heavy.  The expected outcome is still a
+fallback to the GPU: both branches of every fire module prefer the same
+device, so co-execution only adds transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.graph import Graph
+from repro.models.common import conv_bn_relu
+
+__all__ = ["SqueezeNetConfig", "build_squeezenet"]
+
+# (squeeze, expand1x1, expand3x3) per fire module, with pools between.
+_FIRE_PLAN = (
+    (16, 64, 64),
+    (16, 64, 64),
+    "M",
+    (32, 128, 128),
+    (32, 128, 128),
+    "M",
+    (48, 192, 192),
+    (48, 192, 192),
+    (64, 256, 256),
+    (64, 256, 256),
+)
+
+
+@dataclass(frozen=True)
+class SqueezeNetConfig:
+    """Configuration of SqueezeNet v1.1-style network."""
+
+    batch: int = 1
+    image_size: int = 224
+    num_classes: int = 1000
+
+
+def _fire(b: GraphBuilder, x: Var, squeeze: int, e1: int, e3: int, prefix: str) -> Var:
+    s = conv_bn_relu(b, x, squeeze, 1, 1, 0, f"{prefix}_sq")
+    left = conv_bn_relu(b, s, e1, 1, 1, 0, f"{prefix}_e1")
+    right = conv_bn_relu(b, s, e3, 3, 1, 1, f"{prefix}_e3")
+    return b.op("concat", left, right, axis=1)
+
+
+def build_squeezenet(cfg: SqueezeNetConfig | None = None) -> Graph:
+    """A SqueezeNet classifier graph."""
+    cfg = cfg or SqueezeNetConfig()
+    b = GraphBuilder("squeezenet")
+    y = b.input("image", (cfg.batch, 3, cfg.image_size, cfg.image_size))
+    y = conv_bn_relu(b, y, 64, 3, 2, 1, "stem")
+    y = b.op("max_pool2d", y, pool_size=(3, 3), strides=(2, 2), padding=(1, 1))
+    for i, item in enumerate(_FIRE_PLAN):
+        if item == "M":
+            y = b.op(
+                "max_pool2d", y, pool_size=(3, 3), strides=(2, 2), padding=(1, 1)
+            )
+        else:
+            sq, e1, e3 = item
+            y = _fire(b, y, sq, e1, e3, f"fire{i}")
+    # Classifier: 1x1 conv to classes + global average pool.
+    y = conv_bn_relu(b, y, cfg.num_classes, 1, 1, 0, "cls")
+    y = b.op("global_avg_pool2d", y)
+    y = b.op("reshape", y, shape=(cfg.batch, cfg.num_classes))
+    return b.build(b.op("softmax", y, axis=-1))

@@ -1,0 +1,75 @@
+"""VGG image classifiers (Simonyan & Zisserman 2015).
+
+Cited by the paper (§III-A) as the canonical *sequential-chain* model for
+which Operators-in-Sequence scheduling is already adequate — a pure conv
+stack with no branch parallelism, so DUET is expected to fall back to the
+GPU just like ResNet (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import conv_bn_relu, dense_layer
+
+__all__ = ["VGGConfig", "build_vgg"]
+
+# Channels per stage; "M" = max-pool.
+_LAYOUTS: dict[int, tuple] = {
+    11: (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    16: (
+        64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+        512, 512, 512, "M", 512, 512, 512, "M",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class VGGConfig:
+    """Configuration of a VGG classifier.
+
+    Attributes:
+        depth: 11 or 16.
+        batch: batch size.
+        image_size: input resolution (must survive 5 halvings).
+        num_classes: classifier width.
+        fc_width: width of the two hidden FC layers (4096 in the paper's
+            original; smaller keeps parameter counts manageable).
+    """
+
+    depth: int = 16
+    batch: int = 1
+    image_size: int = 224
+    num_classes: int = 1000
+    fc_width: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.depth not in _LAYOUTS:
+            raise IRError(
+                f"unsupported VGG depth {self.depth}; choose from "
+                f"{sorted(_LAYOUTS)}"
+            )
+        if self.image_size % 32 != 0:
+            raise IRError("VGG image_size must be a multiple of 32")
+
+
+def build_vgg(cfg: VGGConfig | None = None) -> Graph:
+    """A complete VGG classifier graph."""
+    cfg = cfg or VGGConfig()
+    b = GraphBuilder(f"vgg{cfg.depth}")
+    y = b.input("image", (cfg.batch, 3, cfg.image_size, cfg.image_size))
+    conv_idx = 0
+    for item in _LAYOUTS[cfg.depth]:
+        if item == "M":
+            y = b.op("max_pool2d", y, pool_size=(2, 2), strides=(2, 2))
+        else:
+            y = conv_bn_relu(b, y, int(item), 3, 1, 1, f"conv{conv_idx}")
+            conv_idx += 1
+    y = b.op("flatten", y)
+    y = dense_layer(b, y, cfg.fc_width, "fc0")
+    y = dense_layer(b, y, cfg.fc_width, "fc1")
+    logits = dense_layer(b, y, cfg.num_classes, "fc2", activation=None)
+    return b.build(b.op("softmax", logits, axis=-1))

@@ -1,0 +1,115 @@
+"""Wide-and-Deep network (Cheng et al. 2016), paper Fig. 2.
+
+Four parallel branches encode heterogeneous content — this is the paper's
+flagship workload because the branches prefer *different* devices:
+
+* **wide**: a single linear layer over cross-product features (trivial),
+* **deep**: an FFN over dense features (fast everywhere, Fig. 16),
+* **rnn**: stacked LSTMs over a token sequence (CPU-friendly, Fig. 14),
+* **cnn**: a ResNet encoder over an image (GPU-friendly, Fig. 15),
+
+joined by a concat and a small prediction head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import (
+    dense_layer,
+    last_timestep,
+    mlp,
+    stacked_lstm,
+)
+from repro.models.resnet import ResNetConfig, resnet_backbone
+
+__all__ = ["WideDeepConfig", "build_wide_deep"]
+
+
+@dataclass(frozen=True)
+class WideDeepConfig:
+    """Configuration of the Wide-and-Deep model (paper Table I defaults).
+
+    Attributes:
+        batch: batch size (1 for the latency experiments).
+        wide_dim: width of the sparse cross-product feature vector.
+        deep_dim: width of the dense feature vector.
+        ffn_layers: hidden layers of the deep branch (Fig. 16 sweeps this).
+        ffn_hidden: hidden width of the deep branch.
+        seq_len: token-sequence length seen by the RNN branch.
+        embed_dim: token embedding width (the RNN input size).
+        rnn_hidden: LSTM hidden width.
+        rnn_layers: stacked LSTM count (Fig. 14 sweeps 1/2/4/8).
+        cnn_depth: ResNet depth of the CNN branch (Fig. 15 sweeps this).
+        image_size: CNN input resolution.
+        branch_units: width each branch projects to before the concat.
+        num_classes: output width of the prediction head.
+    """
+
+    batch: int = 1
+    wide_dim: int = 2048
+    deep_dim: int = 512
+    ffn_layers: int = 3
+    ffn_hidden: int = 1024
+    seq_len: int = 100
+    embed_dim: int = 256
+    rnn_hidden: int = 256
+    rnn_layers: int = 1
+    cnn_depth: int = 18
+    image_size: int = 224
+    branch_units: int = 256
+    num_classes: int = 64
+
+    def with_rnn_layers(self, n: int) -> "WideDeepConfig":
+        return replace(self, rnn_layers=n)
+
+    def with_cnn_depth(self, d: int) -> "WideDeepConfig":
+        return replace(self, cnn_depth=d)
+
+    def with_ffn_layers(self, n: int) -> "WideDeepConfig":
+        return replace(self, ffn_layers=n)
+
+    def with_batch(self, b: int) -> "WideDeepConfig":
+        return replace(self, batch=b)
+
+
+def build_wide_deep(cfg: WideDeepConfig | None = None) -> Graph:
+    """Construct the Wide-and-Deep graph of paper Fig. 2."""
+    cfg = cfg or WideDeepConfig()
+    b = GraphBuilder(f"wide_deep_rnn{cfg.rnn_layers}_cnn{cfg.cnn_depth}")
+
+    wide_in = b.input("wide_features", (cfg.batch, cfg.wide_dim))
+    deep_in = b.input("deep_features", (cfg.batch, cfg.deep_dim))
+    text_in = b.input("text_embeddings", (cfg.batch, cfg.seq_len, cfg.embed_dim))
+    image_in = b.input("image", (cfg.batch, 3, cfg.image_size, cfg.image_size))
+
+    # Wide branch: memorization via a single linear projection.
+    wide = dense_layer(b, wide_in, cfg.branch_units, "wide", activation=None)
+
+    # Deep branch: generalization via an FFN.
+    hidden = [cfg.ffn_hidden] * cfg.ffn_layers + [cfg.branch_units]
+    deep = mlp(b, deep_in, hidden, prefix="deep")
+
+    # RNN branch: sequential text encoding.
+    rnn_seq = stacked_lstm(
+        b, text_in, cfg.rnn_hidden, cfg.rnn_layers, prefix="rnn",
+        return_sequences=True,
+    )
+    rnn_last = last_timestep(b, rnn_seq)
+    rnn = dense_layer(b, rnn_last, cfg.branch_units, "rnn_proj")
+
+    # CNN branch: image encoding via ResNet.
+    res_cfg = ResNetConfig(
+        depth=cfg.cnn_depth, batch=cfg.batch, image_size=cfg.image_size
+    )
+    cnn_feat = resnet_backbone(b, image_in, res_cfg, prefix="cnn")
+    cnn = dense_layer(b, cnn_feat, cfg.branch_units, "cnn_proj")
+
+    # Joint head.
+    joint = b.op("concat", wide, deep, rnn, cnn, axis=1)
+    head = dense_layer(b, joint, cfg.branch_units, "head_fc")
+    logits = dense_layer(b, head, cfg.num_classes, "head_out", activation=None)
+    probs = b.op("softmax", logits, axis=-1)
+    return b.build(probs)

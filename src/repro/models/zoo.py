@@ -1,0 +1,115 @@
+"""Model zoo registry: the paper's workloads by name.
+
+``build_model("wide_deep")`` returns the full-size evaluation model;
+``tiny=True`` returns a scaled-down variant with identical *structure* for
+fast full-numeric tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.errors import IRError
+from repro.ir.graph import Graph
+from repro.models.mobilenet import MobileNetConfig, build_mobilenet
+from repro.models.mtdnn import MTDNNConfig, build_mtdnn
+from repro.models.resnet import ResNetConfig, build_resnet
+from repro.models.siamese import SiameseConfig, build_siamese
+from repro.models.squeezenet import SqueezeNetConfig, build_squeezenet
+from repro.models.vgg import VGGConfig, build_vgg
+from repro.models.wide_deep import WideDeepConfig, build_wide_deep
+
+__all__ = ["MODEL_NAMES", "build_model", "default_config", "tiny_config"]
+
+MODEL_NAMES = (
+    "wide_deep", "siamese", "mtdnn", "resnet", "vgg", "squeezenet", "mobilenet",
+)
+
+
+def default_config(name: str):
+    """The paper-scale configuration for a zoo model."""
+    if name == "wide_deep":
+        return WideDeepConfig()
+    if name == "siamese":
+        return SiameseConfig()
+    if name == "mtdnn":
+        return MTDNNConfig()
+    if name == "resnet":
+        return ResNetConfig(depth=50)
+    if name == "vgg":
+        return VGGConfig(depth=16)
+    if name == "squeezenet":
+        return SqueezeNetConfig()
+    if name == "mobilenet":
+        return MobileNetConfig()
+    raise IRError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+
+
+def tiny_config(name: str):
+    """A structurally identical but numerically cheap configuration."""
+    if name == "wide_deep":
+        return WideDeepConfig(
+            wide_dim=64,
+            deep_dim=32,
+            ffn_hidden=32,
+            seq_len=6,
+            embed_dim=16,
+            rnn_hidden=16,
+            cnn_depth=18,
+            image_size=32,
+            branch_units=16,
+            num_classes=8,
+        )
+    if name == "siamese":
+        return SiameseConfig(seq_len=5, embed_dim=12, hidden=12, proj_units=8)
+    if name == "mtdnn":
+        return MTDNNConfig(
+            seq_len=8,
+            vocab_size=100,
+            d_model=16,
+            num_heads=2,
+            d_ff=32,
+            num_layers=2,
+            num_tasks=3,
+            head_hidden=16,
+            head_classes=4,
+        )
+    if name == "resnet":
+        return ResNetConfig(depth=18, image_size=32, num_classes=10)
+    if name == "vgg":
+        return VGGConfig(depth=11, image_size=32, num_classes=10, fc_width=64)
+    if name == "squeezenet":
+        return SqueezeNetConfig(image_size=64, num_classes=10)
+    if name == "mobilenet":
+        return MobileNetConfig(image_size=32, num_classes=10, width_mult=0.25)
+    raise IRError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+
+
+_BUILDERS: dict[str, Callable] = {
+    "wide_deep": build_wide_deep,
+    "siamese": build_siamese,
+    "mtdnn": build_mtdnn,
+    "resnet": build_resnet,
+    "vgg": build_vgg,
+    "squeezenet": build_squeezenet,
+    "mobilenet": build_mobilenet,
+}
+
+
+def build_model(name: str, config=None, tiny: bool = False, **overrides) -> Graph:
+    """Build a zoo model by name.
+
+    Args:
+        name: one of :data:`MODEL_NAMES`.
+        config: explicit config object (overrides ``tiny``).
+        tiny: use the fast test-scale configuration.
+        overrides: dataclass field overrides applied to the chosen config.
+    """
+    if name not in _BUILDERS:
+        raise IRError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    if config is None:
+        config = tiny_config(name) if tiny else default_config(name)
+    if overrides:
+        config = replace(config, **overrides)
+    return _BUILDERS[name](config)

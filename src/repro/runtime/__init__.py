@@ -1,0 +1,37 @@
+"""Runtime: execution plans, the event simulator, and measurement."""
+
+from repro.runtime.measurement import LatencyStats, measure_latency
+from repro.runtime.memory import DeviceMemory, MemoryReport, memory_report
+from repro.runtime.plan import HeteroPlan, Source, TaskSpec
+from repro.runtime.simulator import (
+    ExecutionResult,
+    KernelRecord,
+    TaskRecord,
+    TransferRecord,
+    simulate,
+)
+from repro.runtime.single import run_single_device, single_device_plan
+from repro.runtime.stream import StreamResult, simulate_stream
+from repro.runtime.threaded import ThreadedExecutor, ThreadedResult
+
+__all__ = [
+    "ExecutionResult",
+    "ThreadedExecutor",
+    "ThreadedResult",
+    "HeteroPlan",
+    "KernelRecord",
+    "LatencyStats",
+    "Source",
+    "TaskRecord",
+    "TaskSpec",
+    "TransferRecord",
+    "measure_latency",
+    "memory_report",
+    "DeviceMemory",
+    "MemoryReport",
+    "run_single_device",
+    "simulate",
+    "single_device_plan",
+    "simulate_stream",
+    "StreamResult",
+]

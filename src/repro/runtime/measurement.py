@@ -1,0 +1,84 @@
+"""Latency-distribution measurement.
+
+The paper runs each configuration 5000 times and reports mean and tail
+(P50/P99/P99.9) latency with warm-up excluded (§VI-A).  This module
+provides that harness for any ``rng -> latency`` sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+__all__ = ["LatencyStats", "measure_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency distribution (seconds).
+
+    Attributes mirror the paper's reporting: mean plus P50/P99/P99.9.
+    """
+
+    mean: float
+    std: float
+    p50: float
+    p99: float
+    p999: float
+    n_samples: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        return self.p50 * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return self.p99 * 1e3
+
+    @property
+    def p999_ms(self) -> float:
+        return self.p999 * 1e3
+
+    @staticmethod
+    def from_samples(samples: np.ndarray) -> "LatencyStats":
+        if samples.size == 0:
+            raise ExecutionError("cannot summarize an empty sample set")
+        return LatencyStats(
+            mean=float(samples.mean()),
+            std=float(samples.std()),
+            p50=float(np.percentile(samples, 50)),
+            p99=float(np.percentile(samples, 99)),
+            p999=float(np.percentile(samples, 99.9)),
+            n_samples=int(samples.size),
+        )
+
+
+def measure_latency(
+    run_once: Callable[[np.random.Generator], float],
+    n_runs: int = 5000,
+    warmup: int = 50,
+    seed: int = 0,
+) -> LatencyStats:
+    """Measure a latency distribution the way the paper does.
+
+    Args:
+        run_once: draws one inference latency given an RNG.
+        n_runs: measured iterations (paper: 5000).
+        warmup: discarded leading iterations.
+        seed: base RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(warmup):
+        run_once(rng)
+    samples = np.fromiter(
+        (run_once(rng) for _ in range(n_runs)), dtype=np.float64, count=n_runs
+    )
+    return LatencyStats.from_samples(samples)

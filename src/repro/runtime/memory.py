@@ -1,0 +1,78 @@
+"""Per-device memory accounting for a heterogeneous plan.
+
+Deployment engineers need to know what a placement costs in device memory:
+every subgraph's parameters are resident on its assigned device for the
+lifetime of the engine (DUET loads weights once so only *activations*
+cross the PCIe link), and activations peak at the largest working set of
+any single subgraph plus its boundary tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.plan import HeteroPlan
+
+__all__ = ["DeviceMemory", "MemoryReport", "memory_report"]
+
+
+@dataclass(frozen=True)
+class DeviceMemory:
+    """Memory footprint of one device under a plan.
+
+    Attributes:
+        param_bytes: resident weights of all subgraphs placed here.
+        peak_activation_bytes: largest single-subgraph working set
+            (boundary inputs + every intermediate + outputs).
+        tasks: number of subgraphs placed here.
+    """
+
+    param_bytes: float
+    peak_activation_bytes: float
+    tasks: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.param_bytes + self.peak_activation_bytes
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Memory footprint of a plan on both devices."""
+
+    cpu: DeviceMemory
+    gpu: DeviceMemory
+
+    def device(self, name: str) -> DeviceMemory:
+        return self.cpu if name == "cpu" else self.gpu
+
+
+def memory_report(plan: HeteroPlan) -> MemoryReport:
+    """Compute the per-device memory footprint of ``plan``."""
+    stats = {
+        "cpu": {"params": 0.0, "peak": 0.0, "tasks": 0},
+        "gpu": {"params": 0.0, "peak": 0.0, "tasks": 0},
+    }
+    for task in plan.tasks:
+        graph = task.module.graph
+        params = float(sum(n.ty.size_bytes for n in graph.const_nodes()))
+        working = float(
+            sum(n.ty.size_bytes for n in graph.input_nodes())
+            + sum(n.ty.size_bytes for n in graph.op_nodes())
+        )
+        entry = stats[task.device]
+        entry["params"] += params
+        entry["peak"] = max(entry["peak"], working)
+        entry["tasks"] += 1
+    return MemoryReport(
+        cpu=DeviceMemory(
+            param_bytes=stats["cpu"]["params"],
+            peak_activation_bytes=stats["cpu"]["peak"],
+            tasks=int(stats["cpu"]["tasks"]),
+        ),
+        gpu=DeviceMemory(
+            param_bytes=stats["gpu"]["params"],
+            peak_activation_bytes=stats["gpu"]["peak"],
+            tasks=int(stats["gpu"]["tasks"]),
+        ),
+    )

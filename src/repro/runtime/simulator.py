@@ -1,0 +1,278 @@
+"""Discrete-event simulation of heterogeneous plan execution.
+
+Implements the executor semantics of paper §IV-D on a virtual clock:
+
+* one worker per device, executing its assigned subgraphs one at a time in
+  plan-priority order (footnote 2: subgraphs on a device run sequentially);
+* a tensor consumed on the device that produced it is free; crossing the
+  PCIe link costs ``base_latency + bytes/bandwidth``, the link is a shared,
+  serialized resource, and repeated consumers of the same tensor on the
+  same device reuse one transfer;
+* model inputs start host-resident: GPU tasks pay host→device transfers
+  for them, and outputs produced on the GPU pay a device→host transfer
+  before the inference counts as complete.
+
+Two modes: ``mean`` (deterministic cost-model times — what the scheduler's
+``measure_latency`` uses) and ``sample`` (per-kernel/per-transfer noise —
+what the tail-latency experiments use).  Optionally the kernels' NumPy
+closures actually execute, so correctness tests can compare heterogeneous
+execution bit-for-bit against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.devices.machine import Machine
+from repro.errors import ExecutionError
+from repro.runtime.plan import HeteroPlan, Source, TaskSpec
+
+__all__ = ["KernelRecord", "TaskRecord", "TransferRecord", "ExecutionResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Timing of one kernel inside a task."""
+
+    name: str
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Timing of one executed task."""
+
+    task_id: str
+    device: str
+    start: float
+    finish: float
+    kernels: tuple[KernelRecord, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One PCIe transfer."""
+
+    what: str  # e.g. "task:rnn_branch[0]" or "external:image"
+    dest_device: str
+    n_bytes: float
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated inference."""
+
+    latency: float
+    tasks: list[TaskRecord]
+    transfers: list[TransferRecord]
+    outputs: list[np.ndarray] | None = None
+
+    def task_record(self, task_id: str) -> TaskRecord:
+        for rec in self.tasks:
+            if rec.task_id == task_id:
+                return rec
+        raise ExecutionError(f"no record for task {task_id!r}")
+
+    @property
+    def total_transfer_bytes(self) -> float:
+        return sum(t.n_bytes for t in self.transfers)
+
+
+class _LinkTimeline:
+    """The serialized PCIe link with a transfer cache."""
+
+    def __init__(self, machine: Machine, rng: np.random.Generator | None):
+        self._machine = machine
+        self._rng = rng
+        self._free_at = 0.0
+        # (source key, device) -> arrival time of the tensor on that device
+        self._arrivals: dict[tuple[tuple, str], float] = {}
+        self.records: list[TransferRecord] = []
+
+    def arrival(
+        self,
+        key: tuple,
+        label: str,
+        produced_at: float,
+        produced_on: str,
+        dest: str,
+        n_bytes: float,
+    ) -> float:
+        """When the tensor becomes visible on ``dest`` (scheduling the
+        transfer if needed)."""
+        if produced_on == dest:
+            return produced_at
+        cached = self._arrivals.get((key, dest))
+        if cached is not None:
+            return cached
+        link = self._machine.interconnect
+        if self._rng is None:
+            duration = link.transfer_time(n_bytes)
+        else:
+            duration = link.sample_transfer_time(n_bytes, self._rng)
+        start = max(self._free_at, produced_at)
+        finish = start + duration
+        self._free_at = finish
+        self._arrivals[(key, dest)] = finish
+        self.records.append(
+            TransferRecord(
+                what=label, dest_device=dest, n_bytes=n_bytes, start=start,
+                finish=finish,
+            )
+        )
+        return finish
+
+
+def _task_output_entry(
+    task: TaskSpec, index: int
+) -> tuple[str, float]:
+    """(node id, size in bytes) of a task output."""
+    try:
+        out_id = task.module.output_ids[index]
+    except IndexError as exc:
+        raise ExecutionError(
+            f"task {task.task_id!r} has no output index {index}"
+        ) from exc
+    return out_id, float(task.module.graph.node(out_id).ty.size_bytes)
+
+
+def simulate(
+    plan: HeteroPlan,
+    machine: Machine,
+    rng: np.random.Generator | None = None,
+    inputs: Mapping[str, np.ndarray] | None = None,
+) -> ExecutionResult:
+    """Run one inference of ``plan`` on ``machine``.
+
+    Args:
+        plan: the heterogeneous execution plan.
+        machine: CPU + GPU + interconnect.
+        rng: pass a generator to sample noisy latencies; ``None`` uses
+            deterministic mean times.
+        inputs: pass model inputs to also execute kernels numerically (the
+            result then carries ``outputs``).
+    """
+    link = _LinkTimeline(machine, rng)
+    device_free = {"cpu": 0.0, "gpu": 0.0}
+    task_finish: dict[str, float] = {}
+    task_device: dict[str, str] = {}
+    task_records: list[TaskRecord] = []
+    values: dict[tuple[str, int], np.ndarray] = {}
+
+    def source_arrival(task: TaskSpec, input_id: str, src: Source) -> float:
+        n_bytes = float(task.module.graph.node(input_id).ty.size_bytes)
+        if src.kind == "external":
+            return link.arrival(
+                key=("external", src.ref),
+                label=f"external:{src.ref}",
+                produced_at=0.0,
+                produced_on="cpu",  # host-resident
+                dest=task.device,
+                n_bytes=n_bytes,
+            )
+        producer = plan.task(src.ref)
+        _, out_bytes = _task_output_entry(producer, src.output_index)
+        return link.arrival(
+            key=("task", src.ref, src.output_index),
+            label=f"task:{src.ref}[{src.output_index}]",
+            produced_at=task_finish[src.ref],
+            produced_on=task_device[src.ref],
+            dest=task.device,
+            n_bytes=out_bytes,
+        )
+
+    for task in plan.tasks:
+        arrivals = [
+            source_arrival(task, input_id, src)
+            for input_id, src in task.sources.items()
+        ]
+        start = max([device_free[task.device], *arrivals]) if arrivals else device_free[task.device]
+        device = machine.device(task.device)
+
+        kernel_records: list[KernelRecord] = []
+        cursor = start
+        feeds: dict[str, np.ndarray] | None = None
+        env: dict[str, np.ndarray] | None = None
+        if inputs is not None:
+            feeds = {}
+            for input_id, src in task.sources.items():
+                if src.kind == "external":
+                    if src.ref not in inputs:
+                        raise ExecutionError(f"missing external input {src.ref!r}")
+                    feeds[input_id] = np.asarray(inputs[src.ref])
+                else:
+                    feeds[input_id] = values[(src.ref, src.output_index)]
+            env = dict(task.module.params)
+            env.update(feeds)
+
+        for kernel in task.module.kernels:
+            if rng is None:
+                duration = device.kernel_time(kernel.cost)
+            else:
+                duration = device.sample_kernel_time(kernel.cost, rng)
+            kernel_records.append(
+                KernelRecord(name=kernel.name, start=cursor, finish=cursor + duration)
+            )
+            cursor += duration
+            if env is not None:
+                env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
+
+        finish = cursor
+        device_free[task.device] = finish
+        task_finish[task.task_id] = finish
+        task_device[task.task_id] = task.device
+        task_records.append(
+            TaskRecord(
+                task_id=task.task_id,
+                device=task.device,
+                start=start,
+                finish=finish,
+                kernels=tuple(kernel_records),
+            )
+        )
+        if env is not None:
+            for idx, out_id in enumerate(task.module.output_ids):
+                values[(task.task_id, idx)] = env[out_id]
+
+    # Results must land on the host.
+    latency = 0.0
+    for tid, idx in plan.outputs:
+        producer = plan.task(tid)
+        _, out_bytes = _task_output_entry(producer, idx)
+        arrival = link.arrival(
+            key=("task", tid, idx),
+            label=f"task:{tid}[{idx}]",
+            produced_at=task_finish[tid],
+            produced_on=task_device[tid],
+            dest="cpu",
+            n_bytes=out_bytes,
+        )
+        latency = max(latency, arrival)
+
+    outputs = None
+    if inputs is not None:
+        outputs = [values[(tid, idx)] for tid, idx in plan.outputs]
+    return ExecutionResult(
+        latency=latency,
+        tasks=task_records,
+        transfers=link.records,
+        outputs=outputs,
+    )

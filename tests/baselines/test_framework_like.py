@@ -1,0 +1,58 @@
+"""Tests for the PyTorch/TensorFlow-like baselines."""
+
+import pytest
+
+from repro.baselines import TVMLikeBaseline, pytorch_like, tensorflow_like
+from repro.models import build_model
+
+
+class TestFrameworkBaselines:
+    def test_names(self, machine):
+        assert pytorch_like("cpu", machine).name == "PyTorch-CPU"
+        assert tensorflow_like("gpu", machine).name == "TensorFlow-GPU"
+
+    def test_framework_slower_than_tvm_same_device(self, machine):
+        """§VI-B: compiled execution beats framework execution everywhere."""
+        for name in ("wide_deep", "siamese", "mtdnn"):
+            graph = build_model(name)
+            for dev in ("cpu", "gpu"):
+                tvm = TVMLikeBaseline(dev, machine).latency(graph)
+                pt = pytorch_like(dev, machine).latency(graph)
+                tf = tensorflow_like(dev, machine).latency(graph)
+                assert pt > tvm, (name, dev)
+                assert tf > tvm, (name, dev)
+
+    def test_tf_slower_than_pytorch(self, machine):
+        graph = build_model("mtdnn")
+        for dev in ("cpu", "gpu"):
+            assert (
+                tensorflow_like(dev, machine).latency(graph)
+                > pytorch_like(dev, machine).latency(graph)
+            )
+
+    def test_unfused_compilation(self, machine):
+        graph = build_model("siamese", tiny=True)
+        module = pytorch_like("cpu", machine).compile(graph)
+        # One kernel per (live) operator.
+        assert len(module.kernels) == len(module.graph.op_nodes())
+
+    def test_cpu_rnn_penalty_applied(self, machine):
+        graph = build_model("siamese")  # LSTM-dominated
+        pt = pytorch_like("cpu", machine)
+        tvm = TVMLikeBaseline("cpu", machine).latency(graph)
+        # The recurrent slowdown makes the framework CPU latency much more
+        # than dispatch overhead alone would.
+        assert pt.latency(graph) > 1.8 * tvm
+
+    def test_noisy_stats(self, noisy_machine):
+        graph = build_model("siamese", tiny=True)
+        stats = pytorch_like("gpu", noisy_machine).latency_stats(
+            graph, n_runs=300, warmup=5
+        )
+        assert stats.p50 <= stats.p999
+
+    def test_invalid_device_rejected(self, machine):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            pytorch_like("tpu", machine)

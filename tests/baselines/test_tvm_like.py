@@ -1,0 +1,48 @@
+"""Tests for the TVM-like single-device baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TVMLikeBaseline
+from repro.errors import ExecutionError
+from repro.ir import make_inputs, run_graph
+from repro.models import build_model
+
+
+class TestTVMLike:
+    def test_invalid_device_rejected(self, machine):
+        with pytest.raises(ExecutionError):
+            TVMLikeBaseline("tpu", machine)
+
+    def test_name(self, machine):
+        assert TVMLikeBaseline("cpu", machine).name == "TVM-CPU"
+        assert TVMLikeBaseline("gpu", machine).name == "TVM-GPU"
+
+    def test_numeric_correctness(self, machine):
+        graph = build_model("siamese", tiny=True)
+        baseline = TVMLikeBaseline("cpu", machine)
+        module = baseline.compile(graph)
+        feeds = make_inputs(graph)
+        result = baseline.run(module, inputs=feeds)
+        ref = run_graph(graph, feeds)
+        np.testing.assert_allclose(result.outputs[0], ref[0], rtol=1e-4)
+
+    def test_gpu_beats_cpu_on_resnet(self, machine):
+        graph = build_model("resnet", tiny=True)
+        # Tiny 32x32 images still favour the GPU thanks to conv efficiency.
+        graph_full = build_model("resnet")
+        cpu = TVMLikeBaseline("cpu", machine).latency(graph_full)
+        gpu = TVMLikeBaseline("gpu", machine).latency(graph_full)
+        assert gpu < cpu
+
+    def test_latency_deterministic(self, machine):
+        graph = build_model("siamese", tiny=True)
+        b = TVMLikeBaseline("cpu", machine)
+        assert b.latency(graph) == b.latency(graph)
+
+    def test_latency_stats_tail_ordering(self, noisy_machine):
+        graph = build_model("siamese", tiny=True)
+        stats = TVMLikeBaseline("gpu", noisy_machine).latency_stats(
+            graph, n_runs=500, warmup=10
+        )
+        assert stats.p50 <= stats.p99 <= stats.p999

@@ -1,0 +1,30 @@
+"""Tests for the two-lane heterogeneous timeline renderer."""
+
+from repro.bench import format_hetero_timeline
+from repro.core import DuetEngine
+from repro.models import build_model
+
+
+class TestHeteroTimeline:
+    def test_renders_all_lanes(self, machine):
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(build_model("wide_deep", tiny=True))
+        text = format_hetero_timeline(engine.run(opt), title="t")
+        assert text.startswith("t\n")
+        for lane in ("cpu", "gpu", "pcie"):
+            assert f"{lane:4s}|".replace(" ", "") in text.replace(" ", "")
+
+    def test_busy_times_reported(self, machine):
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(build_model("wide_deep", tiny=True))
+        result = engine.run(opt)
+        text = format_hetero_timeline(result)
+        assert "busy" in text
+        assert f"total {result.latency * 1e3:.3f} ms" in text
+
+    def test_fallback_plan_has_one_active_device(self, machine):
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(build_model("resnet"))  # falls back to GPU
+        text = format_hetero_timeline(engine.run(opt))
+        cpu_line = next(l for l in text.splitlines() if l.startswith("cpu"))
+        assert "█" not in cpu_line

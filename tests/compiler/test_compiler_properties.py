@@ -1,0 +1,48 @@
+"""Property-based tests: compilation never changes program semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.compiler import CPU_TARGET, GPU_TARGET, compile_graph
+from repro.ir import make_inputs, run_graph
+from tests.strategies import random_graphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs())
+def test_full_optimization_preserves_semantics(graph):
+    feeds = make_inputs(graph)
+    ref = run_graph(graph, feeds)
+    mod = compile_graph(graph, CPU_TARGET).module
+    got = mod.run(feeds)
+    assert len(ref) == len(got)
+    for a, b in zip(ref, got):
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs())
+def test_targets_agree_numerically(graph):
+    feeds = make_inputs(graph)
+    cpu = compile_graph(graph, CPU_TARGET).module.run(feeds)
+    gpu = compile_graph(graph, GPU_TARGET).module.run(feeds)
+    for a, b in zip(cpu, gpu):
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs())
+def test_unfused_agrees_with_fused(graph):
+    feeds = make_inputs(graph)
+    fused = compile_graph(graph, CPU_TARGET).module
+    unfused = compile_graph(graph, CPU_TARGET, fuse=False).module
+    for a, b in zip(fused.run(feeds), unfused.run(feeds)):
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs())
+def test_optimization_never_increases_flops(graph):
+    mod_opt = compile_graph(graph, CPU_TARGET).module
+    mod_raw = compile_graph(graph, CPU_TARGET, opt_level=0).module
+    assert mod_opt.total_flops() <= mod_raw.total_flops() + 1e-9

@@ -1,0 +1,147 @@
+"""Tests for the fusion planner's invariants and pattern rules."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler.fusion import plan_fusion
+from repro.ir import GraphBuilder
+from tests.strategies import random_graphs
+
+
+def _groups_by_member(groups):
+    out = {}
+    for g in groups:
+        for nid in g.node_ids:
+            out[nid] = g
+    return out
+
+
+class TestFusionRules:
+    def test_dense_absorbs_elemwise_chain(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 8))
+        w = b.const((4, 8))
+        bias = b.const((4,))
+        y = b.op("relu", b.op("bias_add", b.op("dense", x, w), bias))
+        g = b.build(y)
+        groups = plan_fusion(g)
+        assert len(groups) == 1
+        assert g.node(groups[0].anchor_id).op == "dense"
+
+    def test_opaque_never_fuses(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 5, 8))
+        w_ih = b.const((16, 8))
+        w_hh = b.const((16, 4))
+        bias = b.const((16,))
+        h = b.op("lstm", x, w_ih, w_hh, bias, hidden_size=4,
+                 return_sequences=False)
+        y = b.op("tanh", h)
+        g = b.build(y)
+        groups = plan_fusion(g)
+        assert len(groups) == 2
+
+    def test_two_out_fusable_do_not_merge(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 8))
+        w1 = b.const((8, 8))
+        w2 = b.const((4, 8))
+        y = b.op("dense", b.op("dense", x, w1), w2)
+        g = b.build(y)
+        assert len(plan_fusion(g)) == 2
+
+    def test_fanout_blocks_fusion(self):
+        # dense feeds two consumers: neither may fold it in.
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 8))
+        w = b.const((8, 8))
+        d = b.op("dense", x, w)
+        g = b.build(b.op("add", b.op("relu", d), b.op("tanh", d)))
+        groups = _groups_by_member(plan_fusion(g))
+        assert groups[d.id].node_ids == [d.id]
+
+    def test_graph_output_not_absorbed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 8))
+        w = b.const((4, 8))
+        d = b.op("dense", x, w)
+        r = b.op("relu", d)
+        g = b.build(d, r)  # dense itself is an output
+        groups = _groups_by_member(plan_fusion(g))
+        assert groups[d.id] is not groups[r.id]
+
+    def test_elemwise_chain_fuses(self, chain_graph):
+        groups = plan_fusion(chain_graph)
+        assert len(groups) == 1
+        assert groups[0].size == 4
+
+    def test_reduce_absorbs_into_elemwise_group(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        y = b.op("softmax", b.op("relu", x), axis=-1)
+        g = b.build(y)
+        groups = plan_fusion(g)
+        assert len(groups) == 1
+        assert g.node(groups[0].anchor_id).op == "softmax"
+
+    def test_reduce_does_not_absorb_into_out_fusable(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        w = b.const((4, 8))
+        y = b.op("softmax", b.op("dense", x, w), axis=-1)
+        g = b.build(y)
+        assert len(plan_fusion(g)) == 2
+
+    def test_injective_fuses_with_elemwise(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        y = b.op("reshape", b.op("relu", x), shape=(16,))
+        g = b.build(y)
+        assert len(plan_fusion(g)) == 1
+
+
+class TestFusionInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs())
+    def test_partition_of_op_nodes(self, graph):
+        groups = plan_fusion(graph)
+        covered = [nid for g in groups for nid in g.node_ids]
+        op_ids = {n.id for n in graph.op_nodes()}
+        assert len(covered) == len(set(covered))  # no node in two groups
+        assert set(covered) == op_ids  # every op covered
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs())
+    def test_single_output_per_group(self, graph):
+        groups = plan_fusion(graph)
+        for group in groups:
+            members = set(group.node_ids)
+            escaping = set()
+            for nid in members:
+                if any(c not in members for c in graph.consumers(nid)):
+                    escaping.add(nid)
+                if nid in graph.outputs:
+                    escaping.add(nid)
+            assert escaping <= {group.output_id}
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs())
+    def test_groups_are_connected_and_acyclic(self, graph):
+        # A group's members must form a contiguous chain in topo order with
+        # no path leaving and re-entering the group.
+        topo = {nid: i for i, nid in enumerate(graph.topo_order())}
+        for group in plan_fusion(graph):
+            members = set(group.node_ids)
+            for nid in members:
+                # any member's external consumer must not feed back in
+                for c in graph.consumers(nid):
+                    if c not in members:
+                        # every path from c stays outside the group
+                        stack, seen = [c], set()
+                        while stack:
+                            cur = stack.pop()
+                            if cur in seen:
+                                continue
+                            seen.add(cur)
+                            assert cur not in members
+                            stack.extend(graph.consumers(cur))

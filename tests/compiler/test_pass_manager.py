@@ -1,0 +1,42 @@
+"""Tests for the pass manager."""
+
+import pytest
+
+from repro.compiler.pass_manager import PassManager, default_passes
+from repro.errors import CompilerError
+from repro.ir import GraphBuilder
+
+
+class TestPassManager:
+    def test_trace_counts(self, diamond_graph):
+        pm = PassManager(default_passes(2))
+        pm.run(diamond_graph)
+        assert len(pm.trace) == len(default_passes(2))
+        assert all(r.nodes_before >= r.nodes_after for r in pm.trace)
+
+    def test_removed_property(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        live = b.op("relu", x)
+        b.op("tanh", x)  # dead
+        g = b.build(live)
+        pm = PassManager(default_passes(1))
+        pm.run(g)
+        assert sum(r.removed for r in pm.trace) == 1
+
+    def test_failing_pass_wrapped(self, diamond_graph):
+        def boom(graph):
+            raise RuntimeError("nope")
+
+        pm = PassManager([("boom", boom)])
+        with pytest.raises(CompilerError, match="boom"):
+            pm.run(diamond_graph)
+
+    def test_level_ordering(self):
+        assert len(default_passes(0)) == 0
+        assert len(default_passes(1)) < len(default_passes(2))
+
+    def test_result_validates(self, tiny_model):
+        pm = PassManager(default_passes(2))
+        out = pm.run(tiny_model)
+        out.validate()

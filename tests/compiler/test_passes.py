@@ -1,0 +1,187 @@
+"""Tests for the individual graph passes."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.passes import (
+    common_subexpression_elimination,
+    constant_fold,
+    dead_code_elimination,
+    simplify,
+)
+from repro.ir import GraphBuilder, make_inputs, run_graph
+from repro.ir.node import Initializer
+
+
+def _same_outputs(g1, g2, seed=0):
+    feeds = make_inputs(g1, seed=seed)
+    a = run_graph(g1, feeds, params=None, seed=seed)
+    b = run_graph(g2, {k: feeds[k] for k in feeds if k in g2.nodes}, seed=seed)
+    for x, y in zip(a, b):
+        np.testing.assert_allclose(x, y, rtol=1e-5, atol=1e-6)
+
+
+class TestDCE:
+    def test_removes_dead_branch(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        live = b.op("relu", x)
+        b.op("tanh", b.op("sigmoid", x))  # dead chain
+        g = b.build(live)
+        out = dead_code_elimination(g)
+        assert len(out) == 2
+        _same_outputs(g, out)
+
+    def test_keeps_everything_live(self, diamond_graph):
+        out = dead_code_elimination(diamond_graph)
+        assert len(out) == len(diamond_graph)
+
+
+class TestCSE:
+    def test_merges_identical_ops(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        a1 = b.op("relu", x)
+        a2 = b.op("relu", x)
+        g = b.build(b.op("add", a1, a2))
+        out = common_subexpression_elimination(g)
+        assert len(out.op_nodes()) == 2  # one relu + the add
+        _same_outputs(g, out)
+
+    def test_respects_attrs(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6))
+        r1 = b.op("reshape", x, shape=(3, 4))
+        r2 = b.op("reshape", x, shape=(6, 2))
+        g = b.build(r1, r2)
+        out = common_subexpression_elimination(g)
+        assert len(out.op_nodes()) == 2  # different attrs, no merge
+
+    def test_does_not_merge_consts(self):
+        # Two same-shaped parameters materialize to different values.
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        w1 = b.const((4, 4), name="w1")
+        w2 = b.const((4, 4), name="w2")
+        g = b.build(b.op("add", b.op("dense", x, w1), b.op("dense", x, w2)))
+        out = common_subexpression_elimination(g)
+        assert len(out.op_nodes()) == 3
+
+    def test_transitive_merge(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        g = b.build(
+            b.op("tanh", b.op("relu", x)), b.op("tanh", b.op("relu", x))
+        )
+        out = common_subexpression_elimination(g)
+        assert len(out.op_nodes()) == 2
+        assert out.outputs[0] == out.outputs[1]
+        _same_outputs(g, out)
+
+    def test_rewires_outputs(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        a1 = b.op("relu", x)
+        a2 = b.op("relu", x)
+        g = b.build(a2)
+        out = common_subexpression_elimination(g)
+        assert out.outputs == (a1.id,)
+
+
+class TestConstantFold:
+    def test_folds_literal_arithmetic(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2,))
+        l1 = b.literal(np.asarray([1.0, 2.0], dtype=np.float32))
+        l2 = b.literal(np.asarray([3.0, 4.0], dtype=np.float32))
+        s = b.op("add", l1, l2)
+        g = b.build(b.op("add", x, s))
+        out = constant_fold(g)
+        assert len(out.op_nodes()) == 1
+        folded = next(n for n in out.const_nodes() if n.literal is not None)
+        _same_outputs(g, out)
+
+    def test_does_not_fold_lazy_params(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        w = b.const((2, 2))  # lazy NORMAL initializer
+        g = b.build(b.op("add", x, b.op("relu", w)))
+        out = constant_fold(g)
+        assert len(out.op_nodes()) == 2  # relu not folded
+
+    def test_respects_size_cap(self):
+        b = GraphBuilder("g")
+        big = b.literal(np.ones((100, 100), dtype=np.float32))  # 10k > cap
+        g = b.build(b.op("relu", big))
+        out = constant_fold(g)
+        assert len(out.op_nodes()) == 1
+
+    def test_cascading_fold(self):
+        b = GraphBuilder("g")
+        l = b.literal(np.asarray([2.0], dtype=np.float32))
+        y = b.op("exp", b.op("negative", l))
+        x = b.input("x", (1,))
+        g = b.build(b.op("multiply", x, y))
+        out = constant_fold(g)
+        assert len(out.op_nodes()) == 1
+        _same_outputs(g, out)
+
+
+class TestSimplify:
+    def test_removes_identity(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        g = b.build(b.op("relu", b.op("identity", x)))
+        out = simplify(g)
+        assert all(n.op != "identity" for n in out.op_nodes())
+        _same_outputs(g, out)
+
+    def test_merges_reshape_chain(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6))
+        r = b.op("reshape", b.op("reshape", x, shape=(3, 4)), shape=(12,))
+        g = b.build(b.op("relu", r))
+        out = simplify(g)
+        reshapes = [n for n in out.op_nodes() if n.op == "reshape"]
+        assert len(reshapes) == 1
+        assert reshapes[0].ty.shape == (12,)
+        _same_outputs(g, out)
+
+    def test_removes_noop_reshape(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6))
+        g = b.build(b.op("relu", b.op("reshape", x, shape=(2, 6))))
+        out = simplify(g)
+        assert all(n.op != "reshape" for n in out.op_nodes())
+
+    def test_cancels_double_transpose(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3, 4))
+        t = b.op(
+            "transpose", b.op("transpose", x, axes=(1, 0, 2)), axes=(1, 0, 2)
+        )
+        g = b.build(b.op("relu", t))
+        out = simplify(g)
+        assert all(n.op != "transpose" for n in out.op_nodes())
+        _same_outputs(g, out)
+
+    def test_composes_transposes(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3, 4))
+        t = b.op(
+            "transpose", b.op("transpose", x, axes=(2, 0, 1)), axes=(2, 0, 1)
+        )
+        g = b.build(b.op("relu", t))
+        out = simplify(g)
+        transposes = [n for n in out.op_nodes() if n.op == "transpose"]
+        assert len(transposes) == 1
+        _same_outputs(g, out)
+
+    def test_identity_as_output(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        r = b.op("relu", x)
+        g = b.build(b.op("identity", r))
+        out = simplify(g)
+        assert out.outputs == (r.id,)
+        _same_outputs(g, out)

@@ -1,0 +1,73 @@
+"""Shared fixtures: deterministic machines, tiny models, engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import Compiler
+from repro.core import DuetEngine
+from repro.devices import default_machine
+from repro.ir import GraphBuilder
+from repro.models import build_model
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """Noiseless machine: kernel times are exact cost-model means."""
+    return default_machine(noisy=False)
+
+
+@pytest.fixture(scope="session")
+def noisy_machine():
+    """The paper's machine with latency noise enabled."""
+    return default_machine(noisy=True)
+
+
+@pytest.fixture
+def engine(machine):
+    return DuetEngine(machine=machine)
+
+
+@pytest.fixture
+def compiler():
+    return Compiler()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def diamond_graph():
+    """x -> a -> {b, c} -> d: one sequential op, two branches, a join."""
+    b = GraphBuilder("diamond")
+    x = b.input("x", (2, 8))
+    a = b.op("relu", x, name="a")
+    left = b.op("tanh", a, name="left")
+    right = b.op("sigmoid", a, name="right")
+    d = b.op("add", left, right, name="join")
+    return b.build(d)
+
+
+@pytest.fixture
+def chain_graph():
+    """A pure sequential chain of elementwise ops."""
+    b = GraphBuilder("chain")
+    x = b.input("x", (4, 4))
+    y = x
+    for i, op in enumerate(("relu", "tanh", "sigmoid", "exp")):
+        y = b.op(op, y, name=f"n{i}")
+    return b.build(y)
+
+
+@pytest.fixture(
+    params=[
+        "wide_deep", "siamese", "mtdnn", "resnet", "vgg", "squeezenet",
+        "mobilenet",
+    ]
+)
+def tiny_model(request):
+    """Each zoo model at test scale (structure preserved, cheap numerics)."""
+    return build_model(request.param, tiny=True)

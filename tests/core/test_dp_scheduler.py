@@ -1,0 +1,87 @@
+"""Tests for the analytic dynamic-programming scheduler."""
+
+import pytest
+
+from repro.core import (
+    CompilerAwareProfiler,
+    GreedyCorrectionScheduler,
+    build_hetero_plan,
+    partition_graph,
+    partition_graph_nested,
+    validate_placement,
+)
+from repro.core.schedulers import dp_placement, exhaustive_placement
+from repro.errors import SchedulingError
+from repro.models import build_model
+from repro.runtime import simulate
+
+
+def _setup(machine, name="wide_deep", nested=False):
+    graph = build_model(name)
+    part = (
+        partition_graph_nested(graph, max_depth=1)
+        if nested
+        else partition_graph(graph)
+    )
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(part)
+    return graph.pruned(), part, profiles
+
+
+class TestDPScheduler:
+    def test_valid_placement(self, machine):
+        graph, part, profiles = _setup(machine)
+        placement, est = dp_placement(graph, part, profiles, machine)
+        validate_placement(part, placement)
+        assert est > 0
+
+    def test_matches_optimum_on_wide_deep(self, machine):
+        """With barriers irrelevant (W&D is one multipath phase + head),
+        the analytic DP finds the same placement quality as exhaustive."""
+        graph, part, profiles = _setup(machine)
+        placement, _ = dp_placement(graph, part, profiles, machine)
+        true = simulate(
+            build_hetero_plan(graph, part, profiles, placement), machine
+        ).latency
+        _, ideal = exhaustive_placement(graph, part, profiles, machine)
+        assert true == pytest.approx(ideal, rel=1e-6)
+
+    def test_estimate_upper_bounds_truth_on_chain_phases(self, machine):
+        # The barrier assumption can only add time relative to the real
+        # non-barriered executor on these partitions.
+        graph, part, profiles = _setup(machine)
+        placement, est = dp_placement(graph, part, profiles, machine)
+        true = simulate(
+            build_hetero_plan(graph, part, profiles, placement), machine
+        ).latency
+        assert est >= true * 0.999
+
+    def test_loses_to_measured_correction_on_nested_partition(self, machine):
+        """The paper's §IV-C argument: analytic estimates mislead where
+        the executor's real behaviour (cross-phase overlap) diverges from
+        the DP's model."""
+        graph, part, profiles = _setup(machine, "mtdnn", nested=True)
+        placement, _ = dp_placement(graph, part, profiles, machine)
+        dp_true = simulate(
+            build_hetero_plan(graph, part, profiles, placement), machine
+        ).latency
+        gc = GreedyCorrectionScheduler(machine=machine).schedule(
+            graph, part, profiles
+        )
+        assert gc.latency < dp_true * 0.99
+
+    def test_phase_width_cap(self, machine):
+        graph, part, profiles = _setup(machine)
+        with pytest.raises(SchedulingError):
+            dp_placement(graph, part, profiles, machine, max_phase_subgraphs=2)
+
+    def test_accounts_for_host_bound_outputs(self, machine):
+        from repro.bench.ablations import build_comm_heavy_model
+
+        graph = build_model("siamese")  # placeholder; real check below
+        g = build_comm_heavy_model().pruned()
+        part = partition_graph(g)
+        profiles = CompilerAwareProfiler(machine=machine).profile_partition(part)
+        placement, _ = dp_placement(g, part, profiles, machine)
+        # The 16 MB host-bound reorder branch must not be sent to the GPU.
+        big = max(part.subgraphs, key=lambda sg: sg.bytes_out)
+        assert placement[big.id] == "cpu"

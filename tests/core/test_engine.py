@@ -1,0 +1,75 @@
+"""Tests for the end-to-end DuetEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core import DuetEngine
+from repro.ir import make_inputs, run_graph
+from repro.models import build_model
+
+
+class TestOptimize:
+    def test_wide_deep_co_executes(self, engine):
+        opt = engine.optimize(build_model("wide_deep"))
+        assert not opt.used_fallback
+        assert set(opt.placement.values()) == {"cpu", "gpu"}
+        assert opt.latency < min(opt.single_device_latency.values())
+
+    def test_resnet_falls_back_to_gpu(self, engine):
+        opt = engine.optimize(build_model("resnet"))
+        assert opt.used_fallback
+        assert opt.fallback_device == "gpu"
+        assert opt.latency == pytest.approx(opt.single_device_latency["gpu"])
+
+    def test_fallback_plan_is_single_device(self, engine):
+        opt = engine.optimize(build_model("resnet"))
+        assert len(opt.plan.tasks) == 1
+        assert opt.plan.tasks[0].device == "gpu"
+
+    def test_headline_speedups_in_paper_bands(self, engine):
+        """Abstract: 1.5-2.3x vs TVM-GPU, 1.3-6.4x vs TVM-CPU (shapes)."""
+        for name in ("wide_deep", "siamese", "mtdnn"):
+            opt = engine.optimize(build_model(name))
+            vs_gpu = opt.single_device_latency["gpu"] / opt.latency
+            vs_cpu = opt.single_device_latency["cpu"] / opt.latency
+            assert 1.2 <= vs_gpu <= 3.5, (name, vs_gpu)
+            assert 1.2 <= vs_cpu <= 16.0, (name, vs_cpu)
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", ["wide_deep", "siamese", "mtdnn"])
+    def test_numeric_outputs_match_reference(self, engine, name):
+        graph = build_model(name, tiny=True)
+        opt = engine.optimize(graph)
+        feeds = make_inputs(graph)
+        result = engine.run(opt, inputs=feeds)
+        ref = run_graph(graph, feeds)
+        assert len(result.outputs) == len(ref)
+        for got, want in zip(result.outputs, ref):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_run_without_inputs_times_only(self, engine):
+        opt = engine.optimize(build_model("siamese", tiny=True))
+        result = engine.run(opt)
+        assert result.outputs is None
+        assert result.latency > 0
+
+    def test_latency_stats(self, engine):
+        opt = engine.optimize(build_model("siamese", tiny=True))
+        stats = engine.latency_stats(opt, n_runs=200, warmup=10)
+        assert stats.n_samples == 200
+        assert stats.p50 <= stats.p99 <= stats.p999
+
+    def test_noisy_engine_tail_exceeds_median(self, noisy_machine):
+        engine = DuetEngine(machine=noisy_machine)
+        opt = engine.optimize(build_model("siamese", tiny=True))
+        stats = engine.latency_stats(opt, n_runs=1000, warmup=10)
+        assert stats.p999 > stats.p50
+
+
+class TestFallbackMargin:
+    def test_margin_forces_fallback(self, machine):
+        # With an absurd margin DUET can never win -> always fall back.
+        engine = DuetEngine(machine=machine, fallback_margin=0.99)
+        opt = engine.optimize(build_model("wide_deep", tiny=True))
+        assert opt.used_fallback

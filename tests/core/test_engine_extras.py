@@ -1,0 +1,57 @@
+"""Tests for engine integrations: profile caching and memory reporting."""
+
+import json
+
+import pytest
+
+from repro.core import DuetEngine
+from repro.models import build_model
+
+
+class TestProfileCaching:
+    def test_artifact_written_and_reused(self, machine, tmp_path):
+        engine = DuetEngine(machine=machine)
+        graph = build_model("wide_deep", tiny=True)
+        path = tmp_path / "wd.profiles.json"
+        opt1 = engine.optimize(graph, profile_path=str(path))
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["profiles"]
+
+        # Tamper with the file's timings to prove the second run reads it.
+        for entry in payload["profiles"].values():
+            entry["mean_time"] = {"cpu": 1.0, "gpu": 2.0}
+        path.write_text(json.dumps(payload))
+        opt2 = engine.optimize(graph, profile_path=str(path))
+        some = next(iter(opt2.profiles.values()))
+        assert some.mean_time == {"cpu": 1.0, "gpu": 2.0}
+
+    def test_stale_artifact_triggers_reprofile(self, machine, tmp_path):
+        engine = DuetEngine(machine=machine)
+        path = tmp_path / "p.json"
+        engine.optimize(build_model("wide_deep", tiny=True), profile_path=str(path))
+        # Different model: fingerprint mismatch -> silently re-profiled.
+        opt = engine.optimize(
+            build_model("wide_deep", tiny=True, rnn_layers=2),
+            profile_path=str(path),
+        )
+        assert opt.latency > 0
+        # The artifact was rewritten for the new model.
+        payload = json.loads(path.read_text())
+        assert len(payload["profiles"]) == len(opt.profiles)
+
+    def test_without_path_behaves_as_before(self, machine):
+        engine = DuetEngine(machine=machine)
+        graph = build_model("siamese", tiny=True)
+        a = engine.optimize(graph)
+        b = engine.optimize(graph, profile_path=None)
+        assert a.placement == b.placement
+
+
+class TestMemoryReportAccessor:
+    def test_report_shape(self, machine):
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(build_model("wide_deep", tiny=True))
+        report = opt.memory_report()
+        assert report.cpu.tasks + report.gpu.tasks == len(opt.plan.tasks)
+        assert report.cpu.param_bytes >= 0 and report.gpu.param_bytes >= 0

@@ -1,0 +1,97 @@
+"""Tests for multi-level (nested) partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CompilerAwareProfiler,
+    GreedyCorrectionScheduler,
+    partition_graph,
+    partition_graph_nested,
+)
+from repro.ir import make_inputs, run_graph
+from repro.models import build_model
+from repro.runtime import simulate
+from tests.strategies import random_graphs
+
+
+class TestNestedPartitioning:
+    def test_depth_zero_equals_one_level(self, tiny_model):
+        base = partition_graph(tiny_model)
+        nested = partition_graph_nested(tiny_model, max_depth=0)
+        assert [len(p.subgraphs) for p in nested.phases] == [
+            len(p.subgraphs) for p in base.phases
+        ]
+
+    def test_covers_all_live_ops(self, tiny_model):
+        nested = partition_graph_nested(tiny_model, max_depth=2, min_split_ops=4)
+        live = {n.id for n in tiny_model.pruned().op_nodes()}
+        assert nested.covered_node_ids() == live
+
+    def test_subgraphs_disjoint(self, tiny_model):
+        nested = partition_graph_nested(tiny_model, max_depth=2, min_split_ops=4)
+        seen = set()
+        for sg in nested.subgraphs:
+            assert not (seen & sg.node_ids)
+            seen |= sg.node_ids
+
+    def test_produces_finer_units_on_mtdnn(self):
+        g = build_model("mtdnn")
+        base = partition_graph(g)
+        nested = partition_graph_nested(g, max_depth=1)
+        assert len(nested.subgraphs) > len(base.subgraphs)
+
+    def test_subgraph_order_is_topological(self, tiny_model):
+        nested = partition_graph_nested(tiny_model, max_depth=2, min_split_ops=4)
+        position = {}
+        for i, sg in enumerate(nested.subgraphs):
+            for nid in sg.node_ids:
+                position[nid] = i
+        pruned = tiny_model.pruned()
+        for node in pruned.op_nodes():
+            for src in node.inputs:
+                if pruned.node(src).is_op:
+                    assert position[src] <= position[node.id]
+
+    def test_small_branches_stay_whole(self, diamond_graph):
+        nested = partition_graph_nested(diamond_graph, max_depth=2)
+        base = partition_graph(diamond_graph)
+        assert len(nested.subgraphs) == len(base.subgraphs)
+
+    def test_numeric_correctness_through_scheduler(self, machine):
+        g = build_model("mtdnn", tiny=True)
+        nested = partition_graph_nested(g, max_depth=2, min_split_ops=4)
+        profiles = CompilerAwareProfiler(machine=machine).profile_partition(nested)
+        result = GreedyCorrectionScheduler(machine=machine).schedule(
+            g, nested, profiles
+        )
+        feeds = make_inputs(g)
+        sim = simulate(result.plan, machine, inputs=feeds)
+        ref = run_graph(g, feeds)
+        for got, want in zip(sim.outputs, ref):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_nested_never_hurts_after_correction(self, machine):
+        # Correction can always re-merge devices, so nested placement must
+        # not lose to 1-level on the paper's models.
+        for name in ("wide_deep", "mtdnn"):
+            g = build_model(name)
+            sched = GreedyCorrectionScheduler(machine=machine)
+            lat = {}
+            for label, part in (
+                ("base", partition_graph(g)),
+                ("nested", partition_graph_nested(g, max_depth=1)),
+            ):
+                profiles = CompilerAwareProfiler(machine=machine).profile_partition(part)
+                lat[label] = sched.schedule(g, part, profiles).latency
+            assert lat["nested"] <= lat["base"] * 1.02, name
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_graphs(max_ops=20))
+    def test_random_graphs_covered(self, graph):
+        if not graph.pruned().op_nodes():
+            return
+        nested = partition_graph_nested(graph, max_depth=2, min_split_ops=3)
+        live = {n.id for n in graph.pruned().op_nodes()}
+        assert nested.covered_node_ids() == live

@@ -1,0 +1,137 @@
+"""Tests for the coarse-grained multi-phase partitioner."""
+
+import pytest
+
+from repro.core import PhaseType, find_separators, partition_graph
+from repro.errors import PartitionError
+from repro.ir import GraphBuilder
+from repro.models import build_model
+
+
+class TestSeparators:
+    def test_chain_all_separators(self, chain_graph):
+        seps = find_separators(chain_graph)
+        assert len(seps) == 4
+
+    def test_diamond(self, diamond_graph):
+        assert find_separators(diamond_graph) == ["a", "join"]
+
+    def test_parallel_sources_no_leading_separator(self):
+        b = GraphBuilder("g")
+        x1 = b.input("x1", (2, 2))
+        x2 = b.input("x2", (2, 2))
+        l = b.op("relu", x1, name="l")
+        r = b.op("tanh", x2, name="r")
+        j = b.op("add", l, r, name="j")
+        g = b.build(j)
+        assert find_separators(g) == ["j"]
+
+    def test_parallel_sinks_no_trailing_separator(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        a = b.op("relu", x, name="a")
+        o1 = b.op("tanh", a, name="o1")
+        o2 = b.op("sigmoid", a, name="o2")
+        g = b.build(o1, o2)
+        assert find_separators(g) == ["a"]
+
+    def test_empty_graph(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        g = b.build(x)
+        assert find_separators(g) == []
+
+
+class TestPartitionStructure:
+    def test_diamond_phases(self, diamond_graph):
+        part = partition_graph(diamond_graph)
+        types = [p.type for p in part.phases]
+        assert types == [
+            PhaseType.SEQUENTIAL,
+            PhaseType.MULTI_PATH,
+            PhaseType.SEQUENTIAL,
+        ]
+        multi = part.phases[1]
+        assert len(multi.subgraphs) == 2
+
+    def test_chain_single_phase(self, chain_graph):
+        part = partition_graph(chain_graph)
+        assert len(part.phases) == 1
+        assert part.phases[0].type is PhaseType.SEQUENTIAL
+
+    def test_phases_cover_all_ops(self, tiny_model):
+        part = partition_graph(tiny_model)
+        covered = part.covered_node_ids()
+        live_ops = {n.id for n in tiny_model.pruned().op_nodes()}
+        assert covered == live_ops
+
+    def test_phases_disjoint(self, tiny_model):
+        part = partition_graph(tiny_model)
+        seen = set()
+        for sg in part.subgraphs:
+            assert not (seen & sg.node_ids)
+            seen |= sg.node_ids
+
+    def test_phase_ordering_respects_dependencies(self, tiny_model):
+        part = partition_graph(tiny_model)
+        phase_of = {}
+        for phase in part.phases:
+            for sg in phase.subgraphs:
+                for nid in sg.node_ids:
+                    phase_of[nid] = phase.index
+        for node in tiny_model.pruned().op_nodes():
+            for src in node.inputs:
+                if src in phase_of:
+                    assert phase_of[src] <= phase_of[node.id]
+
+    def test_multipath_subgraphs_independent(self, tiny_model):
+        from repro.ir.traversal import are_independent
+
+        pruned = tiny_model.pruned()
+        part = partition_graph(tiny_model)
+        for phase in part.multi_path_phases():
+            sgs = phase.subgraphs
+            for i in range(len(sgs)):
+                for j in range(i + 1, len(sgs)):
+                    assert are_independent(
+                        pruned, sgs[i].node_ids, sgs[j].node_ids
+                    )
+
+    def test_wide_deep_has_four_branches(self):
+        g = build_model("wide_deep", tiny=True)
+        part = partition_graph(g)
+        multi = part.multi_path_phases()
+        assert len(multi) >= 1
+        assert len(multi[0].subgraphs) == 4  # wide, deep, rnn, cnn
+
+    def test_siamese_has_two_towers(self):
+        g = build_model("siamese", tiny=True)
+        part = partition_graph(g)
+        assert len(part.multi_path_phases()[0].subgraphs) == 2
+
+    def test_mtdnn_heads_form_final_multipath(self):
+        g = build_model("mtdnn", tiny=True)
+        part = partition_graph(g)
+        last_multi = part.multi_path_phases()[-1]
+        assert len(last_multi.subgraphs) == 3  # tiny config has 3 tasks
+
+    def test_dead_code_pruned_before_partitioning(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        live = b.op("relu", x, name="live")
+        b.op("tanh", x, name="dead")
+        part = partition_graph(b.build(live))
+        assert part.covered_node_ids() == {"live"}
+
+    def test_no_ops_raises(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        with pytest.raises(PartitionError):
+            partition_graph(b.build(x))
+
+    def test_subgraph_lookup(self, diamond_graph):
+        part = partition_graph(diamond_graph)
+        sg = part.subgraphs[0]
+        assert part.subgraph(sg.id) is sg
+        with pytest.raises(PartitionError):
+            part.subgraph("nope")

@@ -1,0 +1,108 @@
+"""Property-based tests: partitioning invariants on random DAGs."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import PhaseType, partition_graph
+from repro.core.placement import build_hetero_plan
+from repro.core.profiler import CompilerAwareProfiler
+from repro.devices import default_machine
+from repro.ir import make_inputs, run_graph
+from repro.ir.traversal import are_independent
+from repro.runtime import simulate
+from tests.strategies import random_graphs
+
+_MACHINE = default_machine(noisy=False)
+
+
+def _has_ops(graph):
+    return bool(graph.pruned().op_nodes())
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_phases_partition_live_ops(graph):
+    if not _has_ops(graph):
+        return
+    part = partition_graph(graph)
+    covered = []
+    for sg in part.subgraphs:
+        covered.extend(sg.node_ids)
+    assert len(covered) == len(set(covered))
+    assert set(covered) == {n.id for n in graph.pruned().op_nodes()}
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_phase_order_respects_dependencies(graph):
+    if not _has_ops(graph):
+        return
+    pruned = graph.pruned()
+    part = partition_graph(graph)
+    phase_of = {
+        nid: phase.index
+        for phase in part.phases
+        for sg in phase.subgraphs
+        for nid in sg.node_ids
+    }
+    for node in pruned.op_nodes():
+        for src in node.inputs:
+            if pruned.node(src).is_op:
+                assert phase_of[src] <= phase_of[node.id]
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_multipath_subgraphs_are_independent(graph):
+    if not _has_ops(graph):
+        return
+    pruned = graph.pruned()
+    part = partition_graph(graph)
+    for phase in part.multi_path_phases():
+        sgs = phase.subgraphs
+        for i in range(len(sgs)):
+            for j in range(i + 1, len(sgs)):
+                assert are_independent(pruned, sgs[i].node_ids, sgs[j].node_ids)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_sequential_phases_are_chains(graph):
+    if not _has_ops(graph):
+        return
+    pruned = graph.pruned()
+    part = partition_graph(graph)
+    for phase in part.phases:
+        if phase.type is not PhaseType.SEQUENTIAL:
+            continue
+        (sg,) = phase.subgraphs
+        # Within the subgraph's op set, at most one op-consumer inside the
+        # member set per node (a chain never branches internally).
+        members = sg.node_ids
+        for nid in members:
+            internal = [c for c in set(pruned.consumers(nid)) if c in members]
+            assert len(internal) <= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    random_graphs(max_ops=14),
+    # a random bit source to derive placements from
+)
+def test_any_valid_placement_preserves_semantics(graph):
+    if not _has_ops(graph):
+        return
+    part = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=_MACHINE).profile_partition(part)
+    ids = [sg.id for sg in part.subgraphs]
+    # Derive a pseudo-random but deterministic placement from the ids.
+    placement = {
+        sid: ("gpu" if (hash(sid) + i) % 2 else "cpu")
+        for i, sid in enumerate(ids)
+    }
+    plan = build_hetero_plan(graph.pruned(), part, profiles, placement)
+    feeds = make_inputs(graph)
+    result = simulate(plan, _MACHINE, inputs=feeds)
+    ref = run_graph(graph, feeds)
+    for got, want in zip(result.outputs, ref):
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)

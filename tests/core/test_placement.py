@@ -1,0 +1,107 @@
+"""Tests for placement validation and hetero-plan construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompilerAwareProfiler,
+    build_hetero_plan,
+    partition_graph,
+    validate_placement,
+)
+from repro.errors import SchedulingError
+from repro.ir import make_inputs, run_graph
+from repro.models import build_model
+from repro.runtime import simulate
+
+
+@pytest.fixture
+def setup(machine, diamond_graph):
+    partition = partition_graph(diamond_graph)
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(partition)
+    return diamond_graph, partition, profiles
+
+
+def _all_cpu(partition):
+    return {sg.id: "cpu" for sg in partition.subgraphs}
+
+
+class TestValidatePlacement:
+    def test_complete_placement_ok(self, setup):
+        _, partition, _ = setup
+        validate_placement(partition, _all_cpu(partition))
+
+    def test_missing_subgraph_rejected(self, setup):
+        _, partition, _ = setup
+        placement = _all_cpu(partition)
+        placement.popitem()
+        with pytest.raises(SchedulingError):
+            validate_placement(partition, placement)
+
+    def test_unknown_subgraph_rejected(self, setup):
+        _, partition, _ = setup
+        placement = _all_cpu(partition)
+        placement["ghost"] = "cpu"
+        with pytest.raises(SchedulingError):
+            validate_placement(partition, placement)
+
+    def test_bad_device_rejected(self, setup):
+        _, partition, _ = setup
+        placement = _all_cpu(partition)
+        placement[next(iter(placement))] = "tpu"
+        with pytest.raises(SchedulingError):
+            validate_placement(partition, placement)
+
+
+class TestBuildPlan:
+    def test_plan_structure(self, setup):
+        graph, partition, profiles = setup
+        plan = build_hetero_plan(graph, partition, profiles, _all_cpu(partition))
+        assert len(plan.tasks) == len(partition.subgraphs)
+        assert len(plan.outputs) == 1
+
+    def test_cross_device_plan_executes_numerically(self, setup, machine):
+        graph, partition, profiles = setup
+        placement = _all_cpu(partition)
+        # Put the multi-path branches on different devices.
+        multi = partition.multi_path_phases()[0]
+        placement[multi.subgraphs[0].id] = "gpu"
+        plan = build_hetero_plan(graph, partition, profiles, placement)
+        feeds = make_inputs(graph)
+        result = simulate(plan, machine, inputs=feeds)
+        ref = run_graph(graph, feeds)
+        np.testing.assert_allclose(result.outputs[0], ref[0], rtol=1e-5)
+
+    def test_all_placements_numerically_identical(self, machine):
+        graph = build_model("siamese", tiny=True)
+        partition = partition_graph(graph)
+        profiles = CompilerAwareProfiler(machine=machine).profile_partition(
+            partition
+        )
+        feeds = make_inputs(graph)
+        ref = run_graph(graph, feeds)
+        ids = [sg.id for sg in partition.subgraphs]
+        for mask in range(2 ** len(ids)):
+            placement = {
+                sid: ("gpu" if (mask >> i) & 1 else "cpu")
+                for i, sid in enumerate(ids)
+            }
+            plan = build_hetero_plan(graph, partition, profiles, placement)
+            result = simulate(plan, machine, inputs=feeds)
+            for got, want in zip(result.outputs, ref):
+                np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_task_metadata(self, setup):
+        graph, partition, profiles = setup
+        plan = build_hetero_plan(graph, partition, profiles, _all_cpu(partition))
+        for task, sg in zip(plan.tasks, partition.subgraphs):
+            assert task.task_id == sg.id
+            assert task.phase_index == sg.phase_index
+
+    def test_missing_profile_rejected(self, setup):
+        graph, partition, profiles = setup
+        placement = _all_cpu(partition)
+        incomplete = dict(profiles)
+        incomplete.popitem()
+        with pytest.raises(SchedulingError):
+            build_hetero_plan(graph, partition, incomplete, placement)

@@ -1,0 +1,68 @@
+"""Tests for profile persistence."""
+
+import pytest
+
+from repro.core import (
+    CompilerAwareProfiler,
+    GreedyCorrectionScheduler,
+    partition_graph,
+)
+from repro.core.profile_store import (
+    load_profiles,
+    partition_fingerprint,
+    save_profiles,
+)
+from repro.errors import ProfilingError
+from repro.models import build_model
+
+
+@pytest.fixture
+def setup(machine, tmp_path):
+    graph = build_model("wide_deep", tiny=True)
+    partition = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(partition)
+    path = tmp_path / "profiles.json"
+    return graph, partition, profiles, path
+
+
+class TestProfileStore:
+    def test_round_trip_times(self, setup):
+        _, partition, profiles, path = setup
+        save_profiles(partition, profiles, path)
+        loaded = load_profiles(partition, path)
+        for sid, prof in profiles.items():
+            assert loaded[sid].mean_time == dict(prof.mean_time)
+            assert loaded[sid].bytes_in == prof.bytes_in
+
+    def test_loaded_profiles_schedule_identically(self, setup, machine):
+        graph, partition, profiles, path = setup
+        save_profiles(partition, profiles, path)
+        loaded = load_profiles(partition, path)
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        a = scheduler.schedule(graph, partition, profiles)
+        b = scheduler.schedule(graph, partition, loaded)
+        assert a.placement == b.placement
+        assert a.latency == pytest.approx(b.latency)
+
+    def test_fingerprint_stable(self, setup):
+        graph, partition, _, _ = setup
+        again = partition_graph(build_model("wide_deep", tiny=True))
+        assert partition_fingerprint(partition) == partition_fingerprint(again)
+
+    def test_fingerprint_detects_model_change(self, setup, machine):
+        _, partition, profiles, path = setup
+        save_profiles(partition, profiles, path)
+        other = partition_graph(build_model("wide_deep", tiny=True, rnn_layers=2))
+        with pytest.raises(ProfilingError, match="does not match"):
+            load_profiles(other, path)
+
+    def test_missing_file_raises(self, setup, tmp_path):
+        _, partition, _, _ = setup
+        with pytest.raises(ProfilingError):
+            load_profiles(partition, tmp_path / "nope.json")
+
+    def test_corrupt_file_raises(self, setup):
+        _, partition, _, path = setup
+        path.write_text("{broken")
+        with pytest.raises(ProfilingError):
+            load_profiles(partition, path)

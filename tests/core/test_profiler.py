@@ -1,0 +1,90 @@
+"""Tests for the compiler-aware profiler."""
+
+import pytest
+
+from repro.core import CompilerAwareProfiler, partition_graph
+from repro.errors import ProfilingError
+from repro.models import build_model
+
+
+@pytest.fixture
+def profiled(machine):
+    graph = build_model("wide_deep", tiny=True)
+    partition = partition_graph(graph)
+    profiler = CompilerAwareProfiler(machine=machine)
+    return partition, profiler.profile_partition(partition)
+
+
+class TestProfiler:
+    def test_profiles_every_subgraph(self, profiled):
+        partition, profiles = profiled
+        assert set(profiles) == {sg.id for sg in partition.subgraphs}
+
+    def test_both_devices_profiled(self, profiled):
+        _, profiles = profiled
+        for prof in profiles.values():
+            assert set(prof.mean_time) == {"cpu", "gpu"}
+            assert set(prof.modules) == {"cpu", "gpu"}
+            assert prof.mean_time["cpu"] > 0
+            assert prof.mean_time["gpu"] > 0
+
+    def test_modules_target_their_device(self, profiled):
+        _, profiles = profiled
+        for prof in profiles.values():
+            assert prof.modules["cpu"].target.name == "cpu"
+            assert prof.modules["gpu"].target.name == "gpu"
+
+    def test_best_device_consistent(self, profiled):
+        _, profiles = profiled
+        for prof in profiles.values():
+            assert prof.time_on(prof.best_device) == prof.best_time
+            assert prof.best_time <= prof.worst_time
+
+    def test_unknown_device_raises(self, profiled):
+        _, profiles = profiled
+        prof = next(iter(profiles.values()))
+        with pytest.raises(ProfilingError):
+            prof.time_on("tpu")
+
+    def test_profile_uses_compiled_code(self, machine):
+        # The profiled mean must reflect *fused* kernels: the fused module
+        # has fewer launches than ops, so GPU time < per-op execution.
+        graph = build_model("mtdnn", tiny=True)
+        partition = partition_graph(graph)
+        profiler = CompilerAwareProfiler(machine=machine)
+        profiles = profiler.profile_partition(partition)
+        for sg in partition.subgraphs:
+            module = profiles[sg.id].modules["gpu"]
+            assert len(module.kernels) <= len(sg.graph.op_nodes())
+
+    def test_sampling_produces_stats(self, machine):
+        graph = build_model("siamese", tiny=True)
+        partition = partition_graph(graph)
+        profiler = CompilerAwareProfiler(machine=machine, sample_runs=32)
+        profiles = profiler.profile_partition(partition)
+        for prof in profiles.values():
+            assert prof.stats is not None
+            assert prof.stats["cpu"].n_samples == 32
+
+    def test_no_sampling_no_stats(self, profiled):
+        _, profiles = profiled
+        assert all(p.stats is None for p in profiles.values())
+
+    def test_sampled_mean_close_to_analytic(self, noisy_machine):
+        graph = build_model("siamese", tiny=True)
+        partition = partition_graph(graph)
+        profiler = CompilerAwareProfiler(
+            machine=noisy_machine, sample_runs=500
+        )
+        profiles = profiler.profile_partition(partition)
+        for prof in profiles.values():
+            for dev in ("cpu", "gpu"):
+                assert prof.stats[dev].mean == pytest.approx(
+                    prof.mean_time[dev], rel=0.15
+                )
+
+    def test_bytes_match_subgraph(self, profiled):
+        partition, profiles = profiled
+        for sg in partition.subgraphs:
+            assert profiles[sg.id].bytes_in == sg.bytes_in
+            assert profiles[sg.id].bytes_out == sg.bytes_out

@@ -1,0 +1,124 @@
+"""Tests for the greedy-correction scheduler."""
+
+import pytest
+
+from repro.core import (
+    CompilerAwareProfiler,
+    GreedyCorrectionScheduler,
+    PhaseType,
+    build_hetero_plan,
+    partition_graph,
+    validate_placement,
+)
+from repro.core.schedulers import exhaustive_placement
+from repro.models import build_model
+from repro.runtime import simulate
+
+
+@pytest.fixture(scope="module")
+def wd_setup():
+    from repro.devices import default_machine
+
+    machine = default_machine(noisy=False)
+    graph = build_model("wide_deep")  # full size: realistic cost contrasts
+    partition = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(partition)
+    return machine, graph, partition, profiles
+
+
+class TestInitialPlacement:
+    def test_sequential_phases_on_fastest_device(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        placement = scheduler.initial_placement(partition, profiles)
+        for phase in partition.phases:
+            if phase.type is PhaseType.SEQUENTIAL:
+                sg = phase.subgraphs[0]
+                assert placement[sg.id] == profiles[sg.id].best_device
+
+    def test_critical_subgraph_gets_best_device(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        placement = scheduler.initial_placement(partition, profiles)
+        for phase in partition.multi_path_phases():
+            critical = max(
+                phase.subgraphs, key=lambda sg: profiles[sg.id].best_time
+            )
+            assert placement[critical.id] == profiles[critical.id].best_device
+
+    def test_placement_complete(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        placement = scheduler.initial_placement(partition, profiles)
+        validate_placement(partition, placement)
+
+
+class TestSchedule:
+    def test_wide_deep_placement_matches_paper(self, wd_setup):
+        """Table II: RNN subgraph on CPU, CNN subgraph on GPU."""
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        result = scheduler.schedule(graph, partition, profiles)
+        branch_device = {}
+        for phase in partition.multi_path_phases():
+            for sg in phase.subgraphs:
+                has_lstm = any(
+                    graph.node(n).op == "lstm" for n in sg.node_ids
+                )
+                has_conv = any(
+                    graph.node(n).op == "conv2d" for n in sg.node_ids
+                )
+                if has_lstm:
+                    branch_device["rnn"] = result.placement[sg.id]
+                if has_conv:
+                    branch_device["cnn"] = result.placement[sg.id]
+        assert branch_device["rnn"] == "cpu"
+        assert branch_device["cnn"] == "gpu"
+
+    def test_correction_never_hurts(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        result = scheduler.schedule(graph, partition, profiles)
+        assert result.latency <= result.initial_latency + 1e-12
+
+    def test_beats_both_single_devices(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        result = scheduler.schedule(graph, partition, profiles)
+        all_cpu = {sg.id: "cpu" for sg in partition.subgraphs}
+        all_gpu = {sg.id: "gpu" for sg in partition.subgraphs}
+        for single in (all_cpu, all_gpu):
+            plan = build_hetero_plan(graph, partition, profiles, single)
+            assert result.latency < simulate(plan, machine).latency
+
+    def test_matches_exhaustive_optimum(self, wd_setup):
+        """§VI-C: greedy-correction empirically finds the ideal schedule."""
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        result = scheduler.schedule(graph, partition, profiles)
+        _, ideal = exhaustive_placement(graph, partition, profiles, machine)
+        assert result.latency == pytest.approx(ideal, rel=1e-6)
+
+    def test_initial_override_used(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        init = {sg.id: "cpu" for sg in partition.subgraphs}
+        result = scheduler.schedule(graph, partition, profiles, initial=init)
+        # Correction starts from all-CPU and must improve it.
+        all_cpu_plan = build_hetero_plan(graph, partition, profiles, init)
+        assert result.latency <= simulate(all_cpu_plan, machine).latency
+
+    def test_correction_steps_recorded(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        init = {sg.id: "gpu" for sg in partition.subgraphs}
+        result = scheduler.schedule(graph, partition, profiles, initial=init)
+        assert result.corrections  # moving off all-GPU must have happened
+        for step in result.corrections:
+            assert step.latency_after < step.latency_before
+
+    def test_measurement_count_tracked(self, wd_setup):
+        machine, graph, partition, profiles = wd_setup
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        result = scheduler.schedule(graph, partition, profiles)
+        assert result.measurements >= 1

@@ -1,0 +1,75 @@
+"""Tests for the baseline scheduling policies (§VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompilerAwareProfiler,
+    GreedyCorrectionScheduler,
+    partition_graph,
+    validate_placement,
+)
+from repro.core.schedulers import (
+    exhaustive_placement,
+    random_placement,
+    round_robin_placement,
+)
+from repro.errors import SchedulingError
+from repro.models import build_model
+
+
+@pytest.fixture
+def setup(machine):
+    graph = build_model("wide_deep", tiny=True)
+    partition = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(partition)
+    return graph, partition, profiles
+
+
+class TestRandom:
+    def test_valid_placement(self, setup):
+        _, partition, _ = setup
+        placement = random_placement(partition, np.random.default_rng(0))
+        validate_placement(partition, placement)
+
+    def test_varies_with_rng(self, setup):
+        _, partition, _ = setup
+        draws = {
+            tuple(sorted(random_placement(partition, np.random.default_rng(s)).items()))
+            for s in range(20)
+        }
+        assert len(draws) > 1
+
+
+class TestRoundRobin:
+    def test_alternates(self, setup):
+        _, partition, _ = setup
+        placement = round_robin_placement(partition)
+        devices = [placement[sg.id] for sg in partition.subgraphs]
+        assert devices == [
+            "cpu" if i % 2 == 0 else "gpu" for i in range(len(devices))
+        ]
+
+    def test_valid(self, setup):
+        _, partition, _ = setup
+        validate_placement(partition, round_robin_placement(partition))
+
+
+class TestExhaustive:
+    def test_optimal_on_small_model(self, setup, machine):
+        graph, partition, profiles = setup
+        best_placement, best_latency = exhaustive_placement(
+            graph, partition, profiles, machine
+        )
+        validate_placement(partition, best_placement)
+        # No policy can beat it.
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        greedy = scheduler.schedule(graph, partition, profiles)
+        assert best_latency <= greedy.latency + 1e-12
+
+    def test_cap_enforced(self, setup, machine):
+        graph, partition, profiles = setup
+        with pytest.raises(SchedulingError):
+            exhaustive_placement(
+                graph, partition, profiles, machine, max_subgraphs=1
+            )

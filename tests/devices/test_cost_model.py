@@ -1,0 +1,94 @@
+"""Tests for the device cost model (Device.kernel_time)."""
+
+import pytest
+
+from repro.compiler.kernel import KernelCost
+from repro.devices import make_cpu, make_gpu
+from repro.ir.ops import OpKind
+
+
+def _cost(**kw):
+    defaults = dict(
+        flops=1e6, bytes_in=1e4, bytes_out=1e4, parallelism=1e6,
+        kind=OpKind.GEMM,
+    )
+    defaults.update(kw)
+    return KernelCost(**defaults)
+
+
+class TestUtilization:
+    def test_monotone_in_parallelism(self):
+        gpu = make_gpu(False)
+        assert gpu.utilization(10) < gpu.utilization(1e4) < gpu.utilization(1e7)
+
+    def test_bounded(self):
+        gpu = make_gpu(False)
+        assert 0.0 <= gpu.utilization(1) <= 1.0
+        assert gpu.utilization(0) == 0.0
+        assert gpu.utilization(-5) == 0.0
+
+    def test_half_at_saturation_point(self):
+        cpu = make_cpu(False)
+        sat = cpu.spec.saturation_parallelism
+        assert cpu.utilization(sat) == pytest.approx(0.5)
+
+
+class TestKernelTime:
+    def test_more_flops_more_time(self):
+        cpu = make_cpu(False)
+        assert cpu.kernel_time(_cost(flops=1e8)) > cpu.kernel_time(_cost(flops=1e6))
+
+    def test_memory_bound_kernels_priced_by_bandwidth(self):
+        cpu = make_cpu(False)
+        cost = _cost(flops=0.0, bytes_in=1e8, bytes_out=0, kind=OpKind.MEMORY)
+        expected = 1e8 / (cpu.spec.mem_bandwidth_gbps * 1e9)
+        assert cpu.kernel_time(cost) == pytest.approx(
+            expected + cpu.spec.launch_overhead_s
+        )
+
+    def test_roofline_takes_max(self):
+        cpu = make_cpu(False)
+        compute_only = cpu.kernel_time(_cost(bytes_in=0, bytes_out=0))
+        both = cpu.kernel_time(_cost())
+        assert both >= compute_only
+
+    def test_sequential_steps_multiply_launch_overhead(self):
+        gpu = make_gpu(False)
+        one = _cost(sequential_steps=1, kernels_per_step=2)
+        hundred = _cost(sequential_steps=100, kernels_per_step=2)
+        t1 = gpu.kernel_time(one)
+        t100 = gpu.kernel_time(hundred)
+        # Same total flops split across 100 steps: launch overhead paid
+        # 100x and per-step utilization unchanged -> t100 must far exceed t1.
+        assert t100 > t1 + 99 * 2 * gpu.spec.launch_overhead_s * 0.99
+
+    def test_parallelism_crossover_between_devices(self):
+        # The paper's §III-B observation: CPU wins small low-parallelism
+        # kernels, GPU wins large highly-parallel ones.
+        cpu, gpu = make_cpu(False), make_gpu(False)
+        small = _cost(flops=1e6, parallelism=512)
+        big = _cost(flops=1e9, parallelism=1e7)
+        assert cpu.kernel_time(small) < gpu.kernel_time(small)
+        assert gpu.kernel_time(big) < cpu.kernel_time(big)
+
+    def test_utilization_drop_steeper_on_gpu(self):
+        cpu, gpu = make_cpu(False), make_gpu(False)
+        drop_cpu = cpu.utilization(1e7) / cpu.utilization(512)
+        drop_gpu = gpu.utilization(1e7) / gpu.utilization(512)
+        assert drop_gpu > drop_cpu
+
+    def test_sample_with_no_noise_equals_mean(self, rng):
+        gpu = make_gpu(noisy=False)
+        c = _cost()
+        assert gpu.sample_kernel_time(c, rng) == gpu.kernel_time(c)
+
+    def test_sample_with_noise_varies(self, rng):
+        gpu = make_gpu(noisy=True)
+        c = _cost()
+        samples = {gpu.sample_kernel_time(c, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_zero_flops_zero_bytes_is_just_launch(self):
+        gpu = make_gpu(False)
+        c = _cost(flops=0, bytes_in=0, bytes_out=0)
+        assert gpu.kernel_time(c) == pytest.approx(gpu.spec.launch_overhead_s)

@@ -1,0 +1,56 @@
+"""Tests for Machine and the interconnect wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    Interconnect,
+    default_machine,
+    make_cpu,
+    make_gpu,
+    make_pcie3,
+)
+from repro.errors import DeviceError
+
+
+class TestMachine:
+    def test_device_lookup(self, machine):
+        assert machine.device("cpu") is machine.cpu
+        assert machine.device("gpu") is machine.gpu
+
+    def test_unknown_device_raises(self, machine):
+        with pytest.raises(DeviceError):
+            machine.device("tpu")
+
+    def test_devices_tuple(self, machine):
+        assert machine.devices == (machine.cpu, machine.gpu)
+
+    def test_noisy_flag(self):
+        noisy = default_machine(noisy=True)
+        quiet = default_machine(noisy=False)
+        assert noisy.cpu.noise.jitter_sigma > 0
+        assert quiet.cpu.noise.jitter_sigma == 0
+
+    def test_factories(self):
+        assert make_cpu().kind == "cpu"
+        assert make_gpu().kind == "gpu"
+
+
+class TestInterconnect:
+    def test_sample_noiseless_equals_mean(self, rng):
+        link = make_pcie3()
+        assert link.sample_transfer_time(2**20, rng) == link.transfer_time(2**20)
+
+    def test_sample_noisy_varies(self, noisy_machine, rng):
+        link = noisy_machine.interconnect
+        xs = {link.sample_transfer_time(2**20, rng) for _ in range(10)}
+        assert len(xs) > 1
+
+    def test_bandwidth_monotone_in_size(self):
+        link = make_pcie3()
+        sizes = [2**k for k in range(10, 28, 3)]
+        bws = [link.bandwidth_at(s) for s in sizes]
+        assert bws == sorted(bws)
+
+    def test_zero_bytes_bandwidth(self):
+        assert make_pcie3().bandwidth_at(0) == 0.0

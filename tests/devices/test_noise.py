@@ -1,0 +1,46 @@
+"""Tests for the latency noise models."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CPU_NOISE, GPU_NOISE, NO_NOISE, PCIE_NOISE, NoiseModel
+from repro.errors import DeviceError
+
+
+class TestNoiseModel:
+    def test_no_noise_is_identity(self, rng):
+        assert NO_NOISE.sample(0.5, rng) == 0.5
+
+    def test_zero_time_stays_zero(self, rng):
+        assert CPU_NOISE.sample(0.0, rng) == 0.0
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(jitter_sigma=0.2)
+        samples = np.array([model.sample(1.0, rng) for _ in range(20000)])
+        assert samples.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_spikes_produce_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        model = NoiseModel(jitter_sigma=0.01, spike_prob=0.01, spike_scale=5.0)
+        samples = np.array([model.sample(1.0, rng) for _ in range(20000)])
+        p999 = np.percentile(samples, 99.9)
+        p50 = np.percentile(samples, 50)
+        assert p999 > 3 * p50
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(1)
+        for _ in range(1000):
+            assert PCIE_NOISE.sample(1e-3, rng) > 0
+
+    def test_pcie_noisier_than_devices(self):
+        assert PCIE_NOISE.jitter_sigma > CPU_NOISE.jitter_sigma
+        assert PCIE_NOISE.jitter_sigma > GPU_NOISE.jitter_sigma
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(DeviceError):
+            NoiseModel(jitter_sigma=-1)
+        with pytest.raises(DeviceError):
+            NoiseModel(spike_prob=2.0)
+        with pytest.raises(DeviceError):
+            NoiseModel(spike_scale=0.5)

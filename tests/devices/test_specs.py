@@ -1,0 +1,70 @@
+"""Tests for device specs and the interconnect spec."""
+
+import pytest
+
+from repro.devices import PCIE3_X16, TITAN_V, XEON_GOLD_6152, DeviceSpec, InterconnectSpec
+from repro.errors import DeviceError
+from repro.ir.ops import OpKind
+
+
+class TestDeviceSpec:
+    def test_paper_hardware_present(self):
+        assert XEON_GOLD_6152.kind == "cpu"
+        assert TITAN_V.kind == "gpu"
+        assert TITAN_V.peak_gflops > XEON_GOLD_6152.peak_gflops
+
+    def test_gpu_launch_overhead_dominates_cpu(self):
+        assert TITAN_V.launch_overhead_s > 5 * XEON_GOLD_6152.launch_overhead_s
+
+    def test_gpu_needs_more_parallelism_to_saturate(self):
+        assert (
+            TITAN_V.saturation_parallelism
+            > 10 * XEON_GOLD_6152.saturation_parallelism
+        )
+
+    def test_efficiency_lookup(self):
+        assert 0 < XEON_GOLD_6152.efficiency_for(OpKind.GEMM) <= 1
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="x", kind="tpu", peak_gflops=1, mem_bandwidth_gbps=1,
+                launch_overhead_s=0, saturation_parallelism=1, efficiency={},
+            )
+
+    def test_nonpositive_throughput_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="x", kind="cpu", peak_gflops=0, mem_bandwidth_gbps=1,
+                launch_overhead_s=0, saturation_parallelism=1, efficiency={},
+            )
+
+    def test_missing_efficiency_raises(self):
+        spec = DeviceSpec(
+            name="x", kind="cpu", peak_gflops=1, mem_bandwidth_gbps=1,
+            launch_overhead_s=0, saturation_parallelism=1,
+            efficiency={OpKind.GEMM: 0.5},
+        )
+        with pytest.raises(DeviceError):
+            spec.efficiency_for(OpKind.CONV)
+
+
+class TestInterconnectSpec:
+    def test_transfer_time_linear_in_size(self):
+        t1 = PCIE3_X16.transfer_time(2**20)
+        t2 = PCIE3_X16.transfer_time(2**21)
+        assert t2 > t1
+        # Large transfers double cleanly (base latency amortized away).
+        t_big = PCIE3_X16.transfer_time(2**28)
+        t_big2 = PCIE3_X16.transfer_time(2**29)
+        assert t_big2 / t_big == pytest.approx(2.0, rel=0.01)
+
+    def test_small_message_latency_floor(self):
+        assert PCIE3_X16.transfer_time(8) >= PCIE3_X16.base_latency_s
+
+    def test_zero_bytes_free(self):
+        assert PCIE3_X16.transfer_time(0) == 0.0
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(DeviceError):
+            PCIE3_X16.transfer_time(-1)

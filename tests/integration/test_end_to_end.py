@@ -1,0 +1,97 @@
+"""Integration tests: the whole pipeline, numerics and shapes together."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TVMLikeBaseline
+from repro.core import DuetEngine
+from repro.ir import make_inputs, run_graph
+from repro.ir.serialize import dumps, loads
+from repro.models import MODEL_NAMES, build_model
+
+
+class TestNumericEquivalenceAcrossStacks:
+    """Interpreter == TVM-like CPU == TVM-like GPU == DUET hetero plan."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_all_execution_paths_agree(self, machine, name):
+        graph = build_model(name, tiny=True)
+        feeds = make_inputs(graph)
+        ref = run_graph(graph, feeds)
+
+        for dev in ("cpu", "gpu"):
+            baseline = TVMLikeBaseline(dev, machine)
+            result = baseline.run(baseline.compile(graph), inputs=feeds)
+            for got, want in zip(result.outputs, ref):
+                np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(graph)
+        result = engine.run(opt, inputs=feeds)
+        for got, want in zip(result.outputs, ref):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+
+class TestSerializeOptimizeRoundTrip:
+    def test_serialized_model_schedules_identically(self, machine):
+        graph = build_model("wide_deep", tiny=True)
+        engine = DuetEngine(machine=machine)
+        opt1 = engine.optimize(graph)
+        opt2 = engine.optimize(loads(dumps(graph)))
+        assert opt1.placement == opt2.placement
+        assert opt1.latency == pytest.approx(opt2.latency)
+
+
+class TestDeterminism:
+    def test_optimize_is_deterministic(self, machine):
+        engine = DuetEngine(machine=machine)
+        g = build_model("mtdnn", tiny=True)
+        a = engine.optimize(g)
+        b = engine.optimize(g)
+        assert a.placement == b.placement
+        assert a.latency == b.latency
+
+    def test_sampled_latencies_reproducible_by_seed(self, noisy_machine):
+        engine = DuetEngine(machine=noisy_machine)
+        opt = engine.optimize(build_model("siamese", tiny=True))
+        s1 = engine.latency_stats(opt, n_runs=100, warmup=5, seed=9)
+        s2 = engine.latency_stats(opt, n_runs=100, warmup=5, seed=9)
+        assert s1.mean == s2.mean and s1.p999 == s2.p999
+
+
+class TestHeadlineClaims:
+    """The abstract's quantitative claims, as executable assertions."""
+
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        from repro.devices import default_machine
+
+        machine = default_machine(noisy=False)
+        engine = DuetEngine(machine=machine)
+        out = {}
+        for name in ("wide_deep", "siamese", "mtdnn"):
+            opt = engine.optimize(build_model(name))
+            out[name] = (
+                opt.single_device_latency["gpu"] / opt.latency,
+                opt.single_device_latency["cpu"] / opt.latency,
+            )
+        return out
+
+    def test_duet_beats_tvm_gpu_everywhere(self, speedups):
+        for name, (vs_gpu, _) in speedups.items():
+            assert vs_gpu > 1.2, name
+
+    def test_duet_beats_tvm_cpu_everywhere(self, speedups):
+        for name, (_, vs_cpu) in speedups.items():
+            assert vs_cpu > 1.2, name
+
+    def test_gpu_speedup_band(self, speedups):
+        # Paper: 1.5-2.3x; allow proportional slack for the simulated
+        # substrate while preserving the order of magnitude.
+        for name, (vs_gpu, _) in speedups.items():
+            assert 1.2 <= vs_gpu <= 3.5, (name, vs_gpu)
+
+    def test_cpu_speedup_band(self, speedups):
+        # Paper: 1.3-6.4x (Fig. 11 text: up to 15.9x).
+        for name, (_, vs_cpu) in speedups.items():
+            assert 1.2 <= vs_cpu <= 16.0, (name, vs_cpu)

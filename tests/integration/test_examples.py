@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name, capsys):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.path.pop(0)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "DUET latency" in out
+        assert "Execution timeline" in out
+        assert "co-execution wins" in out
+
+    def test_scheduler_playground(self, capsys):
+        out = _run("scheduler_playground.py", capsys)
+        assert "Greedy+Correction" in out
+        assert "Ideal" in out
+
+    def test_multitask_nlu(self, capsys):
+        out = _run("multitask_nlu.py", capsys)
+        assert "Task heads run on" in out
+        assert "match the" in out
+
+    def test_model_variation_study(self, capsys):
+        out = _run("model_variation_study.py", capsys)
+        for fig in ("Fig 14", "Fig 15", "Fig 16", "Fig 17"):
+            assert fig in out
+
+    def test_adaptive_serving(self, capsys):
+        out = _run("adaptive_serving.py", capsys)
+        assert "ADAPTED" in out
+        assert "adaptations total" in out

@@ -1,0 +1,84 @@
+"""Tests for the GraphBuilder API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import GraphBuilder
+from repro.ir.dtype import INT64
+from repro.ir.node import Initializer
+
+
+class TestBuilder:
+    def test_shape_inference_on_op(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (3, 8))
+        w = b.const((5, 8))
+        y = b.op("dense", x, w)
+        assert y.shape == (3, 5)
+
+    def test_arity_checked_at_build_time(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (3, 8))
+        with pytest.raises(IRError):
+            b.op("add", x)
+
+    def test_fresh_ids_unique(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        vars_ = [b.op("relu", x) for _ in range(10)]
+        assert len({v.id for v in vars_}) == 10
+
+    def test_explicit_name(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        y = b.op("relu", x, name="my_relu")
+        assert y.id == "my_relu"
+
+    def test_duplicate_name_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        b.op("relu", x, name="n")
+        with pytest.raises(IRError):
+            b.op("tanh", x, name="n")
+
+    def test_build_requires_outputs(self):
+        b = GraphBuilder("g")
+        b.input("x", (2, 2))
+        with pytest.raises(IRError):
+            b.build()
+
+    def test_const_with_init(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        c = b.const((2, 2), init=Initializer.ZEROS, name="z")
+        g = b.build(b.op("add", x, c))
+        assert g.node("z").init is Initializer.ZEROS
+
+    def test_literal(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2,))
+        lit = b.literal(np.asarray([1.0, 2.0], dtype=np.float32))
+        g = b.build(b.op("add", x, lit))
+        node = g.node(lit.id)
+        assert node.init is Initializer.LITERAL
+        np.testing.assert_array_equal(node.literal, [1.0, 2.0])
+
+    def test_int_input_dtype(self):
+        b = GraphBuilder("g")
+        t = b.input("tokens", (1, 5), dtype=INT64)
+        assert t.ty.dtype is INT64
+
+    def test_attrs_forwarded(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        y = b.op("reshape", x, shape=(4, 1))
+        assert y.shape == (4, 1)
+
+    def test_build_validates(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        y = b.op("relu", x)
+        g = b.build(y)
+        g.validate()  # should not raise
+        assert g.outputs == (y.id,)

@@ -1,0 +1,85 @@
+"""Tests for dtypes and tensor types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.dtype import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    TensorType,
+    dtype_from_name,
+    normalize_shape,
+)
+
+
+class TestDType:
+    def test_bytes(self):
+        assert FLOAT32.bytes == 4
+        assert FLOAT64.bytes == 8
+        assert INT64.bytes == 8
+        assert BOOL.bytes == 1
+
+    def test_to_numpy(self):
+        assert FLOAT32.to_numpy() == np.float32
+        assert INT32.to_numpy() == np.int32
+
+    def test_lookup_by_name(self):
+        assert dtype_from_name("float32") is FLOAT32
+        assert dtype_from_name("int64") is INT64
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ShapeError):
+            dtype_from_name("complex128")
+
+    def test_str(self):
+        assert str(FLOAT32) == "float32"
+
+
+class TestNormalizeShape:
+    def test_coerces_to_int_tuple(self):
+        assert normalize_shape([2, 3.0]) == (2, 3)
+
+    @pytest.mark.parametrize("bad", [(0,), (-1, 4), (2, 0, 2)])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ShapeError):
+            normalize_shape(bad)
+
+    def test_empty_shape_allowed(self):
+        assert normalize_shape(()) == ()
+
+
+class TestTensorType:
+    def test_num_elements(self):
+        assert TensorType((2, 3, 4)).num_elements == 24
+
+    def test_scalar_shape(self):
+        assert TensorType(()).num_elements == 1
+
+    def test_size_bytes(self):
+        assert TensorType((10, 10), FLOAT32).size_bytes == 400
+        assert TensorType((10, 10), FLOAT64).size_bytes == 800
+
+    def test_rank(self):
+        assert TensorType((1, 2, 3, 4)).rank == 4
+
+    def test_with_shape_preserves_dtype(self):
+        t = TensorType((2, 2), INT64).with_shape((4,))
+        assert t.shape == (4,)
+        assert t.dtype is INT64
+
+    def test_equality_and_hash(self):
+        assert TensorType((2, 3)) == TensorType((2, 3))
+        assert TensorType((2, 3)) != TensorType((3, 2))
+        assert hash(TensorType((2, 3))) == hash(TensorType((2, 3)))
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorType((2, -1))
+
+    def test_str_contains_shape_and_dtype(self):
+        s = str(TensorType((2, 3), FLOAT32))
+        assert "2, 3" in s and "float32" in s

@@ -1,0 +1,159 @@
+"""Tests for the declarative model-spec frontend."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DuetEngine
+from repro.errors import IRError
+from repro.ir import make_inputs, run_graph
+from repro.ir.frontend import (
+    SUPPORTED_LAYER_KINDS,
+    build_from_json,
+    build_from_spec,
+)
+
+
+def _two_branch_spec():
+    return {
+        "name": "two_tower",
+        "inputs": [
+            {"name": "image", "shape": [1, 3, 16, 16]},
+            {"name": "text", "shape": [1, 6, 8]},
+        ],
+        "layers": [
+            {"kind": "conv", "name": "c1", "input": "image", "channels": 8,
+             "kernel": 3, "stride": 2, "padding": 1},
+            {"kind": "global_avg_pool", "name": "img_vec", "input": "c1"},
+            {"kind": "lstm", "name": "txt", "input": "text", "hidden": 8},
+            {"kind": "concat", "name": "joint", "inputs": ["img_vec", "txt"]},
+            {"kind": "dense", "name": "out", "input": "joint", "units": 4,
+             "activation": None},
+            {"kind": "softmax", "name": "probs", "input": "out"},
+        ],
+        "outputs": ["probs"],
+    }
+
+
+class TestBuildFromSpec:
+    def test_two_branch_model(self):
+        g = build_from_spec(_two_branch_spec())
+        g.validate()
+        (out,) = run_graph(g, make_inputs(g))
+        assert out.shape == (1, 4)
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_sequential_default_wiring(self):
+        spec = {
+            "name": "chain",
+            "inputs": [{"name": "x", "shape": [2, 8]}],
+            "layers": [
+                {"kind": "dense", "units": 16},
+                {"kind": "tanh"},
+                {"kind": "dense", "units": 4, "activation": None},
+            ],
+        }
+        g = build_from_spec(spec)
+        (out,) = run_graph(g, make_inputs(g))
+        assert out.shape == (2, 4)
+
+    def test_embedding_and_transformer(self):
+        spec = {
+            "name": "nlp",
+            "inputs": [{"name": "tokens", "shape": [1, 6], "dtype": "int64"}],
+            "layers": [
+                {"kind": "embedding", "vocab": 50, "dim": 8},
+                {"kind": "transformer", "heads": 2, "layers": 2, "d_ff": 16},
+            ],
+        }
+        g = build_from_spec(spec)
+        (out,) = run_graph(g, make_inputs(g))
+        assert out.shape == (1, 6, 8)
+
+    def test_residual_add(self):
+        spec = {
+            "name": "res",
+            "inputs": [{"name": "x", "shape": [1, 8]}],
+            "layers": [
+                {"kind": "dense", "name": "fc", "units": 8},
+                {"kind": "add", "name": "res", "inputs": ["fc", "x"]},
+            ],
+        }
+        g = build_from_spec(spec)
+        (out,) = run_graph(g, make_inputs(g))
+        assert out.shape == (1, 8)
+
+    def test_resnet_layer(self):
+        spec = {
+            "name": "cnn",
+            "inputs": [{"name": "image", "shape": [1, 3, 32, 32]}],
+            "layers": [{"kind": "resnet", "depth": 18}],
+        }
+        g = build_from_spec(spec)
+        assert sum(1 for n in g.op_nodes() if n.op == "conv2d") == 20
+
+    def test_unknown_kind_rejected(self):
+        spec = {
+            "inputs": [{"name": "x", "shape": [1, 4]}],
+            "layers": [{"kind": "magic"}],
+        }
+        with pytest.raises(IRError, match="unknown layer kind"):
+            build_from_spec(spec)
+
+    def test_unknown_reference_rejected(self):
+        spec = {
+            "inputs": [{"name": "x", "shape": [1, 4]}],
+            "layers": [{"kind": "dense", "units": 4, "input": "ghost"}],
+        }
+        with pytest.raises(IRError, match="unknown layer/input"):
+            build_from_spec(spec)
+
+    def test_duplicate_name_rejected(self):
+        spec = {
+            "inputs": [{"name": "x", "shape": [1, 4]}],
+            "layers": [
+                {"kind": "dense", "name": "a", "units": 4},
+                {"kind": "tanh", "name": "a"},
+            ],
+        }
+        with pytest.raises(IRError, match="duplicate layer name"):
+            build_from_spec(spec)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(IRError):
+            build_from_spec({"layers": [{"kind": "tanh"}]})
+        with pytest.raises(IRError):
+            build_from_spec({"inputs": [{"name": "x", "shape": [1, 2]}]})
+
+    def test_supported_kinds_exposed(self):
+        assert "dense" in SUPPORTED_LAYER_KINDS
+        assert "lstm" in SUPPORTED_LAYER_KINDS
+
+
+class TestBuildFromJson:
+    def test_round_trip(self):
+        g = build_from_json(json.dumps(_two_branch_spec()))
+        g.validate()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(IRError, match="invalid model spec JSON"):
+            build_from_json("{nope")
+
+
+class TestSpecThroughEngine:
+    def test_spec_model_schedules_heterogeneously(self, machine):
+        """A conv+lstm spec model splits across devices like quickstart."""
+        spec = _two_branch_spec()
+        spec["inputs"][0]["shape"] = [1, 3, 64, 64]
+        spec["inputs"][1]["shape"] = [1, 50, 128]
+        spec["layers"][2]["hidden"] = 128
+        g = build_from_spec(spec)
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(g)
+        assert opt.latency > 0
+        feeds = make_inputs(g)
+        result = engine.run(opt, inputs=feeds)
+        ref = run_graph(g, feeds)
+        np.testing.assert_allclose(result.outputs[0], ref[0], rtol=1e-4,
+                                   atol=1e-5)

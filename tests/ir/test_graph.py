@@ -1,0 +1,142 @@
+"""Tests for the Graph container and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError, IRError
+from repro.ir import GraphBuilder
+from repro.ir.dtype import TensorType
+from repro.ir.graph import Graph
+from repro.ir.node import Node, NodeKind
+
+
+def _op(nid, op, inputs, shape=(2, 2)):
+    return Node(
+        id=nid, kind=NodeKind.OP, ty=TensorType(shape), op=op, inputs=tuple(inputs)
+    )
+
+
+def _inp(nid, shape=(2, 2)):
+    return Node(id=nid, kind=NodeKind.INPUT, ty=TensorType(shape))
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("g", [_inp("x"), _inp("x")], ["x"])
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("g", [_inp("x")], ["y"])
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("g", [_inp("x")], [])
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("g", [_op("a", "relu", ["ghost"])], ["a"])
+
+    def test_cycle_rejected(self):
+        nodes = [_op("a", "relu", ["b"]), _op("b", "relu", ["a"])]
+        with pytest.raises(GraphValidationError):
+            Graph("g", nodes, ["a"])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Graph("g", [_inp("x"), _op("a", "add", ["x"])], ["a"])
+
+    def test_declared_type_must_match_inference(self):
+        bad = Node(
+            id="a",
+            kind=NodeKind.OP,
+            ty=TensorType((9, 9)),  # relu of (2,2) is (2,2)
+            op="relu",
+            inputs=("x",),
+        )
+        with pytest.raises(GraphValidationError):
+            Graph("g", [_inp("x"), bad], ["a"])
+
+
+class TestAccessors:
+    def test_topo_order_respects_dependencies(self, diamond_graph):
+        order = diamond_graph.topo_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for node in diamond_graph:
+            for src in node.inputs:
+                assert pos[src] < pos[node.id]
+
+    def test_consumers(self, diamond_graph):
+        assert set(diamond_graph.consumers("a")) == {"left", "right"}
+        assert diamond_graph.consumers("join") == ()
+
+    def test_unknown_node_raises(self, diamond_graph):
+        with pytest.raises(IRError):
+            diamond_graph.node("nope")
+
+    def test_node_partitions(self, diamond_graph):
+        assert len(diamond_graph.input_nodes()) == 1
+        assert len(diamond_graph.op_nodes()) == 4
+        assert len(diamond_graph) == 5
+
+    def test_contains_and_iter(self, diamond_graph):
+        assert "a" in diamond_graph
+        assert "nope" not in diamond_graph
+        assert {n.id for n in diamond_graph} == set(diamond_graph.nodes)
+
+    def test_output_types(self, diamond_graph):
+        assert diamond_graph.output_types() == [TensorType((2, 8))]
+
+
+class TestUtilities:
+    def test_total_flops_positive(self, diamond_graph):
+        assert diamond_graph.total_flops() > 0
+
+    def test_num_params(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        w = b.const((8, 4))
+        g = b.build(b.op("dense", x, w))
+        assert g.num_params() == 32
+
+    def test_materialize_params_deterministic(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        w = b.const((8, 4), name="w")
+        g = b.build(b.op("dense", x, w))
+        p1 = g.materialize_params(seed=3)
+        p2 = g.materialize_params(seed=3)
+        np.testing.assert_array_equal(p1["w"], p2["w"])
+        p3 = g.materialize_params(seed=4)
+        assert not np.array_equal(p1["w"], p3["w"])
+
+    def test_params_independent_of_other_nodes(self):
+        # The same-named const gets the same data regardless of siblings.
+        b1 = GraphBuilder("g")
+        x1 = b1.input("x", (1, 4))
+        w1 = b1.const((8, 4), name="w")
+        g1 = b1.build(b1.op("dense", x1, w1))
+
+        b2 = GraphBuilder("g")
+        x2 = b2.input("x", (1, 4))
+        other = b2.const((2, 2), name="other")
+        w2 = b2.const((8, 4), name="w")
+        d = b2.op("dense", x2, w2)
+        g2 = b2.build(d)
+
+        np.testing.assert_array_equal(
+            g1.materialize_params(0)["w"], g2.materialize_params(0)["w"]
+        )
+
+    def test_pruned_removes_dead_nodes(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        live = b.op("relu", x)
+        b.op("tanh", x)  # dead
+        g = b.build(live)
+        assert len(g.pruned()) == 2
+
+    def test_with_outputs(self, diamond_graph):
+        g2 = diamond_graph.with_outputs(["left"])
+        assert g2.outputs == ("left",)
+        assert len(g2) == len(diamond_graph)

@@ -1,0 +1,80 @@
+"""Tests for the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ir import GraphBuilder, make_inputs, run_graph
+from repro.ir.dtype import INT64
+
+
+class TestRunGraph:
+    def test_simple_dense_relu(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 4))
+        w = b.const((3, 4), name="w")
+        y = b.op("relu", b.op("dense", x, w))
+        g = b.build(y)
+        feeds = {"x": rng.standard_normal((2, 4)).astype(np.float32)}
+        params = g.materialize_params(0)
+        (out,) = run_graph(g, feeds, params)
+        np.testing.assert_allclose(
+            out, np.maximum(feeds["x"] @ params["w"].T, 0), rtol=1e-5
+        )
+
+    def test_multiple_outputs(self, diamond_graph):
+        g2 = diamond_graph.with_outputs(["left", "right", "join"])
+        outs = run_graph(g2, make_inputs(g2))
+        assert len(outs) == 3
+        np.testing.assert_allclose(outs[0] + outs[1], outs[2], rtol=1e-5)
+
+    def test_missing_input_raises(self, diamond_graph):
+        with pytest.raises(ExecutionError):
+            run_graph(diamond_graph, {})
+
+    def test_wrong_input_shape_raises(self, diamond_graph):
+        with pytest.raises(ExecutionError):
+            run_graph(diamond_graph, {"x": np.zeros((1, 1), dtype=np.float32)})
+
+    def test_missing_param_raises(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 2))
+        w = b.const((2, 2), name="w")
+        g = b.build(b.op("dense", x, w))
+        with pytest.raises(ExecutionError):
+            run_graph(g, make_inputs(g), params={})
+
+    def test_seed_changes_params_not_inputs(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        w = b.const((4, 4), name="w")
+        g = b.build(b.op("dense", x, w))
+        feeds = make_inputs(g, seed=7)
+        a = run_graph(g, feeds, seed=1)[0]
+        bb = run_graph(g, feeds, seed=2)[0]
+        assert not np.allclose(a, bb)
+
+
+class TestMakeInputs:
+    def test_shapes_and_dtypes(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3))
+        t = b.input("tokens", (1, 5), dtype=INT64)
+        tbl = b.const((10, 3))
+        g = b.build(b.op("embedding", tbl, t), x)
+        feeds = make_inputs(g)
+        assert feeds["x"].shape == (2, 3) and feeds["x"].dtype == np.float32
+        assert feeds["tokens"].dtype == np.int64
+
+    def test_integer_inputs_respect_init_high(self):
+        b = GraphBuilder("g")
+        t = b.input("tokens", (1, 100), dtype=INT64)
+        t2 = b.op("reshape", t, shape=(100,))
+        g = b.build(t2)
+        feeds = make_inputs(g)
+        assert feeds["tokens"].max() < 2  # default init_high
+
+    def test_deterministic(self, diamond_graph):
+        a = make_inputs(diamond_graph, seed=5)
+        b = make_inputs(diamond_graph, seed=5)
+        np.testing.assert_array_equal(a["x"], b["x"])

@@ -1,0 +1,99 @@
+"""Tests for Node construction and parameter materialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir.dtype import INT64, TensorType
+from repro.ir.node import Initializer, Node, NodeKind
+
+
+def _const(**kw):
+    defaults = dict(id="c", kind=NodeKind.CONST, ty=TensorType((3, 2)))
+    defaults.update(kw)
+    return Node(**defaults)
+
+
+class TestNodeInvariants:
+    def test_op_node_requires_op_name(self):
+        with pytest.raises(IRError):
+            Node(id="x", kind=NodeKind.OP, ty=TensorType((1,)))
+
+    def test_input_node_rejects_op_name(self):
+        with pytest.raises(IRError):
+            Node(id="x", kind=NodeKind.INPUT, ty=TensorType((1,)), op="relu")
+
+    def test_leaf_rejects_inputs(self):
+        with pytest.raises(IRError):
+            Node(
+                id="x", kind=NodeKind.CONST, ty=TensorType((1,)), inputs=("y",)
+            )
+
+    def test_literal_requires_payload(self):
+        with pytest.raises(IRError):
+            _const(init=Initializer.LITERAL)
+
+    def test_kind_predicates(self):
+        n = Node(
+            id="a", kind=NodeKind.OP, ty=TensorType((1,)), op="relu", inputs=("x",)
+        )
+        assert n.is_op and not n.is_input and not n.is_const
+
+    def test_with_inputs(self):
+        n = Node(
+            id="a", kind=NodeKind.OP, ty=TensorType((1,)), op="relu", inputs=("x",)
+        )
+        m = n.with_inputs(("y",))
+        assert m.inputs == ("y",) and m.id == n.id and m.op == "relu"
+
+    def test_with_id(self):
+        n = _const()
+        assert n.with_id("c2").id == "c2"
+
+
+class TestMaterialize:
+    def test_normal_is_deterministic_per_generator(self):
+        n = _const()
+        a = n.materialize(np.random.default_rng(1))
+        b = n.materialize(np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (3, 2) and a.dtype == np.float32
+
+    def test_zeros_and_ones(self):
+        z = _const(init=Initializer.ZEROS).materialize(np.random.default_rng(0))
+        o = _const(init=Initializer.ONES).materialize(np.random.default_rng(0))
+        assert z.sum() == 0.0 and o.sum() == 6.0
+
+    def test_uniform_int_respects_high(self):
+        n = _const(
+            ty=TensorType((100,), INT64),
+            init=Initializer.UNIFORM_INT,
+            attrs={"init_high": 7},
+        )
+        v = n.materialize(np.random.default_rng(0))
+        assert v.dtype == np.int64
+        assert v.min() >= 0 and v.max() < 7
+
+    def test_literal_payload_cast(self):
+        n = _const(
+            ty=TensorType((2,)),
+            init=Initializer.LITERAL,
+            literal=np.asarray([1, 2], dtype=np.int32),
+        )
+        v = n.materialize(np.random.default_rng(0))
+        assert v.dtype == np.float32
+        np.testing.assert_array_equal(v, [1.0, 2.0])
+
+    def test_init_scale_attr(self):
+        wide = _const(attrs={"init_scale": 10.0}).materialize(
+            np.random.default_rng(0)
+        )
+        narrow = _const(attrs={"init_scale": 0.001}).materialize(
+            np.random.default_rng(0)
+        )
+        assert wide.std() > narrow.std() * 100
+
+    def test_materialize_non_const_raises(self):
+        n = Node(id="x", kind=NodeKind.INPUT, ty=TensorType((1,)))
+        with pytest.raises(IRError):
+            n.materialize(np.random.default_rng(0))

@@ -1,0 +1,35 @@
+"""Tests for the Relay-style printer."""
+
+from repro.ir import GraphBuilder, format_graph
+
+
+class TestPrinter:
+    def test_contains_all_ops(self, diamond_graph):
+        text = format_graph(diamond_graph)
+        for op in ("relu", "tanh", "sigmoid", "add"):
+            assert op in text
+
+    def test_contains_signature(self, diamond_graph):
+        text = format_graph(diamond_graph)
+        assert "fn diamond(" in text
+        assert "%x: Tensor[(2, 8), float32]" in text
+
+    def test_attrs_rendered(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6))
+        g = b.build(b.op("reshape", x, shape=(3, 4)))
+        assert "shape=" in format_graph(g)
+
+    def test_params_listed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 2))
+        w = b.const((2, 2), name="w")
+        g = b.build(b.op("dense", x, w))
+        assert "param %w" in format_graph(g)
+
+    def test_outputs_rendered(self, diamond_graph):
+        assert "(%join)" in format_graph(diamond_graph)
+
+    def test_topological_listing(self, chain_graph):
+        text = format_graph(chain_graph)
+        assert text.index("relu") < text.index("tanh") < text.index("sigmoid")

@@ -1,0 +1,94 @@
+"""Tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.dtype import INT64, TensorType
+from repro.ir.ops import get_op
+
+
+def _run(name, arrays, **attrs):
+    return get_op(name).compute([np.asarray(a) for a in arrays], attrs)
+
+
+def _infer(name, types, **attrs):
+    return get_op(name).infer_type(types, attrs)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((4, 7)).astype(np.float32)
+        out = _run("softmax", [x], axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_numerically_stable_for_large_logits(self):
+        x = np.asarray([[1000.0, 1000.0]], dtype=np.float32)
+        out = _run("softmax", [x], axis=-1)
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_axis0(self, rng):
+        x = rng.standard_normal((3, 2)).astype(np.float32)
+        out = _run("softmax", [x], axis=0)
+        np.testing.assert_allclose(out.sum(axis=0), 1.0, rtol=1e-5)
+
+    def test_preserves_shape(self):
+        t = TensorType((3, 5))
+        assert _infer("softmax", [t], axis=-1) == t
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            _run("log_softmax", [x], axis=-1),
+            np.log(_run("softmax", [x], axis=-1)),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+
+class TestReductions:
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("reduce_sum", np.sum),
+            ("reduce_mean", np.mean),
+            ("reduce_max", np.max),
+            ("reduce_min", np.min),
+        ],
+    )
+    def test_matches_numpy(self, name, fn, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            _run(name, [x], axis=1), fn(x, axis=1), rtol=1e-5
+        )
+
+    def test_keepdims_shape(self):
+        t = _infer("reduce_sum", [TensorType((3, 5))], axis=1, keepdims=True)
+        assert t.shape == (3, 1)
+
+    def test_drop_axis_shape(self):
+        t = _infer("reduce_sum", [TensorType((3, 5))], axis=0)
+        assert t.shape == (5,)
+
+    def test_reduce_to_scalar_keeps_rank1(self):
+        t = _infer("reduce_mean", [TensorType((5,))], axis=0)
+        assert t.shape == (1,)
+        out = _run("reduce_mean", [np.ones(5, dtype=np.float32)], axis=0)
+        assert out.shape == (1,)
+
+    def test_bad_axis_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("reduce_sum", [TensorType((3, 5))], axis=2)
+
+
+class TestArgmax:
+    def test_values(self):
+        x = np.asarray([[1.0, 5.0, 2.0], [9.0, 0.0, 3.0]], dtype=np.float32)
+        out = _run("argmax", [x], axis=1)
+        np.testing.assert_array_equal(out, [1, 0])
+        assert out.dtype == np.int64
+
+    def test_infer_dtype(self):
+        t = _infer("argmax", [TensorType((3, 5))], axis=1)
+        assert t.dtype is INT64
+        assert t.shape == (3,)

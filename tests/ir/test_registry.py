@@ -1,0 +1,64 @@
+"""Tests for the operator registry."""
+
+import pytest
+
+from repro.errors import UnknownOpError
+from repro.ir.dtype import TensorType
+from repro.ir.ops import (
+    OpKind,
+    OpPattern,
+    OpSpec,
+    get_op,
+    has_op,
+    list_ops,
+    register_op,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in (
+            "dense", "conv2d", "lstm", "gru", "relu", "add", "softmax",
+            "concat", "reshape", "embedding", "batch_norm", "layer_norm",
+        ):
+            assert has_op(name), name
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownOpError):
+            get_op("not_an_op")
+
+    def test_list_ops_sorted(self):
+        names = list_ops()
+        assert names == sorted(names)
+        assert len(names) >= 30
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_op(
+                OpSpec(
+                    name="relu",
+                    arity=1,
+                    pattern=OpPattern.ELEMWISE,
+                    kind=OpKind.ELEMWISE,
+                    infer_type=lambda i, a: i[0],
+                    compute=lambda xs, a: xs[0],
+                )
+            )
+
+    def test_default_flops_counts_output_elements(self):
+        spec = get_op("add")
+        out = TensorType((2, 8))
+        assert spec.flops([out, out], out, {}) == 16.0
+
+    def test_default_steps_is_one(self):
+        spec = get_op("relu")
+        assert spec.sequential_steps([TensorType((2, 2))], {}) == 1
+
+    def test_lstm_metadata(self):
+        spec = get_op("lstm")
+        assert spec.pattern is OpPattern.OPAQUE
+        assert spec.kind is OpKind.RECURRENT
+        assert spec.kernels_per_step == 2
+
+    def test_conv_is_out_fusable(self):
+        assert get_op("conv2d").pattern is OpPattern.OUT_FUSABLE

@@ -1,0 +1,73 @@
+"""Tests for graph JSON serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import IRError
+from repro.ir import GraphBuilder, make_inputs, run_graph
+from repro.ir.serialize import dumps, graph_from_dict, graph_to_dict, loads
+from tests.strategies import random_graphs
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, diamond_graph):
+        g2 = loads(dumps(diamond_graph))
+        assert g2.name == diamond_graph.name
+        assert set(g2.nodes) == set(diamond_graph.nodes)
+        assert g2.outputs == diamond_graph.outputs
+
+    def test_semantics_preserved(self, diamond_graph):
+        g2 = loads(dumps(diamond_graph))
+        feeds = make_inputs(diamond_graph)
+        np.testing.assert_allclose(
+            run_graph(diamond_graph, feeds)[0], run_graph(g2, feeds)[0]
+        )
+
+    def test_literal_payload_survives(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2,))
+        lit = b.literal(np.asarray([3.0, 4.0], dtype=np.float32), name="lit")
+        g = b.build(b.op("add", x, lit))
+        g2 = loads(dumps(g))
+        np.testing.assert_array_equal(g2.node("lit").literal, [3.0, 4.0])
+
+    def test_tuple_attrs_survive(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        w = b.const((4, 3, 3, 3))
+        g = b.build(b.op("conv2d", x, w, strides=(2, 2), padding=(1, 1)))
+        g2 = loads(dumps(g))
+        conv = next(n for n in g2.op_nodes())
+        assert conv.attrs["strides"] == (2, 2)
+        assert isinstance(conv.attrs["strides"], tuple)
+
+    def test_zoo_models_round_trip(self, tiny_model):
+        g2 = loads(dumps(tiny_model))
+        feeds = make_inputs(tiny_model)
+        a = run_graph(tiny_model, feeds)
+        b = run_graph(g2, feeds)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y, rtol=1e-5, atol=1e-6)
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(IRError):
+            loads("{not json")
+
+    def test_dict_form_is_json_compatible(self, diamond_graph):
+        import json
+
+        data = graph_to_dict(diamond_graph)
+        json.dumps(data)  # should not raise
+        g2 = graph_from_dict(data)
+        assert set(g2.nodes) == set(diamond_graph.nodes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_graphs(max_ops=12))
+    def test_random_graphs_round_trip(self, graph):
+        g2 = loads(dumps(graph))
+        feeds = make_inputs(graph)
+        a = run_graph(graph, feeds)
+        b = run_graph(g2, feeds)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y, rtol=1e-5, atol=1e-6)

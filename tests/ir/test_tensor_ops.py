@@ -1,0 +1,169 @@
+"""Tests for data-movement operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TypeCheckError
+from repro.ir.dtype import FLOAT32, INT64, TensorType
+from repro.ir.ops import get_op
+
+
+def _run(name, arrays, **attrs):
+    return get_op(name).compute([np.asarray(a) for a in arrays], attrs)
+
+
+def _infer(name, types, **attrs):
+    return get_op(name).infer_type(types, attrs)
+
+
+class TestReshape:
+    def test_basic(self, rng):
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        out = _run("reshape", [x], shape=(3, 4))
+        np.testing.assert_array_equal(out, x.reshape(3, 4))
+
+    def test_infer_with_minus_one(self):
+        t = _infer("reshape", [TensorType((2, 6))], shape=(4, -1))
+        assert t.shape == (4, 3)
+
+    def test_element_count_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("reshape", [TensorType((2, 6))], shape=(5, 2))
+
+    def test_bad_minus_one_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("reshape", [TensorType((2, 5))], shape=(3, -1))
+
+    def test_zero_flops(self):
+        spec = get_op("reshape")
+        t = TensorType((2, 6))
+        assert spec.flops([t], t.with_shape((12,)), {"shape": (12,)}) == 0.0
+
+
+class TestFlatten:
+    def test_keeps_leading_dim(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = _run("flatten", [x])
+        assert out.shape == (2, 12)
+
+    def test_infer(self):
+        assert _infer("flatten", [TensorType((5, 2, 2))]).shape == (5, 4)
+
+
+class TestTranspose:
+    def test_default_reverses(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = _run("transpose", [x])
+        assert out.shape == (4, 3, 2)
+
+    def test_explicit_axes(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = _run("transpose", [x], axes=(0, 2, 1))
+        np.testing.assert_array_equal(out, np.transpose(x, (0, 2, 1)))
+
+    def test_invalid_axes_raise(self):
+        with pytest.raises(ShapeError):
+            _infer("transpose", [TensorType((2, 3))], axes=(0, 0))
+
+
+class TestConcat:
+    def test_axis0(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((4, 3)).astype(np.float32)
+        out = _run("concat", [a, b], axis=0)
+        np.testing.assert_array_equal(out, np.concatenate([a, b]))
+
+    def test_negative_axis_infer(self):
+        t = _infer("concat", [TensorType((2, 3)), TensorType((2, 5))], axis=-1)
+        assert t.shape == (2, 8)
+
+    def test_three_inputs(self):
+        t = _infer(
+            "concat",
+            [TensorType((1, 2)), TensorType((1, 3)), TensorType((1, 4))],
+            axis=1,
+        )
+        assert t.shape == (1, 9)
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("concat", [TensorType((2, 3)), TensorType((2, 3, 1))], axis=0)
+
+    def test_non_concat_axis_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("concat", [TensorType((2, 3)), TensorType((3, 3))], axis=1)
+
+    def test_dtype_mismatch_raises(self):
+        with pytest.raises(TypeCheckError):
+            _infer(
+                "concat",
+                [TensorType((2,), FLOAT32), TensorType((2,), INT64)],
+                axis=0,
+            )
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ShapeError):
+            _infer("concat", [], axis=0)
+
+
+class TestStridedSlice:
+    def test_basic(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        out = _run("strided_slice", [x], begin=(1, 2), end=(3, 6))
+        np.testing.assert_array_equal(out, x[1:3, 2:6])
+
+    def test_result_contiguous(self, rng):
+        x = rng.standard_normal((4, 6)).astype(np.float32)
+        out = _run("strided_slice", [x], begin=(0, 0), end=(2, 3))
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("strided_slice", [TensorType((4, 6))], begin=(0, 0), end=(5, 6))
+
+    def test_empty_slice_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("strided_slice", [TensorType((4,))], begin=(2,), end=(2,))
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            _infer("strided_slice", [TensorType((4, 6))], begin=(0,), end=(4,))
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.standard_normal((10, 4)).astype(np.float32)
+        idx = np.asarray([[1, 3], [0, 9]], dtype=np.int64)
+        out = _run("embedding", [table, idx])
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out[0, 1], table[3])
+
+    def test_infer(self):
+        t = _infer(
+            "embedding", [TensorType((100, 8)), TensorType((2, 5), INT64)]
+        )
+        assert t.shape == (2, 5, 8)
+        assert t.dtype is FLOAT32
+
+    def test_float_indices_raise(self):
+        with pytest.raises(TypeCheckError):
+            _infer("embedding", [TensorType((100, 8)), TensorType((2, 5))])
+
+    def test_non_2d_table_raises(self):
+        with pytest.raises(ShapeError):
+            _infer(
+                "embedding",
+                [TensorType((100, 8, 2)), TensorType((2,), INT64)],
+            )
+
+
+class TestReverse:
+    def test_time_axis(self, rng):
+        x = rng.standard_normal((2, 5, 3)).astype(np.float32)
+        out = _run("reverse", [x], axis=1)
+        np.testing.assert_array_equal(out, x[:, ::-1, :])
+
+    def test_double_reverse_is_identity(self, rng):
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        out = _run("reverse", [_run("reverse", [x], axis=0)], axis=0)
+        np.testing.assert_array_equal(out, x)

@@ -1,0 +1,88 @@
+"""Tests for traversal utilities."""
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.traversal import (
+    ancestors,
+    are_independent,
+    critical_path,
+    descendants,
+    node_depths,
+    weakly_connected_components,
+)
+
+
+class TestReachability:
+    def test_ancestors(self, diamond_graph):
+        assert ancestors(diamond_graph, "join") == {"x", "a", "left", "right"}
+        assert ancestors(diamond_graph, "a") == {"x"}
+        assert ancestors(diamond_graph, "x") == set()
+
+    def test_descendants(self, diamond_graph):
+        assert descendants(diamond_graph, "a") == {"left", "right", "join"}
+        assert descendants(diamond_graph, "join") == set()
+
+    def test_independence(self, diamond_graph):
+        assert are_independent(diamond_graph, {"left"}, {"right"})
+        assert not are_independent(diamond_graph, {"a"}, {"left"})
+        assert not are_independent(diamond_graph, {"left"}, {"join"})
+
+
+class TestDepths:
+    def test_op_only_depths(self, diamond_graph):
+        d = node_depths(diamond_graph)
+        assert d["a"] == 0
+        assert d["left"] == d["right"] == 1
+        assert d["join"] == 2
+
+    def test_leaves_transparent(self, diamond_graph):
+        d = node_depths(diamond_graph)
+        assert d["x"] == -1  # leaf contributes no depth
+
+
+class TestCriticalPath:
+    def test_picks_expensive_branch(self, diamond_graph):
+        costs = {"a": 1.0, "left": 10.0, "right": 1.0, "join": 1.0}
+        path, total = critical_path(
+            diamond_graph, lambda n: costs.get(n, 0.0)
+        )
+        assert "left" in path and "right" not in path
+        assert total == 12.0
+
+    def test_path_is_topologically_ordered(self, diamond_graph):
+        path, _ = critical_path(diamond_graph, lambda n: 1.0)
+        pos = {n: i for i, n in enumerate(diamond_graph.topo_order())}
+        assert [pos[n] for n in path] == sorted(pos[n] for n in path)
+
+    def test_chain_includes_everything(self, chain_graph):
+        path, total = critical_path(
+            chain_graph,
+            lambda n: 1.0 if chain_graph.node(n).is_op else 0.0,
+        )
+        assert total == 4.0
+
+
+class TestComponents:
+    def test_branches_are_separate_components(self, diamond_graph):
+        comps = weakly_connected_components(diamond_graph, {"left", "right"})
+        assert len(comps) == 2
+
+    def test_connected_through_member(self, diamond_graph):
+        comps = weakly_connected_components(
+            diamond_graph, {"a", "left", "right"}
+        )
+        assert len(comps) == 1
+
+    def test_deterministic_order(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        n1 = b.op("relu", x, name="n1")
+        n2 = b.op("tanh", x, name="n2")
+        n3 = b.op("sigmoid", x, name="n3")
+        g = b.build(b.op("add", b.op("add", n1, n2), n3))
+        comps = weakly_connected_components(g, {"n1", "n2", "n3"})
+        assert comps == [{"n1"}, {"n2"}, {"n3"}]
+
+    def test_empty_set(self, diamond_graph):
+        assert weakly_connected_components(diamond_graph, set()) == []

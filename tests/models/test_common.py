@@ -1,0 +1,112 @@
+"""Tests for the shared layer builders."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder, make_inputs, run_graph
+from repro.models.common import (
+    conv_bn_relu,
+    dense_layer,
+    last_timestep,
+    lstm_layer,
+    mlp,
+    stacked_lstm,
+    transformer_encoder_layer,
+)
+
+
+class TestDenseAndMLP:
+    def test_dense_layer_shape(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        y = dense_layer(b, x, 5, "fc")
+        assert y.shape == (2, 5)
+
+    def test_dense_no_activation(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        y = dense_layer(b, x, 5, "fc", activation=None)
+        g = b.build(y)
+        assert all(n.op != "relu" for n in g.op_nodes())
+
+    def test_mlp_final_activation(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        y = mlp(b, x, [8, 8, 2], "m", final_activation="sigmoid")
+        g = b.build(y)
+        (out,) = run_graph(g, make_inputs(g))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_mlp_layer_count(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4))
+        y = mlp(b, x, [8, 8, 8], "m")
+        g = b.build(y)
+        assert sum(1 for n in g.op_nodes() if n.op == "dense") == 3
+
+
+class TestRecurrentHelpers:
+    def test_lstm_layer_shapes(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 7, 4))
+        seq = lstm_layer(b, x, 6, "l", return_sequences=True)
+        assert seq.shape == (2, 7, 6)
+
+    def test_stacked_lstm_final_shape(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 7, 4))
+        y = stacked_lstm(b, x, 6, 3, "s", return_sequences=False)
+        assert y.shape == (2, 6)
+
+    def test_last_timestep(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 7, 4))
+        y = last_timestep(b, x)
+        g = b.build(y)
+        feeds = make_inputs(g)
+        (out,) = run_graph(g, feeds)
+        np.testing.assert_allclose(out, feeds["x"][:, -1, :])
+
+
+class TestConvHelpers:
+    def test_conv_bn_relu_nonnegative(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = conv_bn_relu(b, x, 4, 3, 1, 1, "c")
+        g = b.build(y)
+        (out,) = run_graph(g, make_inputs(g))
+        assert out.shape == (1, 4, 8, 8)
+        assert np.all(out >= 0)
+
+    def test_conv_bn_no_relu_signed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        y = conv_bn_relu(b, x, 4, 3, 1, 1, "c", relu=False)
+        g = b.build(y)
+        (out,) = run_graph(g, make_inputs(g))
+        assert (out < 0).any()
+
+
+class TestTransformerLayer:
+    def test_shape_preserved(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6, 8))
+        y = transformer_encoder_layer(b, x, num_heads=2, d_ff=16, prefix="t")
+        assert y.shape == (2, 6, 8)
+
+    def test_indivisible_heads_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6, 10))
+        with pytest.raises(ValueError):
+            transformer_encoder_layer(b, x, num_heads=3, d_ff=16, prefix="t")
+
+    def test_output_is_normalized(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4, 8))
+        y = transformer_encoder_layer(b, x, num_heads=2, d_ff=16, prefix="t")
+        g = b.build(y)
+        (out,) = run_graph(g, make_inputs(g))
+        # Final layer_norm with unit-ish gamma: per-token variance near the
+        # gamma scale; just assert it's finite and non-degenerate.
+        assert np.isfinite(out).all()
+        assert out.std() > 0

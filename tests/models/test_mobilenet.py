@@ -1,0 +1,109 @@
+"""Tests for MobileNet-V1 and the depthwise_conv2d operator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, ShapeError
+from repro.ir import make_inputs, run_graph
+from repro.ir.dtype import TensorType
+from repro.ir.ops import get_op
+from repro.models import MobileNetConfig, build_mobilenet
+from repro.models.zoo import tiny_config
+
+
+class TestDepthwiseConvOp:
+    def test_matches_naive(self, rng):
+        x = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        out = get_op("depthwise_conv2d").compute(
+            [x, w], {"strides": (1, 1), "padding": (1, 1)}
+        )
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros_like(out)
+        for c in range(4):
+            for i in range(6):
+                for j in range(6):
+                    ref[0, c, i, j] = np.sum(xp[0, c, i : i + 3, j : j + 3] * w[c, 0])
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_infer_shapes(self):
+        spec = get_op("depthwise_conv2d")
+        t = spec.infer_type(
+            [TensorType((1, 8, 16, 16)), TensorType((8, 1, 3, 3))],
+            {"strides": (2, 2), "padding": (1, 1)},
+        )
+        assert t.shape == (1, 8, 8, 8)
+
+    def test_channel_mismatch_raises(self):
+        spec = get_op("depthwise_conv2d")
+        with pytest.raises(ShapeError):
+            spec.infer_type(
+                [TensorType((1, 8, 16, 16)), TensorType((4, 1, 3, 3))], {}
+            )
+
+    def test_multiplier_must_be_one(self):
+        spec = get_op("depthwise_conv2d")
+        with pytest.raises(ShapeError):
+            spec.infer_type(
+                [TensorType((1, 8, 16, 16)), TensorType((8, 2, 3, 3))], {}
+            )
+
+    def test_flops_lower_than_dense_conv(self):
+        dw = get_op("depthwise_conv2d")
+        conv = get_op("conv2d")
+        data = TensorType((1, 32, 16, 16))
+        dw_out = dw.infer_type([data, TensorType((32, 1, 3, 3))], {"padding": (1, 1)})
+        conv_out = conv.infer_type(
+            [data, TensorType((32, 32, 3, 3))], {"padding": (1, 1)}
+        )
+        dw_flops = dw.flops([data, TensorType((32, 1, 3, 3))], dw_out, {})
+        conv_flops = conv.flops(
+            [data, TensorType((32, 32, 3, 3))], conv_out, {}
+        )
+        assert conv_flops == pytest.approx(32 * dw_flops)
+
+
+class TestMobileNet:
+    def test_builds_and_runs(self):
+        g = build_mobilenet(tiny_config("mobilenet"))
+        g.validate()
+        (out,) = run_graph(g, make_inputs(g))
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_width_multiplier(self):
+        narrow = build_mobilenet(
+            MobileNetConfig(image_size=32, width_mult=0.25, num_classes=10)
+        )
+        wide = build_mobilenet(
+            MobileNetConfig(image_size=32, width_mult=1.0, num_classes=10)
+        )
+        assert narrow.num_params() < wide.num_params() / 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(IRError):
+            MobileNetConfig(width_mult=0.0)
+        with pytest.raises(IRError):
+            MobileNetConfig(image_size=100)
+
+    def test_block_structure(self):
+        g = build_mobilenet(tiny_config("mobilenet"))
+        dw = sum(1 for n in g.op_nodes() if n.op == "depthwise_conv2d")
+        pw = sum(1 for n in g.op_nodes() if n.op == "conv2d")
+        assert dw == 13
+        assert pw == 14  # 13 pointwise + stem
+
+    def test_falls_back_to_gpu(self, engine):
+        from repro.models import build_model
+
+        opt = engine.optimize(build_model("mobilenet"))
+        assert opt.fallback_device == "gpu"
+
+    def test_narrower_cpu_gpu_gap_than_resnet(self, engine):
+        """Depthwise convs are memory-bound: smaller GPU advantage."""
+        from repro.models import build_model
+
+        mb = engine.optimize(build_model("mobilenet"))
+        rn = engine.optimize(build_model("resnet"))
+        mb_gap = mb.single_device_latency["cpu"] / mb.single_device_latency["gpu"]
+        rn_gap = rn.single_device_latency["cpu"] / rn.single_device_latency["gpu"]
+        assert mb_gap < rn_gap

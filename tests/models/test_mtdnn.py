@@ -1,0 +1,59 @@
+"""Tests for the MT-DNN builder."""
+
+import numpy as np
+import pytest
+
+from repro.ir import make_inputs, run_graph
+from repro.models import MTDNNConfig, build_mtdnn
+from repro.models.zoo import tiny_config
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_mtdnn(tiny_config("mtdnn"))
+
+
+class TestMTDNN:
+    def test_one_output_per_task(self, graph):
+        cfg = tiny_config("mtdnn")
+        assert len(graph.outputs) == cfg.num_tasks
+
+    def test_outputs_are_distributions(self, graph):
+        outs = run_graph(graph, make_inputs(graph))
+        for out in outs:
+            np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+
+    def test_token_input_is_integer(self, graph):
+        (tokens,) = graph.input_nodes()
+        assert tokens.ty.dtype.name == "int64"
+
+    def test_encoder_layer_count(self):
+        cfg = tiny_config("mtdnn")
+        g2 = build_mtdnn(cfg)
+        from dataclasses import replace
+
+        g4 = build_mtdnn(replace(cfg, num_layers=4))
+        ln2 = sum(1 for n in g2.op_nodes() if n.op == "layer_norm")
+        ln4 = sum(1 for n in g4.op_nodes() if n.op == "layer_norm")
+        assert ln4 == 2 * ln2  # two layer_norms per encoder layer
+
+    def test_head_count_scales(self):
+        from dataclasses import replace
+
+        cfg = tiny_config("mtdnn")
+        g = build_mtdnn(replace(cfg, num_tasks=5))
+        assert len(g.outputs) == 5
+
+    def test_heads_differ_numerically(self, graph):
+        # Independent task heads have independent weights.
+        outs = run_graph(graph, make_inputs(graph))
+        assert not np.allclose(outs[0], outs[1])
+
+    def test_d_model_divisibility_checked(self):
+        cfg = MTDNNConfig(d_model=10, num_heads=3)
+        with pytest.raises(ValueError):
+            build_mtdnn(cfg)
+
+    def test_attention_uses_batch_matmul(self, graph):
+        ops = {n.op for n in graph.op_nodes()}
+        assert "batch_matmul" in ops and "softmax" in ops

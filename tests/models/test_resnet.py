@@ -1,0 +1,54 @@
+"""Tests for the ResNet builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import make_inputs, run_graph
+from repro.models import ResNetConfig, build_resnet
+
+
+class TestResNet:
+    def test_supported_depths(self):
+        for depth in (18, 34, 50, 101):
+            cfg = ResNetConfig(depth=depth, image_size=32, num_classes=10)
+            g = build_resnet(cfg)
+            g.validate()
+
+    def test_unsupported_depth_rejected(self):
+        with pytest.raises(IRError):
+            ResNetConfig(depth=42)
+
+    def test_output_is_distribution(self):
+        cfg = ResNetConfig(depth=18, image_size=32, num_classes=10)
+        g = build_resnet(cfg)
+        (out,) = run_graph(g, make_inputs(g))
+        assert out.shape == (1, 10)
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_conv_counts(self):
+        # ResNet-18: stem + 8 blocks x 2 convs + 3 downsamples = 20
+        g18 = build_resnet(ResNetConfig(depth=18, image_size=32))
+        convs = sum(1 for n in g18.op_nodes() if n.op == "conv2d")
+        assert convs == 20
+
+    def test_bottleneck_widths(self):
+        g = build_resnet(ResNetConfig(depth=50, image_size=32, num_classes=4))
+        # Bottleneck expansion: final stage is 2048-wide.
+        gap = next(n for n in g.op_nodes() if n.op == "global_avg_pool2d")
+        assert g.node(gap.inputs[0]).ty.shape[1] == 2048
+
+    def test_param_count_ordering(self):
+        p18 = build_resnet(ResNetConfig(depth=18, image_size=32)).num_params()
+        p34 = build_resnet(ResNetConfig(depth=34, image_size=32)).num_params()
+        p101 = build_resnet(ResNetConfig(depth=101, image_size=32)).num_params()
+        assert p18 < p34 < p101
+
+    def test_full_size_flop_magnitude(self):
+        # ResNet-18 at 224x224: ~3.6 GFLOPs (2 FLOPs per MAC).
+        g = build_resnet(ResNetConfig(depth=18))
+        assert 2.5e9 < g.total_flops() < 5e9
+
+    def test_batch_dimension(self):
+        g = build_resnet(ResNetConfig(depth=18, image_size=32, batch=3))
+        assert g.output_types()[0].shape[0] == 3

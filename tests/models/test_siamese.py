@@ -1,0 +1,56 @@
+"""Tests for the Siamese network builder."""
+
+import numpy as np
+import pytest
+
+from repro.ir import make_inputs, run_graph
+from repro.models import build_siamese
+from repro.models.zoo import tiny_config
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_siamese(tiny_config("siamese"))
+
+
+class TestSiamese:
+    def test_two_inputs(self, graph):
+        assert {n.id for n in graph.input_nodes()} == {"query", "passage"}
+
+    def test_score_in_unit_interval(self, graph):
+        (score,) = run_graph(graph, make_inputs(graph))
+        assert score.shape[-1] == 1
+        assert np.all((score > 0) & (score < 1))
+
+    def test_weight_sharing_symmetry(self, graph):
+        # Shared towers: swapping the two inputs must not change |l - r|,
+        # hence the score is symmetric.
+        feeds = make_inputs(graph)
+        swapped = {"query": feeds["passage"], "passage": feeds["query"]}
+        a = run_graph(graph, feeds)[0]
+        b = run_graph(graph, swapped)[0]
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_identical_inputs_give_known_distance(self, graph):
+        feeds = make_inputs(graph)
+        same = {"query": feeds["query"], "passage": feeds["query"]}
+        (score,) = run_graph(graph, same)
+        # |l - r| = 0 -> score = sigmoid(bias term) for the dense head.
+        params = graph.materialize_params(0)
+        bias = params["score_b"]
+        np.testing.assert_allclose(
+            score.reshape(-1), 1.0 / (1.0 + np.exp(-bias)), rtol=1e-5
+        )
+
+    def test_towers_share_parameters(self, graph):
+        # Exactly one set of tower weights despite two towers.
+        lstm_weight_consts = [
+            n.id for n in graph.const_nodes() if n.id.startswith("tower_l")
+        ]
+        n_layers = tiny_config("siamese").num_layers
+        assert len(lstm_weight_consts) == 3 * n_layers
+
+    def test_two_lstms_per_layer(self, graph):
+        n_layers = tiny_config("siamese").num_layers
+        lstms = [n for n in graph.op_nodes() if n.op == "lstm"]
+        assert len(lstms) == 2 * n_layers

@@ -1,0 +1,89 @@
+"""Tests for the VGG and SqueezeNet builders (paper §III-A sequential models)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DuetEngine, partition_graph, PhaseType
+from repro.errors import IRError
+from repro.ir import make_inputs, run_graph
+from repro.models import (
+    SqueezeNetConfig,
+    VGGConfig,
+    build_squeezenet,
+    build_vgg,
+)
+from repro.models.zoo import tiny_config
+
+
+class TestVGG:
+    def test_depths_build(self):
+        for depth in (11, 16):
+            g = build_vgg(VGGConfig(depth=depth, image_size=32, num_classes=10,
+                                    fc_width=64))
+            g.validate()
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(IRError):
+            VGGConfig(depth=13)
+
+    def test_invalid_image_size_rejected(self):
+        with pytest.raises(IRError):
+            VGGConfig(image_size=100)
+
+    def test_output_distribution(self):
+        g = build_vgg(tiny_config("vgg"))
+        (out,) = run_graph(g, make_inputs(g))
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_purely_sequential_partition(self):
+        g = build_vgg(tiny_config("vgg"))
+        part = partition_graph(g)
+        # VGG is a pure chain: one sequential phase.
+        assert all(p.type is PhaseType.SEQUENTIAL for p in part.phases)
+
+    def test_conv_count(self):
+        g = build_vgg(VGGConfig(depth=16, image_size=32, num_classes=10,
+                                fc_width=64))
+        assert sum(1 for n in g.op_nodes() if n.op == "conv2d") == 13
+
+
+class TestSqueezeNet:
+    def test_builds_and_runs(self):
+        g = build_squeezenet(tiny_config("squeezenet"))
+        g.validate()
+        (out,) = run_graph(g, make_inputs(g))
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_fire_modules_create_multipath_phases(self):
+        g = build_squeezenet(tiny_config("squeezenet"))
+        part = partition_graph(g)
+        multi = part.multi_path_phases()
+        assert len(multi) >= 8  # one per fire module
+        # Each fire expand phase has exactly the 1x1 and 3x3 branches.
+        assert all(len(p.subgraphs) == 2 for p in multi)
+
+    def test_param_count_is_small(self):
+        # SqueezeNet's selling point: AlexNet accuracy at ~1.2M params.
+        g = build_squeezenet(SqueezeNetConfig())
+        assert g.num_params() < 3e6
+
+
+class TestFallbackBehaviour:
+    @pytest.mark.parametrize("name", ["vgg", "squeezenet"])
+    def test_sequential_conv_models_fall_back_to_gpu(self, engine, name):
+        from repro.models import build_model
+
+        opt = engine.optimize(build_model(name))
+        assert opt.fallback_device == "gpu"
+        assert opt.latency == pytest.approx(opt.single_device_latency["gpu"])
+
+    def test_squeezenet_numeric_through_engine(self, engine):
+        from repro.models import build_model
+
+        g = build_model("squeezenet", tiny=True)
+        opt = engine.optimize(g)
+        feeds = make_inputs(g)
+        result = engine.run(opt, inputs=feeds)
+        ref = run_graph(g, feeds)
+        np.testing.assert_allclose(result.outputs[0], ref[0], rtol=1e-4,
+                                   atol=1e-5)

@@ -1,0 +1,65 @@
+"""Tests for the Wide-and-Deep model builder."""
+
+import pytest
+
+from repro.ir import make_inputs, run_graph
+from repro.models import WideDeepConfig, build_wide_deep
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    from repro.models.zoo import tiny_config
+
+    return tiny_config("wide_deep")
+
+
+class TestStructure:
+    def test_four_inputs(self, tiny_cfg):
+        g = build_wide_deep(tiny_cfg)
+        names = {n.id for n in g.input_nodes()}
+        assert names == {"wide_features", "deep_features", "text_embeddings", "image"}
+
+    def test_single_probability_output(self, tiny_cfg):
+        g = build_wide_deep(tiny_cfg)
+        outs = run_graph(g, make_inputs(g))
+        assert outs[0].shape == (tiny_cfg.batch, tiny_cfg.num_classes)
+        assert outs[0].sum() == pytest.approx(tiny_cfg.batch, rel=1e-4)
+
+    def test_rnn_layer_count(self, tiny_cfg):
+        for n in (1, 2, 4):
+            g = build_wide_deep(tiny_cfg.with_rnn_layers(n))
+            assert sum(1 for nd in g.op_nodes() if nd.op == "lstm") == n
+
+    def test_ffn_layer_count(self, tiny_cfg):
+        g1 = build_wide_deep(tiny_cfg.with_ffn_layers(1))
+        g4 = build_wide_deep(tiny_cfg.with_ffn_layers(4))
+        d1 = sum(1 for n in g1.op_nodes() if n.op == "dense")
+        d4 = sum(1 for n in g4.op_nodes() if n.op == "dense")
+        assert d4 == d1 + 3
+
+    def test_cnn_depth_variants(self, tiny_cfg):
+        convs18 = sum(
+            1 for n in build_wide_deep(tiny_cfg.with_cnn_depth(18)).op_nodes()
+            if n.op == "conv2d"
+        )
+        convs34 = sum(
+            1 for n in build_wide_deep(tiny_cfg.with_cnn_depth(34)).op_nodes()
+            if n.op == "conv2d"
+        )
+        assert convs34 > convs18
+
+    def test_batch_size_propagates(self, tiny_cfg):
+        g = build_wide_deep(tiny_cfg.with_batch(4))
+        for node in g.input_nodes():
+            assert node.ty.shape[0] == 4
+
+    def test_flops_increase_with_depth(self, tiny_cfg):
+        f18 = build_wide_deep(tiny_cfg.with_cnn_depth(18)).total_flops()
+        f50 = build_wide_deep(tiny_cfg.with_cnn_depth(50)).total_flops()
+        assert f50 > f18
+
+    def test_default_config_matches_paper_defaults(self):
+        cfg = WideDeepConfig()
+        assert cfg.batch == 1
+        assert cfg.rnn_layers == 1
+        assert cfg.cnn_depth == 18

@@ -1,0 +1,57 @@
+"""Tests for the model zoo registry."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.models import (
+    MODEL_NAMES,
+    build_model,
+    default_config,
+    tiny_config,
+)
+
+
+class TestZoo:
+    def test_all_models_build(self):
+        for name in MODEL_NAMES:
+            g = build_model(name, tiny=True)
+            g.validate()
+            assert len(g.op_nodes()) > 0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(IRError):
+            build_model("alexnet")
+        with pytest.raises(IRError):
+            default_config("alexnet")
+        with pytest.raises(IRError):
+            tiny_config("alexnet")
+
+    def test_tiny_much_cheaper_than_default(self):
+        # Tiny variants shrink compute (their purpose is fast numeric
+        # tests); parameter counts may shrink less for conv models whose
+        # channel widths are structural.
+        for name in MODEL_NAMES:
+            tiny = build_model(name, tiny=True)
+            full = build_model(name)
+            assert tiny.total_flops() < full.total_flops() / 10
+
+    def test_tiny_preserves_structure(self):
+        # Same op vocabulary in tiny and full variants.
+        for name in MODEL_NAMES:
+            tiny_ops = {n.op for n in build_model(name, tiny=True).op_nodes()}
+            full_ops = {n.op for n in build_model(name).op_nodes()}
+            assert tiny_ops == full_ops
+
+    def test_overrides_applied(self):
+        g1 = build_model("wide_deep", tiny=True, rnn_layers=2)
+        g2 = build_model("wide_deep", tiny=True)
+        assert sum(1 for n in g1.op_nodes() if n.op == "lstm") == 2
+        assert sum(1 for n in g2.op_nodes() if n.op == "lstm") == 1
+
+    def test_explicit_config_wins(self):
+        from repro.models import SiameseConfig
+
+        g = build_model("siamese", config=SiameseConfig(seq_len=7, embed_dim=8,
+                                                        hidden=8))
+        lstm = next(n for n in g.op_nodes() if n.op == "lstm")
+        assert g.node(lstm.inputs[0]).ty.shape[1] == 7

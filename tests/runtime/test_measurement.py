@@ -1,0 +1,57 @@
+"""Tests for the latency-distribution harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime import LatencyStats, measure_latency
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        stats = LatencyStats.from_samples(np.linspace(1e-3, 2e-3, 1001))
+        assert stats.p50 == pytest.approx(1.5e-3)
+        assert stats.mean == pytest.approx(1.5e-3)
+        assert stats.p99 > stats.p50
+        assert stats.p999 >= stats.p99
+        assert stats.n_samples == 1001
+
+    def test_ms_properties(self):
+        stats = LatencyStats.from_samples(np.full(10, 2e-3))
+        assert stats.p50_ms == pytest.approx(2.0)
+        assert stats.mean_ms == pytest.approx(2.0)
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ExecutionError):
+            LatencyStats.from_samples(np.array([]))
+
+
+class TestMeasureLatency:
+    def test_warmup_excluded(self):
+        calls = []
+
+        def run_once(rng):
+            calls.append(1)
+            # First 10 calls (warm-up) are slow; the rest fast.
+            return 100.0 if len(calls) <= 10 else 1.0
+
+        stats = measure_latency(run_once, n_runs=50, warmup=10)
+        assert stats.mean == pytest.approx(1.0)
+        assert len(calls) == 60
+
+    def test_deterministic_given_seed(self):
+        def run_once(rng):
+            return float(rng.random())
+
+        a = measure_latency(run_once, n_runs=100, warmup=0, seed=3)
+        b = measure_latency(run_once, n_runs=100, warmup=0, seed=3)
+        assert a.mean == b.mean
+        c = measure_latency(run_once, n_runs=100, warmup=0, seed=4)
+        assert a.mean != c.mean
+
+    def test_percentile_ordering(self):
+        def run_once(rng):
+            return float(rng.lognormal(0.0, 0.5))
+
+        stats = measure_latency(run_once, n_runs=2000, warmup=0)
+        assert stats.p50 < stats.p99 < stats.p999

@@ -1,0 +1,52 @@
+"""Tests for plan memory accounting."""
+
+import pytest
+
+from repro.core import DuetEngine
+from repro.models import build_model
+from repro.runtime.memory import memory_report
+
+
+@pytest.fixture(scope="module")
+def wd_opt():
+    from repro.devices import default_machine
+
+    engine = DuetEngine(machine=default_machine(noisy=False))
+    return engine.optimize(build_model("wide_deep"))
+
+
+class TestMemoryReport:
+    def test_params_split_matches_model(self, wd_opt):
+        report = memory_report(wd_opt.plan)
+        total_params = wd_opt.graph.num_params() * 4  # float32
+        assert report.cpu.param_bytes + report.gpu.param_bytes == pytest.approx(
+            total_params
+        )
+
+    def test_task_counts_match_placement(self, wd_opt):
+        report = memory_report(wd_opt.plan)
+        cpu_tasks = sum(1 for d in wd_opt.placement.values() if d == "cpu")
+        assert report.cpu.tasks == cpu_tasks
+        assert report.gpu.tasks == len(wd_opt.placement) - cpu_tasks
+
+    def test_gpu_holds_the_cnn_weights(self, wd_opt):
+        # The ResNet branch dominates parameters and lives on the GPU.
+        report = memory_report(wd_opt.plan)
+        assert report.gpu.param_bytes > report.cpu.param_bytes
+
+    def test_peaks_positive_when_used(self, wd_opt):
+        report = memory_report(wd_opt.plan)
+        for dev in (report.cpu, report.gpu):
+            if dev.tasks:
+                assert dev.peak_activation_bytes > 0
+                assert dev.total_bytes >= dev.param_bytes
+
+    def test_fallback_plan_is_single_device(self, machine):
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(build_model("resnet"))
+        report = memory_report(opt.plan)
+        assert report.cpu.tasks == 0
+        assert report.gpu.tasks == 1
+        assert report.device("gpu").param_bytes == pytest.approx(
+            opt.graph.num_params() * 4
+        )

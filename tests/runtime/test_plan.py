@@ -1,0 +1,69 @@
+"""Tests for HeteroPlan validation."""
+
+import pytest
+
+from repro.compiler import CPU_TARGET, lower
+from repro.errors import SchedulingError
+from repro.ir import GraphBuilder
+from repro.runtime import HeteroPlan, Source, TaskSpec
+
+
+def _module():
+    b = GraphBuilder("m")
+    x = b.input("x", (2, 2))
+    return lower(b.build(b.op("relu", x)), CPU_TARGET)
+
+
+def _task(tid="t0", device="cpu", sources=None):
+    mod = _module()
+    if sources is None:
+        sources = {"x": Source(kind="external", ref="x")}
+    return TaskSpec(task_id=tid, device=device, module=mod, sources=sources)
+
+
+class TestSource:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(SchedulingError):
+            Source(kind="magic", ref="x")
+
+    def test_valid_kinds(self):
+        Source(kind="external", ref="x")
+        Source(kind="task", ref="t1", output_index=1)
+
+
+class TestTaskSpec:
+    def test_invalid_device_rejected(self):
+        with pytest.raises(SchedulingError):
+            _task(device="tpu")
+
+    def test_unwired_input_rejected(self):
+        with pytest.raises(SchedulingError):
+            _task(sources={})
+
+
+class TestHeteroPlan:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SchedulingError):
+            HeteroPlan(tasks=[_task("a"), _task("a")], outputs=[("a", 0)])
+
+    def test_forward_dependency_rejected(self):
+        t1 = _task("t1", sources={"x": Source(kind="task", ref="t2")})
+        t2 = _task("t2")
+        with pytest.raises(SchedulingError):
+            HeteroPlan(tasks=[t1, t2], outputs=[("t1", 0)])
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(SchedulingError):
+            HeteroPlan(tasks=[_task("a")], outputs=[("ghost", 0)])
+
+    def test_valid_chain(self):
+        t1 = _task("t1")
+        t2 = _task("t2", sources={"x": Source(kind="task", ref="t1")})
+        plan = HeteroPlan(tasks=[t1, t2], outputs=[("t2", 0)])
+        assert plan.task("t1") is t1
+        assert plan.devices_used() == {"cpu"}
+
+    def test_unknown_task_lookup_raises(self):
+        plan = HeteroPlan(tasks=[_task("a")], outputs=[("a", 0)])
+        with pytest.raises(SchedulingError):
+            plan.task("b")

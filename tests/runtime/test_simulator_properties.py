@@ -1,0 +1,117 @@
+"""Property-based tests: simulator timing invariants on random graphs.
+
+For any valid placement of any random DAG, the simulated latency must sit
+between two analytic bounds:
+
+* lower bound: the busiest device's total work, and the (profiled)
+  critical path through the subgraph DAG;
+* upper bound: total work + total transfer time (full serialization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import partition_graph
+from repro.core.placement import build_hetero_plan
+from repro.core.profiler import CompilerAwareProfiler
+from repro.devices import default_machine
+from repro.runtime.simulator import simulate
+from tests.strategies import random_graphs
+
+_MACHINE = default_machine(noisy=False)
+
+
+def _setup(graph):
+    partition = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=_MACHINE).profile_partition(partition)
+    return partition, profiles
+
+
+def _placement_from_bits(partition, bits: int):
+    return {
+        sg.id: ("gpu" if (bits >> i) & 1 else "cpu")
+        for i, sg in enumerate(partition.subgraphs)
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs(max_ops=16), st.integers(0, 2**16 - 1))
+def test_latency_at_least_busiest_device(graph, bits):
+    if not graph.pruned().op_nodes():
+        return
+    partition, profiles = _setup(graph)
+    placement = _placement_from_bits(partition, bits)
+    plan = build_hetero_plan(graph.pruned(), partition, profiles, placement)
+    result = simulate(plan, _MACHINE)
+
+    busy = {"cpu": 0.0, "gpu": 0.0}
+    for task in plan.tasks:
+        device = _MACHINE.device(task.device)
+        busy[task.device] += sum(
+            device.kernel_time(k.cost) for k in task.module.kernels
+        )
+    assert result.latency >= max(busy.values()) - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs(max_ops=16), st.integers(0, 2**16 - 1))
+def test_latency_at_most_full_serialization(graph, bits):
+    if not graph.pruned().op_nodes():
+        return
+    partition, profiles = _setup(graph)
+    placement = _placement_from_bits(partition, bits)
+    plan = build_hetero_plan(graph.pruned(), partition, profiles, placement)
+    result = simulate(plan, _MACHINE)
+
+    total_work = sum(
+        sum(
+            _MACHINE.device(task.device).kernel_time(k.cost)
+            for k in task.module.kernels
+        )
+        for task in plan.tasks
+    )
+    total_transfer = sum(t.duration for t in result.transfers)
+    assert result.latency <= total_work + total_transfer + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_graphs(max_ops=16), st.integers(0, 2**16 - 1))
+def test_task_records_consistent(graph, bits):
+    if not graph.pruned().op_nodes():
+        return
+    partition, profiles = _setup(graph)
+    placement = _placement_from_bits(partition, bits)
+    plan = build_hetero_plan(graph.pruned(), partition, profiles, placement)
+    result = simulate(plan, _MACHINE)
+
+    # Per-device FIFO: tasks on the same device never overlap.
+    for dev in ("cpu", "gpu"):
+        recs = sorted(
+            (r for r in result.tasks if r.device == dev), key=lambda r: r.start
+        )
+        for a, b in zip(recs, recs[1:]):
+            assert b.start >= a.finish - 1e-12
+    # Dependencies: a consumer never starts before its producer finishes.
+    finish = {r.task_id: r.finish for r in result.tasks}
+    for task in plan.tasks:
+        rec = result.task_record(task.task_id)
+        for src in task.sources.values():
+            if src.kind == "task":
+                assert rec.start >= finish[src.ref] - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graphs(max_ops=14), st.integers(0, 2**14 - 1))
+def test_noise_free_sampling_matches_mean(graph, bits):
+    if not graph.pruned().op_nodes():
+        return
+    partition, profiles = _setup(graph)
+    placement = _placement_from_bits(partition, bits)
+    plan = build_hetero_plan(graph.pruned(), partition, profiles, placement)
+    mean = simulate(plan, _MACHINE).latency
+    sampled = simulate(plan, _MACHINE, rng=np.random.default_rng(0)).latency
+    # The noiseless machine has zero-variance noise models.
+    assert sampled == mean

@@ -1,0 +1,71 @@
+"""Tests for the real-concurrency threaded executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerAwareProfiler, DuetEngine, partition_graph
+from repro.core.placement import build_hetero_plan
+from repro.errors import ExecutionError
+from repro.ir import make_inputs, run_graph
+from repro.models import build_model
+from repro.runtime.threaded import ThreadedExecutor
+
+
+@pytest.fixture(params=["wide_deep", "siamese", "mtdnn"])
+def plan_and_graph(request, machine):
+    graph = build_model(request.param, tiny=True)
+    engine = DuetEngine(machine=machine)
+    opt = engine.optimize(graph)
+    return opt.plan, graph
+
+
+class TestThreadedExecutor:
+    def test_outputs_match_interpreter(self, plan_and_graph):
+        plan, graph = plan_and_graph
+        feeds = make_inputs(graph)
+        result = ThreadedExecutor(plan).run(feeds)
+        ref = run_graph(graph, feeds)
+        assert len(result.outputs) == len(ref)
+        for got, want in zip(result.outputs, ref):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_tasks_run_on_assigned_worker(self, plan_and_graph):
+        plan, graph = plan_and_graph
+        result = ThreadedExecutor(plan).run(make_inputs(graph))
+        for task in plan.tasks:
+            assert result.task_worker[task.task_id] == task.device
+
+    def test_completion_order_respects_dependencies(self, plan_and_graph):
+        plan, graph = plan_and_graph
+        result = ThreadedExecutor(plan).run(make_inputs(graph))
+        position = {tid: i for i, tid in enumerate(result.task_order)}
+        for task in plan.tasks:
+            for src in task.sources.values():
+                if src.kind == "task":
+                    assert position[src.ref] < position[task.task_id]
+
+    def test_all_tasks_complete(self, plan_and_graph):
+        plan, graph = plan_and_graph
+        result = ThreadedExecutor(plan).run(make_inputs(graph))
+        assert len(result.task_order) == len(plan.tasks)
+        assert result.wall_time_s > 0
+
+    def test_missing_input_propagates(self, plan_and_graph):
+        plan, _ = plan_and_graph
+        with pytest.raises(ExecutionError):
+            ThreadedExecutor(plan).run({})
+
+    def test_repeated_runs_deterministic_outputs(self, machine):
+        graph = build_model("siamese", tiny=True)
+        partition = partition_graph(graph)
+        profiles = CompilerAwareProfiler(machine=machine).profile_partition(
+            partition
+        )
+        placement = {sg.id: ("gpu" if i % 2 else "cpu")
+                     for i, sg in enumerate(partition.subgraphs)}
+        plan = build_hetero_plan(graph, partition, profiles, placement)
+        feeds = make_inputs(graph)
+        a = ThreadedExecutor(plan).run(feeds)
+        b = ThreadedExecutor(plan).run(feeds)
+        for x, y in zip(a.outputs, b.outputs):
+            np.testing.assert_array_equal(x, y)

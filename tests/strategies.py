@@ -1,0 +1,63 @@
+"""Hypothesis strategies for random computation graphs.
+
+Generates valid DAGs over 2-D float tensors using a mix of unary
+elementwise ops, binary joins, dense layers, and concats — enough
+structural variety (fan-out, fan-in, independent branches) to exercise the
+partitioner, the fusion planner, and the schedulers, while every generated
+graph stays cheap to execute numerically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import GraphBuilder, Var
+
+_UNARY = ("relu", "tanh", "sigmoid", "negative", "abs", "identity")
+_BINARY = ("add", "subtract", "multiply", "maximum")
+
+
+@st.composite
+def random_graphs(
+    draw,
+    min_ops: int = 1,
+    max_ops: int = 24,
+    max_inputs: int = 3,
+    batch: int = 2,
+    width: int = 4,
+):
+    """A random valid graph of 2-D ``(batch, width)`` tensors."""
+    n_inputs = draw(st.integers(1, max_inputs))
+    n_ops = draw(st.integers(min_ops, max_ops))
+    b = GraphBuilder("random")
+    frontier: list[Var] = [
+        b.input(f"in{i}", (batch, width)) for i in range(n_inputs)
+    ]
+    op_vars: list[Var] = []
+    for i in range(n_ops):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            op = draw(st.sampled_from(_UNARY))
+            src = draw(st.sampled_from(frontier))
+            new = b.op(op, src)
+        elif choice == 1:
+            op = draw(st.sampled_from(_BINARY))
+            lhs = draw(st.sampled_from(frontier))
+            rhs = draw(st.sampled_from(frontier))
+            new = b.op(op, lhs, rhs)
+        elif choice == 2:
+            src = draw(st.sampled_from(frontier))
+            w = b.const((width, width))
+            new = b.op("dense", src, w)
+        else:
+            lhs = draw(st.sampled_from(frontier))
+            rhs = draw(st.sampled_from(frontier))
+            cat = b.op("concat", lhs, rhs, axis=1)
+            w = b.const((width, 2 * width))
+            new = b.op("dense", cat, w)
+        frontier.append(new)
+        op_vars.append(new)
+    # 1-2 outputs drawn from the most recent results keeps most ops live.
+    n_outputs = draw(st.integers(1, min(2, len(op_vars))))
+    outputs = op_vars[-n_outputs:]
+    return b.build(*outputs)

@@ -1,0 +1,59 @@
+"""Public-API surface tests: every exported name resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.ir",
+    "repro.ir.ops",
+    "repro.compiler",
+    "repro.devices",
+    "repro.runtime",
+    "repro.core",
+    "repro.core.schedulers",
+    "repro.models",
+    "repro.baselines",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} has no __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    for symbol in module.__all__:
+        obj = getattr(module, symbol)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    base = errors.ReproError
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if inspect.isclass(obj) and issubclass(obj, Exception) and obj is not base:
+            assert issubclass(obj, base), name
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
