@@ -26,7 +26,7 @@ from repro.devices.machine import Machine, default_machine
 from repro.errors import ExecutionError
 from repro.ir.graph import Graph
 from repro.ir.ops import OpKind
-from repro.runtime.measurement import LatencyStats, measure_latency
+from repro.runtime.measurement import LatencyStats, measure_latency_batch
 
 __all__ = ["FrameworkBaseline", "pytorch_like", "tensorflow_like"]
 
@@ -97,6 +97,32 @@ class FrameworkBaseline:
                 ) + link.sample_transfer_time(out_bytes, rng)
         return total
 
+    def _latency_batch(
+        self, module: CompiledModule, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`_one_latency`: ``n`` sampled runs at once.
+
+        Draw order matches the scalar path event-for-event (kernels in
+        module order, then the two GPU transfers), so ``n == 1``
+        reproduces a single scalar run bit-for-bit.
+        """
+        device = self.machine.device(self.device)
+        total = np.zeros(n)
+        for kernel in module.kernels:
+            t = device.sample_kernel_time_batch(kernel.cost, rng, n)
+            if self.device == "cpu" and kernel.cost.kind is OpKind.RECURRENT:
+                t = t * self.cpu_recurrent_slowdown
+            total += t + self.per_op_overhead_s * kernel.cost.sequential_steps
+        if self.device == "gpu":
+            link = self.machine.interconnect
+            in_bytes = sum(
+                module.graph.node(i).ty.size_bytes for i in module.input_ids
+            )
+            out_bytes = sum(t.size_bytes for t in module.graph.output_types())
+            total += link.sample_transfer_time_batch(in_bytes, rng, n)
+            total += link.sample_transfer_time_batch(out_bytes, rng, n)
+        return total
+
     def latency(self, graph: Graph) -> float:
         """Mean end-to-end latency (seconds)."""
         return self._one_latency(self.compile(graph), rng=None)
@@ -105,8 +131,8 @@ class FrameworkBaseline:
         self, graph: Graph, n_runs: int = 5000, warmup: int = 50, seed: int = 0
     ) -> LatencyStats:
         module = self.compile(graph)
-        return measure_latency(
-            lambda rng: self._one_latency(module, rng),
+        return measure_latency_batch(
+            lambda rng, n: self._latency_batch(module, rng, n),
             n_runs=n_runs,
             warmup=warmup,
             seed=seed,

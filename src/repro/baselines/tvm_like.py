@@ -18,9 +18,9 @@ from repro.compiler.target import CPU_TARGET, GPU_TARGET
 from repro.devices.machine import Machine, default_machine
 from repro.errors import ExecutionError
 from repro.ir.graph import Graph
-from repro.runtime.measurement import LatencyStats, measure_latency
-from repro.runtime.simulator import ExecutionResult
-from repro.runtime.single import run_single_device
+from repro.runtime.measurement import LatencyStats, measure_latency_batch
+from repro.runtime.simulator import ExecutionResult, simulate_batch
+from repro.runtime.single import run_single_device, single_device_plan
 
 __all__ = ["TVMLikeBaseline"]
 
@@ -63,8 +63,9 @@ class TVMLikeBaseline:
         self, graph: Graph, n_runs: int = 5000, warmup: int = 50, seed: int = 0
     ) -> LatencyStats:
         module = self.compile(graph)
-        return measure_latency(
-            lambda rng: self.run(module, rng=rng).latency,
+        plan = single_device_plan(module, self.device)
+        return measure_latency_batch(
+            lambda rng, n: simulate_batch(plan, self.machine, rng, n),
             n_runs=n_runs,
             warmup=warmup,
             seed=seed,

@@ -21,9 +21,12 @@ from repro.bench.workloads import (
 )
 from repro.core import DuetEngine
 from repro.core.partition import partition_graph
-from repro.core.placement import build_hetero_plan
 from repro.core.profiler import CompilerAwareProfiler
-from repro.core.scheduler import GreedyCorrectionScheduler, correct_placement
+from repro.core.scheduler import (
+    GreedyCorrectionScheduler,
+    LatencyOracle,
+    correct_placement,
+)
 from repro.core.schedulers import (
     exhaustive_placement,
     random_placement,
@@ -235,9 +238,10 @@ def fig13_schedulers(
     scheduler = GreedyCorrectionScheduler(machine=machine)
     rng = np.random.default_rng(seed)
 
-    def measure(placement) -> float:
-        plan = build_hetero_plan(graph, partition, profiles, placement)
-        return simulate(plan, machine).latency
+    # One memoized oracle serves every scheme: placements revisited across
+    # the random draws, the correction loop, and the greedy run cost one
+    # simulation total.
+    measure = LatencyOracle(graph, partition, profiles, machine)
 
     # Random: average over draws (a single draw is arbitrary).
     random_lat = float(
@@ -251,7 +255,7 @@ def fig13_schedulers(
     corrected, _, _ = correct_placement(dict(rand_init), partition, measure)
     rand_corr_lat = measure(corrected)
 
-    greedy = scheduler.schedule(graph, partition, profiles)
+    greedy = scheduler.schedule(graph, partition, profiles, oracle=measure)
     ideal_placement, ideal_lat = exhaustive_placement(
         graph, partition, profiles, machine
     )

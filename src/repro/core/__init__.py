@@ -14,10 +14,16 @@ from repro.core.partition import (
     partition_per_operator,
 )
 from repro.core.phases import Phase, PhasedPartition, PhaseType
-from repro.core.placement import Placement, build_hetero_plan, validate_placement
+from repro.core.placement import (
+    Placement,
+    PlanAssembler,
+    build_hetero_plan,
+    validate_placement,
+)
 from repro.core.profiler import CompilerAwareProfiler, SubgraphProfile
 from repro.core.scheduler import (
     GreedyCorrectionScheduler,
+    LatencyOracle,
     ScheduleResult,
     correct_placement,
 )
@@ -30,10 +36,12 @@ __all__ = [
     "DuetEngine",
     "DuetOptimization",
     "GreedyCorrectionScheduler",
+    "LatencyOracle",
     "Phase",
     "PhasedPartition",
     "PhaseType",
     "Placement",
+    "PlanAssembler",
     "ScheduleResult",
     "SubgraphInfo",
     "SubgraphProfile",

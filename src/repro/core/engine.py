@@ -22,9 +22,10 @@ from repro.core.profiler import CompilerAwareProfiler, SubgraphProfile
 from repro.core.scheduler import GreedyCorrectionScheduler, ScheduleResult
 from repro.devices.machine import Machine, default_machine
 from repro.ir.graph import Graph
-from repro.runtime.measurement import LatencyStats, measure_latency
+from repro.errors import ProfilingError
+from repro.runtime.measurement import LatencyStats, measure_latency_batch
 from repro.runtime.plan import HeteroPlan
-from repro.runtime.simulator import ExecutionResult, simulate
+from repro.runtime.simulator import ExecutionResult, simulate, simulate_batch
 from repro.runtime.single import run_single_device, single_device_plan
 
 __all__ = ["DuetOptimization", "DuetEngine"]
@@ -103,7 +104,11 @@ class DuetEngine:
             profile_path: optional path to the offline profiling artifact
                 (§IV-B one-time cost).  When the file exists and matches
                 the partition, its timings are reused; otherwise the model
-                is profiled and the artifact is (re)written.
+                is profiled and the artifact is (re)written.  Only
+                artifact problems (:class:`ProfilingError`: unreadable
+                file, fingerprint mismatch, malformed payload) trigger
+                re-profiling — any other exception is a genuine bug and
+                propagates.
         """
         from repro.core.profile_store import load_profiles, save_profiles
 
@@ -117,7 +122,7 @@ class DuetEngine:
                     profiles = load_profiles(
                         partition, profile_path, compiler=self.compiler
                     )
-                except Exception:
+                except ProfilingError:
                     profiles = None  # stale/corrupt artifact: re-profile
         if profiles is None:
             profiler = CompilerAwareProfiler(
@@ -177,9 +182,15 @@ class DuetEngine:
         warmup: int = 50,
         seed: int = 0,
     ) -> LatencyStats:
-        """Sampled latency distribution of the chosen plan (paper §VI-A)."""
-        return measure_latency(
-            lambda rng: simulate(opt.plan, self.machine, rng=rng).latency,
+        """Sampled latency distribution of the chosen plan (paper §VI-A).
+
+        Noise for all runs is drawn in batched NumPy arrays
+        (:func:`~repro.runtime.simulator.simulate_batch`) instead of
+        ``n_runs`` sequential simulator walks; seeded results stay
+        reproducible.
+        """
+        return measure_latency_batch(
+            lambda rng, n: simulate_batch(opt.plan, self.machine, rng, n),
             n_runs=n_runs,
             warmup=warmup,
             seed=seed,

@@ -15,7 +15,7 @@ from repro.errors import SchedulingError
 from repro.ir.graph import Graph
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
 
-__all__ = ["Placement", "validate_placement", "build_hetero_plan"]
+__all__ = ["Placement", "PlanAssembler", "validate_placement", "build_hetero_plan"]
 
 Placement = Mapping[str, str]
 
@@ -34,27 +34,44 @@ def validate_placement(partition: PhasedPartition, placement: Placement) -> None
             raise SchedulingError(f"subgraph {sid!r} placed on invalid device {dev!r}")
 
 
-def build_hetero_plan(
-    graph: Graph,
-    partition: PhasedPartition,
-    profiles: Mapping[str, SubgraphProfile],
-    placement: Placement,
-) -> HeteroPlan:
-    """Wire placed subgraphs into an executable heterogeneous plan."""
-    validate_placement(partition, placement)
+class PlanAssembler:
+    """Assembles heterogeneous plans from prebuilt per-(subgraph, device) parts.
 
-    # Which subgraph produces each boundary tensor (parent node id)?
-    producer: dict[str, tuple[str, int]] = {}
-    for sg in partition.subgraphs:
-        for idx, out_id in enumerate(sg.boundary_outputs):
-            producer[out_id] = (sg.id, idx)
+    Plan construction is on the scheduler's hot path: every trial placement
+    of the correction loop needs a plan.  A :class:`TaskSpec` depends only on
+    the subgraph and the device it is placed on — not on where the *other*
+    subgraphs live — so the assembler builds each task spec once and reuses
+    it across every placement that pins the subgraph to that device.  The
+    producer map and the output wiring are likewise placement-invariant and
+    computed once.
+    """
 
-    tasks: list[TaskSpec] = []
-    for sg in partition.subgraphs:
-        profile = profiles.get(sg.id)
+    def __init__(
+        self,
+        graph: Graph,
+        partition: PhasedPartition,
+        profiles: Mapping[str, SubgraphProfile],
+    ):
+        self._graph = graph
+        self._partition = partition
+        self._profiles = profiles
+        # Which subgraph produces each boundary tensor (parent node id)?
+        self._producer: dict[str, tuple[str, int]] = {}
+        for sg in partition.subgraphs:
+            for idx, out_id in enumerate(sg.boundary_outputs):
+                self._producer[out_id] = (sg.id, idx)
+        self._specs: dict[tuple[str, str], TaskSpec] = {}
+        self._outputs: list[tuple[str, int]] | None = None
+
+    def task_spec(self, sg, device: str) -> TaskSpec:
+        """The (cached) task spec of one subgraph on one device."""
+        key = (sg.id, device)
+        spec = self._specs.get(key)
+        if spec is not None:
+            return spec
+        profile = self._profiles.get(sg.id)
         if profile is None:
             raise SchedulingError(f"no profile for subgraph {sg.id!r}")
-        device = placement[sg.id]
         module = profile.modules.get(device)
         if module is None:
             raise SchedulingError(
@@ -62,32 +79,54 @@ def build_hetero_plan(
             )
         sources: dict[str, Source] = {}
         for input_id in module.input_ids:
-            parent_node = graph.node(input_id)
+            parent_node = self._graph.node(input_id)
             if parent_node.is_input:
                 sources[input_id] = Source(kind="external", ref=input_id)
             else:
-                if input_id not in producer:
+                if input_id not in self._producer:
                     raise SchedulingError(
                         f"boundary input {input_id!r} of subgraph {sg.id!r} "
                         "has no producer"
                     )
-                src_id, idx = producer[input_id]
+                src_id, idx = self._producer[input_id]
                 sources[input_id] = Source(kind="task", ref=src_id, output_index=idx)
-        tasks.append(
-            TaskSpec(
-                task_id=sg.id,
-                device=device,
-                module=module,
-                sources=sources,
-                phase_index=sg.phase_index,
-            )
+        spec = TaskSpec(
+            task_id=sg.id,
+            device=device,
+            module=module,
+            sources=sources,
+            phase_index=sg.phase_index,
         )
+        self._specs[key] = spec
+        return spec
 
-    outputs: list[tuple[str, int]] = []
-    for out in graph.outputs:
-        if out not in producer:
-            raise SchedulingError(
-                f"model output {out!r} is not produced by any subgraph"
-            )
-        outputs.append(producer[out])
-    return HeteroPlan(tasks=tasks, outputs=outputs)
+    def _plan_outputs(self) -> list[tuple[str, int]]:
+        if self._outputs is None:
+            outputs: list[tuple[str, int]] = []
+            for out in self._graph.outputs:
+                if out not in self._producer:
+                    raise SchedulingError(
+                        f"model output {out!r} is not produced by any subgraph"
+                    )
+                outputs.append(self._producer[out])
+            self._outputs = outputs
+        return self._outputs
+
+    def build(self, placement: Placement) -> HeteroPlan:
+        """Wire a placement into an executable plan from cached parts."""
+        validate_placement(self._partition, placement)
+        tasks = [
+            self.task_spec(sg, placement[sg.id])
+            for sg in self._partition.subgraphs
+        ]
+        return HeteroPlan(tasks=tasks, outputs=list(self._plan_outputs()))
+
+
+def build_hetero_plan(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    placement: Placement,
+) -> HeteroPlan:
+    """Wire placed subgraphs into an executable heterogeneous plan."""
+    return PlanAssembler(graph, partition, profiles).build(placement)

@@ -85,12 +85,16 @@ def load_profiles(
             f"(artifact {payload.get('fingerprint')!r}, expected {expected!r}); "
             "re-run the profiler"
         )
-    stored = payload["profiles"]
+    stored = payload.get("profiles")
+    if not isinstance(stored, dict):
+        raise ProfilingError(
+            f"profile artifact {path} is malformed: missing 'profiles' table"
+        )
     profiles: dict[str, SubgraphProfile] = {}
     for sg in partition.subgraphs:
         if sg.id not in stored:
             raise ProfilingError(f"artifact misses subgraph {sg.id!r}")
-        entry = stored[sg.id]
+        entry = _validated_entry(sg.id, stored[sg.id], path)
         modules = {
             dev: compiler.compile(sg.graph, target)
             for dev, target in _TARGETS.items()
@@ -104,3 +108,31 @@ def load_profiles(
             bytes_out=float(entry["bytes_out"]),
         )
     return profiles
+
+
+def _validated_entry(sid: str, entry: object, path: str | Path) -> dict:
+    """Check one stored profile entry's shape, raising ProfilingError."""
+    if not isinstance(entry, dict):
+        raise ProfilingError(
+            f"profile artifact {path} is malformed: entry for subgraph "
+            f"{sid!r} is not an object"
+        )
+    mean_time = entry.get("mean_time")
+    if not isinstance(mean_time, dict) or not set(_TARGETS) <= set(mean_time):
+        raise ProfilingError(
+            f"profile artifact {path} is malformed: subgraph {sid!r} needs "
+            f"'mean_time' entries for {sorted(_TARGETS)}"
+        )
+    for field in ("bytes_in", "bytes_out"):
+        if not isinstance(entry.get(field), (int, float)):
+            raise ProfilingError(
+                f"profile artifact {path} is malformed: subgraph {sid!r} "
+                f"misses numeric {field!r}"
+            )
+    for dev, value in mean_time.items():
+        if not isinstance(value, (int, float)):
+            raise ProfilingError(
+                f"profile artifact {path} is malformed: subgraph {sid!r} "
+                f"has non-numeric mean_time for {dev!r}"
+            )
+    return entry

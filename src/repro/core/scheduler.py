@@ -29,14 +29,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.core.phases import PhasedPartition, PhaseType
-from repro.core.placement import build_hetero_plan, validate_placement
+from repro.core.placement import PlanAssembler, validate_placement
 from repro.core.profiler import SubgraphProfile
 from repro.devices.machine import Machine
+from repro.errors import SchedulingError
 from repro.ir.graph import Graph
 from repro.runtime.plan import HeteroPlan
 from repro.runtime.simulator import simulate
 
-__all__ = ["ScheduleResult", "GreedyCorrectionScheduler", "correct_placement"]
+__all__ = [
+    "LatencyOracle",
+    "ScheduleResult",
+    "GreedyCorrectionScheduler",
+    "correct_placement",
+]
 
 
 @dataclass(frozen=True)
@@ -52,7 +58,16 @@ class CorrectionStep:
 
 @dataclass
 class ScheduleResult:
-    """Outcome of scheduling: the placement, its plan, and diagnostics."""
+    """Outcome of scheduling: the placement, its plan, and diagnostics.
+
+    Attributes:
+        measurements: simulator invocations actually performed while
+            scheduling (cache hits are free and not counted).
+        cache_hits / cache_misses: latency-oracle cache statistics for
+            this scheduling run; ``cache_misses == measurements``, and
+            ``cache_hits + cache_misses`` is what an unmemoized scheduler
+            would have simulated.
+    """
 
     placement: dict[str, str]
     plan: HeteroPlan
@@ -60,6 +75,100 @@ class ScheduleResult:
     initial_latency: float
     corrections: list[CorrectionStep] = field(default_factory=list)
     measurements: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class LatencyOracle:
+    """Memoized latency oracle: placement -> measured mean latency.
+
+    The correction loop re-measures many placements — trial swaps revisit
+    earlier configurations across rounds, sweeps, and restarts (the
+    Random+Correction baseline) — so measured latencies are cached under a
+    placement key.  Plans are assembled from per-(subgraph, device) cached
+    task specs, and cache misses run the simulator's timing-only fast path
+    with precomputed mean kernel durations.  All of this is exact: a cache
+    hit returns bit-identically what re-simulation would.
+
+    Attributes:
+        hits: measure calls answered from the cache.
+        misses: measure calls that ran the simulator (== simulations).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        partition: PhasedPartition,
+        profiles: Mapping[str, SubgraphProfile],
+        machine: Machine,
+        cache: bool = True,
+    ):
+        self._assembler = PlanAssembler(graph, partition, profiles)
+        self._partition = partition
+        self._profiles = profiles
+        self._machine = machine
+        self._ids = tuple(sg.id for sg in partition.subgraphs)
+        self._enabled = cache
+        self._latencies: dict[tuple[str, ...], float] = {}
+        self._kernel_times: dict[tuple[str, str], tuple[float, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def calls(self) -> int:
+        """Total measure calls (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def simulations(self) -> int:
+        """Simulator invocations performed (== misses)."""
+        return self.misses
+
+    def _key(self, placement: Mapping[str, str]) -> tuple[str, ...]:
+        try:
+            return tuple(placement[sid] for sid in self._ids)
+        except KeyError as exc:
+            raise SchedulingError(
+                f"placement misses subgraph {exc.args[0]!r}"
+            ) from exc
+
+    def _mean_kernel_times(self, sid: str, device: str) -> tuple[float, ...]:
+        key = (sid, device)
+        times = self._kernel_times.get(key)
+        if times is None:
+            module = self._profiles[sid].modules[device]
+            dev = self._machine.device(device)
+            times = tuple(dev.kernel_time(k.cost) for k in module.kernels)
+            self._kernel_times[key] = times
+        return times
+
+    def plan(self, placement: Mapping[str, str]) -> HeteroPlan:
+        """The executable plan of a placement (from cached task specs)."""
+        return self._assembler.build(placement)
+
+    def measure(self, placement: Mapping[str, str]) -> float:
+        """Measured mean end-to-end latency of ``placement``."""
+        key = self._key(placement)
+        cached = self._latencies.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        plan = self._assembler.build(placement)
+        kernel_times = {
+            sid: self._mean_kernel_times(sid, placement[sid]) for sid in self._ids
+        }
+        latency = simulate(
+            plan,
+            self._machine,
+            record_kernels=False,
+            kernel_times=kernel_times,
+        ).latency
+        self.misses += 1
+        if self._enabled:
+            self._latencies[key] = latency
+        return latency
+
+    __call__ = measure
 
 
 def _measure_factory(
@@ -67,14 +176,9 @@ def _measure_factory(
     partition: PhasedPartition,
     profiles: Mapping[str, SubgraphProfile],
     machine: Machine,
-) -> Callable[[Mapping[str, str]], float]:
-    """A latency oracle: placement -> measured mean end-to-end latency."""
-
-    def measure(placement: Mapping[str, str]) -> float:
-        plan = build_hetero_plan(graph, partition, profiles, placement)
-        return simulate(plan, machine).latency
-
-    return measure
+) -> LatencyOracle:
+    """A (memoized) latency oracle for this scheduling problem."""
+    return LatencyOracle(graph, partition, profiles, machine)
 
 
 def correct_placement(
@@ -86,56 +190,73 @@ def correct_placement(
 ) -> tuple[dict[str, str], list[CorrectionStep], int]:
     """Step 3: KL-style swap refinement driven by measured latency.
 
+    Algorithm 1 iterates until *no swap anywhere* improves measured
+    latency.  Because the shared PCIe link couples phases, a swap applied
+    in a later phase can unlock a gain in an earlier one, so a single pass
+    over the phases is not enough: the per-phase refinement is wrapped in
+    an outer sweep that repeats until one full sweep applies no swap
+    (bounded by ``max_rounds`` sweeps).
+
     Returns the refined placement, the applied steps, and the number of
-    latency measurements spent.
+    ``measure`` calls made (exactly one call per evaluated placement,
+    including the initial one — with a memoized oracle, repeated
+    placements cost no extra simulation).
     """
     placement = dict(placement)
     steps: list[CorrectionStep] = []
     n_measures = 1
     t_old = measure(placement)
 
-    for phase in partition.multi_path_phases():
-        ids = [sg.id for sg in phase.subgraphs]
-        for _round in range(max_rounds):
-            cpu_side = [s for s in ids if placement[s] == "cpu"]
-            gpu_side = [s for s in ids if placement[s] == "gpu"]
-            best_gain = 0.0
-            best_pair: tuple[str | None, str | None] | None = None
-            best_latency = t_old
-            # Pairs (si from CPU, sj from GPU); one side may be empty,
-            # which is a single-subgraph move.
-            for si, sj in itertools.product(cpu_side + [None], gpu_side + [None]):
-                if si is None and sj is None:
-                    continue
-                trial = dict(placement)
+    phases = list(partition.multi_path_phases())
+    for _sweep in range(max_rounds):
+        swept_gain = False
+        for phase in phases:
+            ids = [sg.id for sg in phase.subgraphs]
+            for _round in range(max_rounds):
+                cpu_side = [s for s in ids if placement[s] == "cpu"]
+                gpu_side = [s for s in ids if placement[s] == "gpu"]
+                best_gain = 0.0
+                best_pair: tuple[str | None, str | None] | None = None
+                best_latency = t_old
+                # Pairs (si from CPU, sj from GPU); one side may be empty,
+                # which is a single-subgraph move.
+                for si, sj in itertools.product(
+                    cpu_side + [None], gpu_side + [None]
+                ):
+                    if si is None and sj is None:
+                        continue
+                    trial = dict(placement)
+                    if si is not None:
+                        trial[si] = "gpu"
+                    if sj is not None:
+                        trial[sj] = "cpu"
+                    t_new = measure(trial)
+                    n_measures += 1
+                    gain = t_old - t_new
+                    if gain > best_gain + epsilon:
+                        best_gain = gain
+                        best_pair = (si, sj)
+                        best_latency = t_new
+                if best_pair is None:
+                    break
+                si, sj = best_pair
                 if si is not None:
-                    trial[si] = "gpu"
+                    placement[si] = "gpu"
                 if sj is not None:
-                    trial[sj] = "cpu"
-                t_new = measure(trial)
-                n_measures += 1
-                gain = t_old - t_new
-                if gain > best_gain + epsilon:
-                    best_gain = gain
-                    best_pair = (si, sj)
-                    best_latency = t_new
-            if best_pair is None:
-                break
-            si, sj = best_pair
-            if si is not None:
-                placement[si] = "gpu"
-            if sj is not None:
-                placement[sj] = "cpu"
-            steps.append(
-                CorrectionStep(
-                    phase_index=phase.index,
-                    moved_to_gpu=si,
-                    moved_to_cpu=sj,
-                    latency_before=t_old,
-                    latency_after=best_latency,
+                    placement[sj] = "cpu"
+                steps.append(
+                    CorrectionStep(
+                        phase_index=phase.index,
+                        moved_to_gpu=si,
+                        moved_to_cpu=sj,
+                        latency_before=t_old,
+                        latency_after=best_latency,
+                    )
                 )
-            )
-            t_old = best_latency
+                t_old = best_latency
+                swept_gain = True
+        if not swept_gain:
+            break
     return placement, steps, n_measures
 
 
@@ -192,6 +313,7 @@ class GreedyCorrectionScheduler:
         partition: PhasedPartition,
         profiles: Mapping[str, SubgraphProfile],
         initial: Mapping[str, str] | None = None,
+        oracle: LatencyOracle | None = None,
     ) -> ScheduleResult:
         """Run the full greedy-correction pipeline.
 
@@ -201,29 +323,41 @@ class GreedyCorrectionScheduler:
             profiles: compiler-aware profiles per subgraph.
             initial: override the greedy initialization (used by the
                 Random+Correction baseline of §VI-C).
+            oracle: reuse a shared latency oracle so trial placements
+                already measured — by an earlier schedule() call, a
+                restart, or an ablation arm — are never re-simulated.
+                Must have been built for the same (graph, partition,
+                profiles, machine).
         """
-        measure = _measure_factory(graph, partition, profiles, self.machine)
+        if oracle is None:
+            oracle = _measure_factory(graph, partition, profiles, self.machine)
+        hits_before, misses_before = oracle.hits, oracle.misses
+
         if initial is None:
             placement = self.initial_placement(partition, profiles)
         else:
             placement = dict(initial)
         validate_placement(partition, placement)
-        initial_latency = measure(placement)
+        initial_latency = oracle.measure(placement)
 
-        placement, steps, n_measures = correct_placement(
+        placement, steps, _calls = correct_placement(
             placement,
             partition,
-            measure,
+            oracle,
             max_rounds=self.max_correction_rounds,
             epsilon=self.epsilon,
         )
-        plan = build_hetero_plan(graph, partition, profiles, placement)
-        latency = simulate(plan, self.machine).latency
+        # The corrected placement was measured during correction; both the
+        # final latency and its plan come from the oracle's caches.
+        latency = oracle.measure(placement)
+        plan = oracle.plan(placement)
         return ScheduleResult(
             placement=placement,
             plan=plan,
             latency=latency,
             initial_latency=initial_latency,
             corrections=steps,
-            measurements=n_measures + 1,
+            measurements=oracle.misses - misses_before,
+            cache_hits=oracle.hits - hits_before,
+            cache_misses=oracle.misses - misses_before,
         )

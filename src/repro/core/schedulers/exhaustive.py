@@ -11,12 +11,10 @@ import itertools
 from typing import Mapping
 
 from repro.core.phases import PhasedPartition
-from repro.core.placement import build_hetero_plan
 from repro.core.profiler import SubgraphProfile
 from repro.devices.machine import Machine
 from repro.errors import SchedulingError
 from repro.ir.graph import Graph
-from repro.runtime.simulator import simulate
 
 __all__ = ["exhaustive_placement"]
 
@@ -33,18 +31,23 @@ def exhaustive_placement(
     Raises :class:`SchedulingError` when the search space exceeds
     ``2 ** max_subgraphs``.
     """
+    from repro.core.scheduler import LatencyOracle
+
     ids = [sg.id for sg in partition.subgraphs]
     if len(ids) > max_subgraphs:
         raise SchedulingError(
             f"{len(ids)} subgraphs exceed the exhaustive-search cap "
             f"({max_subgraphs}); the space is 2^n"
         )
+    # Every enumerated placement is distinct, so memoization buys nothing
+    # here — but the oracle's cached task specs and timing-only simulation
+    # make each of the 2^n measurements much cheaper.
+    oracle = LatencyOracle(graph, partition, profiles, machine, cache=False)
     best_placement: dict[str, str] | None = None
     best_latency = float("inf")
     for assignment in itertools.product(("cpu", "gpu"), repeat=len(ids)):
         placement = dict(zip(ids, assignment))
-        plan = build_hetero_plan(graph, partition, profiles, placement)
-        latency = simulate(plan, machine).latency
+        latency = oracle.measure(placement)
         if latency < best_latency:
             best_latency = latency
             best_placement = placement

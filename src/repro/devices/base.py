@@ -73,3 +73,9 @@ class Device:
     ) -> float:
         """One noisy latency sample for this kernel."""
         return self.noise.sample(self.kernel_time(cost), rng)
+
+    def sample_kernel_time_batch(
+        self, cost: KernelCost, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """``n`` noisy latency samples for this kernel, drawn at once."""
+        return self.noise.sample_batch(self.kernel_time(cost), rng, n)

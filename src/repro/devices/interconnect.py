@@ -38,6 +38,12 @@ class Interconnect:
         """One noisy transfer latency sample."""
         return self.noise.sample(self.transfer_time(n_bytes), rng)
 
+    def sample_transfer_time_batch(
+        self, n_bytes: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """``n`` noisy transfer latency samples, drawn at once."""
+        return self.noise.sample_batch(self.transfer_time(n_bytes), rng, n)
+
     def bandwidth_at(self, n_bytes: float) -> float:
         """Effective bandwidth (bytes/s) achieved for this message size.
 

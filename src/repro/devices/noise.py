@@ -9,7 +9,6 @@ scheduling, ECC scrubs, clock ramps).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,12 +50,37 @@ class NoiseModel:
             return 0.0
         t = mean_time
         if self.jitter_sigma > 0:
-            factor = math.exp(
-                rng.normal(0.0, self.jitter_sigma) - self.jitter_sigma**2 / 2
+            # np.exp (not math.exp): bit-identical to sample_batch, which
+            # vectorizes this same expression.
+            factor = float(
+                np.exp(rng.normal(0.0, self.jitter_sigma) - self.jitter_sigma**2 / 2)
             )
             t *= factor
         if self.spike_prob > 0 and rng.random() < self.spike_prob:
             t *= self.spike_scale
+        return t
+
+    def sample_batch(
+        self, mean_time: float, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """``n`` noisy latency samples with the given mean, drawn at once.
+
+        Elementwise the math matches :meth:`sample`: a generator that would
+        produce the same normal/uniform variates yields the same latencies.
+        For ``n == 1`` the draws consume the generator exactly like one
+        :meth:`sample` call, so batched and scalar streams coincide.  Like
+        :meth:`sample`, a non-positive mean consumes no randomness.
+        """
+        if mean_time <= 0:
+            return np.zeros(n)
+        t = np.full(n, mean_time)
+        if self.jitter_sigma > 0:
+            t = t * np.exp(
+                rng.normal(0.0, self.jitter_sigma, n) - self.jitter_sigma**2 / 2
+            )
+        if self.spike_prob > 0:
+            spikes = rng.random(n) < self.spike_prob
+            t = np.where(spikes, t * self.spike_scale, t)
         return t
 
 

@@ -1,6 +1,10 @@
 """Runtime: execution plans, the event simulator, and measurement."""
 
-from repro.runtime.measurement import LatencyStats, measure_latency
+from repro.runtime.measurement import (
+    LatencyStats,
+    measure_latency,
+    measure_latency_batch,
+)
 from repro.runtime.memory import DeviceMemory, MemoryReport, memory_report
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
 from repro.runtime.simulator import (
@@ -9,6 +13,7 @@ from repro.runtime.simulator import (
     TaskRecord,
     TransferRecord,
     simulate,
+    simulate_batch,
 )
 from repro.runtime.single import run_single_device, single_device_plan
 from repro.runtime.stream import StreamResult, simulate_stream
@@ -26,11 +31,13 @@ __all__ = [
     "TaskSpec",
     "TransferRecord",
     "measure_latency",
+    "measure_latency_batch",
     "memory_report",
     "DeviceMemory",
     "MemoryReport",
     "run_single_device",
     "simulate",
+    "simulate_batch",
     "single_device_plan",
     "simulate_stream",
     "StreamResult",

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.errors import ExecutionError
 
-__all__ = ["LatencyStats", "measure_latency"]
+__all__ = ["LatencyStats", "measure_latency", "measure_latency_batch"]
 
 
 @dataclass(frozen=True)
@@ -82,3 +82,33 @@ def measure_latency(
         (run_once(rng) for _ in range(n_runs)), dtype=np.float64, count=n_runs
     )
     return LatencyStats.from_samples(samples)
+
+
+def measure_latency_batch(
+    sample_batch: Callable[[np.random.Generator, int], np.ndarray],
+    n_runs: int = 5000,
+    warmup: int = 50,
+    seed: int = 0,
+) -> LatencyStats:
+    """Vectorized counterpart of :func:`measure_latency`.
+
+    Instead of ``warmup + n_runs`` sequential simulator walks, the sampler
+    draws all latencies in one batched call (e.g.
+    :func:`repro.runtime.simulator.simulate_batch`); the leading ``warmup``
+    samples are discarded, mirroring the paper's warm-up exclusion.
+    Results are reproducible for a given seed.
+
+    Args:
+        sample_batch: ``(rng, n) -> n latencies`` as a 1-D array.
+        n_runs: measured iterations (paper: 5000).
+        warmup: discarded leading iterations.
+        seed: base RNG seed.
+    """
+    rng = np.random.default_rng(seed)
+    total = warmup + n_runs
+    samples = np.asarray(sample_batch(rng, total), dtype=np.float64)
+    if samples.shape != (total,):
+        raise ExecutionError(
+            f"batch sampler returned shape {samples.shape}, expected ({total},)"
+        )
+    return LatencyStats.from_samples(samples[warmup:])

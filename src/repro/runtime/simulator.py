@@ -22,7 +22,7 @@ execution bit-for-bit against the reference interpreter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -30,7 +30,14 @@ from repro.devices.machine import Machine
 from repro.errors import ExecutionError
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
 
-__all__ = ["KernelRecord", "TaskRecord", "TransferRecord", "ExecutionResult", "simulate"]
+__all__ = [
+    "KernelRecord",
+    "TaskRecord",
+    "TransferRecord",
+    "ExecutionResult",
+    "simulate",
+    "simulate_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,9 @@ def simulate(
     machine: Machine,
     rng: np.random.Generator | None = None,
     inputs: Mapping[str, np.ndarray] | None = None,
+    *,
+    record_kernels: bool = True,
+    kernel_times: Mapping[str, Sequence[float]] | None = None,
 ) -> ExecutionResult:
     """Run one inference of ``plan`` on ``machine``.
 
@@ -169,6 +179,14 @@ def simulate(
             deterministic mean times.
         inputs: pass model inputs to also execute kernels numerically (the
             result then carries ``outputs``).
+        record_kernels: set ``False`` to skip per-kernel timing records — a
+            timing-only fast path for callers (the scheduler's latency
+            oracle) that need just the end-to-end latency.
+        kernel_times: optional precomputed per-task mean kernel durations
+            (task id -> one duration per kernel, in kernel order).  Used
+            only in mean mode (``rng is None``); latencies are bit-identical
+            to recomputing because the same per-kernel values accumulate in
+            the same order.
     """
     link = _LinkTimeline(machine, rng)
     device_free = {"cpu": 0.0, "gpu": 0.0}
@@ -223,17 +241,43 @@ def simulate(
             env = dict(task.module.params)
             env.update(feeds)
 
-        for kernel in task.module.kernels:
-            if rng is None:
-                duration = device.kernel_time(kernel.cost)
-            else:
-                duration = device.sample_kernel_time(kernel.cost, rng)
-            kernel_records.append(
-                KernelRecord(name=kernel.name, start=cursor, finish=cursor + duration)
+        if env is None and rng is None:
+            # Timing-only fast path: no numeric-env bookkeeping; mean
+            # durations may come precomputed.  The per-kernel accumulation
+            # order matches the general path, so latencies are bit-identical.
+            times = (
+                kernel_times.get(task.task_id)
+                if kernel_times is not None
+                else None
             )
-            cursor += duration
-            if env is not None:
-                env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
+            if times is None:
+                times = [device.kernel_time(k.cost) for k in task.module.kernels]
+            if record_kernels:
+                for kernel, duration in zip(task.module.kernels, times):
+                    kernel_records.append(
+                        KernelRecord(
+                            name=kernel.name, start=cursor, finish=cursor + duration
+                        )
+                    )
+                    cursor += duration
+            else:
+                for duration in times:
+                    cursor += duration
+        else:
+            for kernel in task.module.kernels:
+                if rng is None:
+                    duration = device.kernel_time(kernel.cost)
+                else:
+                    duration = device.sample_kernel_time(kernel.cost, rng)
+                if record_kernels:
+                    kernel_records.append(
+                        KernelRecord(
+                            name=kernel.name, start=cursor, finish=cursor + duration
+                        )
+                    )
+                cursor += duration
+                if env is not None:
+                    env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
 
         finish = cursor
         device_free[task.device] = finish
@@ -276,3 +320,114 @@ def simulate(
         transfers=link.records,
         outputs=outputs,
     )
+
+
+class _BatchLinkTimeline:
+    """Vectorized serialized link: every scalar time is an (n_runs,) array."""
+
+    def __init__(self, machine: Machine, rng: np.random.Generator, n_runs: int):
+        self._machine = machine
+        self._rng = rng
+        self._n = n_runs
+        self._free_at = np.zeros(n_runs)
+        self._arrivals: dict[tuple[tuple, str], np.ndarray] = {}
+
+    def arrival(
+        self,
+        key: tuple,
+        produced_at: np.ndarray | float,
+        produced_on: str,
+        dest: str,
+        n_bytes: float,
+    ) -> np.ndarray | float:
+        if produced_on == dest:
+            return produced_at
+        cached = self._arrivals.get((key, dest))
+        if cached is not None:
+            return cached
+        link = self._machine.interconnect
+        duration = link.sample_transfer_time_batch(n_bytes, self._rng, self._n)
+        start = np.maximum(self._free_at, produced_at)
+        finish = start + duration
+        self._free_at = finish
+        self._arrivals[(key, dest)] = finish
+        return finish
+
+
+def simulate_batch(
+    plan: HeteroPlan,
+    machine: Machine,
+    rng: np.random.Generator,
+    n_runs: int,
+) -> np.ndarray:
+    """``n_runs`` sampled end-to-end latencies of ``plan`` in one pass.
+
+    Vectorizes the discrete-event simulation over runs: the sequence of
+    noise events (which kernel / which transfer, in which order) is fixed
+    by the plan's structure, so every scalar quantity of :func:`simulate`
+    — device cursors, link free time, task finishes — becomes an
+    ``(n_runs,)`` array and per-event noise is drawn as one batched NumPy
+    call instead of ``n_runs`` sequential simulator walks.
+
+    Draw-order convention: noise is drawn event-major (for each event, a
+    vector across runs) in the same event order :func:`simulate` uses, so
+    for ``n_runs=1`` the result is bit-identical to one scalar sampled
+    simulation with the same generator.  Results are reproducible for a
+    given seeded ``rng``.
+    """
+    if n_runs <= 0:
+        raise ExecutionError(f"n_runs must be positive, got {n_runs}")
+    link = _BatchLinkTimeline(machine, rng, n_runs)
+    zeros = np.zeros(n_runs)
+    device_free: dict[str, np.ndarray] = {"cpu": zeros, "gpu": zeros}
+    task_finish: dict[str, np.ndarray] = {}
+    task_device: dict[str, str] = {}
+
+    def source_arrival(task: TaskSpec, input_id: str, src: Source):
+        n_bytes = float(task.module.graph.node(input_id).ty.size_bytes)
+        if src.kind == "external":
+            return link.arrival(
+                key=("external", src.ref),
+                produced_at=0.0,
+                produced_on="cpu",  # host-resident
+                dest=task.device,
+                n_bytes=n_bytes,
+            )
+        producer = plan.task(src.ref)
+        _, out_bytes = _task_output_entry(producer, src.output_index)
+        return link.arrival(
+            key=("task", src.ref, src.output_index),
+            produced_at=task_finish[src.ref],
+            produced_on=task_device[src.ref],
+            dest=task.device,
+            n_bytes=out_bytes,
+        )
+
+    for task in plan.tasks:
+        start = device_free[task.device]
+        for input_id, src in task.sources.items():
+            start = np.maximum(start, source_arrival(task, input_id, src))
+        device = machine.device(task.device)
+        cursor = start
+        for kernel in task.module.kernels:
+            cursor = cursor + device.sample_kernel_time_batch(
+                kernel.cost, rng, n_runs
+            )
+        device_free[task.device] = cursor
+        task_finish[task.task_id] = cursor
+        task_device[task.task_id] = task.device
+
+    # Results must land on the host.
+    latency = np.zeros(n_runs)
+    for tid, idx in plan.outputs:
+        producer = plan.task(tid)
+        _, out_bytes = _task_output_entry(producer, idx)
+        arrival = link.arrival(
+            key=("task", tid, idx),
+            produced_at=task_finish[tid],
+            produced_on=task_device[tid],
+            dest="cpu",
+            n_bytes=out_bytes,
+        )
+        latency = np.maximum(latency, arrival)
+    return latency

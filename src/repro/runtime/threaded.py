@@ -61,10 +61,19 @@ class _State:
 
 
 class ThreadedExecutor:
-    """Executes a :class:`HeteroPlan` with one worker thread per device."""
+    """Executes a :class:`HeteroPlan` with one worker thread per device.
 
-    def __init__(self, plan: HeteroPlan):
+    Args:
+        plan: the heterogeneous plan to execute.
+        join_timeout: seconds to wait for each worker to shut down.  A
+            worker still alive after this raises :class:`ExecutionError`
+            naming the stuck device rather than silently returning a
+            half-populated result.
+    """
+
+    def __init__(self, plan: HeteroPlan, join_timeout: float = 5.0):
         self.plan = plan
+        self.join_timeout = join_timeout
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> ThreadedResult:
         """Execute the plan numerically; blocks until all tasks finish."""
@@ -121,12 +130,12 @@ class ThreadedExecutor:
                 finally:
                     done.release()
 
-        threads = [
-            threading.Thread(target=worker, args=(dev,), daemon=True)
+        workers = {
+            dev: threading.Thread(target=worker, args=(dev,), daemon=True)
             for dev in ("cpu", "gpu")
-        ]
+        }
         start = time.perf_counter()
-        for t in threads:
+        for t in workers.values():
             t.start()
         # Seed the queues with dependency-free tasks.
         for task in self.plan.tasks:
@@ -136,16 +145,40 @@ class ThreadedExecutor:
             done.acquire()
             if state.error is not None:
                 break
+        if state.error is not None:
+            # A failed task's dependents were never queued and never will
+            # be; drain already-queued-but-unstarted work so the workers
+            # reach their shutdown sentinel instead of burning through it.
+            for q in queues.values():
+                while True:
+                    try:
+                        q.get_nowait()
+                    except queue.Empty:
+                        break
         for dev in queues:
             queues[dev].put(None)
-        for t in threads:
-            t.join(timeout=5.0)
+        stuck = []
+        for dev, t in workers.items():
+            t.join(timeout=self.join_timeout)
+            if t.is_alive():
+                stuck.append(dev)
         wall = time.perf_counter() - start
 
         if state.error is not None:
+            detail = (
+                f" (worker(s) {', '.join(stuck)} still wedged after "
+                f"{self.join_timeout:.1f}s)"
+                if stuck
+                else ""
+            )
             raise ExecutionError(
-                f"threaded execution failed: {state.error}"
+                f"threaded execution failed: {state.error}{detail}"
             ) from state.error
+        if stuck:
+            raise ExecutionError(
+                f"worker thread(s) for device(s) {', '.join(stuck)} did not "
+                f"finish within {self.join_timeout:.1f}s; a task is wedged"
+            )
         outputs = [
             state.values[(tid, idx)] for tid, idx in self.plan.outputs
         ]

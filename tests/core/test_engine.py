@@ -1,9 +1,13 @@
 """Tests for the end-to-end DuetEngine."""
 
+import json
+
 import numpy as np
 import pytest
 
+import repro.core.profile_store as profile_store
 from repro.core import DuetEngine
+from repro.errors import ProfilingError
 from repro.ir import make_inputs, run_graph
 from repro.models import build_model
 
@@ -65,6 +69,56 @@ class TestRun:
         opt = engine.optimize(build_model("siamese", tiny=True))
         stats = engine.latency_stats(opt, n_runs=1000, warmup=10)
         assert stats.p999 > stats.p50
+
+
+class TestProfileArtifactReload:
+    def test_artifact_written_and_reused(self, machine, tmp_path):
+        path = tmp_path / "profiles.json"
+        graph = build_model("wide_deep", tiny=True)
+        engine = DuetEngine(machine=machine)
+        first = engine.optimize(graph, profile_path=str(path))
+        assert path.exists()
+        second = engine.optimize(graph, profile_path=str(path))
+        assert second.placement == first.placement
+        assert second.latency == pytest.approx(first.latency)
+
+    def test_corrupt_artifact_triggers_reprofile(self, machine, tmp_path):
+        path = tmp_path / "profiles.json"
+        path.write_text("{not json at all")
+        engine = DuetEngine(machine=machine)
+        opt = engine.optimize(
+            build_model("siamese", tiny=True), profile_path=str(path)
+        )
+        assert opt.latency > 0
+        # The bad artifact was replaced by a valid one.
+        assert "profiles" in json.loads(path.read_text())
+
+    def test_profiling_error_triggers_reprofile(self, machine, tmp_path, monkeypatch):
+        path = tmp_path / "profiles.json"
+        graph = build_model("siamese", tiny=True)
+        engine = DuetEngine(machine=machine)
+        engine.optimize(graph, profile_path=str(path))
+
+        def stale(*args, **kwargs):
+            raise ProfilingError("stale artifact")
+
+        monkeypatch.setattr(profile_store, "load_profiles", stale)
+        opt = engine.optimize(graph, profile_path=str(path))
+        assert opt.latency > 0
+
+    def test_unexpected_load_error_propagates(self, machine, tmp_path, monkeypatch):
+        """Only ProfilingError means "re-profile"; real bugs must surface."""
+        path = tmp_path / "profiles.json"
+        graph = build_model("siamese", tiny=True)
+        engine = DuetEngine(machine=machine)
+        engine.optimize(graph, profile_path=str(path))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(profile_store, "load_profiles", boom)
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            engine.optimize(graph, profile_path=str(path))
 
 
 class TestFallbackMargin:

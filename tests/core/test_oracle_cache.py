@@ -1,0 +1,197 @@
+"""Regression tests: memoized latency oracle + correction-loop sweep.
+
+Covers the scheduling fast path: cache hits must be bit-identical to
+re-simulation, ``ScheduleResult.measurements`` must equal actual simulator
+invocations, and the outer correction sweep must revisit earlier phases.
+"""
+
+import pytest
+
+import repro.core.scheduler as scheduler_mod
+from repro.core import (
+    CompilerAwareProfiler,
+    GreedyCorrectionScheduler,
+    LatencyOracle,
+    build_hetero_plan,
+    partition_graph,
+)
+from repro.core.scheduler import correct_placement
+from repro.errors import SchedulingError
+from repro.models import build_model
+from repro.runtime import simulate
+
+EVAL_MODELS = ("wide_deep", "siamese", "mtdnn")
+
+
+@pytest.fixture(scope="module", params=EVAL_MODELS)
+def problem(request):
+    from repro.devices import default_machine
+
+    machine = default_machine(noisy=False)
+    graph = build_model(request.param, tiny=True)
+    partition = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(partition)
+    return machine, graph, partition, profiles
+
+
+class TestLatencyOracle:
+    def test_repeat_measure_is_free_and_identical(self, problem):
+        machine, graph, partition, profiles = problem
+        oracle = LatencyOracle(graph, partition, profiles, machine)
+        placement = {sg.id: "cpu" for sg in partition.subgraphs}
+        first = oracle.measure(placement)
+        assert (oracle.hits, oracle.misses) == (0, 1)
+        assert oracle.measure(placement) == first
+        assert (oracle.hits, oracle.misses) == (1, 1)
+        assert oracle.simulations == 1
+
+    def test_matches_plain_simulation_bitwise(self, problem):
+        machine, graph, partition, profiles = problem
+        oracle = LatencyOracle(graph, partition, profiles, machine)
+        placement = {
+            sg.id: ("gpu" if i % 2 else "cpu")
+            for i, sg in enumerate(partition.subgraphs)
+        }
+        plan = build_hetero_plan(graph, partition, profiles, placement)
+        assert oracle.measure(placement) == simulate(plan, machine).latency
+
+    def test_plan_matches_direct_construction(self, problem):
+        machine, graph, partition, profiles = problem
+        oracle = LatencyOracle(graph, partition, profiles, machine)
+        placement = {sg.id: "gpu" for sg in partition.subgraphs}
+        plan = oracle.plan(placement)
+        direct = build_hetero_plan(graph, partition, profiles, placement)
+        assert [t.task_id for t in plan.tasks] == [t.task_id for t in direct.tasks]
+        assert [t.device for t in plan.tasks] == [t.device for t in direct.tasks]
+        assert plan.outputs == direct.outputs
+
+    def test_incomplete_placement_raises(self, problem):
+        machine, graph, partition, profiles = problem
+        oracle = LatencyOracle(graph, partition, profiles, machine)
+        with pytest.raises(SchedulingError, match="misses subgraph"):
+            oracle.measure({})
+
+
+class TestScheduleCounters:
+    def test_measurements_equal_simulator_invocations(self, problem, monkeypatch):
+        machine, graph, partition, profiles = problem
+        real = scheduler_mod.simulate
+        calls = {"n": 0}
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(scheduler_mod, "simulate", counting)
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        result = scheduler.schedule(graph, partition, profiles)
+        assert result.measurements == calls["n"]
+        assert result.cache_misses == result.measurements
+        # At minimum the correction loop's re-measure of the initial
+        # placement and the final latency lookup are cache hits.
+        assert result.cache_hits >= 2
+
+    def test_cache_invariance(self, problem):
+        """cache=True and cache=False must schedule bit-identically."""
+        machine, graph, partition, profiles = problem
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        cached = scheduler.schedule(graph, partition, profiles)
+        uncached = scheduler.schedule(
+            graph,
+            partition,
+            profiles,
+            oracle=LatencyOracle(graph, partition, profiles, machine, cache=False),
+        )
+        assert cached.placement == uncached.placement
+        assert cached.latency == uncached.latency
+        assert cached.initial_latency == uncached.initial_latency
+        assert cached.corrections == uncached.corrections
+        assert cached.measurements <= uncached.measurements
+
+    def test_shared_oracle_makes_restarts_free(self, problem):
+        machine, graph, partition, profiles = problem
+        scheduler = GreedyCorrectionScheduler(machine=machine)
+        solo = scheduler.schedule(graph, partition, profiles)
+        oracle = LatencyOracle(graph, partition, profiles, machine)
+        first = scheduler.schedule(graph, partition, profiles, oracle=oracle)
+        second = scheduler.schedule(graph, partition, profiles, oracle=oracle)
+        assert first.placement == solo.placement
+        assert first.latency == solo.latency
+        assert second.placement == first.placement
+        assert second.latency == first.latency
+        # The rerun retraces placements the oracle already measured.
+        assert second.measurements == 0
+        assert second.cache_hits == first.cache_hits + first.cache_misses
+
+
+class _SG:
+    def __init__(self, sid):
+        self.id = sid
+
+
+class _Phase:
+    def __init__(self, index, ids):
+        self.index = index
+        self.subgraphs = [_SG(s) for s in ids]
+
+
+class _StubPartition:
+    def __init__(self, phases):
+        self.phases = phases
+
+    def multi_path_phases(self):
+        return list(self.phases)
+
+
+class TestCorrectionSweep:
+    def test_outer_sweep_revisits_earlier_phases(self):
+        """A later-phase swap can unlock an earlier-phase gain.
+
+        Phase 0 alone sees no improving move from (cpu, cpu); only after
+        phase 1 moves "b" does moving "a" pay off.  A single pass over the
+        phases would stop at latency 9; the outer sweep reaches 7.
+        """
+        table = {
+            ("cpu", "cpu"): 10.0,
+            ("gpu", "cpu"): 11.0,
+            ("cpu", "gpu"): 9.0,
+            ("gpu", "gpu"): 7.0,
+        }
+        partition = _StubPartition([_Phase(0, ["a"]), _Phase(1, ["b"])])
+        placement, steps, _ = correct_placement(
+            {"a": "cpu", "b": "cpu"},
+            partition,
+            lambda p: table[(p["a"], p["b"])],
+        )
+        assert placement == {"a": "gpu", "b": "gpu"}
+        assert [s.phase_index for s in steps] == [1, 0]
+        assert steps[-1].latency_after == 7.0
+
+    def test_no_gain_terminates_immediately(self):
+        partition = _StubPartition([_Phase(0, ["a", "b"])])
+        calls = {"n": 0}
+
+        def flat(_placement):
+            calls["n"] += 1
+            return 1.0
+
+        placement, steps, n_measures = correct_placement(
+            {"a": "cpu", "b": "gpu"}, partition, flat
+        )
+        assert placement == {"a": "cpu", "b": "gpu"}
+        assert steps == []
+        assert n_measures == calls["n"]
+
+    def test_sweeps_bounded_by_max_rounds(self):
+        """A pathological oscillating oracle cannot loop forever."""
+        partition = _StubPartition([_Phase(0, ["a"])])
+        calls = {"n": 0}
+
+        def ever_improving(_placement):
+            calls["n"] += 1
+            return -float(calls["n"])
+
+        placement, steps, _ = correct_placement(
+            {"a": "cpu"}, partition, ever_improving, max_rounds=3
+        )
+        assert len(steps) <= 9  # at most max_rounds sweeps x max_rounds swaps

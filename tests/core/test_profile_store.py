@@ -1,5 +1,7 @@
 """Tests for profile persistence."""
 
+import json
+
 import pytest
 
 from repro.core import (
@@ -65,4 +67,74 @@ class TestProfileStore:
         _, partition, _, path = setup
         path.write_text("{broken")
         with pytest.raises(ProfilingError):
+            load_profiles(partition, path)
+
+
+class TestMalformedPayloads:
+    """Shape problems must surface as ProfilingError, never a raw KeyError."""
+
+    def _mangle(self, setup, mutate):
+        _, partition, profiles, path = setup
+        save_profiles(partition, profiles, path)
+        payload = json.loads(path.read_text())
+        mutate(payload)
+        path.write_text(json.dumps(payload))
+        return partition, path
+
+    def test_missing_profiles_table(self, setup):
+        partition, path = self._mangle(setup, lambda p: p.pop("profiles"))
+        with pytest.raises(ProfilingError, match="missing 'profiles'"):
+            load_profiles(partition, path)
+
+    def test_profiles_table_wrong_type(self, setup):
+        def mutate(payload):
+            payload["profiles"] = ["not", "a", "table"]
+
+        partition, path = self._mangle(setup, mutate)
+        with pytest.raises(ProfilingError, match="missing 'profiles'"):
+            load_profiles(partition, path)
+
+    def test_entry_not_an_object(self, setup):
+        def mutate(payload):
+            sid = next(iter(payload["profiles"]))
+            payload["profiles"][sid] = 3.14
+
+        partition, path = self._mangle(setup, mutate)
+        with pytest.raises(ProfilingError, match="is not an object"):
+            load_profiles(partition, path)
+
+    def test_missing_mean_time_device(self, setup):
+        def mutate(payload):
+            entry = next(iter(payload["profiles"].values()))
+            del entry["mean_time"]["gpu"]
+
+        partition, path = self._mangle(setup, mutate)
+        with pytest.raises(ProfilingError, match="mean_time"):
+            load_profiles(partition, path)
+
+    def test_missing_mean_time_entirely(self, setup):
+        def mutate(payload):
+            entry = next(iter(payload["profiles"].values()))
+            del entry["mean_time"]
+
+        partition, path = self._mangle(setup, mutate)
+        with pytest.raises(ProfilingError, match="mean_time"):
+            load_profiles(partition, path)
+
+    def test_non_numeric_bytes(self, setup):
+        def mutate(payload):
+            entry = next(iter(payload["profiles"].values()))
+            entry["bytes_in"] = "lots"
+
+        partition, path = self._mangle(setup, mutate)
+        with pytest.raises(ProfilingError, match="bytes_in"):
+            load_profiles(partition, path)
+
+    def test_non_numeric_mean_time(self, setup):
+        def mutate(payload):
+            entry = next(iter(payload["profiles"].values()))
+            entry["mean_time"]["cpu"] = "fast"
+
+        partition, path = self._mangle(setup, mutate)
+        with pytest.raises(ProfilingError, match="non-numeric mean_time"):
             load_profiles(partition, path)

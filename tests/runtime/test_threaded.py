@@ -1,5 +1,8 @@
 """Tests for the real-concurrency threaded executor."""
 
+import dataclasses
+import time
+
 import numpy as np
 import pytest
 
@@ -8,6 +11,7 @@ from repro.core.placement import build_hetero_plan
 from repro.errors import ExecutionError
 from repro.ir import make_inputs, run_graph
 from repro.models import build_model
+from repro.runtime.plan import HeteroPlan
 from repro.runtime.threaded import ThreadedExecutor
 
 
@@ -17,6 +21,21 @@ def plan_and_graph(request, machine):
     engine = DuetEngine(machine=machine)
     opt = engine.optimize(graph)
     return opt.plan, graph
+
+
+def _clone_root_task(plan, task_id, device, first_kernel_fn):
+    """A copy of the plan's first (dependency-free) task with a new id,
+    device, and replacement behavior for its first kernel."""
+    root = plan.tasks[0]
+    assert all(s.kind == "external" for s in root.sources.values())
+    k0 = root.module.kernels[0]
+    patched = dataclasses.replace(k0, fn=first_kernel_fn)
+    module = dataclasses.replace(
+        root.module, kernels=[patched] + list(root.module.kernels[1:])
+    )
+    return dataclasses.replace(
+        root, task_id=task_id, device=device, module=module
+    )
 
 
 class TestThreadedExecutor:
@@ -54,6 +73,66 @@ class TestThreadedExecutor:
         plan, _ = plan_and_graph
         with pytest.raises(ExecutionError):
             ThreadedExecutor(plan).run({})
+
+    def test_failed_task_drains_queued_work(self, machine):
+        """On error, already-queued tasks are drained, not executed."""
+        graph = build_model("siamese", tiny=True)
+        plan = DuetEngine(machine=machine).optimize(graph).plan
+        real_fn = plan.tasks[0].module.kernels[0].fn
+        ran = []
+
+        def slow(args):
+            time.sleep(0.5)
+            return real_fn(args)
+
+        def boom(args):
+            raise ValueError("kernel exploded")
+
+        def recorder(args):
+            ran.append("behind")
+            return real_fn(args)
+
+        # gpu queue: [sleeper, behind]; cpu queue: [failer].  The failure
+        # lands while the gpu worker sleeps, so "behind" must be drained
+        # before that worker can reach it.
+        crafted = HeteroPlan(
+            tasks=[
+                _clone_root_task(plan, "sleeper", "gpu", slow),
+                _clone_root_task(plan, "failer", "cpu", boom),
+                _clone_root_task(plan, "behind", "gpu", recorder),
+            ],
+            outputs=[("sleeper", 0)],
+        )
+        with pytest.raises(ExecutionError, match="kernel exploded"):
+            ThreadedExecutor(crafted).run(make_inputs(graph))
+        assert ran == []
+
+    def test_stuck_worker_named_in_error(self, machine):
+        """A wedged worker is reported instead of joined forever."""
+        graph = build_model("siamese", tiny=True)
+        plan = DuetEngine(machine=machine).optimize(graph).plan
+        real_fn = plan.tasks[0].module.kernels[0].fn
+
+        def wedge(args):
+            time.sleep(1.0)
+            return real_fn(args)
+
+        def boom(args):
+            # Give the gpu worker time to start (and get stuck inside) its
+            # task before the failure cuts the run short.
+            time.sleep(0.25)
+            raise ValueError("kernel exploded")
+
+        crafted = HeteroPlan(
+            tasks=[
+                _clone_root_task(plan, "wedged", "gpu", wedge),
+                _clone_root_task(plan, "failer", "cpu", boom),
+            ],
+            outputs=[("wedged", 0)],
+        )
+        with pytest.raises(ExecutionError, match=r"gpu.*wedged") as excinfo:
+            ThreadedExecutor(crafted, join_timeout=0.05).run(make_inputs(graph))
+        assert "kernel exploded" in str(excinfo.value)
 
     def test_repeated_runs_deterministic_outputs(self, machine):
         graph = build_model("siamese", tiny=True)
