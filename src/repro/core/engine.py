@@ -8,6 +8,7 @@ fallback to the best single device when co-execution does not win
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -23,8 +24,14 @@ from repro.core.scheduler import GreedyCorrectionScheduler, ScheduleResult
 from repro.devices.machine import Machine, default_machine
 from repro.ir.graph import Graph
 from repro.errors import ProfilingError
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.measurement import LatencyStats, measure_latency_batch
 from repro.runtime.plan import HeteroPlan
+from repro.runtime.resilient import (
+    ExecutionReport,
+    ResilienceConfig,
+    ResilientExecutor,
+)
 from repro.runtime.simulator import ExecutionResult, simulate, simulate_batch
 from repro.runtime.single import run_single_device, single_device_plan
 
@@ -45,6 +52,12 @@ class DuetOptimization:
         fallback_device: the single device used on fallback, else ``None``.
         latency: expected (mean) end-to-end latency of ``plan``.
         single_device_latency: mean latency of the best single device.
+        degradation_plans: device -> standing single-device plan built
+            from the whole-model modules the fallback comparison already
+            compiles (§VI-E).  The resilient executor restarts on the
+            survivor's plan when the other device is lost before any
+            subgraph completed, and callers should serve follow-up
+            requests from it after any failover.
     """
 
     graph: Graph
@@ -55,6 +68,7 @@ class DuetOptimization:
     fallback_device: str | None
     latency: float
     single_device_latency: dict[str, float]
+    degradation_plans: dict[str, HeteroPlan] = field(default_factory=dict)
 
     @property
     def used_fallback(self) -> bool:
@@ -132,7 +146,18 @@ class DuetEngine:
             )
             profiles = profiler.profile_partition(partition)
             if profile_path is not None:
-                save_profiles(partition, profiles, profile_path)
+                try:
+                    save_profiles(partition, profiles, profile_path)
+                except OSError as exc:
+                    # An unwritable artifact (read-only dir, disk full)
+                    # must not sink the optimization: we still hold the
+                    # fresh in-memory profiles; next run just re-profiles.
+                    warnings.warn(
+                        f"could not write profile artifact {profile_path}: "
+                        f"{exc}; continuing with in-memory profiles",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         scheduler = GreedyCorrectionScheduler(machine=self.machine)
         schedule = scheduler.schedule(graph, partition, profiles)
 
@@ -146,12 +171,20 @@ class DuetEngine:
 
         # Fallback (§VI-E): co-execution must actually win, otherwise run
         # on the fastest single device.
+        # The whole-model modules double as standing degradation plans:
+        # if a device is permanently lost at runtime, the survivor's plan
+        # can serve the request (and all follow-ups) alone.
+        degradation_plans = {
+            dev: single_device_plan(mod, dev)
+            for dev, mod in single_modules.items()
+        }
+
         if schedule.latency < best_single * (1.0 - self.fallback_margin):
             plan = schedule.plan
             fallback = None
             latency = schedule.latency
         else:
-            plan = single_device_plan(single_modules[best_dev], best_dev)
+            plan = degradation_plans[best_dev]
             fallback = best_dev
             latency = best_single
 
@@ -164,6 +197,7 @@ class DuetEngine:
             fallback_device=fallback,
             latency=latency,
             single_device_latency=single_latency,
+            degradation_plans=degradation_plans,
         )
 
     def run(
@@ -174,6 +208,52 @@ class DuetEngine:
     ) -> ExecutionResult:
         """Execute one inference of an optimized model."""
         return simulate(opt.plan, self.machine, rng=rng, inputs=inputs)
+
+    def run_resilient(
+        self,
+        opt: DuetOptimization,
+        inputs: Mapping[str, np.ndarray],
+        config: ResilienceConfig | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+    ) -> ExecutionReport:
+        """Execute one inference on the fault-tolerant threaded path.
+
+        Runs ``opt.plan`` under :class:`~repro.runtime.resilient.
+        ResilientExecutor`: transient faults are retried with backoff,
+        deadlines enforced, and a permanent device loss fails the
+        remaining work over to the survivor — using ``opt``'s standing
+        single-device degradation plans when the loss strikes before any
+        subgraph completed.
+
+        Args:
+            opt: an optimization from :meth:`optimize`.
+            inputs: model input tensors (external input name -> array).
+            config: retry/deadline/failover knobs; defaults to
+                :class:`~repro.runtime.resilient.ResilienceConfig`.
+            faults: optional chaos to inject — a declarative
+                :class:`~repro.runtime.faults.FaultPlan` or a prepared
+                :class:`~repro.runtime.faults.FaultInjector`.
+
+        Returns:
+            An :class:`~repro.runtime.resilient.ExecutionReport` with the
+            outputs plus the structured fault/retry/failover event log.
+            Terminal failures raise an
+            :class:`~repro.errors.ExecutionError` subclass carrying the
+            partial report as ``exc.report``.
+        """
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        elif faults is not None:
+            injector = FaultInjector(faults)
+        else:
+            injector = None
+        executor = ResilientExecutor(
+            opt.plan,
+            config=config,
+            fault_injector=injector,
+            degradation_plans=opt.degradation_plans,
+        )
+        return executor.run(inputs)
 
     def latency_stats(
         self,

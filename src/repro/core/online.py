@@ -69,6 +69,9 @@ class AdaptiveDuetEngine:
     _ewma_ratio: dict[str, float] = field(
         default_factory=lambda: {"cpu": 1.0, "gpu": 1.0}, init=False
     )
+    # Expected per-task times under the current machine belief; populated
+    # by _reschedule() and required by serve_one()'s drift monitor.
+    _expected: dict[str, float] = field(default_factory=dict, init=False)
     _since_adapt: int = field(default=0, init=False)
     _served: int = field(default=0, init=False)
     adaptations: int = field(default=0, init=False)
@@ -106,6 +109,7 @@ class AdaptiveDuetEngine:
         self.graph = graph
         self.assumed_slowdown = {"cpu": 1.0, "gpu": 1.0}
         self._ewma_ratio = {"cpu": 1.0, "gpu": 1.0}
+        self._expected = {}
         self._reschedule()
 
     # ------------------------------------------------------------------
@@ -122,7 +126,10 @@ class AdaptiveDuetEngine:
                 defaults to the nominal one.
             rng: optional noise sampling.
         """
-        if self.plan is None:
+        if self.plan is None or self.graph is None or not self._expected:
+            # Also catches misuse like assigning ``plan`` directly: the
+            # drift monitor is meaningless without the expectations that
+            # start() -> _reschedule() computes.
             raise SchedulingError("call start(graph) before serve_one()")
         true_machine = true_machine or self.base_machine
         result = simulate(self.plan, true_machine, rng=rng)

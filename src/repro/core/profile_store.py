@@ -78,6 +78,11 @@ def load_profiles(
     except (OSError, json.JSONDecodeError) as exc:
         raise ProfilingError(f"cannot read profile artifact {path}: {exc}") from exc
 
+    if not isinstance(payload, dict):
+        raise ProfilingError(
+            f"profile artifact {path} is malformed: top-level payload is "
+            f"not an object"
+        )
     expected = partition_fingerprint(partition)
     if payload.get("fingerprint") != expected:
         raise ProfilingError(

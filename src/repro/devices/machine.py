@@ -67,6 +67,14 @@ class Machine:
             return self.gpu
         raise DeviceError(f"unknown device {name!r}")
 
+    def other(self, name: str) -> str:
+        """The *other* device's placement name — the failover survivor."""
+        if name == "cpu":
+            return "gpu"
+        if name == "gpu":
+            return "cpu"
+        raise DeviceError(f"unknown device {name!r}")
+
     @property
     def devices(self) -> tuple[Device, Device]:
         return (self.cpu, self.gpu)

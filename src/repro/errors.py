@@ -53,5 +53,38 @@ class ExecutionError(ReproError):
     """Runtime execution of a compiled module failed."""
 
 
+class TransientKernelError(ExecutionError):
+    """A kernel failed in a way that is expected to succeed on retry.
+
+    Raised by the fault injector (and retryable by the resilient
+    executor); a real deployment would map driver-level soft errors —
+    ECC hiccups, launch timeouts, spurious OOM — onto this class.
+    """
+
+
+class TransferError(ExecutionError):
+    """A host↔device transfer failed or delivered corrupted data."""
+
+
+class DeviceLostError(ExecutionError):
+    """A device disappeared permanently (fell off the bus, driver reset).
+
+    Unlike :class:`TransientKernelError` this is *not* retryable on the
+    same device; the resilient executor reacts by failing over the dead
+    device's remaining work to the survivor.
+
+    Attributes:
+        device: placement name (``"cpu"``/``"gpu"``) of the lost device.
+    """
+
+    def __init__(self, device: str, message: str | None = None):
+        super().__init__(message or f"device {device!r} was lost")
+        self.device = device
+
+
+class DeadlineExceededError(ExecutionError):
+    """A per-task or end-to-end execution deadline expired."""
+
+
 class DeviceError(ReproError):
     """Invalid device specification or cost-model query."""

@@ -1,9 +1,24 @@
-"""Runtime: execution plans, the event simulator, and measurement."""
+"""Runtime: plans, the event simulator, executors, faults, and measurement."""
 
+from repro.runtime.faults import (
+    DeviceLoss,
+    FaultInjector,
+    FaultPlan,
+    KernelFault,
+    StallFault,
+    TransferFault,
+)
 from repro.runtime.measurement import (
     LatencyStats,
     measure_latency,
     measure_latency_batch,
+)
+from repro.runtime.resilient import (
+    ExecutionEvent,
+    ExecutionReport,
+    ResilienceConfig,
+    ResilientExecutor,
+    RetryPolicy,
 )
 from repro.runtime.memory import DeviceMemory, MemoryReport, memory_report
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
@@ -20,7 +35,18 @@ from repro.runtime.stream import StreamResult, simulate_stream
 from repro.runtime.threaded import ThreadedExecutor, ThreadedResult
 
 __all__ = [
+    "DeviceLoss",
+    "ExecutionEvent",
+    "ExecutionReport",
     "ExecutionResult",
+    "FaultInjector",
+    "FaultPlan",
+    "KernelFault",
+    "ResilienceConfig",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "StallFault",
+    "TransferFault",
     "ThreadedExecutor",
     "ThreadedResult",
     "HeteroPlan",

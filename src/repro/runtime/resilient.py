@@ -1,0 +1,620 @@
+"""Resilient execution: retries, deadlines, and device-loss failover.
+
+Wraps the threaded executor's worker-per-device architecture with the
+recovery behaviour a serving engine needs when run time is not merely
+"unpredictable" (paper §IV-C) but actively hostile:
+
+* **per-task retry** with exponential backoff and seeded jitter for
+  transient faults (kernel soft errors, failed transfers, corrupted
+  tensors caught by the NaN guard);
+* **deadlines** — per task attempt and end-to-end — surfacing as
+  :class:`~repro.errors.DeadlineExceededError`;
+* **device-loss failover**: on a permanent
+  :class:`~repro.errors.DeviceLostError` the dead device's remaining
+  tasks migrate to the survivor (the NumPy kernels are numerically
+  device-agnostic), or — when nothing has completed yet — the run
+  restarts on the survivor's standing single-device degradation plan
+  (the fallback modules :meth:`DuetEngine.optimize` already compiles,
+  §VI-E).
+
+Every recovery action lands in a structured event log on the returned
+:class:`ExecutionReport`; terminal failures raise with the partial report
+attached as ``exc.report`` so post-mortems keep the evidence.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    DeviceLostError,
+    ExecutionError,
+    TransferError,
+)
+from repro.runtime.plan import HeteroPlan, TaskSpec
+from repro.runtime.threaded import _State, gather_feeds, run_kernels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultInjector
+
+__all__ = [
+    "RetryPolicy",
+    "ResilienceConfig",
+    "ExecutionEvent",
+    "ExecutionReport",
+    "ResilientExecutor",
+]
+
+_OTHER = {"cpu": "gpu", "gpu": "cpu"}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient per-task faults.
+
+    Attempt *n* (1-based) that fails sleeps
+    ``backoff_base_s * backoff_multiplier**(n-1)``, scaled by a uniform
+    jitter in ``[1-jitter, 1+jitter]`` drawn from the executor's seeded
+    generator, before attempt *n+1*.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.001
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecutionError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ExecutionError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Sleep before the retry following failed attempt ``attempt``."""
+        delay = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the resilient execution path.
+
+    Attributes:
+        retry: per-task retry/backoff policy for transient faults.
+        task_deadline_s: budget for one task *attempt*; an attempt that
+            overruns is treated as a (retryable) fault.
+        deadline_s: end-to-end wall-clock budget for the whole inference.
+        failover: allow migrating/restarting work off a lost device.
+        validate_transfers: guard cross-device float tensors against
+            non-finite corruption (poisoned transfers become retryable
+            :class:`~repro.errors.TransferError` faults).
+        seed: seeds the backoff-jitter generators, keeping chaos runs
+            reproducible end to end.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    task_deadline_s: float | None = None
+    deadline_s: float | None = None
+    failover: bool = True
+    validate_transfers: bool = True
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One entry of the structured resilience event log.
+
+    ``kind`` is one of ``"fault"``, ``"backoff"``, ``"retry"``,
+    ``"giveup"``, ``"task-deadline"``, ``"deadline"``, ``"device-lost"``,
+    ``"failover-migrate"``, ``"failover-restart"``.
+    """
+
+    kind: str
+    time_s: float
+    task_id: str | None = None
+    device: str | None = None
+    attempt: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of one resilient execution, recovery actions included.
+
+    Attributes:
+        outputs: model outputs (``None`` when the run failed).
+        wall_time_s: end-to-end wall-clock time.
+        task_worker: task id -> device worker that *actually* ran it
+            (after any migration).
+        task_order: completion order of the executed plan.
+        events: chronological structured log of faults and recovery.
+        counters: aggregate counts (``faults``, ``retries``,
+            ``giveups``, ``device_losses``, ``failovers``,
+            ``migrated_tasks``, ``task_deadline_misses``).
+        completed: whether the inference produced outputs.
+        degraded_device: the surviving device after a failover, else
+            ``None``; when set, subsequent requests should be served from
+            the matching standing degradation plan.
+        restarted: True when failover restarted on the degradation plan
+            rather than migrating in place.
+    """
+
+    outputs: list[np.ndarray] | None
+    wall_time_s: float
+    task_worker: dict[str, str]
+    task_order: list[str]
+    events: list[ExecutionEvent]
+    counters: dict[str, int]
+    completed: bool
+    degraded_device: str | None = None
+    restarted: bool = False
+
+    def events_of(self, kind: str) -> list[ExecutionEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class _RestartOnSurvivor(Exception):
+    """Internal: abandon the hetero run, rerun on the survivor's plan."""
+
+    def __init__(self, survivor: str, cause: DeviceLostError):
+        super().__init__(survivor)
+        self.survivor = survivor
+        self.cause = cause
+
+
+class _AttemptDeadline(Exception):
+    """Internal: one task attempt overran ``task_deadline_s``."""
+
+    def __init__(self, elapsed: float, budget: float):
+        super().__init__(f"attempt took {elapsed:.4f}s > budget {budget:.4f}s")
+        self.elapsed = elapsed
+
+
+_COUNTER_KEYS = (
+    "faults",
+    "retries",
+    "giveups",
+    "task_deadline_misses",
+    "device_losses",
+    "failovers",
+    "migrated_tasks",
+)
+
+
+class ResilientExecutor:
+    """Fault-tolerant execution of a :class:`HeteroPlan`.
+
+    With a default config and no injected faults the behaviour — outputs,
+    task placements, completion semantics — is identical to
+    :class:`~repro.runtime.threaded.ThreadedExecutor`; the resilience
+    machinery only activates when something actually goes wrong.
+
+    Args:
+        plan: the heterogeneous plan to execute.
+        config: retry/deadline/failover knobs.
+        fault_injector: optional deterministic chaos hooks.
+        degradation_plans: device -> standing single-device plan, used to
+            restart on the survivor when a device dies before any task
+            completed (carried on
+            :class:`~repro.core.engine.DuetOptimization`).
+        join_timeout: seconds to wait for worker shutdown.
+    """
+
+    def __init__(
+        self,
+        plan: HeteroPlan,
+        config: ResilienceConfig | None = None,
+        fault_injector: "FaultInjector | None" = None,
+        degradation_plans: Mapping[str, HeteroPlan] | None = None,
+        join_timeout: float = 5.0,
+    ):
+        self.plan = plan
+        self.config = config or ResilienceConfig()
+        self.fault_injector = fault_injector
+        self.degradation_plans = dict(degradation_plans or {})
+        self.join_timeout = join_timeout
+
+    # ------------------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> ExecutionReport:
+        """Execute with recovery; raises on terminal failure.
+
+        Terminal errors (retries exhausted, every device lost, end-to-end
+        deadline) raise the matching :class:`~repro.errors.ExecutionError`
+        subclass with the partial :class:`ExecutionReport` attached as
+        ``exc.report``.
+        """
+        t0 = time.perf_counter()
+        events: list[ExecutionEvent] = []
+        counters = {key: 0 for key in _COUNTER_KEYS}
+        try:
+            return self._run_with_failover(inputs, t0, events, counters)
+        except ExecutionError as exc:
+            exc.report = ExecutionReport(
+                outputs=None,
+                wall_time_s=time.perf_counter() - t0,
+                task_worker={},
+                task_order=[],
+                events=events,
+                counters=counters,
+                completed=False,
+            )
+            raise
+
+    def _run_with_failover(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        t0: float,
+        events: list[ExecutionEvent],
+        counters: dict[str, int],
+    ) -> ExecutionReport:
+        degraded: str | None = None
+        restarted = False
+        try:
+            state = self._run_plan(
+                self.plan, inputs, t0, events, counters, allow_restart=True
+            )
+            plan = self.plan
+            if self.fault_injector is not None:
+                lost = [
+                    dev
+                    for dev in ("cpu", "gpu")
+                    if self.fault_injector.device_is_lost(dev)
+                ]
+                if lost:
+                    degraded = _OTHER[lost[0]]
+        except _RestartOnSurvivor as sig:
+            counters["failovers"] += 1
+            restarted = True
+            degraded = sig.survivor
+            events.append(
+                ExecutionEvent(
+                    kind="failover-restart",
+                    time_s=time.perf_counter() - t0,
+                    device=sig.survivor,
+                    detail=(
+                        f"restarting on {sig.survivor!r} single-device plan "
+                        f"after: {sig.cause}"
+                    ),
+                )
+            )
+            plan = self.degradation_plans[sig.survivor]
+            state = self._run_plan(
+                plan, inputs, t0, events, counters, allow_restart=False
+            )
+        return self._report(
+            plan, state, t0, events, counters, degraded, restarted
+        )
+
+    def _report(
+        self,
+        plan: HeteroPlan,
+        state: _State,
+        t0: float,
+        events: list[ExecutionEvent],
+        counters: dict[str, int],
+        degraded: str | None,
+        restarted: bool,
+    ) -> ExecutionReport:
+        outputs = [state.values[(tid, idx)] for tid, idx in plan.outputs]
+        return ExecutionReport(
+            outputs=outputs,
+            wall_time_s=time.perf_counter() - t0,
+            task_worker=dict(state.task_worker),
+            task_order=list(state.task_order),
+            events=events,
+            counters=counters,
+            completed=True,
+            degraded_device=degraded,
+            restarted=restarted,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_plan(
+        self,
+        plan: HeteroPlan,
+        inputs: Mapping[str, np.ndarray],
+        t0: float,
+        events: list[ExecutionEvent],
+        counters: dict[str, int],
+        allow_restart: bool,
+    ) -> _State:
+        config = self.config
+        injector = self.fault_injector
+        state = _State(plan)
+        lost: set[str] = set()  # guarded by state.lock
+        queues: dict[str, "queue.Queue[TaskSpec | None]"] = {
+            "cpu": queue.Queue(),
+            "gpu": queue.Queue(),
+        }
+        # Worker -> orchestrator notifications:
+        #   ("ok", task, device) | ("fail", task, exc) | ("lost", task, exc)
+        notify: "queue.Queue[tuple]" = queue.Queue()
+        rngs = {
+            dev: np.random.default_rng((config.seed, i))
+            for i, dev in enumerate(("cpu", "gpu"))
+        }
+
+        def now() -> float:
+            return time.perf_counter() - t0
+
+        def route(device: str) -> str:
+            return _OTHER[device] if device in lost else device
+
+        def attempt(task: TaskSpec, device: str) -> None:
+            began = time.perf_counter()
+            if injector is not None:
+                injector.on_task_start(task.task_id, device)
+            crossed: set[str] = set()
+            with state.lock:
+                feeds = gather_feeds(
+                    task, device, inputs, state.values, state.task_worker,
+                    injector, crossed,
+                )
+            if config.validate_transfers:
+                for input_id in crossed:
+                    value = feeds[input_id]
+                    if np.issubdtype(value.dtype, np.floating) and not np.all(
+                        np.isfinite(value)
+                    ):
+                        raise TransferError(
+                            f"non-finite tensor arrived for input "
+                            f"{input_id!r} of task {task.task_id!r}"
+                        )
+            env = run_kernels(task, feeds)
+            elapsed = time.perf_counter() - began
+            if (
+                config.task_deadline_s is not None
+                and elapsed > config.task_deadline_s
+            ):
+                # Do NOT commit: a deadline-busting attempt is a failed
+                # attempt, its results are discarded before retry.
+                raise _AttemptDeadline(elapsed, config.task_deadline_s)
+            with state.lock:
+                for idx, out_id in enumerate(task.module.output_ids):
+                    state.values[(task.task_id, idx)] = env[out_id]
+                state.task_worker[task.task_id] = device
+                state.task_order.append(task.task_id)
+                ready = [
+                    (dep, route(dep.device))
+                    for dep in state.dependents[task.task_id]
+                    if self._decrement(state, dep) == 0
+                ]
+            for dep, dest in ready:
+                queues[dest].put(dep)
+
+        def run_with_retries(task: TaskSpec, device: str) -> None:
+            attempt_no = 0
+            while True:
+                attempt_no += 1
+                try:
+                    attempt(task, device)
+                    notify.put(("ok", task, device))
+                    return
+                except DeviceLostError as exc:
+                    notify.put(("lost", task, exc))
+                    return
+                except _AttemptDeadline as exc:
+                    counters["task_deadline_misses"] += 1
+                    kind, cause = "task-deadline", DeadlineExceededError(
+                        f"task {task.task_id!r}: {exc}"
+                    )
+                except Exception as exc:  # transient fault: retryable
+                    counters["faults"] += 1
+                    kind, cause = "fault", exc
+                events.append(
+                    ExecutionEvent(
+                        kind=kind,
+                        time_s=now(),
+                        task_id=task.task_id,
+                        device=device,
+                        attempt=attempt_no,
+                        detail=str(cause),
+                    )
+                )
+                if attempt_no >= config.retry.max_attempts:
+                    counters["giveups"] += 1
+                    events.append(
+                        ExecutionEvent(
+                            kind="giveup",
+                            time_s=now(),
+                            task_id=task.task_id,
+                            device=device,
+                            attempt=attempt_no,
+                            detail=f"retries exhausted: {cause}",
+                        )
+                    )
+                    notify.put(("fail", task, cause))
+                    return
+                delay = config.retry.backoff_s(attempt_no, rngs[device])
+                counters["retries"] += 1
+                events.append(
+                    ExecutionEvent(
+                        kind="backoff",
+                        time_s=now(),
+                        task_id=task.task_id,
+                        device=device,
+                        attempt=attempt_no,
+                        detail=f"sleeping {delay:.6f}s",
+                    )
+                )
+                time.sleep(delay)
+                events.append(
+                    ExecutionEvent(
+                        kind="retry",
+                        time_s=now(),
+                        task_id=task.task_id,
+                        device=device,
+                        attempt=attempt_no + 1,
+                    )
+                )
+
+        def worker(device: str) -> None:
+            while True:
+                task = queues[device].get()
+                if task is None:
+                    return
+                run_with_retries(task, device)
+
+        workers = {
+            dev: threading.Thread(target=worker, args=(dev,), daemon=True)
+            for dev in ("cpu", "gpu")
+        }
+        for t in workers.values():
+            t.start()
+        for task in plan.tasks:
+            if state.remaining_deps[task.task_id] == 0:
+                queues[task.device].put(task)
+
+        n_tasks = len(plan.tasks)
+        n_done = 0
+        terminal: ExecutionError | None = None
+        restart: _RestartOnSurvivor | None = None
+        deadline_at = (
+            t0 + config.deadline_s if config.deadline_s is not None else None
+        )
+        while n_done < n_tasks:
+            timeout = None
+            if deadline_at is not None:
+                timeout = max(0.0, deadline_at - time.perf_counter())
+            try:
+                msg = notify.get(timeout=timeout)
+            except queue.Empty:
+                terminal = DeadlineExceededError(
+                    f"inference exceeded end-to-end deadline of "
+                    f"{config.deadline_s:.4f}s ({n_done}/{n_tasks} tasks done)"
+                )
+                events.append(
+                    ExecutionEvent(
+                        kind="deadline", time_s=now(), detail=str(terminal)
+                    )
+                )
+                break
+            kind = msg[0]
+            if kind == "ok":
+                n_done += 1
+            elif kind == "fail":
+                _, task, cause = msg
+                terminal = ExecutionError(
+                    f"task {task.task_id!r} failed after "
+                    f"{config.retry.max_attempts} attempt(s): {cause}"
+                )
+                break
+            else:  # device lost
+                _, task, exc = msg
+                dead = exc.device
+                survivor = _OTHER[dead]
+                with state.lock:
+                    newly = dead not in lost
+                    lost.add(dead)
+                    survivor_dead = survivor in lost
+                    completed_any = bool(state.task_order)
+                if newly:
+                    counters["device_losses"] += 1
+                    events.append(
+                        ExecutionEvent(
+                            kind="device-lost",
+                            time_s=now(),
+                            task_id=task.task_id,
+                            device=dead,
+                            detail=str(exc),
+                        )
+                    )
+                if survivor_dead:
+                    terminal = ExecutionError(
+                        f"all devices lost (last: {exc}); cannot fail over"
+                    )
+                    break
+                if not config.failover:
+                    terminal = exc
+                    break
+                if (
+                    allow_restart
+                    and not completed_any
+                    and survivor in self.degradation_plans
+                ):
+                    restart = _RestartOnSurvivor(survivor, exc)
+                    break
+                if newly:
+                    counters["failovers"] += 1
+                    # Retarget the dead device's queued-but-unstarted work.
+                    while True:
+                        try:
+                            moved = queues[dead].get_nowait()
+                        except queue.Empty:
+                            break
+                        if moved is None:
+                            continue
+                        self._migrate(
+                            moved, dead, survivor, queues, events, counters,
+                            now,
+                        )
+                # The task whose attempt observed the loss migrates too.
+                self._migrate(
+                    task, dead, survivor, queues, events, counters, now
+                )
+
+        # Shutdown: drain, sentinel, join.
+        for q in queues.values():
+            while True:
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    break
+        for dev in queues:
+            queues[dev].put(None)
+        stuck = []
+        for dev, t in workers.items():
+            t.join(timeout=self.join_timeout)
+            if t.is_alive():
+                stuck.append(dev)
+        if restart is not None:
+            raise restart
+        if terminal is not None:
+            raise terminal
+        if stuck:
+            raise ExecutionError(
+                f"worker thread(s) for device(s) {', '.join(stuck)} did not "
+                f"finish within {self.join_timeout:.1f}s; a task is wedged"
+            )
+        return state
+
+    @staticmethod
+    def _decrement(state: _State, dep: TaskSpec) -> int:
+        state.remaining_deps[dep.task_id] -= 1
+        return state.remaining_deps[dep.task_id]
+
+    def _migrate(
+        self,
+        task: TaskSpec,
+        dead: str,
+        survivor: str,
+        queues: dict,
+        events: list[ExecutionEvent],
+        counters: dict[str, int],
+        now,
+    ) -> None:
+        counters["migrated_tasks"] += 1
+        events.append(
+            ExecutionEvent(
+                kind="failover-migrate",
+                time_s=now(),
+                task_id=task.task_id,
+                device=survivor,
+                detail=f"migrated off lost device {dead!r}",
+            )
+        )
+        queues[survivor].put(task)

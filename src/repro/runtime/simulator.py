@@ -22,13 +22,16 @@ execution bit-for-bit against the reference interpreter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.devices.machine import Machine
 from repro.errors import ExecutionError
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultInjector
 
 __all__ = [
     "KernelRecord",
@@ -169,6 +172,7 @@ def simulate(
     *,
     record_kernels: bool = True,
     kernel_times: Mapping[str, Sequence[float]] | None = None,
+    injector: "FaultInjector | None" = None,
 ) -> ExecutionResult:
     """Run one inference of ``plan`` on ``machine``.
 
@@ -187,6 +191,15 @@ def simulate(
             only in mean mode (``rng is None``); latencies are bit-identical
             to recomputing because the same per-kernel values accumulate in
             the same order.
+        injector: optional :class:`~repro.runtime.faults.FaultInjector`
+            consulted as each task starts on the virtual clock: injected
+            stalls add virtual time, kernel faults raise
+            :class:`~repro.errors.TransientKernelError`, and device losses
+            (``at_task``/``at_time``) raise
+            :class:`~repro.errors.DeviceLostError` — so chaos scenarios
+            can be explored without threads.  With ``None`` or an empty
+            fault plan, latencies are bit-identical to the uninstrumented
+            simulation.
     """
     link = _LinkTimeline(machine, rng)
     device_free = {"cpu": 0.0, "gpu": 0.0}
@@ -223,6 +236,12 @@ def simulate(
             for input_id, src in task.sources.items()
         ]
         start = max([device_free[task.device], *arrivals]) if arrivals else device_free[task.device]
+        if injector is not None:
+            # Stalls extend the task on the virtual clock; kernel faults
+            # and device losses raise (no retry here — the simulator is
+            # the cheap chaos probe, recovery lives in the resilient
+            # executor).
+            start += injector.on_virtual_task(task.task_id, task.device, start)
         device = machine.device(task.device)
 
         kernel_records: list[KernelRecord] = []

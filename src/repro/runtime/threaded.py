@@ -10,6 +10,12 @@ releases the GIL inside its kernels, so the two workers genuinely overlap).
 Timing of *this* executor is host wall-clock (useful as a sanity signal);
 the calibrated virtual-time results come from
 :mod:`repro.runtime.simulator`.
+
+A :class:`~repro.runtime.faults.FaultInjector` can be attached for
+deterministic chaos tests: it is consulted at every task attempt and every
+cross-device tensor hand-off.  This executor has *no* recovery — an
+injected fault aborts the run exactly like a real one; the retrying,
+failing-over path lives in :mod:`repro.runtime.resilient`.
 """
 
 from __future__ import annotations
@@ -18,14 +24,17 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.runtime.plan import HeteroPlan, TaskSpec
 
-__all__ = ["ThreadedResult", "ThreadedExecutor"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime.faults import FaultInjector
+
+__all__ = ["ThreadedResult", "ThreadedExecutor", "gather_feeds", "run_kernels"]
 
 
 @dataclass
@@ -38,6 +47,52 @@ class ThreadedResult:
     task_order: list[str]  # completion order
 
 
+def gather_feeds(
+    task: TaskSpec,
+    worker_device: str,
+    inputs: Mapping[str, np.ndarray],
+    values: Mapping[tuple[str, int], np.ndarray],
+    producer_device: Mapping[str, str],
+    injector: "FaultInjector | None" = None,
+    crossed: set[str] | None = None,
+) -> dict[str, np.ndarray]:
+    """Resolve a task's input tensors (caller must hold the state lock).
+
+    Tensors crossing devices — external inputs consumed off-host, or task
+    outputs produced on the other worker — pass through the fault
+    injector's transfer hook, which may corrupt them or raise
+    :class:`~repro.errors.TransferError`.  When ``crossed`` is given, the
+    input ids that crossed devices are added to it (the resilient
+    executor's corruption guard validates exactly those).
+    """
+    feeds: dict[str, np.ndarray] = {}
+    for input_id, src in task.sources.items():
+        if src.kind == "external":
+            if src.ref not in inputs:
+                raise ExecutionError(f"missing external input {src.ref!r}")
+            value = np.asarray(inputs[src.ref])
+            produced_on = "cpu"  # model inputs are host-resident
+        else:
+            value = values[(src.ref, src.output_index)]
+            produced_on = producer_device.get(src.ref, worker_device)
+        if produced_on != worker_device:
+            if crossed is not None:
+                crossed.add(input_id)
+            if injector is not None:
+                value = injector.on_transfer(src.ref, worker_device, value)
+        feeds[input_id] = value
+    return feeds
+
+
+def run_kernels(task: TaskSpec, feeds: Mapping[str, np.ndarray]) -> dict:
+    """Execute a task's kernels numerically; returns the value environment."""
+    env = dict(task.module.params)
+    env.update(feeds)
+    for kernel in task.module.kernels:
+        env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
+    return env
+
+
 class _State:
     """Shared executor state guarded by a single lock."""
 
@@ -48,7 +103,7 @@ class _State:
         self.dependents: dict[str, list[TaskSpec]] = {t.task_id: [] for t in plan.tasks}
         self.task_worker: dict[str, str] = {}
         self.task_order: list[str] = []
-        self.error: BaseException | None = None
+        self.errors: list[BaseException] = []
         for task in plan.tasks:
             deps = {
                 src.ref
@@ -60,6 +115,17 @@ class _State:
                 self.dependents[dep].append(task)
 
 
+def _format_failures(errors: list[BaseException], extra: str = "") -> str:
+    """One message naming every worker failure, first cause leading."""
+    head = f"threaded execution failed: {errors[0]}{extra}"
+    if len(errors) == 1:
+        return head
+    others = "; ".join(f"{type(e).__name__}: {e}" for e in errors[1:])
+    return (
+        f"{head} (+{len(errors) - 1} additional worker failure(s): {others})"
+    )
+
+
 class ThreadedExecutor:
     """Executes a :class:`HeteroPlan` with one worker thread per device.
 
@@ -69,15 +135,25 @@ class ThreadedExecutor:
             worker still alive after this raises :class:`ExecutionError`
             naming the stuck device rather than silently returning a
             half-populated result.
+        fault_injector: optional deterministic chaos hooks
+            (:class:`~repro.runtime.faults.FaultInjector`); injected
+            faults abort the run like real ones.
     """
 
-    def __init__(self, plan: HeteroPlan, join_timeout: float = 5.0):
+    def __init__(
+        self,
+        plan: HeteroPlan,
+        join_timeout: float = 5.0,
+        fault_injector: "FaultInjector | None" = None,
+    ):
         self.plan = plan
         self.join_timeout = join_timeout
+        self.fault_injector = fault_injector
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> ThreadedResult:
         """Execute the plan numerically; blocks until all tasks finish."""
         state = _State(self.plan)
+        injector = self.fault_injector
         queues: dict[str, "queue.Queue[TaskSpec | None]"] = {
             "cpu": queue.Queue(),
             "gpu": queue.Queue(),
@@ -86,23 +162,20 @@ class ThreadedExecutor:
         done = threading.Semaphore(0)
 
         def execute(task: TaskSpec) -> None:
-            feeds: dict[str, np.ndarray] = {}
+            if injector is not None:
+                injector.on_task_start(task.task_id, task.device)
             with state.lock:
-                for input_id, src in task.sources.items():
-                    if src.kind == "external":
-                        if src.ref not in inputs:
-                            raise ExecutionError(
-                                f"missing external input {src.ref!r}"
-                            )
-                        feeds[input_id] = np.asarray(inputs[src.ref])
-                    else:
-                        feeds[input_id] = state.values[(src.ref, src.output_index)]
-            env = dict(task.module.params)
-            env.update(feeds)
+                feeds = gather_feeds(
+                    task,
+                    task.device,
+                    inputs,
+                    state.values,
+                    state.task_worker,
+                    injector,
+                )
             # The heavy part runs OUTSIDE the lock — this is where the two
             # workers overlap.
-            for kernel in task.module.kernels:
-                env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
+            env = run_kernels(task, feeds)
             with state.lock:
                 for idx, out_id in enumerate(task.module.output_ids):
                     state.values[(task.task_id, idx)] = env[out_id]
@@ -125,8 +198,7 @@ class ThreadedExecutor:
                     execute(task)
                 except BaseException as exc:  # propagate to the caller
                     with state.lock:
-                        if state.error is None:
-                            state.error = exc
+                        state.errors.append(exc)
                 finally:
                     done.release()
 
@@ -141,11 +213,14 @@ class ThreadedExecutor:
         for task in self.plan.tasks:
             if state.remaining_deps[task.task_id] == 0:
                 queues[task.device].put(task)
+        failed = False
         for _ in range(n_tasks):
             done.acquire()
-            if state.error is not None:
+            with state.lock:
+                failed = bool(state.errors)
+            if failed:
                 break
-        if state.error is not None:
+        if failed:
             # A failed task's dependents were never queued and never will
             # be; drain already-queued-but-unstarted work so the workers
             # reach their shutdown sentinel instead of burning through it.
@@ -164,7 +239,7 @@ class ThreadedExecutor:
                 stuck.append(dev)
         wall = time.perf_counter() - start
 
-        if state.error is not None:
+        if state.errors:
             detail = (
                 f" (worker(s) {', '.join(stuck)} still wedged after "
                 f"{self.join_timeout:.1f}s)"
@@ -172,8 +247,8 @@ class ThreadedExecutor:
                 else ""
             )
             raise ExecutionError(
-                f"threaded execution failed: {state.error}{detail}"
-            ) from state.error
+                _format_failures(state.errors, detail)
+            ) from state.errors[0]
         if stuck:
             raise ExecutionError(
                 f"worker thread(s) for device(s) {', '.join(stuck)} did not "

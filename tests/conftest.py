@@ -6,9 +6,10 @@ import numpy as np
 import pytest
 
 from repro.compiler import Compiler
-from repro.core import DuetEngine
+from repro.core import CompilerAwareProfiler, DuetEngine, partition_graph
+from repro.core.placement import build_hetero_plan
 from repro.devices import default_machine
-from repro.ir import GraphBuilder
+from repro.ir import GraphBuilder, make_inputs, run_graph
 from repro.models import build_model
 
 
@@ -71,3 +72,25 @@ def chain_graph():
 def tiny_model(request):
     """Each zoo model at test scale (structure preserved, cheap numerics)."""
     return build_model(request.param, tiny=True)
+
+
+@pytest.fixture(scope="session")
+def siamese_mixed(machine):
+    """A siamese plan forced onto both devices, plus inputs and reference.
+
+    Returns ``(plan, graph, feeds, reference_outputs)``.  The first
+    subgraph is placed on the CPU and the rest on the GPU, guaranteeing
+    cross-device edges and at least two GPU tasks — the shape the
+    fault-injection and failover tests need.  Tests must not mutate any
+    of it.
+    """
+    graph = build_model("siamese", tiny=True)
+    partition = partition_graph(graph)
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(partition)
+    placement = {
+        sg.id: ("cpu" if i == 0 else "gpu")
+        for i, sg in enumerate(partition.subgraphs)
+    }
+    plan = build_hetero_plan(graph, partition, profiles, placement)
+    feeds = make_inputs(graph)
+    return plan, graph, feeds, run_graph(graph, feeds)

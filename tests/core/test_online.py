@@ -97,3 +97,31 @@ class TestAdaptiveEngine:
         assert rec.latency > 0
         assert set(rec.assumed_slowdown) == {"cpu", "gpu"}
         assert rec.placement == engine.placement
+
+
+class TestMisuseGuards:
+    """serve_one must fail with SchedulingError, never AttributeError."""
+
+    def test_expected_is_a_declared_field(self, machine):
+        engine = AdaptiveDuetEngine(base_machine=machine)
+        assert engine._expected == {}
+
+    def test_manually_assigned_plan_rejected(self, machine, wd_graph):
+        # Bypassing start() leaves the drift monitor without its
+        # per-task expectations; serve_one must refuse cleanly.
+        donor = AdaptiveDuetEngine(base_machine=machine)
+        donor.start(wd_graph)
+        engine = AdaptiveDuetEngine(base_machine=machine)
+        engine.plan = donor.plan  # misuse: no start()
+        engine.graph = wd_graph
+        with pytest.raises(SchedulingError, match="start"):
+            engine.serve_one()
+
+    def test_start_resets_expectations(self, machine, wd_graph):
+        engine = AdaptiveDuetEngine(base_machine=machine)
+        engine.start(wd_graph)
+        first = dict(engine._expected)
+        assert first  # populated for every task in the plan
+        assert set(first) == {t.task_id for t in engine.plan.tasks}
+        engine.start(wd_graph)
+        assert set(engine._expected) == set(first)

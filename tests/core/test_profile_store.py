@@ -138,3 +138,62 @@ class TestMalformedPayloads:
         partition, path = self._mangle(setup, mutate)
         with pytest.raises(ProfilingError, match="non-numeric mean_time"):
             load_profiles(partition, path)
+
+
+class TestDamagedArtifacts:
+    """Truncated/empty/structurally-wrong artifacts raise ProfilingError."""
+
+    def _saved(self, setup):
+        _, partition, profiles, path = setup
+        save_profiles(partition, profiles, path)
+        return partition, path
+
+    def test_truncated_artifact(self, setup):
+        partition, path = self._saved(setup)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ProfilingError, match="cannot read"):
+            load_profiles(partition, path)
+
+    def test_empty_file(self, setup):
+        partition, path = self._saved(setup)
+        path.write_text("")
+        with pytest.raises(ProfilingError, match="cannot read"):
+            load_profiles(partition, path)
+
+    def test_top_level_not_an_object(self, setup):
+        partition, path = self._saved(setup)
+        path.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.raises(ProfilingError, match="not an object"):
+            load_profiles(partition, path)
+
+    def test_top_level_scalar(self, setup):
+        partition, path = self._saved(setup)
+        path.write_text("42")
+        with pytest.raises(ProfilingError, match="not an object"):
+            load_profiles(partition, path)
+
+    def test_fingerprint_missing(self, setup):
+        partition, path = self._saved(setup)
+        payload = json.loads(path.read_text())
+        del payload["fingerprint"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ProfilingError, match="does not match"):
+            load_profiles(partition, path)
+
+    def test_wrong_fingerprint(self, setup):
+        partition, path = self._saved(setup)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"] = "0" * 16
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ProfilingError, match="does not match"):
+            load_profiles(partition, path)
+
+    def test_missing_subgraph_entry(self, setup):
+        partition, path = self._saved(setup)
+        payload = json.loads(path.read_text())
+        sid = next(iter(payload["profiles"]))
+        del payload["profiles"][sid]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ProfilingError, match="misses subgraph"):
+            load_profiles(partition, path)

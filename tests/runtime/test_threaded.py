@@ -8,9 +8,15 @@ import pytest
 
 from repro.core import CompilerAwareProfiler, DuetEngine, partition_graph
 from repro.core.placement import build_hetero_plan
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TransientKernelError
 from repro.ir import make_inputs, run_graph
 from repro.models import build_model
+from repro.runtime.faults import (
+    DeviceLoss,
+    FaultInjector,
+    FaultPlan,
+    KernelFault,
+)
 from repro.runtime.plan import HeteroPlan
 from repro.runtime.threaded import ThreadedExecutor
 
@@ -134,6 +140,34 @@ class TestThreadedExecutor:
             ThreadedExecutor(crafted, join_timeout=0.05).run(make_inputs(graph))
         assert "kernel exploded" in str(excinfo.value)
 
+    def test_multiple_worker_failures_all_surfaced(self, machine):
+        """Every worker failure lands in the message, not just the first."""
+        graph = build_model("siamese", tiny=True)
+        plan = DuetEngine(machine=machine).optimize(graph).plan
+
+        def boom_cpu(args):
+            raise ValueError("boom-cpu")
+
+        def boom_gpu_late(args):
+            # Already running when the cpu failure aborts the run; its own
+            # failure must still be recorded, not silently dropped.
+            time.sleep(0.25)
+            raise ValueError("boom-gpu")
+
+        crafted = HeteroPlan(
+            tasks=[
+                _clone_root_task(plan, "late_failer", "gpu", boom_gpu_late),
+                _clone_root_task(plan, "fast_failer", "cpu", boom_cpu),
+            ],
+            outputs=[("late_failer", 0)],
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            ThreadedExecutor(crafted).run(make_inputs(graph))
+        message = str(excinfo.value)
+        assert "boom-cpu" in message
+        assert "boom-gpu" in message
+        assert "additional worker failure" in message
+
     def test_repeated_runs_deterministic_outputs(self, machine):
         graph = build_model("siamese", tiny=True)
         partition = partition_graph(graph)
@@ -148,3 +182,92 @@ class TestThreadedExecutor:
         b = ThreadedExecutor(plan).run(feeds)
         for x, y in zip(a.outputs, b.outputs):
             np.testing.assert_array_equal(x, y)
+
+
+class TestThreadedFaultInjection:
+    """Failure paths driven by the deterministic injector (no recovery
+    here — the plain executor aborts exactly like on a real fault)."""
+
+    def test_mid_graph_kernel_fault_aborts_run(self, siamese_mixed):
+        plan, _, feeds, _ = siamese_mixed
+        mid = plan.tasks[1].task_id
+        injector = FaultInjector(
+            FaultPlan(kernel_faults=(KernelFault(mid, fail_attempts=1),))
+        )
+        with pytest.raises(ExecutionError, match="injected transient"):
+            ThreadedExecutor(plan, fault_injector=injector).run(feeds)
+        assert isinstance(injector, FaultInjector)
+
+    def test_mid_graph_fault_is_deterministic(self, siamese_mixed):
+        plan, _, feeds, _ = siamese_mixed
+        mid = plan.tasks[1].task_id
+        for _ in range(3):
+            injector = FaultInjector(
+                FaultPlan(kernel_faults=(KernelFault(mid, fail_attempts=1),))
+            )
+            with pytest.raises(ExecutionError) as excinfo:
+                ThreadedExecutor(plan, fault_injector=injector).run(feeds)
+            assert isinstance(excinfo.value.__cause__, TransientKernelError)
+            assert mid in str(excinfo.value)
+
+    def test_both_device_fault_surfaces_both(self, siamese_mixed):
+        plan, _, feeds, _ = siamese_mixed
+        roots = [t for t in plan.tasks
+                 if all(s.kind == "external" for s in t.sources.values())]
+        by_dev = {t.device: t.task_id for t in roots}
+        assert set(by_dev) == {"cpu", "gpu"}, "need a root on each device"
+        injector = FaultInjector(
+            FaultPlan(
+                kernel_faults=(
+                    KernelFault(by_dev["cpu"], fail_attempts=1),
+                    KernelFault(by_dev["gpu"], fail_attempts=1),
+                )
+            )
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            ThreadedExecutor(plan, fault_injector=injector).run(feeds)
+        # Both roots start immediately on their own workers, so both
+        # injected faults fire and both appear in the message.
+        message = str(excinfo.value)
+        assert by_dev["cpu"] in message or by_dev["gpu"] in message
+
+    def test_injected_fault_drains_queued_work(self, machine):
+        """An injected failure must drain queued tasks like a real one."""
+        graph = build_model("siamese", tiny=True)
+        plan = DuetEngine(machine=machine).optimize(graph).plan
+        real_fn = plan.tasks[0].module.kernels[0].fn
+        ran = []
+
+        def slow(args):
+            time.sleep(0.5)
+            return real_fn(args)
+
+        def recorder(args):
+            ran.append("behind")
+            return real_fn(args)
+
+        crafted = HeteroPlan(
+            tasks=[
+                _clone_root_task(plan, "sleeper", "gpu", slow),
+                _clone_root_task(plan, "failer", "cpu", real_fn),
+                _clone_root_task(plan, "behind", "gpu", recorder),
+            ],
+            outputs=[("sleeper", 0)],
+        )
+        injector = FaultInjector(
+            FaultPlan(kernel_faults=(KernelFault("failer", fail_attempts=1),))
+        )
+        with pytest.raises(ExecutionError, match="injected transient"):
+            ThreadedExecutor(crafted, fault_injector=injector).run(
+                make_inputs(graph)
+            )
+        assert ran == []
+
+    def test_device_loss_aborts_plain_executor(self, siamese_mixed):
+        plan, _, feeds, _ = siamese_mixed
+        gpu_tasks = [t.task_id for t in plan.tasks if t.device == "gpu"]
+        injector = FaultInjector(
+            FaultPlan(device_losses=(DeviceLoss("gpu", at_task=gpu_tasks[0]),))
+        )
+        with pytest.raises(ExecutionError, match="was lost"):
+            ThreadedExecutor(plan, fault_injector=injector).run(feeds)
