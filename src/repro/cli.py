@@ -7,6 +7,7 @@ Examples::
     python -m repro print siamese --tiny
     python -m repro optimize wide_deep --runs 2000
     python -m repro bench fig13
+    python -m repro fuzz --seed 0 --count 50
 """
 
 from __future__ import annotations
@@ -173,6 +174,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: random graphs through every execution path."""
+    from repro.testing import GeneratorConfig, run_campaign
+
+    config = GeneratorConfig(max_ops=args.max_ops)
+    machine = default_machine(noisy=False)
+
+    def progress(case, diff):
+        if args.verbose or not diff.ok:
+            ops = len(case.graph.pruned().op_nodes())
+            status = "ok" if diff.ok else "FAIL"
+            print(f"  case {case.index:4d} ({ops:3d} ops): {status}")
+
+    report = run_campaign(
+        args.seed,
+        args.count,
+        config=config,
+        machine=machine,
+        minimize=not args.no_minimize,
+        artifact_dir=args.artifact_dir,
+        time_budget_s=args.time_budget,
+        progress=progress,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(failure.describe())
+    if report.failures:
+        print(
+            "\nreproduce with: python -m repro fuzz "
+            f"--seed {args.seed} --count {args.count}"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +261,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample count for the tail-latency experiment",
     )
     p_report.set_defaults(fn=_cmd_report)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing across all execution paths",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (case i depends only on (seed, i))"
+    )
+    p_fuzz.add_argument("--count", type=int, default=50, help="number of cases")
+    p_fuzz.add_argument(
+        "--max-ops", type=int, default=24, help="target operator-count ceiling"
+    )
+    p_fuzz.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write minimized JSON repro artifacts for failures here",
+    )
+    p_fuzz.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip shrinking failing graphs",
+    )
+    p_fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new cases after this much wall time",
+    )
+    p_fuzz.add_argument(
+        "--verbose", action="store_true", help="print every case, not just failures"
+    )
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

@@ -4,6 +4,11 @@ Two OP nodes with the same operator, identical (already-deduplicated)
 inputs, and equal attributes compute the same value; the later one is
 rewritten to reuse the earlier one.  Constants are *not* merged — distinct
 parameters materialize with distinct values even when their types match.
+
+Declared graph outputs are never merged away: ``output_ids`` are the
+compiled module's public contract (and merging two outputs would leave
+the graph returning the same id twice), so a duplicate that the graph
+returns is kept.
 """
 
 from __future__ import annotations
@@ -25,17 +30,17 @@ def common_subexpression_elimination(graph: Graph) -> Graph:
     remap: dict[str, str] = {}
     seen: dict[tuple, str] = {}
     kept: list[Node] = []
+    protected = set(graph.outputs)
     for nid in graph.topo_order():
         node = graph.node(nid)
         if not node.is_op:
             kept.append(node)
             continue
         key = _op_key(node, remap)
-        if key in seen:
+        if key in seen and node.id not in protected:
             remap[node.id] = seen[key]
             continue
-        seen[key] = node.id
+        seen.setdefault(key, node.id)
         new_inputs = tuple(remap.get(i, i) for i in node.inputs)
         kept.append(node.with_inputs(new_inputs) if new_inputs != node.inputs else node)
-    outputs = [remap.get(o, o) for o in graph.outputs]
-    return Graph(graph.name, kept, outputs)
+    return Graph(graph.name, kept, graph.outputs)

@@ -6,6 +6,11 @@ Structural rewrites that need no numeric evaluation:
 * ``reshape(reshape(x))`` → single reshape to the final shape
 * ``transpose(transpose(x))`` with inverse permutations → ``x``
 * ``reshape(x)`` to x's own shape → ``x``
+
+Declared graph outputs are never rewritten away: a compiled module's
+``output_ids`` are its public contract (the scheduler wires plan tasks
+and subgraph boundaries by these names), so elimination skips nodes whose
+id the graph returns.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ def simplify(graph: Graph) -> Graph:
     sufficient because rewrites only look backwards in topo order)."""
     remap: dict[str, str] = {}
     kept: dict[str, Node] = {}
+    protected = set(graph.outputs)
     for nid in graph.topo_order():
         node = graph.node(nid)
         if not node.is_op:
@@ -41,14 +47,15 @@ def simplify(graph: Graph) -> Graph:
             continue
         inputs = tuple(_resolve(remap, i) for i in node.inputs)
         node = node.with_inputs(inputs) if inputs != node.inputs else node
+        erasable = node.id not in protected
 
-        if node.op == "identity":
+        if node.op == "identity" and erasable:
             remap[node.id] = node.inputs[0]
             continue
 
         if node.op == "reshape":
             src = kept[node.inputs[0]]
-            if node.ty.shape == src.ty.shape:
+            if node.ty.shape == src.ty.shape and erasable:
                 remap[node.id] = src.id
                 continue
             if src.is_op and src.op == "reshape":
@@ -68,7 +75,7 @@ def simplify(graph: Graph) -> Graph:
                 inner = _perm_of(src, kept[src.inputs[0]].ty.rank)
                 outer = _perm_of(node, src.ty.rank)
                 composed = tuple(inner[a] for a in outer)
-                if composed == tuple(range(len(composed))):
+                if composed == tuple(range(len(composed))) and erasable:
                     remap[node.id] = src.inputs[0]
                     continue
                 node = Node(
@@ -82,11 +89,6 @@ def simplify(graph: Graph) -> Graph:
 
         kept[node.id] = node
 
-    outputs = []
-    out_nodes = dict(kept)
-    for out in graph.outputs:
-        resolved = _resolve(remap, out)
-        # An output rewritten away must still be returned under some id; if
-        # the resolved node is a leaf that's fine, the graph returns it.
-        outputs.append(resolved)
-    return Graph(graph.name, out_nodes.values(), outputs).pruned()
+    # Output nodes are protected from elimination above, so the declared
+    # output ids survive verbatim.
+    return Graph(graph.name, kept.values(), graph.outputs).pruned()

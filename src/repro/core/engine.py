@@ -95,12 +95,40 @@ class DuetEngine:
         opt = engine.optimize(graph)
         result = engine.run(opt, inputs)      # numeric outputs + timing
         stats = engine.latency_stats(opt)     # 5000-run distribution
+
+    With ``validate=True`` (or ``REPRO_VALIDATE=1`` in the environment)
+    every scheduling decision is checked against the structural
+    invariants in :mod:`repro.testing.invariants` before it is returned;
+    violations raise :class:`~repro.errors.InvariantViolation`.
     """
 
     machine: Machine = field(default_factory=default_machine)
     compiler: Compiler = field(default_factory=Compiler)
     profile_sample_runs: int = 0
     fallback_margin: float = 0.0  # require DUET to beat single-device by this fraction
+    validate: bool | None = None  # None: honor the REPRO_VALIDATE env var
+
+    def _should_validate(self) -> bool:
+        if self.validate is not None:
+            return self.validate
+        import os
+
+        return os.environ.get("REPRO_VALIDATE", "").strip() not in ("", "0")
+
+    def _debug_validate(self, graph, partition, schedule) -> None:
+        """Debug-flag invariant validation of a fresh scheduling decision.
+
+        Raises :class:`~repro.errors.InvariantViolation` listing every
+        broken invariant.  Imported lazily: :mod:`repro.testing` depends
+        on :mod:`repro.core`, not the other way around.
+        """
+        from repro.testing.invariants import assert_valid, validate_schedule
+
+        assert_valid(
+            validate_schedule(
+                graph, partition, schedule.placement, schedule.plan
+            )
+        )
 
     def _single_device_modules(self, graph: Graph) -> dict[str, CompiledModule]:
         return {
@@ -160,6 +188,8 @@ class DuetEngine:
                     )
         scheduler = GreedyCorrectionScheduler(machine=self.machine)
         schedule = scheduler.schedule(graph, partition, profiles)
+        if self._should_validate():
+            self._debug_validate(graph, partition, schedule)
 
         single_modules = self._single_device_modules(graph)
         single_latency = {

@@ -1,12 +1,13 @@
 """Baseline scheduling policies used in the paper's §VI-C comparison."""
 
-from repro.core.schedulers.dp import dp_placement
+from repro.core.schedulers.dp import dp_placement, estimate_placement_cost
 from repro.core.schedulers.exhaustive import exhaustive_placement
 from repro.core.schedulers.random_sched import random_placement
 from repro.core.schedulers.round_robin import round_robin_placement
 
 __all__ = [
     "dp_placement",
+    "estimate_placement_cost",
     "exhaustive_placement",
     "random_placement",
     "round_robin_placement",

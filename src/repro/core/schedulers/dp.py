@@ -9,12 +9,18 @@ that analytic DP so the claim can be tested:
 * state: the device assignment vector of one phase's subgraphs;
 * transition: estimated phase makespan (per-device compute sums) plus
   estimated PCIe time for every tensor crossing devices between the
-  previous phase and this one;
+  previous phase and this one, plus host-landing transfers for any model
+  output the phase produces on the GPU;
 * assumptions (the standard layer-wise-DP simplifications): phases run
   with barriers between them, and each phase consumes data only from its
   immediate predecessor (older producers are priced as host-resident).
 
-Both assumptions are *approximations* of the real executor — there are no
+Because every cost term depends on at most the previous and the current
+phase's assignments, the objective decomposes over consecutive phases and
+the DP is *exact* for it: :func:`dp_placement` returns the true minimum
+of :func:`estimate_placement_cost` over all 2^n placements (the
+differential test suite brute-forces this equivalence).  The estimate
+itself remains an approximation of the real executor — there are no
 phase barriers, and consumers may reach further back — which is exactly
 the kind of model/reality gap the paper's measured correction sidesteps.
 """
@@ -22,7 +28,7 @@ the kind of model/reality gap the paper's measured correction sidesteps.
 from __future__ import annotations
 
 import itertools
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.core.phases import PhasedPartition
 from repro.core.profiler import SubgraphProfile
@@ -30,46 +36,58 @@ from repro.devices.machine import Machine
 from repro.errors import SchedulingError
 from repro.ir.graph import Graph
 
-__all__ = ["dp_placement"]
+__all__ = ["dp_placement", "estimate_placement_cost"]
 
 _DEVICES = ("cpu", "gpu")
 
 
-def dp_placement(
+def _make_phase_cost(
     graph: Graph,
     partition: PhasedPartition,
     profiles: Mapping[str, SubgraphProfile],
     machine: Machine,
-    max_phase_subgraphs: int = 10,
-) -> tuple[dict[str, str], float]:
-    """Analytically optimal placement under the DP assumptions.
+) -> Callable:
+    """Build the shared per-phase analytic cost function.
 
-    Returns the placement and the DP's *estimated* latency (which the
-    caller should re-measure with the simulator — the estimate embeds the
-    barrier and immediate-predecessor approximations).
+    The returned callable prices one phase under ``assignment`` (its own
+    subgraph -> device map) given ``prev_assignment`` (the immediately
+    preceding phase's map): per-device compute makespan, incoming PCIe
+    transfers, and host-landing transfers for model outputs the phase
+    produces on the GPU.  Charging the landing in the *producing* phase
+    (rather than after the DP) keeps the total objective decomposable
+    over consecutive phases, which is what makes the DP exact.
     """
     link = machine.interconnect
-    phases = partition.phases
-    for phase in phases:
-        if len(phase.subgraphs) > max_phase_subgraphs:
-            raise SchedulingError(
-                f"phase {phase.index} has {len(phase.subgraphs)} subgraphs; "
-                f"DP enumerates 2^k assignments (cap {max_phase_subgraphs})"
-            )
 
-    # Producer lookup: boundary tensor id -> subgraph id.
     producer: dict[str, str] = {}
     for sg in partition.subgraphs:
         for out in sg.boundary_outputs:
             producer[out] = sg.id
-    phase_of = {sg.id: phase.index for phase in phases for sg in phase.subgraphs}
+    phase_of = {
+        sg.id: phase.index for phase in partition.phases for sg in phase.subgraphs
+    }
 
-    def phase_cost(phase, assignment, prev_assignment) -> float:
-        """Estimated makespan of one phase under a device assignment."""
+    # Host-landing cost each subgraph owes if it computes model outputs
+    # on the GPU (one transfer per declared output tensor).
+    landing: dict[str, float] = {}
+    for out in graph.outputs:
+        src = producer.get(out)
+        if src is not None:
+            n_bytes = float(
+                partition.subgraph(src).graph.node(out).ty.size_bytes
+            )
+            landing[src] = landing.get(src, 0.0) + link.transfer_time(n_bytes)
+
+    def phase_cost(
+        phase, assignment: Mapping[str, str], prev_assignment: Mapping[str, str]
+    ) -> float:
         compute = {"cpu": 0.0, "gpu": 0.0}
         comm = 0.0
-        for sg, dev in zip(phase.subgraphs, assignment):
+        for sg in phase.subgraphs:
+            dev = assignment[sg.id]
             compute[dev] += profiles[sg.id].time_on(dev)
+            if dev == "gpu":
+                comm += landing.get(sg.id, 0.0)
             for tensor in sg.boundary_inputs:
                 n_bytes = float(sg.graph.node(tensor).ty.size_bytes)
                 src = producer.get(tensor)
@@ -85,45 +103,76 @@ def dp_placement(
                     comm += link.transfer_time(n_bytes)
         return max(compute.values()) + comm
 
+    return phase_cost
+
+
+def estimate_placement_cost(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    machine: Machine,
+    placement: Mapping[str, str],
+) -> float:
+    """The analytic objective :func:`dp_placement` minimizes, evaluated
+    for one complete placement.
+
+    This is the reference the conformance suite brute-forces: for every
+    placement of a small instance, ``min(estimate_placement_cost)`` must
+    equal the cost :func:`dp_placement` returns.
+    """
+    phase_cost = _make_phase_cost(graph, partition, profiles, machine)
+    total = 0.0
+    prev_assignment: dict[str, str] = {}
+    for phase in partition.phases:
+        assignment = {sg.id: placement[sg.id] for sg in phase.subgraphs}
+        total += phase_cost(phase, assignment, prev_assignment)
+        prev_assignment = assignment
+    return total
+
+
+def dp_placement(
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    machine: Machine,
+    max_phase_subgraphs: int = 10,
+) -> tuple[dict[str, str], float]:
+    """Analytically optimal placement under the DP assumptions.
+
+    Returns the placement and the DP's *estimated* latency (which the
+    caller should re-measure with the simulator — the estimate embeds the
+    barrier and immediate-predecessor approximations).
+    """
+    phases = partition.phases
+    for phase in phases:
+        if len(phase.subgraphs) > max_phase_subgraphs:
+            raise SchedulingError(
+                f"phase {phase.index} has {len(phase.subgraphs)} subgraphs; "
+                f"DP enumerates 2^k assignments (cap {max_phase_subgraphs})"
+            )
+    phase_cost = _make_phase_cost(graph, partition, profiles, machine)
+
     # DP over phases.  best[assignment] = (cost so far, placement so far)
     best: dict[tuple, tuple[float, dict[str, str]]] = {(): (0.0, {})}
     prev_phase = None
     for phase in phases:
         ids = [sg.id for sg in phase.subgraphs]
         new_best: dict[tuple, tuple[float, dict[str, str]]] = {}
-        for assignment in itertools.product(_DEVICES, repeat=len(ids)):
+        for devices in itertools.product(_DEVICES, repeat=len(ids)):
+            assignment = dict(zip(ids, devices))
             for prev_key, (cost, placement) in best.items():
                 prev_assignment = (
                     dict(zip([sg.id for sg in prev_phase.subgraphs], prev_key))
                     if prev_phase is not None
                     else {}
                 )
-                step = phase_cost(phase, assignment, prev_assignment)
-                total = cost + step
-                if (
-                    assignment not in new_best
-                    or total < new_best[assignment][0]
-                ):
+                total = cost + phase_cost(phase, assignment, prev_assignment)
+                if devices not in new_best or total < new_best[devices][0]:
                     new_placement = dict(placement)
-                    new_placement.update(zip(ids, assignment))
-                    new_best[assignment] = (total, new_placement)
+                    new_placement.update(assignment)
+                    new_best[devices] = (total, new_placement)
         best = new_best
         prev_phase = phase
 
-    # Account for final outputs landing on the host.
-    final_cost = float("inf")
-    final_placement: dict[str, str] | None = None
-    for assignment, (cost, placement) in best.items():
-        extra = 0.0
-        for out in graph.outputs:
-            src = producer.get(out)
-            if src is not None and placement[src] == "gpu":
-                n_bytes = float(
-                    partition.subgraph(src).graph.node(out).ty.size_bytes
-                )
-                extra += link.transfer_time(n_bytes)
-        if cost + extra < final_cost:
-            final_cost = cost + extra
-            final_placement = placement
-    assert final_placement is not None
+    final_cost, final_placement = min(best.values(), key=lambda kv: kv[0])
     return final_placement, final_cost

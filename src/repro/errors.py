@@ -88,3 +88,22 @@ class DeadlineExceededError(ExecutionError):
 
 class DeviceError(ReproError):
     """Invalid device specification or cost-model query."""
+
+
+class InvariantViolation(ReproError):
+    """A plan/schedule structural invariant does not hold.
+
+    Raised by :mod:`repro.testing.invariants` when a partition, placement,
+    plan, or simulated execution breaks the properties the scheduler is
+    supposed to guarantee (paper §IV-A/§IV-C/§IV-D).  Carries every
+    violation found, not just the first.
+
+    Attributes:
+        violations: human-readable description of each broken invariant.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        head = violations[0] if violations else "unknown violation"
+        extra = f" (+{len(violations) - 1} more)" if len(violations) > 1 else ""
+        super().__init__(f"invariant violation: {head}{extra}")

@@ -188,11 +188,19 @@ class Graph:
 
         Each constant gets its own generator derived from (seed, node id) so
         values do not depend on materialization order or on other nodes.
+        The id is mixed in via a stable digest — ``hash(str)`` is randomized
+        per process, which would make "deterministic" parameters differ
+        between runs and break reproduce-from-seed everywhere.
         """
+        import hashlib
+
         params: dict[str, np.ndarray] = {}
         for node in self.const_nodes():
+            digest = hashlib.sha256(node.id.encode("utf-8")).digest()
             sub = np.random.default_rng(
-                np.random.SeedSequence([seed, abs(hash(node.id)) % (2**31)])
+                np.random.SeedSequence(
+                    [seed, int.from_bytes(digest[:4], "little")]
+                )
             )
             params[node.id] = node.materialize(sub)
         return params

@@ -1,0 +1,182 @@
+"""Fuzz campaign driver: generate → cross-check → minimize → archive.
+
+One campaign is fully determined by ``(campaign_seed, count, config)``:
+case *i* is generated from ``SeedSequence([campaign_seed, i])``, run
+through the differential oracle (:func:`repro.testing.oracle.run_differential`),
+and — on failure — shrunk by the minimizer and written out as a JSON
+artifact carrying the seed, the failure messages, and both the original
+and minimized serialized graphs.  ``python -m repro fuzz`` is a thin CLI
+wrapper around :func:`run_campaign`; the CI smoke job and the pytest
+regression suite call the same entry points, so a failure seen anywhere
+reproduces everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.devices.machine import Machine
+from repro.ir import serialize
+from repro.ir.graph import Graph
+from repro.testing.generators import FuzzCase, GeneratorConfig, generate_cases
+from repro.testing.minimize import MinimizationResult, minimize_graph
+from repro.testing.oracle import DifferentialReport, run_differential
+
+__all__ = ["FuzzFailure", "FuzzReport", "run_campaign", "replay_case", "load_artifact"]
+
+
+@dataclass
+class FuzzFailure:
+    """One failing fuzz case, with its minimized repro and artifact."""
+
+    campaign_seed: int
+    index: int
+    problems: list[str]
+    graph: Graph
+    minimized: Graph | None = None
+    minimized_problems: list[str] = field(default_factory=list)
+    artifact_path: Path | None = None
+
+    def describe(self) -> str:
+        ops = len(self.graph.pruned().op_nodes())
+        lines = [
+            f"case seed={self.campaign_seed} index={self.index} ({ops} ops):"
+        ]
+        lines += [f"  {p}" for p in self.problems]
+        if self.minimized is not None:
+            lines.append(
+                f"  minimized to {len(self.minimized.op_nodes())} ops"
+                + (f", artifact: {self.artifact_path}" if self.artifact_path else "")
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzz campaign."""
+
+    campaign_seed: int
+    requested: int
+    cases_run: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"fuzz campaign seed={self.campaign_seed}: {self.cases_run}/"
+            f"{self.requested} cases in {self.elapsed_s:.1f}s — {verdict}"
+        )
+
+
+def _write_artifact(
+    directory: Path, failure: FuzzFailure
+) -> Path:
+    """Serialize a failure (seed + graphs) so it can be replayed anywhere."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (
+        f"repro_seed{failure.campaign_seed}_case{failure.index}.json"
+    )
+    payload = {
+        "campaign_seed": failure.campaign_seed,
+        "index": failure.index,
+        "problems": failure.problems,
+        "graph": serialize.graph_to_dict(failure.graph),
+    }
+    if failure.minimized is not None:
+        payload["minimized_graph"] = serialize.graph_to_dict(failure.minimized)
+        payload["minimized_problems"] = failure.minimized_problems
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_artifact(path: str | Path) -> tuple[Graph, Graph | None]:
+    """Load (original, minimized-or-None) graphs from a repro artifact."""
+    payload = json.loads(Path(path).read_text())
+    graph = serialize.graph_from_dict(payload["graph"])
+    minimized = None
+    if "minimized_graph" in payload:
+        minimized = serialize.graph_from_dict(payload["minimized_graph"])
+    return graph, minimized
+
+
+def replay_case(
+    campaign_seed: int,
+    index: int,
+    config: GeneratorConfig | None = None,
+    machine: Machine | None = None,
+) -> DifferentialReport:
+    """Re-run one case of a campaign exactly as the fuzzer ran it."""
+    from repro.testing.generators import case_rng, generate_graph
+
+    graph = generate_graph(
+        case_rng(campaign_seed, index),
+        config,
+        name=f"fuzz_s{campaign_seed}_i{index}",
+    )
+    return run_differential(graph, machine=machine)
+
+
+def run_campaign(
+    campaign_seed: int,
+    count: int,
+    config: GeneratorConfig | None = None,
+    machine: Machine | None = None,
+    minimize: bool = True,
+    artifact_dir: str | Path | None = None,
+    time_budget_s: float | None = None,
+    progress: Callable[[FuzzCase, DifferentialReport], None] | None = None,
+) -> FuzzReport:
+    """Run a seeded fuzz campaign through the differential oracle.
+
+    Args:
+        campaign_seed / count: campaign identity; case ``i`` depends only
+            on ``(campaign_seed, i)``.
+        config: graph-distribution knobs (defaults are CI-sized).
+        machine: simulated hardware for all executors (noiseless default).
+        minimize: shrink failing graphs to a small repro.
+        artifact_dir: where to write JSON repro artifacts for failures.
+        time_budget_s: stop starting new cases once this much wall time
+            has elapsed (the in-flight case always completes).
+        progress: callback invoked after every case with its report.
+    """
+    report = FuzzReport(campaign_seed=campaign_seed, requested=count)
+    t0 = time.monotonic()
+    for case in generate_cases(campaign_seed, count, config):
+        if time_budget_s is not None and time.monotonic() - t0 > time_budget_s:
+            break
+        diff = run_differential(case.graph, machine=machine)
+        report.cases_run += 1
+        if progress is not None:
+            progress(case, diff)
+        if diff.ok:
+            continue
+
+        failure = FuzzFailure(
+            campaign_seed=case.campaign_seed,
+            index=case.index,
+            problems=diff.problems,
+            graph=case.graph,
+        )
+        if minimize:
+            result: MinimizationResult = minimize_graph(
+                case.graph,
+                lambda g: not run_differential(g, machine=machine).ok,
+            )
+            failure.minimized = result.graph
+            failure.minimized_problems = run_differential(
+                result.graph, machine=machine
+            ).problems
+        if artifact_dir is not None:
+            failure.artifact_path = _write_artifact(Path(artifact_dir), failure)
+        report.failures.append(failure)
+    report.elapsed_s = time.monotonic() - t0
+    return report

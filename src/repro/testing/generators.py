@@ -1,0 +1,282 @@
+"""Seeded random computation-graph generation (the fuzzer's front end).
+
+This generalizes the ad-hoc Hypothesis strategy the property tests started
+with into library code: a deterministic, seed-driven generator over the
+whole operator surface the scheduler sees — elementwise chains, binary
+joins, dense/matmul layers, reductions, concat/split fan-out, and
+recurrent layers — with configurable size and shape distributions.
+
+Everything is driven by a ``numpy.random.Generator``, so the same seed
+reproduces the same graph in the CLI fuzzer, in a pytest regression, and
+inside a Hypothesis strategy (``tests/strategies.py`` delegates here).
+
+Structure of a generated graph: a *frontier* of live ``(batch, width)``
+tensors grows op by op.  Each step picks an op family by configured
+weight; families that produce other ranks (reductions to ``(batch, 1)``,
+concat to ``(batch, 2*width)``, recurrent over ``(batch, seq_len,
+width)``) immediately route back into the 2-D frontier, so every frontier
+entry remains a valid operand for every family and generation can never
+dead-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder, Var
+from repro.ir.graph import Graph
+
+__all__ = [
+    "GeneratorConfig",
+    "FuzzCase",
+    "generate_graph",
+    "generate_cases",
+    "case_rng",
+]
+
+_UNARY = ("relu", "tanh", "sigmoid", "negative", "abs", "identity", "exp")
+_BINARY = ("add", "subtract", "multiply", "maximum")
+_REDUCE = ("reduce_sum", "reduce_mean", "reduce_max", "reduce_min")
+_SHAPE_PRESERVING_REDUCE = ("softmax", "log_softmax")
+_RECURRENT = (("lstm", 4), ("gru", 3))
+
+#: Default op-family mix.  Weights are relative; set one to 0.0 to disable
+#: a family (e.g. ``recurrent=0`` for graphs the nested partitioner dislikes).
+DEFAULT_FAMILIES: Mapping[str, float] = {
+    "unary": 4.0,
+    "binary": 3.0,
+    "dense": 2.0,
+    "matmul": 1.0,
+    "reduction": 1.5,
+    "concat_dense": 1.0,
+    "split": 1.0,
+    "recurrent": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random-graph distribution.
+
+    Attributes:
+        min_ops / max_ops: target operator count range (a family may emit
+            up to three ops, so a graph can overshoot ``max_ops`` by two).
+        max_inputs: placeholder inputs drawn from ``[1, max_inputs]``.
+        batch_choices / width_choices: per-graph tensor sizes are drawn
+            uniformly from these, so one campaign covers several shapes.
+        seq_len_choices: sequence lengths for recurrent-family inputs.
+        max_outputs: number of declared outputs drawn from ``[1, ...]``.
+        families: relative weight of each op family (see
+            :data:`DEFAULT_FAMILIES`); unknown names raise at draw time.
+    """
+
+    min_ops: int = 1
+    max_ops: int = 24
+    max_inputs: int = 3
+    batch_choices: tuple[int, ...] = (1, 2)
+    width_choices: tuple[int, ...] = (3, 4, 6)
+    seq_len_choices: tuple[int, ...] = (2, 3)
+    max_outputs: int = 2
+    families: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_FAMILIES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.min_ops < 1 or self.max_ops < self.min_ops:
+            raise IRError(
+                f"invalid op range [{self.min_ops}, {self.max_ops}]"
+            )
+        unknown = set(self.families) - set(DEFAULT_FAMILIES)
+        if unknown:
+            raise IRError(f"unknown op families: {sorted(unknown)}")
+        if not any(w > 0 for w in self.families.values()):
+            raise IRError("at least one op family must have positive weight")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated case: its position in the campaign and its graph."""
+
+    campaign_seed: int
+    index: int
+    graph: Graph
+
+
+def _as_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def case_rng(campaign_seed: int, index: int) -> np.random.Generator:
+    """The generator that produced case ``index`` of a campaign.
+
+    Derived from ``SeedSequence([campaign_seed, index])``, so any single
+    case can be regenerated without replaying the cases before it.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(campaign_seed), int(index)])
+    )
+
+
+def _pick(rng: np.random.Generator, items):
+    return items[int(rng.integers(len(items)))]
+
+
+def _weighted_family(rng: np.random.Generator, families: Mapping[str, float]) -> str:
+    names = sorted(n for n, w in families.items() if w > 0)
+    weights = np.asarray([float(families[n]) for n in names])
+    probs = weights / weights.sum()
+    return names[int(rng.choice(len(names), p=probs))]
+
+
+def generate_graph(
+    seed: int | np.random.Generator,
+    config: GeneratorConfig | None = None,
+    name: str = "fuzz",
+) -> Graph:
+    """Generate one random valid graph, deterministically from ``seed``."""
+    rng = _as_rng(seed)
+    cfg = config or GeneratorConfig()
+
+    batch = _pick(rng, cfg.batch_choices)
+    width = _pick(rng, cfg.width_choices)
+    seq_len = _pick(rng, cfg.seq_len_choices)
+
+    b = GraphBuilder(name)
+    n_inputs = int(rng.integers(1, cfg.max_inputs + 1))
+    frontier: list[Var] = [
+        b.input(f"in{i}", (batch, width)) for i in range(n_inputs)
+    ]
+    op_vars: list[Var] = []
+
+    consumed: set[str] = set()
+
+    def emit(var: Var) -> Var:
+        frontier.append(var)
+        op_vars.append(var)
+        return var
+
+    def pick_operand(rng_) -> Var:
+        var = _pick(rng_, frontier)
+        consumed.add(var.id)
+        return var
+
+    n_ops = int(rng.integers(cfg.min_ops, cfg.max_ops + 1))
+    n_seq_inputs = 0
+    while len(op_vars) < n_ops:
+        family = _weighted_family(rng, cfg.families)
+        if family == "unary":
+            emit(b.op(_pick(rng, _UNARY), pick_operand(rng)))
+        elif family == "binary":
+            emit(
+                b.op(
+                    _pick(rng, _BINARY),
+                    pick_operand(rng),
+                    pick_operand(rng),
+                )
+            )
+        elif family == "dense":
+            w = b.const((width, width))
+            emit(b.op("dense", pick_operand(rng), w))
+        elif family == "matmul":
+            w = b.const((width, width))
+            emit(b.op("matmul", pick_operand(rng), w))
+        elif family == "reduction":
+            if rng.random() < 0.5:
+                emit(
+                    b.op(
+                        _pick(rng, _SHAPE_PRESERVING_REDUCE),
+                        pick_operand(rng),
+                        axis=1,
+                    )
+                )
+            else:
+                # Reduce to (batch, 1), then broadcast-combine straight
+                # back into the (batch, width) frontier.
+                red = b.op(
+                    _pick(rng, _REDUCE),
+                    pick_operand(rng),
+                    axis=1,
+                    keepdims=True,
+                )
+                emit(b.op(_pick(rng, _BINARY), pick_operand(rng), red))
+        elif family == "concat_dense":
+            cat = b.op(
+                "concat", pick_operand(rng), pick_operand(rng), axis=1
+            )
+            w = b.const((width, 2 * width))
+            emit(b.op("dense", cat, w))
+        elif family == "split":
+            # Concat two tensors then slice the halves back apart: real
+            # fan-out where two consumers read one producer.
+            cat = b.op(
+                "concat", pick_operand(rng), pick_operand(rng), axis=1
+            )
+            emit(
+                b.op(
+                    "strided_slice",
+                    cat,
+                    begin=(0, 0),
+                    end=(batch, width),
+                )
+            )
+            emit(
+                b.op(
+                    "strided_slice",
+                    cat,
+                    begin=(0, width),
+                    end=(batch, 2 * width),
+                )
+            )
+        elif family == "recurrent":
+            op_name, gates = _pick(rng, _RECURRENT)
+            seq = b.input(f"seq{n_seq_inputs}", (batch, seq_len, width))
+            n_seq_inputs += 1
+            w_ih = b.const((gates * width, width))
+            w_hh = b.const((gates * width, width))
+            bias = b.const((gates * width,))
+            emit(
+                b.op(
+                    op_name,
+                    seq,
+                    w_ih,
+                    w_hh,
+                    bias,
+                    hidden_size=width,
+                    return_sequences=False,
+                )
+            )
+        else:  # pragma: no cover - guarded by GeneratorConfig validation
+            raise IRError(f"unknown op family {family!r}")
+
+    # Declare every unconsumed sink as an output so the whole generated
+    # structure stays live; when there are more sinks than max_outputs,
+    # fold the oldest ones together (all sinks share the frontier shape)
+    # so nothing gets pruned away.
+    sinks = [v for v in op_vars if v.id not in consumed]
+    n_outputs = int(rng.integers(1, cfg.max_outputs + 1))
+    while len(sinks) > n_outputs:
+        a = sinks.pop(0)
+        c = sinks.pop(0)
+        sinks.insert(0, b.op("add", a, c))
+    return b.build(*sinks)
+
+
+def generate_cases(
+    campaign_seed: int,
+    count: int,
+    config: GeneratorConfig | None = None,
+) -> Iterator[FuzzCase]:
+    """Yield ``count`` independent cases of a seeded campaign."""
+    for index in range(count):
+        graph = generate_graph(
+            case_rng(campaign_seed, index),
+            config,
+            name=f"fuzz_s{campaign_seed}_i{index}",
+        )
+        yield FuzzCase(campaign_seed=campaign_seed, index=index, graph=graph)

@@ -1,0 +1,159 @@
+"""Greedy graph minimization (delta debugging for fuzz failures).
+
+Given a graph that makes some predicate fail — usually "the differential
+oracle found a divergence or invariant violation" — shrink it to a small
+repro while the predicate keeps failing.  Two reduction moves, applied to
+a fixpoint:
+
+* **drop an output**: remove one declared output and prune everything
+  that only it kept alive (cuts whole branches at once);
+* **bypass an operator**: rewire every consumer of an op node to read one
+  of the op's own inputs (or any model input) of the identical tensor
+  type, then prune.  Type-identical substitution keeps the graph valid by
+  construction, so every candidate is a well-formed model the oracle can
+  actually run.
+
+The search is greedy first-improvement, restarted after every accepted
+reduction, and bounded by a predicate-evaluation budget so pathological
+predicates cannot loop forever.  Minimization is deterministic: moves are
+tried in a fixed order derived from the (deterministic) topological
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import IRError
+from repro.ir.graph import Graph
+
+__all__ = ["MinimizationResult", "minimize_graph"]
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of a minimization run.
+
+    Attributes:
+        graph: the smallest failing graph found.
+        original_ops / minimized_ops: live operator counts before/after.
+        evaluations: how many times the predicate was invoked.
+    """
+
+    graph: Graph
+    original_ops: int
+    minimized_ops: int
+    evaluations: int
+
+    @property
+    def removed_ops(self) -> int:
+        return self.original_ops - self.minimized_ops
+
+
+def _bypass(graph: Graph, victim: str, replacement: str) -> Graph | None:
+    """Rewire all readers of ``victim`` to ``replacement`` and prune.
+
+    Returns ``None`` when the rewrite is not applicable (would leave the
+    graph without any live operator, or fails re-validation).
+    """
+    nodes = []
+    for node in graph.nodes.values():
+        if node.id == victim:
+            continue
+        if victim in node.inputs:
+            node = node.with_inputs(
+                tuple(replacement if i == victim else i for i in node.inputs)
+            )
+        nodes.append(node)
+    outputs = tuple(
+        replacement if o == victim else o for o in graph.outputs
+    )
+    try:
+        cand = Graph(graph.name, nodes, outputs).pruned()
+    except IRError:
+        return None
+    if not cand.op_nodes():
+        return None
+    return cand
+
+
+def minimize_graph(
+    graph: Graph,
+    predicate: Callable[[Graph], bool],
+    max_evaluations: int = 400,
+) -> MinimizationResult:
+    """Shrink ``graph`` while ``predicate`` (the failure) keeps holding.
+
+    Args:
+        graph: a graph for which ``predicate(graph)`` is ``True``.
+        predicate: returns ``True`` when a candidate still reproduces the
+            failure.  It should be resilient to odd-but-valid graphs; any
+            exception it raises propagates.
+        max_evaluations: hard budget on predicate calls.
+
+    Raises:
+        IRError: if the initial graph does not satisfy the predicate —
+            minimizing a non-failure would "shrink" it to noise.
+    """
+    evaluations = 0
+
+    def holds(candidate: Graph) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return bool(predicate(candidate))
+
+    if not holds(graph):
+        raise IRError(
+            "minimize_graph: the initial graph does not satisfy the predicate"
+        )
+    current = graph.pruned()
+    original_ops = len(current.op_nodes())
+
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+
+        # Move 1: drop one declared output (and whatever dies with it).
+        if len(current.outputs) > 1:
+            for out in current.outputs:
+                remaining = [o for o in current.outputs if o != out]
+                cand = current.with_outputs(remaining).pruned()
+                if evaluations >= max_evaluations:
+                    break
+                if holds(cand):
+                    current = cand
+                    improved = True
+                    break
+        if improved:
+            continue
+
+        # Move 2: bypass one operator with a type-identical value.  Later
+        # (deeper) ops first: removing them early keeps upstream context
+        # available for subsequent bypasses.
+        model_inputs = [n for n in current.input_nodes()]
+        for node in reversed(current.op_nodes()):
+            candidates: list[str] = []
+            for src in node.inputs:
+                if current.node(src).ty == node.ty and src not in candidates:
+                    candidates.append(src)
+            for inp in model_inputs:
+                if inp.ty == node.ty and inp.id not in candidates:
+                    candidates.append(inp.id)
+            for replacement in candidates:
+                cand = _bypass(current, node.id, replacement)
+                if cand is None or evaluations >= max_evaluations:
+                    continue
+                if holds(cand):
+                    current = cand
+                    improved = True
+                    break
+            if improved:
+                break
+
+    return MinimizationResult(
+        graph=current,
+        original_ops=original_ops,
+        minimized_ops=len(current.op_nodes()),
+        evaluations=evaluations,
+    )

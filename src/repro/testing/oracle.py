@@ -1,0 +1,290 @@
+"""Differential multi-executor oracle.
+
+DUET's §IV-D transparency claim — scheduling must never change what a
+model computes — is checked here by running one graph through every live
+execution path and demanding exact agreement:
+
+* the :mod:`repro.ir.interpreter` (semantic ground truth);
+* the compiled single-device runtime, on CPU and on GPU;
+* the discrete-event simulator executing the scheduled heterogeneous
+  plan's kernels numerically (its timeline is additionally checked
+  against the execution invariants, and its predicted completion order
+  must linearize the task DAG);
+* the :class:`~repro.runtime.threaded.ThreadedExecutor` (real threads);
+* the :class:`~repro.runtime.resilient.ResilientExecutor` with no faults
+  injected (the recovery machinery must be a no-op on healthy runs).
+
+Outputs are compared element-exactly (same shape, same dtype, ``==``
+everywhere) — all paths run the same NumPy kernels in dependency order,
+so there is no tolerance to hide behind.  Plans are exercised both under
+the scheduler's own placement and under a forced alternating placement
+that guarantees cross-device edges, so the transfer paths are always
+covered even when the scheduler would keep a small graph on one device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.compiler.pipeline import Compiler
+from repro.compiler.target import CPU_TARGET, GPU_TARGET
+from repro.core.partition import partition_graph
+from repro.core.phases import PhasedPartition
+from repro.core.placement import build_hetero_plan
+from repro.core.profiler import CompilerAwareProfiler
+from repro.core.scheduler import GreedyCorrectionScheduler
+from repro.devices.machine import Machine, default_machine
+from repro.errors import ReproError
+from repro.ir.graph import Graph
+from repro.ir.interpreter import make_inputs, run_graph
+from repro.runtime.resilient import ResilientExecutor
+from repro.runtime.simulator import simulate
+from repro.runtime.single import run_single_device
+from repro.runtime.threaded import ThreadedExecutor
+from repro.testing.invariants import (
+    check_execution,
+    check_placement,
+    check_plan,
+    check_task_order,
+    validate_schedule,
+)
+
+__all__ = ["ExecutorOutcome", "DifferentialReport", "run_differential"]
+
+#: The execution paths the oracle cross-checks (plus the interpreter).
+EXECUTOR_NAMES = (
+    "single:cpu",
+    "single:gpu",
+    "simulator",
+    "threaded",
+    "resilient",
+)
+
+PlacementTransform = Callable[[dict[str, str], PhasedPartition], dict[str, str]]
+
+
+@dataclass
+class ExecutorOutcome:
+    """What one execution path produced for the fuzzed graph."""
+
+    name: str
+    outputs: list[np.ndarray] | None = None
+    task_order: list[str] | None = None
+    error: str | None = None
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential run.
+
+    ``divergences`` are output mismatches between an executor and the
+    interpreter; ``violations`` are broken structural invariants.  A
+    graph *conforms* when both lists are empty.
+    """
+
+    graph: Graph
+    placement: dict[str, str] = field(default_factory=dict)
+    divergences: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    outcomes: dict[str, ExecutorOutcome] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.violations
+
+    @property
+    def problems(self) -> list[str]:
+        """All failures, divergences first."""
+        return list(self.divergences) + list(self.violations)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.graph.name}: OK "
+                f"({len(self.outcomes)} execution paths agree)"
+            )
+        lines = [f"{self.graph.name}: FAILED"]
+        lines += [f"  divergence: {d}" for d in self.divergences]
+        lines += [f"  invariant:  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _compare(name: str, got, ref) -> list[str]:
+    """Exact output comparison against the interpreter reference."""
+    if got is None:
+        return [f"{name}: produced no outputs"]
+    if len(got) != len(ref):
+        return [f"{name}: {len(got)} outputs, interpreter produced {len(ref)}"]
+    msgs = []
+    for i, (a, b) in enumerate(zip(got, ref)):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.shape != b.shape:
+            msgs.append(
+                f"{name}: output {i} shape {a.shape} != reference {b.shape}"
+            )
+        elif a.dtype != b.dtype:
+            msgs.append(
+                f"{name}: output {i} dtype {a.dtype} != reference {b.dtype}"
+            )
+        elif not np.array_equal(a, b):
+            with np.errstate(invalid="ignore"):
+                delta = float(np.max(np.abs(a.astype(np.float64) - b)))
+            msgs.append(
+                f"{name}: output {i} diverges from the interpreter "
+                f"(max abs diff {delta:.3e})"
+            )
+    return msgs
+
+
+def alternating_placement(partition: PhasedPartition) -> dict[str, str]:
+    """cpu/gpu round-robin over subgraphs: guarantees cross-device edges."""
+    return {
+        sg.id: ("cpu" if i % 2 == 0 else "gpu")
+        for i, sg in enumerate(partition.subgraphs)
+    }
+
+
+def run_differential(
+    graph: Graph,
+    machine: Machine | None = None,
+    input_seed: int = 0,
+    param_seed: int = 0,
+    placement_transform: PlacementTransform | None = None,
+    cross_device: bool = True,
+    single_device: bool = True,
+) -> DifferentialReport:
+    """Run ``graph`` through every execution path and cross-check.
+
+    Args:
+        graph: the model under test.
+        machine: simulated hardware; a noiseless default machine when
+            omitted (timings deterministic, numerics unaffected either way).
+        input_seed / param_seed: seeds for the shared inputs/parameters.
+        placement_transform: optional mutation applied to the scheduled
+            placement before plan construction — the hook the
+            mutation-detection tests use to inject scheduler bugs.  The
+            invariant validator must catch anything illegal it produces.
+        cross_device: also exercise a forced alternating placement so
+            transfer paths are covered even when the scheduler keeps the
+            graph on one device.
+        single_device: include the compiled single-device runtime arms.
+    """
+    machine = machine or default_machine(noisy=False)
+    report = DifferentialReport(graph=graph)
+
+    feeds = make_inputs(graph, seed=input_seed)
+    ref = run_graph(graph, feeds, seed=param_seed)
+
+    def attempt(name: str, fn) -> ExecutorOutcome:
+        outcome = ExecutorOutcome(name=name)
+        try:
+            fn(outcome)
+        except ReproError as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            report.divergences.append(f"{name}: raised {outcome.error}")
+        report.outcomes[name] = outcome
+        return outcome
+
+    if single_device:
+        compiler = Compiler()
+        for device, target in (("cpu", CPU_TARGET), ("gpu", GPU_TARGET)):
+
+            def run_single(outcome, device=device, target=target):
+                module = compiler.compile(graph, target)
+                result = run_single_device(
+                    module, device, machine, inputs=feeds
+                )
+                outcome.outputs = result.outputs
+                report.divergences += _compare(outcome.name, result.outputs, ref)
+
+            attempt(f"single:{device}", run_single)
+
+    # Partition, profile, schedule — the real pipeline under test.
+    try:
+        partition = partition_graph(graph)
+        profiles = CompilerAwareProfiler(machine=machine).profile_partition(
+            partition
+        )
+        schedule = GreedyCorrectionScheduler(machine=machine).schedule(
+            graph, partition, profiles
+        )
+    except ReproError as exc:
+        report.violations.append(
+            f"scheduling pipeline raised {type(exc).__name__}: {exc}"
+        )
+        return report
+
+    placement = dict(schedule.placement)
+    if placement_transform is not None:
+        placement = placement_transform(placement, partition)
+    report.placement = placement
+
+    placement_violations = check_placement(partition, placement)
+    if placement_violations:
+        # The validator caught the (injected or real) scheduler bug before
+        # plan construction could crash on it.
+        report.violations += placement_violations
+        return report
+
+    arms: list[tuple[str, dict[str, str]]] = [("", placement)]
+    alt = alternating_placement(partition)
+    if cross_device and alt != placement:
+        arms.append(("@alt", alt))
+
+    for suffix, arm_placement in arms:
+        try:
+            plan = build_hetero_plan(graph, partition, profiles, arm_placement)
+        except ReproError as exc:
+            report.violations.append(
+                f"plan construction{suffix} raised {type(exc).__name__}: {exc}"
+            )
+            continue
+        report.violations += validate_schedule(
+            graph, partition, arm_placement, plan
+        )
+
+        def run_simulator(outcome, plan=plan):
+            result = simulate(plan, machine, inputs=feeds)
+            outcome.outputs = result.outputs
+            # Predicted completion order = tasks sorted by virtual finish.
+            outcome.task_order = [
+                r.task_id
+                for r in sorted(result.tasks, key=lambda r: (r.finish, r.start))
+            ]
+            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.violations += check_execution(plan, result)
+            report.violations += check_task_order(plan, outcome.task_order)
+
+        def run_threaded(outcome, plan=plan):
+            result = ThreadedExecutor(plan).run(feeds)
+            outcome.outputs = result.outputs
+            outcome.task_order = result.task_order
+            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.violations += check_task_order(plan, result.task_order)
+            for tid, dev in result.task_worker.items():
+                if plan.task(tid).device != dev:
+                    report.violations.append(
+                        f"{outcome.name}: task {tid!r} ran on {dev!r}, "
+                        f"planned {plan.task(tid).device!r}"
+                    )
+
+        def run_resilient(outcome, plan=plan):
+            result = ResilientExecutor(plan).run(feeds)
+            outcome.outputs = result.outputs
+            outcome.task_order = result.task_order
+            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.violations += check_task_order(plan, result.task_order)
+            if result.events:
+                report.violations.append(
+                    f"{outcome.name}: fault-free run logged "
+                    f"{len(result.events)} recovery events"
+                )
+
+        attempt(f"simulator{suffix}", run_simulator)
+        attempt(f"threaded{suffix}", run_threaded)
+        attempt(f"resilient{suffix}", run_resilient)
+
+    return report

@@ -1,0 +1,81 @@
+"""Cross-checks between the analytic DP and brute-force schedulers.
+
+Satellite of the conformance harness: on every small fuzz instance the
+DP must return the exact minimum of its own analytic objective (verified
+by enumerating all 2^n placements of
+:func:`~repro.core.schedulers.dp.estimate_placement_cost`), and the
+exhaustive scheduler — optimal for *measured* simulator latency — must
+never lose to the DP placement on the simulator.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompilerAwareProfiler, partition_graph
+from repro.core.scheduler import LatencyOracle
+from repro.core.schedulers import (
+    dp_placement,
+    estimate_placement_cost,
+    exhaustive_placement,
+)
+from repro.devices import default_machine
+from repro.testing.generators import GeneratorConfig, generate_graph
+
+import numpy as np
+import pytest
+
+_MACHINE = default_machine(noisy=False)
+# Small graphs so the partition stays within the 2^6 enumeration budget.
+_CONFIG = GeneratorConfig(max_ops=8)
+
+
+def _small_instance(seed):
+    graph = generate_graph(np.random.default_rng(seed), _CONFIG).pruned()
+    partition = partition_graph(graph)
+    if len(partition.subgraphs) > 6:
+        return None
+    profiles = CompilerAwareProfiler(machine=_MACHINE).profile_partition(
+        partition
+    )
+    return graph, partition, profiles
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+@given(st.integers(0, 2**32 - 1))
+def test_dp_matches_bruteforce_of_its_objective(seed):
+    """DP makespan == exhaustive minimum of the analytic objective."""
+    instance = _small_instance(seed)
+    if instance is None:
+        return
+    graph, partition, profiles = instance
+    placement, dp_cost = dp_placement(graph, partition, profiles, _MACHINE)
+
+    ids = [sg.id for sg in partition.subgraphs]
+    brute_cost = min(
+        estimate_placement_cost(
+            graph, partition, profiles, _MACHINE, dict(zip(ids, devices))
+        )
+        for devices in itertools.product(("cpu", "gpu"), repeat=len(ids))
+    )
+    assert dp_cost == pytest.approx(brute_cost, rel=1e-12)
+    # The returned placement actually achieves the returned cost.
+    assert estimate_placement_cost(
+        graph, partition, profiles, _MACHINE, placement
+    ) == pytest.approx(dp_cost, rel=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_exhaustive_is_measured_optimum(seed):
+    """Exhaustive search lower-bounds the DP placement's measured latency."""
+    instance = _small_instance(seed)
+    if instance is None:
+        return
+    graph, partition, profiles = instance
+    oracle = LatencyOracle(graph, partition, profiles, _MACHINE)
+    _, ideal = exhaustive_placement(graph, partition, profiles, _MACHINE)
+    dp_place, _ = dp_placement(graph, partition, profiles, _MACHINE)
+    assert ideal <= oracle.measure(dp_place) * (1 + 1e-9)

@@ -1,0 +1,109 @@
+"""Seeded regression pins for bugs the conformance fuzzer surfaced.
+
+Each test replays the exact fuzz case (campaign seed + index) that first
+exposed a bug, plus a focused unit pin of the underlying fix, so a
+reintroduction fails loudly even without running a full campaign.
+
+Find 1 — campaign seed 0, cases 26 and 28: ``simplify`` (identity
+elimination) and ``cse`` rewrote *declared graph outputs* to other node
+ids.  Numerics were unchanged but the module's public output-id contract
+broke: plans exposed outputs under names the caller never asked for, and
+the plan invariant checker flagged a boundary mismatch.
+
+Find 2 — ``Graph.materialize_params`` seeded per-node parameters from
+``hash(node.id)``, which Python randomizes per process, so "seeded"
+parameters differed across processes (and across PYTHONHASHSEED
+settings), breaking reproduce-from-artifact.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.compiler.passes.cse import common_subexpression_elimination
+from repro.compiler.passes.simplify import simplify
+from repro.devices import default_machine
+from repro.ir import GraphBuilder
+from repro.testing.oracle import run_differential
+from repro.testing.generators import case_rng, generate_graph
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return default_machine(noisy=False)
+
+
+class TestOutputRenamingFind:
+    """Fuzzer find: compiler passes must never rename declared outputs."""
+
+    @pytest.mark.parametrize("index", [26, 28])
+    def test_seed0_cases_conform(self, machine, index):
+        graph = generate_graph(case_rng(0, index))
+        report = run_differential(graph, machine=machine)
+        assert report.ok, report.summary()
+
+    def test_simplify_keeps_identity_output_id(self):
+        b = GraphBuilder("pin")
+        x = b.input("x", (2, 3))
+        y = b.op("relu", x)
+        out = b.op("identity", y)
+        g = b.build(out)
+        assert simplify(g).outputs == (out.id,)
+
+    def test_cse_keeps_duplicate_output_ids(self):
+        b = GraphBuilder("pin")
+        x = b.input("x", (2, 3))
+        a = b.op("tanh", x)
+        dup = b.op("tanh", x)
+        g = b.build(a, dup)
+        result = common_subexpression_elimination(g)
+        assert result.outputs == (a.id, dup.id)
+        assert {n.id for n in result.op_nodes()} >= {a.id, dup.id}
+
+
+class TestParamSeedingFind:
+    """Fuzzer find: parameters must not depend on PYTHONHASHSEED."""
+
+    _SNIPPET = (
+        "import numpy as np\n"
+        "from repro.ir import GraphBuilder\n"
+        "b = GraphBuilder('pin')\n"
+        "x = b.input('x', (2, 3))\n"
+        "w = b.const((4, 3), name='w')\n"
+        "y = b.op('dense', x, w)\n"
+        "g = b.build(y)\n"
+        "params = g.materialize_params(seed=7)\n"
+        "print(np.asarray(params['w']).tobytes().hex())\n"
+    )
+
+    def _run(self, hashseed):
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        env["PYTHONHASHSEED"] = str(hashseed)
+        proc = subprocess.run(
+            [sys.executable, "-c", self._SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(repo),
+            check=True,
+        )
+        return proc.stdout.strip()
+
+    def test_params_identical_across_hash_seeds(self):
+        assert self._run(1) == self._run(2)
+
+    def test_params_identical_in_process(self):
+        b = GraphBuilder("pin")
+        x = b.input("x", (2, 3))
+        w = b.const((4, 3), name="w")
+        y = b.op("dense", x, w)
+        g = b.build(y)
+        first = g.materialize_params(seed=7)
+        second = g.materialize_params(seed=7)
+        assert np.array_equal(first["w"], second["w"])

@@ -1,6 +1,7 @@
 """Tests for the real-concurrency threaded executor."""
 
 import dataclasses
+import threading
 import time
 
 import numpy as np
@@ -145,13 +146,20 @@ class TestThreadedExecutor:
         graph = build_model("siamese", tiny=True)
         plan = DuetEngine(machine=machine).optimize(graph).plan
 
+        gpu_started = threading.Event()
+
         def boom_cpu(args):
+            # Hold the cpu failure until the gpu task is provably in
+            # flight, otherwise the abort may drain it before it starts
+            # and there is only one failure to surface.
+            gpu_started.wait(timeout=5.0)
             raise ValueError("boom-cpu")
 
         def boom_gpu_late(args):
             # Already running when the cpu failure aborts the run; its own
             # failure must still be recorded, not silently dropped.
-            time.sleep(0.25)
+            gpu_started.set()
+            time.sleep(0.05)
             raise ValueError("boom-gpu")
 
         crafted = HeteroPlan(

@@ -1,20 +1,23 @@
 """Hypothesis strategies for random computation graphs.
 
-Generates valid DAGs over 2-D float tensors using a mix of unary
-elementwise ops, binary joins, dense layers, and concats — enough
-structural variety (fan-out, fan-in, independent branches) to exercise the
-partitioner, the fusion planner, and the schedulers, while every generated
-graph stays cheap to execute numerically.
+Thin wrapper over the library fuzzer in :mod:`repro.testing.generators`:
+the strategy draws one seed and delegates graph construction to
+:func:`repro.testing.generators.generate_graph`, so property tests, the
+``python -m repro fuzz`` CLI, and seeded regressions all sample the same
+distribution — elementwise chains, binary joins, dense/matmul layers,
+reductions, concat/split fan-out, and recurrent layers.
+
+A failing example therefore shrinks (and reproduces) through its seed;
+for structural shrinking use :func:`repro.testing.minimize.minimize_graph`
+on the failing graph.
 """
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import strategies as st
 
-from repro.ir.builder import GraphBuilder, Var
-
-_UNARY = ("relu", "tanh", "sigmoid", "negative", "abs", "identity")
-_BINARY = ("add", "subtract", "multiply", "maximum")
+from repro.testing.generators import DEFAULT_FAMILIES, GeneratorConfig, generate_graph
 
 
 @st.composite
@@ -25,39 +28,23 @@ def random_graphs(
     max_inputs: int = 3,
     batch: int = 2,
     width: int = 4,
+    families: dict[str, float] | None = None,
 ):
-    """A random valid graph of 2-D ``(batch, width)`` tensors."""
-    n_inputs = draw(st.integers(1, max_inputs))
-    n_ops = draw(st.integers(min_ops, max_ops))
-    b = GraphBuilder("random")
-    frontier: list[Var] = [
-        b.input(f"in{i}", (batch, width)) for i in range(n_inputs)
-    ]
-    op_vars: list[Var] = []
-    for i in range(n_ops):
-        choice = draw(st.integers(0, 3))
-        if choice == 0:
-            op = draw(st.sampled_from(_UNARY))
-            src = draw(st.sampled_from(frontier))
-            new = b.op(op, src)
-        elif choice == 1:
-            op = draw(st.sampled_from(_BINARY))
-            lhs = draw(st.sampled_from(frontier))
-            rhs = draw(st.sampled_from(frontier))
-            new = b.op(op, lhs, rhs)
-        elif choice == 2:
-            src = draw(st.sampled_from(frontier))
-            w = b.const((width, width))
-            new = b.op("dense", src, w)
-        else:
-            lhs = draw(st.sampled_from(frontier))
-            rhs = draw(st.sampled_from(frontier))
-            cat = b.op("concat", lhs, rhs, axis=1)
-            w = b.const((width, 2 * width))
-            new = b.op("dense", cat, w)
-        frontier.append(new)
-        op_vars.append(new)
-    # 1-2 outputs drawn from the most recent results keeps most ops live.
-    n_outputs = draw(st.integers(1, min(2, len(op_vars))))
-    outputs = op_vars[-n_outputs:]
-    return b.build(*outputs)
+    """A random valid graph of 2-D ``(batch, width)`` tensors.
+
+    ``families`` overrides the op-family mix (see
+    :data:`repro.testing.generators.DEFAULT_FAMILIES`), e.g.
+    ``families={"unary": 1.0}`` for pure elementwise chains.
+    """
+    seed = draw(st.integers(0, 2**32 - 1))
+    config = GeneratorConfig(
+        min_ops=min_ops,
+        max_ops=max_ops,
+        max_inputs=max_inputs,
+        batch_choices=(batch,),
+        width_choices=(width,),
+        families=dict(families) if families is not None else dict(DEFAULT_FAMILIES),
+    )
+    return generate_graph(
+        np.random.default_rng(seed), config, name=f"random_{seed}"
+    )

@@ -1,0 +1,91 @@
+"""Tests for the seeded graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import serialize
+from repro.ir.interpreter import make_inputs, run_graph
+from repro.testing.generators import (
+    DEFAULT_FAMILIES,
+    GeneratorConfig,
+    case_rng,
+    generate_cases,
+    generate_graph,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = serialize.dumps(generate_graph(7))
+        b = serialize.dumps(generate_graph(7))
+        assert a == b
+
+    def test_case_rng_is_position_independent(self):
+        """Case i can be regenerated without replaying cases 0..i-1."""
+        from_stream = [c.graph for c in generate_cases(3, 5)]
+        direct = generate_graph(case_rng(3, 4), name=from_stream[4].name)
+        assert serialize.dumps(from_stream[4]) == serialize.dumps(direct)
+
+    def test_different_seeds_differ(self):
+        graphs = {serialize.dumps(generate_graph(s)) for s in range(8)}
+        assert len(graphs) > 1
+
+
+class TestValidity:
+    def test_generated_graphs_are_valid_and_fully_live(self):
+        for case in generate_cases(11, 20):
+            g = case.graph
+            g.validate()
+            # The sink-output construction keeps every op reachable.
+            assert len(g.pruned().op_nodes()) == len(g.op_nodes())
+
+    def test_generated_graphs_execute(self):
+        for case in generate_cases(13, 10):
+            outputs = run_graph(case.graph, make_inputs(case.graph))
+            assert len(outputs) == len(case.graph.outputs)
+            for out in outputs:
+                assert np.all(np.isfinite(out))
+
+
+class TestCoverage:
+    def test_all_families_appear_across_a_campaign(self):
+        ops = set()
+        for case in generate_cases(17, 60):
+            ops |= {n.op for n in case.graph.op_nodes()}
+        assert "dense" in ops and "matmul" in ops
+        assert ops & {"reduce_sum", "reduce_mean", "reduce_max", "reduce_min",
+                      "softmax", "log_softmax"}
+        assert ops & {"lstm", "gru"}
+        assert "strided_slice" in ops and "concat" in ops
+
+    def test_family_weights_disable_families(self):
+        config = GeneratorConfig(
+            min_ops=8, max_ops=16, families={"unary": 1.0}
+        )
+        for case in generate_cases(19, 10, config):
+            assert all(
+                n.op in ("relu", "tanh", "sigmoid", "negative", "abs",
+                         "identity", "exp", "add")
+                for n in case.graph.op_nodes()
+            )
+
+    def test_op_count_respects_bounds_roughly(self):
+        config = GeneratorConfig(min_ops=5, max_ops=10)
+        for case in generate_cases(23, 10, config):
+            # Families may emit up to three ops per step, plus sink folding.
+            assert 5 <= len(case.graph.op_nodes()) <= 10 + 4
+
+
+class TestConfigValidation:
+    def test_bad_op_range_rejected(self):
+        with pytest.raises(IRError):
+            GeneratorConfig(min_ops=5, max_ops=2)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(IRError):
+            GeneratorConfig(families={"quantum": 1.0})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(IRError):
+            GeneratorConfig(families={k: 0.0 for k in DEFAULT_FAMILIES})

@@ -1,0 +1,62 @@
+"""Tests for the failure minimizer."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import serialize
+from repro.testing.generators import case_rng, generate_graph
+from repro.testing.minimize import minimize_graph
+
+
+def _has_op(graph, op_name):
+    return any(n.op == op_name for n in graph.op_nodes())
+
+
+class TestMinimization:
+    def test_shrinks_to_predicate_core(self):
+        # Find a fuzz graph containing a matmul/dense op, then shrink with
+        # "still contains one" as the failure predicate.
+        graph = None
+        for i in range(50):
+            g = generate_graph(case_rng(200, i))
+            if _has_op(g, "dense") and len(g.op_nodes()) >= 10:
+                graph = g
+                break
+        assert graph is not None
+        result = minimize_graph(graph, lambda g: _has_op(g, "dense"))
+        assert _has_op(result.graph, "dense")
+        assert result.minimized_ops <= result.original_ops
+        assert result.minimized_ops <= 4
+        result.graph.validate()
+
+    def test_minimized_graph_still_executes(self):
+        from repro.ir.interpreter import make_inputs, run_graph
+
+        graph = generate_graph(case_rng(200, 1))
+        result = minimize_graph(graph, lambda g: len(g.op_nodes()) >= 1)
+        outputs = run_graph(result.graph, make_inputs(result.graph))
+        assert outputs
+
+    def test_non_failing_input_rejected(self):
+        graph = generate_graph(case_rng(200, 2))
+        with pytest.raises(IRError):
+            minimize_graph(graph, lambda g: False)
+
+    def test_deterministic(self):
+        graph = generate_graph(case_rng(200, 3))
+        pred = lambda g: len(g.op_nodes()) >= 1
+        a = minimize_graph(graph, pred)
+        b = minimize_graph(graph, pred)
+        assert serialize.dumps(a.graph) == serialize.dumps(b.graph)
+
+    def test_evaluation_budget_respected(self):
+        graph = generate_graph(case_rng(200, 4))
+        calls = 0
+
+        def pred(g):
+            nonlocal calls
+            calls += 1
+            return True
+
+        minimize_graph(graph, pred, max_evaluations=10)
+        assert calls <= 10

@@ -1,0 +1,98 @@
+"""Tests for the differential multi-executor oracle."""
+
+import numpy as np
+import pytest
+
+from repro.devices import default_machine
+from repro.models import build_model
+from repro.testing.generators import case_rng, generate_graph
+from repro.testing.oracle import alternating_placement, run_differential
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return default_machine(noisy=False)
+
+
+class TestConformingGraphs:
+    def test_fuzz_graph_all_paths_agree(self, machine):
+        graph = generate_graph(case_rng(100, 0))
+        report = run_differential(graph, machine=machine)
+        assert report.ok, report.summary()
+        # Scheduled arm + both single-device arms always present.
+        assert {"single:cpu", "single:gpu", "simulator", "threaded",
+                "resilient"} <= set(report.outcomes)
+        assert "OK" in report.summary()
+
+    def test_zoo_model_all_paths_agree(self, machine):
+        graph = build_model("wide_deep", tiny=True)
+        report = run_differential(graph, machine=machine)
+        assert report.ok, report.summary()
+
+    def test_alternating_arm_covers_cross_device(self, machine):
+        graph = build_model("wide_deep", tiny=True)
+        report = run_differential(graph, machine=machine)
+        # The forced alternating placement spans both devices whenever the
+        # partition has more than one subgraph.
+        alt_names = [n for n in report.outcomes if n.endswith("@alt")]
+        assert alt_names, "expected a forced cross-device arm"
+
+    def test_outputs_recorded_exactly(self, machine):
+        from repro.ir.interpreter import make_inputs, run_graph
+
+        graph = generate_graph(case_rng(100, 1))
+        report = run_differential(graph, machine=machine)
+        ref = run_graph(graph, make_inputs(graph, seed=0), seed=0)
+        got = report.outcomes["threaded"].outputs
+        for a, b in zip(got, ref):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)
+
+
+class TestMutationDetection:
+    def test_dropped_subgraph_caught(self, machine):
+        graph = generate_graph(case_rng(100, 2))
+
+        def drop_one(placement, partition):
+            broken = dict(placement)
+            broken.pop(sorted(broken)[0])
+            return broken
+
+        report = run_differential(
+            graph, machine=machine, placement_transform=drop_one
+        )
+        assert not report.ok
+        assert any("never placed" in v for v in report.violations)
+
+    def test_invalid_device_caught(self, machine):
+        graph = generate_graph(case_rng(100, 3))
+
+        def wrong_device(placement, partition):
+            broken = dict(placement)
+            broken[sorted(broken)[0]] = "fpga"
+            return broken
+
+        report = run_differential(
+            graph, machine=machine, placement_transform=wrong_device
+        )
+        assert not report.ok
+        assert any("invalid device" in v for v in report.violations)
+
+    def test_identity_transform_stays_clean(self, machine):
+        graph = generate_graph(case_rng(100, 4))
+        report = run_differential(
+            graph, machine=machine, placement_transform=lambda p, part: p
+        )
+        assert report.ok, report.summary()
+
+
+class TestAlternatingPlacement:
+    def test_round_robin_over_subgraphs(self, machine):
+        from repro.core import partition_graph
+
+        graph = build_model("wide_deep", tiny=True)
+        partition = partition_graph(graph)
+        alt = alternating_placement(partition)
+        assert set(alt) == {sg.id for sg in partition.subgraphs}
+        if len(alt) > 1:
+            assert set(alt.values()) == {"cpu", "gpu"}
