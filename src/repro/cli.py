@@ -130,6 +130,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             f"distribution ({args.runs} runs): P50 {stats.p50_ms:.3f}  "
             f"P99 {stats.p99_ms:.3f}  P99.9 {stats.p999_ms:.3f} ms"
         )
+    if args.session_runs > 0:
+        from repro.ir import make_inputs
+
+        feeds = make_inputs(graph)
+        session = engine.session(opt)
+        session.run(feeds)  # warm-up: weights + arena, paid once
+        results = session.run_many([feeds] * args.session_runs)
+        per_request = sum(r.wall_time_s for r in results) / len(results)
+        print(
+            f"session serving ({args.session_runs} requests): "
+            f"{per_request * 1e3:.3f} ms/request, "
+            f"arena {session.arena.buffer_count} buffers "
+            f"({session.arena.allocations} allocations total)"
+        )
     return 0
 
 
@@ -241,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument(
         "--runs", type=int, default=0,
         help="additionally sample a latency distribution of this many runs",
+    )
+    p_opt.add_argument(
+        "--session-runs", type=int, default=0, metavar="N",
+        help="serve N requests through a reusable engine session and "
+        "report the measured per-request wall time",
     )
     p_opt.add_argument(
         "--profile-cache", default=None, metavar="PATH",

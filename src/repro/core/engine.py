@@ -32,6 +32,7 @@ from repro.runtime.resilient import (
     ResilienceConfig,
     ResilientExecutor,
 )
+from repro.runtime.session import EngineSession
 from repro.runtime.simulator import ExecutionResult, simulate, simulate_batch
 from repro.runtime.single import run_single_device, single_device_plan
 
@@ -238,6 +239,44 @@ class DuetEngine:
     ) -> ExecutionResult:
         """Execute one inference of an optimized model."""
         return simulate(opt.plan, self.machine, rng=rng, inputs=inputs)
+
+    def session(
+        self,
+        graph_or_opt: Graph | DuetOptimization,
+        profile_path: str | None = None,
+        trace_sink=None,
+        preallocate: bool = True,
+    ) -> EngineSession:
+        """Open a reusable serving session for one model.
+
+        Optimizes the graph (or reuses an existing
+        :class:`DuetOptimization`) exactly once, then returns an
+        :class:`~repro.runtime.session.EngineSession` that serves
+        repeated ``run(inputs)`` calls without re-entering the
+        partitioner, profiler, or scheduler, with intermediate tensors
+        preallocated in a reusable arena.
+
+        Args:
+            graph_or_opt: the model, or an optimization from
+                :meth:`optimize`.
+            profile_path: forwarded to :meth:`optimize` when a graph is
+                given.
+            trace_sink: optional callable receiving a structured
+                :class:`~repro.runtime.core.ExecutionEvent` per task
+                start/finish/error.
+            preallocate: size the arena up front from declared node types.
+        """
+        if isinstance(graph_or_opt, DuetOptimization):
+            opt = graph_or_opt
+        else:
+            opt = self.optimize(graph_or_opt, profile_path=profile_path)
+        return EngineSession(
+            opt.plan,
+            validate=self._should_validate(),
+            trace_sink=trace_sink,
+            preallocate=preallocate,
+            opt=opt,
+        )
 
     def run_resilient(
         self,

@@ -1,5 +1,22 @@
-"""Runtime: plans, the event simulator, executors, faults, and measurement."""
+"""Runtime: plans, the unified dispatch core, executors, faults, sessions."""
 
+from repro.runtime.core import (
+    AbortPolicy,
+    CoreResult,
+    DispatchKernel,
+    ExecutionEvent,
+    FailoverPolicy,
+    FaultInjectionMiddleware,
+    InlineWorkers,
+    InvariantMiddleware,
+    RetryMiddleware,
+    TaskDeadlineMiddleware,
+    ThreadedWorkers,
+    TracingMiddleware,
+    TransferGuardMiddleware,
+    execute_kernels,
+    resolve_feeds,
+)
 from repro.runtime.faults import (
     DeviceLoss,
     FaultInjector,
@@ -14,14 +31,19 @@ from repro.runtime.measurement import (
     measure_latency_batch,
 )
 from repro.runtime.resilient import (
-    ExecutionEvent,
     ExecutionReport,
     ResilienceConfig,
     ResilientExecutor,
     RetryPolicy,
 )
-from repro.runtime.memory import DeviceMemory, MemoryReport, memory_report
+from repro.runtime.memory import (
+    DeviceMemory,
+    MemoryReport,
+    TensorArena,
+    memory_report,
+)
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
+from repro.runtime.session import EngineSession, SessionResult
 from repro.runtime.simulator import (
     ExecutionResult,
     KernelRecord,
@@ -30,23 +52,42 @@ from repro.runtime.simulator import (
     simulate,
     simulate_batch,
 )
-from repro.runtime.single import run_single_device, single_device_plan
+from repro.runtime.single import (
+    SingleDeviceResult,
+    run_single_device,
+    single_device_plan,
+)
 from repro.runtime.stream import StreamResult, simulate_stream
 from repro.runtime.threaded import ThreadedExecutor, ThreadedResult
 
 __all__ = [
+    "AbortPolicy",
+    "CoreResult",
     "DeviceLoss",
+    "DispatchKernel",
+    "EngineSession",
     "ExecutionEvent",
     "ExecutionReport",
     "ExecutionResult",
+    "FailoverPolicy",
+    "FaultInjectionMiddleware",
     "FaultInjector",
     "FaultPlan",
+    "InlineWorkers",
+    "InvariantMiddleware",
     "KernelFault",
     "ResilienceConfig",
     "ResilientExecutor",
+    "RetryMiddleware",
     "RetryPolicy",
+    "SessionResult",
+    "SingleDeviceResult",
     "StallFault",
+    "TaskDeadlineMiddleware",
+    "ThreadedWorkers",
+    "TracingMiddleware",
     "TransferFault",
+    "TransferGuardMiddleware",
     "ThreadedExecutor",
     "ThreadedResult",
     "HeteroPlan",
@@ -56,11 +97,14 @@ __all__ = [
     "TaskRecord",
     "TaskSpec",
     "TransferRecord",
+    "execute_kernels",
     "measure_latency",
     "measure_latency_batch",
     "memory_report",
+    "resolve_feeds",
     "DeviceMemory",
     "MemoryReport",
+    "TensorArena",
     "run_single_device",
     "simulate",
     "simulate_batch",

@@ -11,9 +11,67 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.runtime.plan import HeteroPlan
 
-__all__ = ["DeviceMemory", "MemoryReport", "memory_report"]
+__all__ = ["DeviceMemory", "MemoryReport", "TensorArena", "memory_report"]
+
+
+class TensorArena:
+    """Reusable storage for a plan's intermediate tensors.
+
+    An engine session serves many requests from one plan; without an
+    arena every kernel output is a fresh allocation on every request.
+    The arena keys a stable buffer per value slot (``(task_id, node_id)``)
+    and copies each produced tensor into it, so after the first request
+    (the warm-up that sizes every slot) repeated runs allocate nothing.
+
+    Slots whose shape or dtype change between runs (which a static-shape
+    plan never does) are transparently reallocated rather than corrupted.
+
+    Attributes:
+        allocations: total buffers allocated since construction.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, str], np.ndarray] = {}
+        self.allocations = 0
+
+    @property
+    def buffer_count(self) -> int:
+        """Number of live slot buffers currently held."""
+        return len(self._buffers)
+
+    def store(self, key: tuple[str, str], value: np.ndarray) -> np.ndarray:
+        """Copy ``value`` into the slot's stable buffer and return it."""
+        value = np.asarray(value)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != value.shape or buf.dtype != value.dtype:
+            buf = np.empty_like(value)
+            self._buffers[key] = buf
+            self.allocations += 1
+        np.copyto(buf, value)
+        return buf
+
+    def preallocate(self, plan: HeteroPlan) -> int:
+        """Size every kernel-output slot from the plan's declared node
+        types, so even the first request reuses arena storage; returns
+        the number of slots allocated."""
+        n = 0
+        for task in plan.tasks:
+            graph = task.module.graph
+            for kernel in task.module.kernels:
+                key = (task.task_id, kernel.output_id)
+                if key in self._buffers:
+                    continue
+                ty = graph.node(kernel.output_id).ty
+                self._buffers[key] = np.empty(
+                    tuple(ty.shape), dtype=ty.dtype.to_numpy()
+                )
+                self.allocations += 1
+                n += 1
+        return n
 
 
 @dataclass(frozen=True)

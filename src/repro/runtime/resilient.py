@@ -1,19 +1,22 @@
 """Resilient execution: retries, deadlines, and device-loss failover.
 
-Wraps the threaded executor's worker-per-device architecture with the
-recovery behaviour a serving engine needs when run time is not merely
+A shim over the unified dispatch kernel (:mod:`repro.runtime.core`):
+the worker-per-device architecture, retry loop, and failover logic all
+live in the core as composable pieces — this module assembles them into
+the recovery behaviour a serving engine needs when run time is not merely
 "unpredictable" (paper §IV-C) but actively hostile:
 
-* **per-task retry** with exponential backoff and seeded jitter for
-  transient faults (kernel soft errors, failed transfers, corrupted
-  tensors caught by the NaN guard);
-* **deadlines** — per task attempt and end-to-end — surfacing as
-  :class:`~repro.errors.DeadlineExceededError`;
-* **device-loss failover**: on a permanent
-  :class:`~repro.errors.DeviceLostError` the dead device's remaining
-  tasks migrate to the survivor (the NumPy kernels are numerically
-  device-agnostic), or — when nothing has completed yet — the run
-  restarts on the survivor's standing single-device degradation plan
+* **per-task retry** (:class:`~repro.runtime.core.RetryMiddleware`) with
+  exponential backoff and seeded jitter for transient faults (kernel soft
+  errors, failed transfers, corrupted tensors caught by the NaN guard);
+* **deadlines** — per task attempt
+  (:class:`~repro.runtime.core.TaskDeadlineMiddleware`) and end-to-end —
+  surfacing as :class:`~repro.errors.DeadlineExceededError`;
+* **device-loss failover** (:class:`~repro.runtime.core.FailoverPolicy`):
+  on a permanent :class:`~repro.errors.DeviceLostError` the dead device's
+  remaining tasks migrate to the survivor (the NumPy kernels are
+  numerically device-agnostic), or — when nothing has completed yet — the
+  run restarts on the survivor's standing single-device degradation plan
   (the fallback modules :meth:`DuetEngine.optimize` already compiles,
   §VI-E).
 
@@ -24,22 +27,26 @@ attached as ``exc.report`` so post-mortems keep the evidence.
 
 from __future__ import annotations
 
-import queue
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
-from repro.errors import (
-    DeadlineExceededError,
-    DeviceLostError,
-    ExecutionError,
-    TransferError,
+from repro.errors import ExecutionError
+from repro.runtime.core import (
+    DEVICES,
+    OTHER_DEVICE,
+    CoreResult,
+    DispatchKernel,
+    ExecutionEvent,
+    FailoverPolicy,
+    RestartOnSurvivor,
+    RetryMiddleware,
+    TaskDeadlineMiddleware,
+    ThreadedWorkers,
 )
-from repro.runtime.plan import HeteroPlan, TaskSpec
-from repro.runtime.threaded import _State, gather_feeds, run_kernels
+from repro.runtime.plan import HeteroPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.faults import FaultInjector
@@ -52,7 +59,7 @@ __all__ = [
     "ResilientExecutor",
 ]
 
-_OTHER = {"cpu": "gpu", "gpu": "cpu"}
+_OTHER = OTHER_DEVICE
 
 
 @dataclass(frozen=True)
@@ -111,23 +118,6 @@ class ResilienceConfig:
     seed: int = 0
 
 
-@dataclass(frozen=True)
-class ExecutionEvent:
-    """One entry of the structured resilience event log.
-
-    ``kind`` is one of ``"fault"``, ``"backoff"``, ``"retry"``,
-    ``"giveup"``, ``"task-deadline"``, ``"deadline"``, ``"device-lost"``,
-    ``"failover-migrate"``, ``"failover-restart"``.
-    """
-
-    kind: str
-    time_s: float
-    task_id: str | None = None
-    device: str | None = None
-    attempt: int | None = None
-    detail: str = ""
-
-
 @dataclass
 class ExecutionReport:
     """Outcome of one resilient execution, recovery actions included.
@@ -163,23 +153,6 @@ class ExecutionReport:
     def events_of(self, kind: str) -> list[ExecutionEvent]:
         """All events of one kind, in order."""
         return [e for e in self.events if e.kind == kind]
-
-
-class _RestartOnSurvivor(Exception):
-    """Internal: abandon the hetero run, rerun on the survivor's plan."""
-
-    def __init__(self, survivor: str, cause: DeviceLostError):
-        super().__init__(survivor)
-        self.survivor = survivor
-        self.cause = cause
-
-
-class _AttemptDeadline(Exception):
-    """Internal: one task attempt overran ``task_deadline_s``."""
-
-    def __init__(self, elapsed: float, budget: float):
-        super().__init__(f"attempt took {elapsed:.4f}s > budget {budget:.4f}s")
-        self.elapsed = elapsed
 
 
 _COUNTER_KEYS = (
@@ -253,6 +226,48 @@ class ResilientExecutor:
             )
             raise
 
+    def _dispatch_kernel(
+        self,
+        plan: HeteroPlan,
+        t0: float,
+        events: list[ExecutionEvent],
+        counters: dict[str, int],
+        allow_restart: bool,
+    ) -> DispatchKernel:
+        """Assemble the core dispatch kernel for one plan attempt."""
+        config = self.config
+
+        def clock() -> float:
+            return time.perf_counter() - t0
+
+        # Fresh per-dispatch jitter generators, exactly as the standalone
+        # executor seeded them (restarts reset the draw sequence).
+        rngs = {
+            dev: np.random.default_rng((config.seed, i))
+            for i, dev in enumerate(DEVICES)
+        }
+        middleware = [
+            RetryMiddleware(config.retry, events, counters, rngs, clock)
+        ]
+        if config.task_deadline_s is not None:
+            middleware.append(TaskDeadlineMiddleware(config.task_deadline_s))
+        policy = FailoverPolicy(
+            events,
+            counters,
+            failover=config.failover,
+            restart_devices=set(self.degradation_plans),
+            allow_restart=allow_restart,
+        )
+        return DispatchKernel(
+            plan,
+            workers=ThreadedWorkers(join_timeout=self.join_timeout),
+            middleware=middleware,
+            fault_injector=self.fault_injector,
+            failure_policy=policy,
+            deadline_s=config.deadline_s,
+            validate_transfers=config.validate_transfers,
+        )
+
     def _run_with_failover(
         self,
         inputs: Mapping[str, np.ndarray],
@@ -263,19 +278,18 @@ class ResilientExecutor:
         degraded: str | None = None
         restarted = False
         try:
-            state = self._run_plan(
-                self.plan, inputs, t0, events, counters, allow_restart=True
-            )
-            plan = self.plan
+            result = self._dispatch_kernel(
+                self.plan, t0, events, counters, allow_restart=True
+            ).run(inputs, t0=t0)
             if self.fault_injector is not None:
                 lost = [
                     dev
-                    for dev in ("cpu", "gpu")
+                    for dev in DEVICES
                     if self.fault_injector.device_is_lost(dev)
                 ]
                 if lost:
                     degraded = _OTHER[lost[0]]
-        except _RestartOnSurvivor as sig:
+        except RestartOnSurvivor as sig:
             counters["failovers"] += 1
             restarted = True
             degraded = sig.survivor
@@ -290,331 +304,32 @@ class ResilientExecutor:
                     ),
                 )
             )
-            plan = self.degradation_plans[sig.survivor]
-            state = self._run_plan(
-                plan, inputs, t0, events, counters, allow_restart=False
-            )
-        return self._report(
-            plan, state, t0, events, counters, degraded, restarted
-        )
+            result = self._dispatch_kernel(
+                self.degradation_plans[sig.survivor],
+                t0,
+                events,
+                counters,
+                allow_restart=False,
+            ).run(inputs, t0=t0)
+        return self._report(result, t0, events, counters, degraded, restarted)
 
     def _report(
         self,
-        plan: HeteroPlan,
-        state: _State,
+        result: CoreResult,
         t0: float,
         events: list[ExecutionEvent],
         counters: dict[str, int],
         degraded: str | None,
         restarted: bool,
     ) -> ExecutionReport:
-        outputs = [state.values[(tid, idx)] for tid, idx in plan.outputs]
         return ExecutionReport(
-            outputs=outputs,
+            outputs=result.outputs,
             wall_time_s=time.perf_counter() - t0,
-            task_worker=dict(state.task_worker),
-            task_order=list(state.task_order),
+            task_worker=result.task_worker,
+            task_order=result.task_order,
             events=events,
             counters=counters,
             completed=True,
             degraded_device=degraded,
             restarted=restarted,
         )
-
-    # ------------------------------------------------------------------
-
-    def _run_plan(
-        self,
-        plan: HeteroPlan,
-        inputs: Mapping[str, np.ndarray],
-        t0: float,
-        events: list[ExecutionEvent],
-        counters: dict[str, int],
-        allow_restart: bool,
-    ) -> _State:
-        config = self.config
-        injector = self.fault_injector
-        state = _State(plan)
-        lost: set[str] = set()  # guarded by state.lock
-        queues: dict[str, "queue.Queue[TaskSpec | None]"] = {
-            "cpu": queue.Queue(),
-            "gpu": queue.Queue(),
-        }
-        # Worker -> orchestrator notifications:
-        #   ("ok", task, device) | ("fail", task, exc) | ("lost", task, exc)
-        notify: "queue.Queue[tuple]" = queue.Queue()
-        rngs = {
-            dev: np.random.default_rng((config.seed, i))
-            for i, dev in enumerate(("cpu", "gpu"))
-        }
-
-        def now() -> float:
-            return time.perf_counter() - t0
-
-        def route(device: str) -> str:
-            return _OTHER[device] if device in lost else device
-
-        def attempt(task: TaskSpec, device: str) -> None:
-            began = time.perf_counter()
-            if injector is not None:
-                injector.on_task_start(task.task_id, device)
-            crossed: set[str] = set()
-            with state.lock:
-                feeds = gather_feeds(
-                    task, device, inputs, state.values, state.task_worker,
-                    injector, crossed,
-                )
-            if config.validate_transfers:
-                for input_id in crossed:
-                    value = feeds[input_id]
-                    if np.issubdtype(value.dtype, np.floating) and not np.all(
-                        np.isfinite(value)
-                    ):
-                        raise TransferError(
-                            f"non-finite tensor arrived for input "
-                            f"{input_id!r} of task {task.task_id!r}"
-                        )
-            env = run_kernels(task, feeds)
-            elapsed = time.perf_counter() - began
-            if (
-                config.task_deadline_s is not None
-                and elapsed > config.task_deadline_s
-            ):
-                # Do NOT commit: a deadline-busting attempt is a failed
-                # attempt, its results are discarded before retry.
-                raise _AttemptDeadline(elapsed, config.task_deadline_s)
-            with state.lock:
-                for idx, out_id in enumerate(task.module.output_ids):
-                    state.values[(task.task_id, idx)] = env[out_id]
-                state.task_worker[task.task_id] = device
-                state.task_order.append(task.task_id)
-                ready = [
-                    (dep, route(dep.device))
-                    for dep in state.dependents[task.task_id]
-                    if self._decrement(state, dep) == 0
-                ]
-            for dep, dest in ready:
-                queues[dest].put(dep)
-
-        def run_with_retries(task: TaskSpec, device: str) -> None:
-            attempt_no = 0
-            while True:
-                attempt_no += 1
-                try:
-                    attempt(task, device)
-                    notify.put(("ok", task, device))
-                    return
-                except DeviceLostError as exc:
-                    notify.put(("lost", task, exc))
-                    return
-                except _AttemptDeadline as exc:
-                    counters["task_deadline_misses"] += 1
-                    kind, cause = "task-deadline", DeadlineExceededError(
-                        f"task {task.task_id!r}: {exc}"
-                    )
-                except Exception as exc:  # transient fault: retryable
-                    counters["faults"] += 1
-                    kind, cause = "fault", exc
-                events.append(
-                    ExecutionEvent(
-                        kind=kind,
-                        time_s=now(),
-                        task_id=task.task_id,
-                        device=device,
-                        attempt=attempt_no,
-                        detail=str(cause),
-                    )
-                )
-                if attempt_no >= config.retry.max_attempts:
-                    counters["giveups"] += 1
-                    events.append(
-                        ExecutionEvent(
-                            kind="giveup",
-                            time_s=now(),
-                            task_id=task.task_id,
-                            device=device,
-                            attempt=attempt_no,
-                            detail=f"retries exhausted: {cause}",
-                        )
-                    )
-                    notify.put(("fail", task, cause))
-                    return
-                delay = config.retry.backoff_s(attempt_no, rngs[device])
-                counters["retries"] += 1
-                events.append(
-                    ExecutionEvent(
-                        kind="backoff",
-                        time_s=now(),
-                        task_id=task.task_id,
-                        device=device,
-                        attempt=attempt_no,
-                        detail=f"sleeping {delay:.6f}s",
-                    )
-                )
-                time.sleep(delay)
-                events.append(
-                    ExecutionEvent(
-                        kind="retry",
-                        time_s=now(),
-                        task_id=task.task_id,
-                        device=device,
-                        attempt=attempt_no + 1,
-                    )
-                )
-
-        def worker(device: str) -> None:
-            while True:
-                task = queues[device].get()
-                if task is None:
-                    return
-                run_with_retries(task, device)
-
-        workers = {
-            dev: threading.Thread(target=worker, args=(dev,), daemon=True)
-            for dev in ("cpu", "gpu")
-        }
-        for t in workers.values():
-            t.start()
-        for task in plan.tasks:
-            if state.remaining_deps[task.task_id] == 0:
-                queues[task.device].put(task)
-
-        n_tasks = len(plan.tasks)
-        n_done = 0
-        terminal: ExecutionError | None = None
-        restart: _RestartOnSurvivor | None = None
-        deadline_at = (
-            t0 + config.deadline_s if config.deadline_s is not None else None
-        )
-        while n_done < n_tasks:
-            timeout = None
-            if deadline_at is not None:
-                timeout = max(0.0, deadline_at - time.perf_counter())
-            try:
-                msg = notify.get(timeout=timeout)
-            except queue.Empty:
-                terminal = DeadlineExceededError(
-                    f"inference exceeded end-to-end deadline of "
-                    f"{config.deadline_s:.4f}s ({n_done}/{n_tasks} tasks done)"
-                )
-                events.append(
-                    ExecutionEvent(
-                        kind="deadline", time_s=now(), detail=str(terminal)
-                    )
-                )
-                break
-            kind = msg[0]
-            if kind == "ok":
-                n_done += 1
-            elif kind == "fail":
-                _, task, cause = msg
-                terminal = ExecutionError(
-                    f"task {task.task_id!r} failed after "
-                    f"{config.retry.max_attempts} attempt(s): {cause}"
-                )
-                break
-            else:  # device lost
-                _, task, exc = msg
-                dead = exc.device
-                survivor = _OTHER[dead]
-                with state.lock:
-                    newly = dead not in lost
-                    lost.add(dead)
-                    survivor_dead = survivor in lost
-                    completed_any = bool(state.task_order)
-                if newly:
-                    counters["device_losses"] += 1
-                    events.append(
-                        ExecutionEvent(
-                            kind="device-lost",
-                            time_s=now(),
-                            task_id=task.task_id,
-                            device=dead,
-                            detail=str(exc),
-                        )
-                    )
-                if survivor_dead:
-                    terminal = ExecutionError(
-                        f"all devices lost (last: {exc}); cannot fail over"
-                    )
-                    break
-                if not config.failover:
-                    terminal = exc
-                    break
-                if (
-                    allow_restart
-                    and not completed_any
-                    and survivor in self.degradation_plans
-                ):
-                    restart = _RestartOnSurvivor(survivor, exc)
-                    break
-                if newly:
-                    counters["failovers"] += 1
-                    # Retarget the dead device's queued-but-unstarted work.
-                    while True:
-                        try:
-                            moved = queues[dead].get_nowait()
-                        except queue.Empty:
-                            break
-                        if moved is None:
-                            continue
-                        self._migrate(
-                            moved, dead, survivor, queues, events, counters,
-                            now,
-                        )
-                # The task whose attempt observed the loss migrates too.
-                self._migrate(
-                    task, dead, survivor, queues, events, counters, now
-                )
-
-        # Shutdown: drain, sentinel, join.
-        for q in queues.values():
-            while True:
-                try:
-                    q.get_nowait()
-                except queue.Empty:
-                    break
-        for dev in queues:
-            queues[dev].put(None)
-        stuck = []
-        for dev, t in workers.items():
-            t.join(timeout=self.join_timeout)
-            if t.is_alive():
-                stuck.append(dev)
-        if restart is not None:
-            raise restart
-        if terminal is not None:
-            raise terminal
-        if stuck:
-            raise ExecutionError(
-                f"worker thread(s) for device(s) {', '.join(stuck)} did not "
-                f"finish within {self.join_timeout:.1f}s; a task is wedged"
-            )
-        return state
-
-    @staticmethod
-    def _decrement(state: _State, dep: TaskSpec) -> int:
-        state.remaining_deps[dep.task_id] -= 1
-        return state.remaining_deps[dep.task_id]
-
-    def _migrate(
-        self,
-        task: TaskSpec,
-        dead: str,
-        survivor: str,
-        queues: dict,
-        events: list[ExecutionEvent],
-        counters: dict[str, int],
-        now,
-    ) -> None:
-        counters["migrated_tasks"] += 1
-        events.append(
-            ExecutionEvent(
-                kind="failover-migrate",
-                time_s=now(),
-                task_id=task.task_id,
-                device=survivor,
-                detail=f"migrated off lost device {dead!r}",
-            )
-        )
-        queues[survivor].put(task)

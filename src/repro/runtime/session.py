@@ -1,0 +1,137 @@
+"""Reusable engine sessions: plan once, serve many requests.
+
+The serving story (ROADMAP north-star) needs the property the related
+multi-tenant scheduling literature presumes: one scheduling decision is
+executed many times over many requests.  ``DuetEngine.run`` re-enters the
+simulator — and ``DuetEngine.optimize`` re-enters the whole
+partition/profile/schedule pipeline — on every call.  An
+:class:`EngineSession` front-loads all of that exactly once:
+
+* the optimization (plan, placements, degradation plans) is fixed at
+  session construction;
+* the dispatch dependency structure is precomputed once inside the
+  unified :class:`~repro.runtime.core.DispatchKernel`;
+* model parameters are materialized eagerly (weights load at session
+  construction, never mid-request);
+* intermediate tensors live in a preallocated
+  :class:`~repro.runtime.memory.TensorArena`, so steady-state requests
+  reuse stable buffers instead of allocating.
+
+``run(inputs)`` then costs one inline dispatch: resolve feeds, execute
+kernels, collect outputs.  Outputs are copied out of the arena, so they
+stay valid after the next request overwrites the session's buffers and
+are bit-identical to a fresh ``DuetEngine.run``.
+
+A session is not thread-safe for concurrent ``run`` calls; an internal
+lock serializes them.  Sessions are cheap — use one per serving thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.runtime.core import (
+    DispatchKernel,
+    ExecutionEvent,
+    InlineWorkers,
+    InvariantMiddleware,
+    Middleware,
+    TracingMiddleware,
+)
+from repro.runtime.memory import TensorArena
+from repro.runtime.plan import HeteroPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import DuetOptimization
+
+__all__ = ["SessionResult", "EngineSession"]
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one session request.
+
+    Attributes:
+        outputs: model outputs (owned by the caller; later requests on
+            the same session do not invalidate them).
+        wall_time_s: host wall-clock time of this request's dispatch.
+    """
+
+    outputs: list[np.ndarray]
+    wall_time_s: float
+
+
+class EngineSession:
+    """Serves repeated inferences of one optimized model.
+
+    Build via :meth:`repro.core.engine.DuetEngine.session`, or directly
+    from a plan.  Compilation, planning, and dependency analysis happen
+    once, here; each :meth:`run` is a single pass through the unified
+    dispatch kernel with arena-backed intermediate storage.
+
+    Args:
+        plan: the heterogeneous plan to serve.
+        validate: install the invariant middleware (output shape/dtype
+            checks against the declared graph types on every task).
+        trace_sink: optional callable receiving a structured
+            :class:`~repro.runtime.core.ExecutionEvent` for every task
+            start/finish/error.
+        preallocate: size the arena from the plan's declared node types
+            up front so even the first request allocates nothing.
+        opt: the originating optimization, kept for introspection
+            (``session.opt``) when built through the engine.
+    """
+
+    def __init__(
+        self,
+        plan: HeteroPlan,
+        *,
+        validate: bool = False,
+        trace_sink: Callable[[ExecutionEvent], None] | None = None,
+        preallocate: bool = True,
+        opt: "DuetOptimization | None" = None,
+    ):
+        self.plan = plan
+        self.opt = opt
+        for task in plan.tasks:
+            # Parameters materialize lazily on first access; a serving
+            # session loads weights at construction, not mid-request.
+            task.module.params
+        self.arena = TensorArena()
+        if preallocate:
+            self.arena.preallocate(plan)
+        middleware: list[Middleware] = []
+        if trace_sink is not None:
+            middleware.append(TracingMiddleware(trace_sink))
+        if validate:
+            middleware.append(InvariantMiddleware())
+        self._kernel = DispatchKernel(
+            plan,
+            workers=InlineWorkers(),
+            middleware=middleware,
+            arena=self.arena,
+        )
+        self._lock = threading.Lock()
+        self.requests_served = 0
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> SessionResult:
+        """One inference; returns outputs the caller owns."""
+        began = time.perf_counter()
+        with self._lock:
+            result = self._kernel.run(inputs)
+            self.requests_served += 1
+        outputs = [np.copy(o) for o in result.outputs]
+        return SessionResult(
+            outputs=outputs, wall_time_s=time.perf_counter() - began
+        )
+
+    def run_many(
+        self, batches: Iterable[Mapping[str, np.ndarray]]
+    ) -> list[SessionResult]:
+        """Serve a sequence of requests back to back."""
+        return [self.run(inputs) for inputs in batches]

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.devices.machine import Machine
 from repro.errors import ExecutionError
+from repro.runtime.core import execute_kernels, resolve_feeds
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -247,20 +248,15 @@ def simulate(
         kernel_records: list[KernelRecord] = []
         cursor = start
         feeds: dict[str, np.ndarray] | None = None
-        env: dict[str, np.ndarray] | None = None
         if inputs is not None:
-            feeds = {}
-            for input_id, src in task.sources.items():
-                if src.kind == "external":
-                    if src.ref not in inputs:
-                        raise ExecutionError(f"missing external input {src.ref!r}")
-                    feeds[input_id] = np.asarray(inputs[src.ref])
-                else:
-                    feeds[input_id] = values[(src.ref, src.output_index)]
-            env = dict(task.module.params)
-            env.update(feeds)
+            # Numeric replay goes through the same feed-resolution helper
+            # as the unified dispatch kernel (no injector: chaos on this
+            # path is virtual-clock only, via on_virtual_task above).
+            feeds = resolve_feeds(
+                task, task.device, inputs, values, task_device
+            )
 
-        if env is None and rng is None:
+        if feeds is None and rng is None:
             # Timing-only fast path: no numeric-env bookkeeping; mean
             # durations may come precomputed.  The per-kernel accumulation
             # order matches the general path, so latencies are bit-identical.
@@ -295,9 +291,8 @@ def simulate(
                         )
                     )
                 cursor += duration
-                if env is not None:
-                    env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
 
+        env = execute_kernels(task, feeds) if feeds is not None else None
         finish = cursor
         device_free[task.device] = finish
         task_finish[task.task_id] = finish

@@ -3,21 +3,59 @@
 This is how TVM executes a compiled model in the paper (§III-A): kernels
 run synchronously in topological order on one device.  It is expressed as
 a one-task :class:`~repro.runtime.plan.HeteroPlan`, so the same simulator
-prices it — including host↔device transfers when the device is the GPU.
+prices it — including host↔device transfers when the device is the GPU —
+and the same unified dispatch kernel (:class:`~repro.runtime.core.
+DispatchKernel` with :class:`~repro.runtime.core.InlineWorkers`) executes
+it numerically.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
 from repro.compiler.lowering import CompiledModule
 from repro.devices.machine import Machine
+from repro.runtime.core import DispatchKernel, InlineWorkers
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
 from repro.runtime.simulator import ExecutionResult, simulate
 
-__all__ = ["single_device_plan", "run_single_device"]
+__all__ = ["SingleDeviceResult", "single_device_plan", "run_single_device"]
+
+
+@dataclass
+class SingleDeviceResult(ExecutionResult):
+    """Outcome of one single-device inference.
+
+    Extends the simulator's :class:`~repro.runtime.simulator.
+    ExecutionResult` (virtual ``latency``, task/transfer records, and
+    ``outputs`` when inputs were supplied) with the host ``wall_time_s``
+    the other executors' results carry
+    (:class:`~repro.runtime.threaded.ThreadedResult`,
+    :class:`~repro.runtime.resilient.ExecutionReport`).
+
+    Dict-style access (``result["latency"]``) is supported for one
+    deprecation cycle; use attribute access instead.
+    """
+
+    wall_time_s: float = 0.0
+
+    def __getitem__(self, key: str):
+        """Deprecated dict-style field access; use attributes instead."""
+        warnings.warn(
+            "dict-style access to run_single_device results is deprecated; "
+            f"use the .{key} attribute",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            return getattr(self, key)
+        except AttributeError as exc:
+            raise KeyError(key) from exc
 
 
 def single_device_plan(module: CompiledModule, device: str) -> HeteroPlan:
@@ -40,6 +78,24 @@ def run_single_device(
     machine: Machine,
     rng: np.random.Generator | None = None,
     inputs: Mapping[str, np.ndarray] | None = None,
-) -> ExecutionResult:
-    """One inference of ``module`` entirely on ``device``."""
-    return simulate(single_device_plan(module, device), machine, rng=rng, inputs=inputs)
+) -> SingleDeviceResult:
+    """One inference of ``module`` entirely on ``device``.
+
+    Timing comes from the discrete-event simulator; when ``inputs`` are
+    given the kernels also execute numerically through the unified
+    dispatch kernel (inline worker strategy), so the returned ``outputs``
+    go through exactly the same code path as every other executor.
+    """
+    began = time.perf_counter()
+    plan = single_device_plan(module, device)
+    sim = simulate(plan, machine, rng=rng)
+    outputs = None
+    if inputs is not None:
+        outputs = DispatchKernel(plan, workers=InlineWorkers()).run(inputs).outputs
+    return SingleDeviceResult(
+        latency=sim.latency,
+        tasks=sim.tasks,
+        transfers=sim.transfers,
+        outputs=outputs,
+        wall_time_s=time.perf_counter() - began,
+    )

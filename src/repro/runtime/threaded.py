@@ -2,10 +2,13 @@
 
 The paper's executor (§IV-D) spawns one worker per device; each works a
 busy loop — poll the synchronization queue, execute the subgraph, trigger
-its dependents.  This module implements that design with actual Python
-threads and ``queue.Queue`` objects and executes kernels numerically, so
-the dependency-triggering logic is validated under true concurrency (NumPy
-releases the GIL inside its kernels, so the two workers genuinely overlap).
+its dependents.  This module is a thin shim over the unified dispatch
+kernel in :mod:`repro.runtime.core` (:class:`~repro.runtime.core.
+DispatchKernel` with :class:`~repro.runtime.core.ThreadedWorkers` and the
+abort-on-failure policy): actual Python threads and ``queue.Queue``
+objects executing kernels numerically, so the dependency-triggering logic
+is validated under true concurrency (NumPy releases the GIL inside its
+kernels, so the two workers genuinely overlap).
 
 Timing of *this* executor is host wall-clock (useful as a sanity signal);
 the calibrated virtual-time results come from
@@ -20,21 +23,28 @@ failing-over path lives in :mod:`repro.runtime.resilient`.
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
-from repro.errors import ExecutionError
-from repro.runtime.plan import HeteroPlan, TaskSpec
+from repro.runtime.core import (
+    AbortPolicy,
+    DispatchKernel,
+    ThreadedWorkers,
+    execute_kernels,
+    resolve_feeds,
+)
+from repro.runtime.plan import HeteroPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.runtime.faults import FaultInjector
 
 __all__ = ["ThreadedResult", "ThreadedExecutor", "gather_feeds", "run_kernels"]
+
+# Backward-compatible names for the shared helpers, now owned by the core.
+gather_feeds = resolve_feeds
+run_kernels = execute_kernels
 
 
 @dataclass
@@ -47,94 +57,15 @@ class ThreadedResult:
     task_order: list[str]  # completion order
 
 
-def gather_feeds(
-    task: TaskSpec,
-    worker_device: str,
-    inputs: Mapping[str, np.ndarray],
-    values: Mapping[tuple[str, int], np.ndarray],
-    producer_device: Mapping[str, str],
-    injector: "FaultInjector | None" = None,
-    crossed: set[str] | None = None,
-) -> dict[str, np.ndarray]:
-    """Resolve a task's input tensors (caller must hold the state lock).
-
-    Tensors crossing devices — external inputs consumed off-host, or task
-    outputs produced on the other worker — pass through the fault
-    injector's transfer hook, which may corrupt them or raise
-    :class:`~repro.errors.TransferError`.  When ``crossed`` is given, the
-    input ids that crossed devices are added to it (the resilient
-    executor's corruption guard validates exactly those).
-    """
-    feeds: dict[str, np.ndarray] = {}
-    for input_id, src in task.sources.items():
-        if src.kind == "external":
-            if src.ref not in inputs:
-                raise ExecutionError(f"missing external input {src.ref!r}")
-            value = np.asarray(inputs[src.ref])
-            produced_on = "cpu"  # model inputs are host-resident
-        else:
-            value = values[(src.ref, src.output_index)]
-            produced_on = producer_device.get(src.ref, worker_device)
-        if produced_on != worker_device:
-            if crossed is not None:
-                crossed.add(input_id)
-            if injector is not None:
-                value = injector.on_transfer(src.ref, worker_device, value)
-        feeds[input_id] = value
-    return feeds
-
-
-def run_kernels(task: TaskSpec, feeds: Mapping[str, np.ndarray]) -> dict:
-    """Execute a task's kernels numerically; returns the value environment."""
-    env = dict(task.module.params)
-    env.update(feeds)
-    for kernel in task.module.kernels:
-        env[kernel.output_id] = kernel([env[i] for i in kernel.input_ids])
-    return env
-
-
-class _State:
-    """Shared executor state guarded by a single lock."""
-
-    def __init__(self, plan: HeteroPlan):
-        self.lock = threading.Lock()
-        self.values: dict[tuple[str, int], np.ndarray] = {}
-        self.remaining_deps: dict[str, int] = {}
-        self.dependents: dict[str, list[TaskSpec]] = {t.task_id: [] for t in plan.tasks}
-        self.task_worker: dict[str, str] = {}
-        self.task_order: list[str] = []
-        self.errors: list[BaseException] = []
-        for task in plan.tasks:
-            deps = {
-                src.ref
-                for src in task.sources.values()
-                if src.kind == "task"
-            }
-            self.remaining_deps[task.task_id] = len(deps)
-            for dep in deps:
-                self.dependents[dep].append(task)
-
-
-def _format_failures(errors: list[BaseException], extra: str = "") -> str:
-    """One message naming every worker failure, first cause leading."""
-    head = f"threaded execution failed: {errors[0]}{extra}"
-    if len(errors) == 1:
-        return head
-    others = "; ".join(f"{type(e).__name__}: {e}" for e in errors[1:])
-    return (
-        f"{head} (+{len(errors) - 1} additional worker failure(s): {others})"
-    )
-
-
 class ThreadedExecutor:
     """Executes a :class:`HeteroPlan` with one worker thread per device.
 
     Args:
         plan: the heterogeneous plan to execute.
         join_timeout: seconds to wait for each worker to shut down.  A
-            worker still alive after this raises :class:`ExecutionError`
-            naming the stuck device rather than silently returning a
-            half-populated result.
+            worker still alive after this raises
+            :class:`~repro.errors.ExecutionError` naming the stuck device
+            rather than silently returning a half-populated result.
         fault_injector: optional deterministic chaos hooks
             (:class:`~repro.runtime.faults.FaultInjector`); injected
             faults abort the run like real ones.
@@ -152,114 +83,16 @@ class ThreadedExecutor:
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> ThreadedResult:
         """Execute the plan numerically; blocks until all tasks finish."""
-        state = _State(self.plan)
-        injector = self.fault_injector
-        queues: dict[str, "queue.Queue[TaskSpec | None]"] = {
-            "cpu": queue.Queue(),
-            "gpu": queue.Queue(),
-        }
-        n_tasks = len(self.plan.tasks)
-        done = threading.Semaphore(0)
-
-        def execute(task: TaskSpec) -> None:
-            if injector is not None:
-                injector.on_task_start(task.task_id, task.device)
-            with state.lock:
-                feeds = gather_feeds(
-                    task,
-                    task.device,
-                    inputs,
-                    state.values,
-                    state.task_worker,
-                    injector,
-                )
-            # The heavy part runs OUTSIDE the lock — this is where the two
-            # workers overlap.
-            env = run_kernels(task, feeds)
-            with state.lock:
-                for idx, out_id in enumerate(task.module.output_ids):
-                    state.values[(task.task_id, idx)] = env[out_id]
-                state.task_worker[task.task_id] = task.device
-                state.task_order.append(task.task_id)
-                ready = []
-                for dep in state.dependents[task.task_id]:
-                    state.remaining_deps[dep.task_id] -= 1
-                    if state.remaining_deps[dep.task_id] == 0:
-                        ready.append(dep)
-            for dep in ready:
-                queues[dep.device].put(dep)
-
-        def worker(device: str) -> None:
-            while True:
-                task = queues[device].get()
-                if task is None:
-                    return
-                try:
-                    execute(task)
-                except BaseException as exc:  # propagate to the caller
-                    with state.lock:
-                        state.errors.append(exc)
-                finally:
-                    done.release()
-
-        workers = {
-            dev: threading.Thread(target=worker, args=(dev,), daemon=True)
-            for dev in ("cpu", "gpu")
-        }
-        start = time.perf_counter()
-        for t in workers.values():
-            t.start()
-        # Seed the queues with dependency-free tasks.
-        for task in self.plan.tasks:
-            if state.remaining_deps[task.task_id] == 0:
-                queues[task.device].put(task)
-        failed = False
-        for _ in range(n_tasks):
-            done.acquire()
-            with state.lock:
-                failed = bool(state.errors)
-            if failed:
-                break
-        if failed:
-            # A failed task's dependents were never queued and never will
-            # be; drain already-queued-but-unstarted work so the workers
-            # reach their shutdown sentinel instead of burning through it.
-            for q in queues.values():
-                while True:
-                    try:
-                        q.get_nowait()
-                    except queue.Empty:
-                        break
-        for dev in queues:
-            queues[dev].put(None)
-        stuck = []
-        for dev, t in workers.items():
-            t.join(timeout=self.join_timeout)
-            if t.is_alive():
-                stuck.append(dev)
-        wall = time.perf_counter() - start
-
-        if state.errors:
-            detail = (
-                f" (worker(s) {', '.join(stuck)} still wedged after "
-                f"{self.join_timeout:.1f}s)"
-                if stuck
-                else ""
-            )
-            raise ExecutionError(
-                _format_failures(state.errors, detail)
-            ) from state.errors[0]
-        if stuck:
-            raise ExecutionError(
-                f"worker thread(s) for device(s) {', '.join(stuck)} did not "
-                f"finish within {self.join_timeout:.1f}s; a task is wedged"
-            )
-        outputs = [
-            state.values[(tid, idx)] for tid, idx in self.plan.outputs
-        ]
+        kernel = DispatchKernel(
+            self.plan,
+            workers=ThreadedWorkers(join_timeout=self.join_timeout),
+            fault_injector=self.fault_injector,
+            failure_policy=AbortPolicy(),
+        )
+        result = kernel.run(inputs)
         return ThreadedResult(
-            outputs=outputs,
-            wall_time_s=wall,
-            task_worker=dict(state.task_worker),
-            task_order=list(state.task_order),
+            outputs=result.outputs,
+            wall_time_s=result.wall_time_s,
+            task_worker=result.task_worker,
+            task_order=result.task_order,
         )

@@ -12,7 +12,11 @@ execution path and demanding exact agreement:
   must linearize the task DAG);
 * the :class:`~repro.runtime.threaded.ThreadedExecutor` (real threads);
 * the :class:`~repro.runtime.resilient.ResilientExecutor` with no faults
-  injected (the recovery machinery must be a no-op on healthy runs).
+  injected (the recovery machinery must be a no-op on healthy runs);
+* the unified :class:`~repro.runtime.core.DispatchKernel` driven
+  directly with the inline worker strategy and an arena — the
+  configuration :class:`~repro.runtime.session.EngineSession` serves
+  repeated requests with.
 
 Outputs are compared element-exactly (same shape, same dtype, ``==``
 everywhere) — all paths run the same NumPy kernels in dependency order,
@@ -40,6 +44,8 @@ from repro.devices.machine import Machine, default_machine
 from repro.errors import ReproError
 from repro.ir.graph import Graph
 from repro.ir.interpreter import make_inputs, run_graph
+from repro.runtime.core import DispatchKernel, InlineWorkers
+from repro.runtime.memory import TensorArena
 from repro.runtime.resilient import ResilientExecutor
 from repro.runtime.simulator import simulate
 from repro.runtime.single import run_single_device
@@ -61,6 +67,7 @@ EXECUTOR_NAMES = (
     "simulator",
     "threaded",
     "resilient",
+    "core",
 )
 
 PlacementTransform = Callable[[dict[str, str], PhasedPartition], dict[str, str]]
@@ -283,8 +290,29 @@ def run_differential(
                     f"{len(result.events)} recovery events"
                 )
 
+        def run_core(outcome, plan=plan):
+            # Two arena-backed requests through one kernel: the session
+            # configuration, plus a check that buffer reuse on the second
+            # request does not perturb the numerics.
+            kernel = DispatchKernel(
+                plan, workers=InlineWorkers(), arena=TensorArena()
+            )
+            first = [np.copy(o) for o in kernel.run(feeds).outputs]
+            result = kernel.run(feeds)
+            outcome.outputs = result.outputs
+            outcome.task_order = result.task_order
+            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.violations += check_task_order(plan, result.task_order)
+            for a, b in zip(first, result.outputs):
+                if not np.array_equal(a, b):
+                    report.violations.append(
+                        f"{outcome.name}: arena reuse changed outputs "
+                        "between repeated runs"
+                    )
+
         attempt(f"simulator{suffix}", run_simulator)
         attempt(f"threaded{suffix}", run_threaded)
         attempt(f"resilient{suffix}", run_resilient)
+        attempt(f"core{suffix}", run_core)
 
     return report
