@@ -9,11 +9,10 @@ system.
 
 from conftest import emit
 
-from repro.bench import format_table
+from repro.bench import closed_loop_burst, format_table
 from repro.core import DuetEngine
 from repro.models import build_model
 from repro.runtime.single import single_device_plan
-from repro.runtime.stream import simulate_stream
 
 N_REQUESTS = 100
 
@@ -30,7 +29,7 @@ def _run(machine):
             "DUET": opt.plan,
         }
         for system, plan in plans.items():
-            stream = simulate_stream(plan, machine, n_requests=N_REQUESTS)
+            stream = closed_loop_burst(plan, machine, n_requests=N_REQUESTS)
             rows.append(
                 {
                     "model": name,

@@ -20,6 +20,12 @@ from repro.bench.experiments import (
     table2_breakdown,
     table3_resnet,
 )
+from repro.bench.loadgen import (
+    LoadResult,
+    closed_loop_burst,
+    elementwise_chain,
+    run_closed_loop,
+)
 from repro.bench.reporting import (
     format_bars,
     format_hetero_timeline,
@@ -47,9 +53,13 @@ __all__ = [
     "CNN_DEPTH_SWEEP",
     "EVAL_MODELS",
     "FFN_DEPTH_SWEEP",
+    "LoadResult",
     "RNN_LAYER_SWEEP",
     "Workload",
+    "closed_loop_burst",
+    "elementwise_chain",
     "evaluation_workloads",
+    "run_closed_loop",
     "fig04_timeline",
     "fig05_comm",
     "fig11_end2end",

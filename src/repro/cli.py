@@ -188,6 +188,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Closed-loop load through the multi-tenant serving frontend."""
+    from repro.bench import elementwise_chain, run_closed_loop
+    from repro.ir import make_inputs
+    from repro.serving import ServingConfig
+
+    if args.model:
+        graph = build_model(args.model, tiny=args.tiny)
+    else:
+        graph = elementwise_chain()
+    engine = DuetEngine(machine=default_machine(noisy=False))
+    config = ServingConfig(
+        queue_capacity=args.queue_capacity,
+        admission=args.admission,
+        pool_size=args.pool_size,
+        batching=not args.no_batching,
+        max_batch_size=args.max_batch,
+        max_linger_s=args.linger_ms * 1e-3,
+    )
+    feeds = make_inputs(graph)
+    with engine.serve(graph, config=config) as frontend:
+        info = frontend.lane_info()
+        print(
+            f"serving {graph.name}: batching "
+            f"{'on' if config.batching else 'off'}, stacked execution "
+            f"{'on' if info['stackable'] else 'off (' + info['stack_reason'] + ')'}"
+        )
+        frontend.request(feeds)  # warm-up: weights + arena, paid once
+        load = run_closed_loop(
+            lambda i: frontend.request(feeds),
+            n_requests=args.requests,
+            concurrency=args.concurrency,
+        )
+        hist = frontend.registry.histogram(
+            "duet_request_latency_seconds"
+        ).merged()
+        batches = frontend.registry.counter("duet_batches_total")
+        print(
+            f"{load.n_requests} requests, {args.concurrency} clients: "
+            f"{load.throughput_rps:.0f} req/s ({load.n_errors} errors)"
+        )
+        print(
+            f"latency p50 {hist.quantile(0.5) * 1e3:.3f} ms  "
+            f"p95 {hist.quantile(0.95) * 1e3:.3f} ms  "
+            f"p99 {hist.quantile(0.99) * 1e3:.3f} ms"
+        )
+        print(f"batches executed: {batches.total():.0f}")
+        if args.metrics:
+            print()
+            print(frontend.render_metrics(), end="")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing: random graphs through every execution path."""
     from repro.testing import GeneratorConfig, run_campaign
@@ -280,6 +333,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample count for the tail-latency experiment",
     )
     p_report.set_defaults(fn=_cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="drive the multi-tenant serving frontend with closed-loop load",
+    )
+    p_serve.add_argument(
+        "model", nargs="?", choices=MODEL_NAMES,
+        help="zoo model to serve (default: a stack-safe elementwise chain)",
+    )
+    p_serve.add_argument("--tiny", action="store_true", help="test-scale config")
+    p_serve.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="number of requests to serve",
+    )
+    p_serve.add_argument(
+        "--concurrency", type=int, default=8, metavar="K",
+        help="closed-loop client threads",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8, help="dynamic batch size cap"
+    )
+    p_serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="max time a batch window waits for company",
+    )
+    p_serve.add_argument(
+        "--pool-size", type=int, default=1, help="worker sessions per model"
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bound of the admission queue",
+    )
+    p_serve.add_argument(
+        "--admission", choices=("block", "reject"), default="block",
+        help="backpressure mode when the queue is full",
+    )
+    p_serve.add_argument(
+        "--no-batching", action="store_true",
+        help="serve every request as its own dispatch",
+    )
+    p_serve.add_argument(
+        "--metrics", action="store_true",
+        help="print the Prometheus-style metrics exposition after the run",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_fuzz = sub.add_parser(
         "fuzz",

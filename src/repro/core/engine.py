@@ -278,6 +278,38 @@ class DuetEngine:
             opt=opt,
         )
 
+    def serve(
+        self,
+        models: "Graph | DuetOptimization | Mapping[str, Graph | DuetOptimization]",
+        config=None,
+        registry=None,
+        **kwargs,
+    ):
+        """Open a multi-tenant serving frontend over one or more models.
+
+        A thin constructor for
+        :class:`~repro.serving.frontend.ServingFrontend`: each graph is
+        optimized exactly once, then served from a pool of reusable
+        sessions behind a bounded admission queue with dynamic batching.
+        A single graph/optimization is served under the model name
+        ``"default"``.
+
+        Args:
+            models: one model, or a mapping of model name -> model.
+            config: a :class:`~repro.serving.frontend.ServingConfig`.
+            registry: a :class:`~repro.serving.metrics.MetricsRegistry`
+                to populate (fresh one by default).
+            **kwargs: forwarded to ``ServingFrontend`` (``clock``,
+                ``fault_injectors``, ``autostart``).
+        """
+        from repro.serving.frontend import ServingFrontend
+
+        if isinstance(models, (Graph, DuetOptimization)):
+            models = {"default": models}
+        return ServingFrontend(
+            self, models, config=config, registry=registry, **kwargs
+        )
+
     def run_resilient(
         self,
         opt: DuetOptimization,

@@ -86,6 +86,21 @@ class DeadlineExceededError(ExecutionError):
     """A per-task or end-to-end execution deadline expired."""
 
 
+class QueueFullError(ExecutionError):
+    """The serving admission queue is full and the request was rejected.
+
+    Raised by :meth:`repro.serving.ServingFrontend.submit` when the
+    frontend runs with ``admission="reject"`` (or a blocking submit's
+    timeout expires) and the model's bounded queue has no room.  Clients
+    should treat this as backpressure: shed load or retry later.
+    """
+
+
+class MetricsError(ReproError):
+    """Invalid metrics-registry usage: bad bucket boundaries, a name
+    registered twice with different types, or malformed exposition text."""
+
+
 class DeviceError(ReproError):
     """Invalid device specification or cost-model query."""
 

@@ -9,6 +9,7 @@ from repro.runtime.core import (
     FaultInjectionMiddleware,
     InlineWorkers,
     InvariantMiddleware,
+    MetricsMiddleware,
     RetryMiddleware,
     TaskDeadlineMiddleware,
     ThreadedWorkers,
@@ -76,6 +77,7 @@ __all__ = [
     "InlineWorkers",
     "InvariantMiddleware",
     "KernelFault",
+    "MetricsMiddleware",
     "ResilienceConfig",
     "ResilientExecutor",
     "RetryMiddleware",

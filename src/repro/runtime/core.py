@@ -79,6 +79,7 @@ __all__ = [
     "RetryMiddleware",
     "TaskDeadlineMiddleware",
     "TracingMiddleware",
+    "MetricsMiddleware",
     "FaultInjectionMiddleware",
     "TransferGuardMiddleware",
     "InvariantMiddleware",
@@ -397,6 +398,59 @@ class TracingMiddleware:
                 device=device,
                 attempt=ctx.attempt,
             )
+        )
+
+
+class MetricsMiddleware:
+    """Populates a metrics registry with per-attempt runtime observations.
+
+    Feeds the serving layer's :class:`~repro.serving.MetricsRegistry`
+    (duck-typed: anything exposing ``counter(name, help).inc(...)``
+    works, so this module needs no import of :mod:`repro.serving`) with:
+
+    * ``duet_device_busy_seconds_total{device=...}`` — wall-clock seconds
+      each device worker spent executing task attempts;
+    * ``duet_task_attempts_total{device=...}`` — attempts started;
+    * ``duet_task_errors_total{device=...}`` — attempts that raised.
+
+    Extra ``labels`` (e.g. ``model=...``) are attached to every sample.
+    Place it *inside* any retry middleware so each attempt is observed.
+    """
+
+    def __init__(
+        self,
+        registry,
+        labels: Mapping[str, str] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.labels = dict(labels or {})
+        self.clock = clock
+        self.busy = registry.counter(
+            "duet_device_busy_seconds_total",
+            help="Wall-clock seconds spent executing task attempts, by device.",
+        )
+        self.attempts = registry.counter(
+            "duet_task_attempts_total",
+            help="Task execution attempts started, by device.",
+        )
+        self.task_errors = registry.counter(
+            "duet_task_errors_total",
+            help="Task execution attempts that raised, by device.",
+        )
+
+    def __call__(self, ctx: TaskContext, call_next) -> None:
+        self.attempts.inc(1, device=ctx.device, **self.labels)
+        began = self.clock()
+        try:
+            call_next(ctx)
+        except BaseException:
+            self.busy.inc(
+                max(0.0, self.clock() - began), device=ctx.device, **self.labels
+            )
+            self.task_errors.inc(1, device=ctx.device, **self.labels)
+            raise
+        self.busy.inc(
+            max(0.0, self.clock() - began), device=ctx.device, **self.labels
         )
 
 
@@ -911,7 +965,13 @@ class DispatchKernel:
         attempt = self._attempt_stack(state, inputs)
         for task in self.plan.tasks:  # plan order is topological
             ctx = TaskContext(task=task, device=task.device)
-            attempt(ctx)
+            try:
+                attempt(ctx)
+            except _GiveUp as exc:
+                raise ExecutionError(
+                    f"task {task.task_id!r} failed after "
+                    f"{exc.attempts} attempt(s): {exc.cause}"
+                ) from exc.cause
             self._commit(state, ctx)
         return self._collect(state, t0)
 

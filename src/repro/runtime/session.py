@@ -48,6 +48,7 @@ from repro.runtime.plan import HeteroPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import DuetOptimization
+    from repro.runtime.faults import FaultInjector
 
 __all__ = ["SessionResult", "EngineSession"]
 
@@ -85,6 +86,15 @@ class EngineSession:
             up front so even the first request allocates nothing.
         opt: the originating optimization, kept for introspection
             (``session.opt``) when built through the engine.
+        middleware: extra policy middleware (retry, metrics, deadlines)
+            wrapping every task attempt, placed *outermost* — before the
+            tracing and validation stages — so e.g. a retry middleware
+            re-enters tracing on each attempt.
+        fault_injector: optional deterministic chaos hooks (used by the
+            serving stress tests to exercise the retry path in place).
+        validate_transfers: install the non-finite transfer guard after
+            feed resolution, turning corrupted cross-device tensors into
+            retryable :class:`~repro.errors.TransferError`.
     """
 
     def __init__(
@@ -95,6 +105,9 @@ class EngineSession:
         trace_sink: Callable[[ExecutionEvent], None] | None = None,
         preallocate: bool = True,
         opt: "DuetOptimization | None" = None,
+        middleware: Iterable[Middleware] = (),
+        fault_injector: "FaultInjector | None" = None,
+        validate_transfers: bool = False,
     ):
         self.plan = plan
         self.opt = opt
@@ -105,16 +118,18 @@ class EngineSession:
         self.arena = TensorArena()
         if preallocate:
             self.arena.preallocate(plan)
-        middleware: list[Middleware] = []
+        stack: list[Middleware] = list(middleware)
         if trace_sink is not None:
-            middleware.append(TracingMiddleware(trace_sink))
+            stack.append(TracingMiddleware(trace_sink))
         if validate:
-            middleware.append(InvariantMiddleware())
+            stack.append(InvariantMiddleware())
         self._kernel = DispatchKernel(
             plan,
             workers=InlineWorkers(),
-            middleware=middleware,
+            middleware=stack,
             arena=self.arena,
+            fault_injector=fault_injector,
+            validate_transfers=validate_transfers,
         )
         self._lock = threading.Lock()
         self.requests_served = 0

@@ -12,7 +12,6 @@ it numerically.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -38,24 +37,19 @@ class SingleDeviceResult(ExecutionResult):
     (:class:`~repro.runtime.threaded.ThreadedResult`,
     :class:`~repro.runtime.resilient.ExecutionReport`).
 
-    Dict-style access (``result["latency"]``) is supported for one
-    deprecation cycle; use attribute access instead.
+    Dict-style access (``result["latency"]``) was deprecated for one
+    cycle and has been removed; use attribute access.
     """
 
     wall_time_s: float = 0.0
 
     def __getitem__(self, key: str):
-        """Deprecated dict-style field access; use attributes instead."""
-        warnings.warn(
-            "dict-style access to run_single_device results is deprecated; "
-            f"use the .{key} attribute",
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed dict-style field access; raises a directing TypeError."""
+        raise TypeError(
+            "dict-style access to run_single_device results was removed "
+            "after its deprecation cycle; use the "
+            f".{key} attribute instead of [{key!r}]"
         )
-        try:
-            return getattr(self, key)
-        except AttributeError as exc:
-            raise KeyError(key) from exc
 
 
 def single_device_plan(module: CompiledModule, device: str) -> HeteroPlan:

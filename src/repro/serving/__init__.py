@@ -1,0 +1,63 @@
+"""Multi-tenant serving: admission control, dynamic batching, metrics.
+
+The front door of the engine (ROADMAP north-star): a
+:class:`ServingFrontend` owns per-model session pools behind bounded
+admission queues, coalesces compatible requests into dynamic batches —
+executing stack-safe plans as one concatenated dispatch, everything else
+request by request, both bit-identical to a solo
+:class:`~repro.runtime.session.EngineSession` — and reports what the
+engine is doing through a :class:`MetricsRegistry` with Prometheus-style
+text exposition.
+"""
+
+from repro.serving.batcher import (
+    STACK_SAFE_AXIS_OPS,
+    STACK_SAFE_ELEMENTWISE,
+    BatchConfig,
+    StackDecision,
+    analyze_stack_safety,
+    collect_batch,
+    request_signature,
+    run_stacked,
+)
+from repro.serving.frontend import (
+    ServeFuture,
+    ServeResult,
+    ServingConfig,
+    ServingFrontend,
+)
+from repro.serving.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    parse_exposition,
+    validate_buckets,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "STACK_SAFE_AXIS_OPS",
+    "STACK_SAFE_ELEMENTWISE",
+    "BatchConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "ServeFuture",
+    "ServeResult",
+    "ServingConfig",
+    "ServingFrontend",
+    "StackDecision",
+    "analyze_stack_safety",
+    "collect_batch",
+    "parse_exposition",
+    "request_signature",
+    "run_stacked",
+    "validate_buckets",
+]

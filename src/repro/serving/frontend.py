@@ -1,0 +1,674 @@
+"""The in-process serving frontend: admission, batching, session pools.
+
+:class:`ServingFrontend` is the front door the ROADMAP's serving story
+needs: it owns one *lane* per model — a bounded admission queue plus a
+pool of worker threads, each holding its own
+:class:`~repro.runtime.session.EngineSession` — and coalesces compatible
+waiting requests into dynamic batches (see :mod:`repro.serving.batcher`).
+
+Admission control is explicit backpressure: a full queue either rejects
+immediately with :class:`~repro.errors.QueueFullError`
+(``admission="reject"``) or blocks the submitter until space frees up
+(``admission="block"``, optionally bounded by ``submit_timeout_s``).
+
+Execution of a batch takes one of three modes, all bit-identical per
+request to a solo :class:`~repro.runtime.session.EngineSession` run:
+
+* ``stacked`` — the plan passed :func:`~repro.serving.batcher.
+  analyze_stack_safety`, so the batch executes as *one* dispatch over
+  inputs concatenated along the batch axis and is split back per request
+  (the actual throughput lever: one NumPy kernel invocation per op for
+  the whole batch);
+* ``fallback`` — the batch was coalesced but the plan is not stack-safe
+  (or a stacked attempt failed), so requests execute back to back on the
+  worker's session;
+* ``single`` — the batch holds one request.
+
+Every stage feeds the :class:`~repro.serving.metrics.MetricsRegistry`:
+queue depth/wait, batch sizes and modes, request latencies and outcomes,
+per-device busy time via :class:`~repro.runtime.core.MetricsMiddleware`,
+and retry/fault counters when a retry policy is installed.
+
+``REPRO_VALIDATE=1`` (or ``ServingConfig(validate=True)``) applies the
+same invariant middleware a solo session would use on the per-request
+paths; the stacked path — whose intermediate shapes legitimately differ
+from the declared types — instead validates each request's *split*
+outputs against the declared output types.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError, QueueFullError, ReproError
+from repro.runtime.core import (
+    DEVICES,
+    DispatchKernel,
+    InlineWorkers,
+    MetricsMiddleware,
+    Middleware,
+    RetryMiddleware,
+)
+from repro.serving.batcher import (
+    BatchConfig,
+    analyze_stack_safety,
+    collect_batch,
+    request_signature,
+    run_stacked,
+)
+from repro.serving.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import DuetEngine, DuetOptimization
+    from repro.ir.graph import Graph
+    from repro.runtime.faults import FaultInjector
+    from repro.runtime.resilient import RetryPolicy
+
+__all__ = ["ServingConfig", "ServeResult", "ServeFuture", "ServingFrontend"]
+
+#: Queue sentinel telling a lane worker to exit.
+_SHUTDOWN = object()
+
+_RETRY_COUNTER_KEYS = ("faults", "retries", "giveups", "task_deadline_misses")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving frontend.
+
+    Attributes:
+        queue_capacity: bound of each model's admission queue.
+        admission: ``"block"`` makes :meth:`ServingFrontend.submit` wait
+            for queue space (up to ``submit_timeout_s``); ``"reject"``
+            raises :class:`~repro.errors.QueueFullError` immediately.
+        submit_timeout_s: blocking-admission patience; ``None`` blocks
+            indefinitely.  Expiry raises ``QueueFullError`` too.
+        pool_size: worker threads (each with its own session) per model.
+            Keep this at 1 when batching: concurrent workers steal each
+            other's window fill and linger to no benefit (measured —
+            multi-worker lingering *loses* throughput on small models).
+        batching: coalesce compatible queued requests into batches.
+        max_batch_size: hard cap on requests per batch.
+        max_linger_s: longest a window's first request waits for company.
+        stacking: execute stack-safe plans' batches as one concatenated
+            dispatch (bit-identical; see :mod:`repro.serving.batcher`).
+        retry_policy: optional
+            :class:`~repro.runtime.resilient.RetryPolicy` installing the
+            retry middleware around every task attempt.
+        validate: install invariant validation; ``None`` honors the
+            ``REPRO_VALIDATE`` environment variable via the engine.
+        validate_transfers: guard cross-device tensors against
+            non-finite corruption (retryable under ``retry_policy``).
+        seed: seeds the retry backoff-jitter generators.
+    """
+
+    queue_capacity: int = 64
+    admission: str = "block"
+    submit_timeout_s: float | None = None
+    pool_size: int = 1
+    batching: bool = True
+    max_batch_size: int = 8
+    max_linger_s: float = 2e-3
+    stacking: bool = True
+    retry_policy: "RetryPolicy | None" = None
+    validate: bool | None = None
+    validate_transfers: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.admission not in ("block", "reject"):
+            raise ExecutionError(
+                f'admission must be "block" or "reject", got {self.admission!r}'
+            )
+        if self.queue_capacity < 1:
+            raise ExecutionError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.pool_size < 1:
+            raise ExecutionError(
+                f"pool_size must be >= 1, got {self.pool_size}"
+            )
+        # Delegates batch-knob validation.
+        self.batch_config()
+
+    def batch_config(self) -> BatchConfig:
+        """The window-collection knobs as a :class:`BatchConfig`."""
+        return BatchConfig(
+            max_batch_size=self.max_batch_size, max_linger_s=self.max_linger_s
+        )
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served request.
+
+    Attributes:
+        outputs: model outputs, owned by the caller.
+        model: lane (model name) that served the request.
+        queue_wait_s: admission-to-dequeue wait.
+        batch_size: number of requests in the batch this one rode in.
+        stacked: True when the batch executed as one stacked dispatch.
+        wall_time_s: execution wall time of that batch.
+    """
+
+    outputs: list[np.ndarray]
+    model: str
+    queue_wait_s: float
+    batch_size: int
+    stacked: bool
+    wall_time_s: float
+
+
+class ServeFuture:
+    """Handle to an admitted request; resolves when its batch executes."""
+
+    def __init__(self, model: str, inputs: Mapping[str, np.ndarray]):
+        self.model = model
+        self.inputs = {k: np.asarray(v) for k, v in inputs.items()}
+        self.signature = request_signature(self.inputs)
+        self.enqueued_at = 0.0
+        self.dequeued_at = 0.0
+        self._event = threading.Event()
+        self._result: ServeResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the request has completed (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout_s: float | None = None) -> ServeResult:
+        """Block until the request completes; re-raises its failure."""
+        if not self._event.wait(timeout_s):
+            raise ExecutionError(
+                f"request to model {self.model!r} did not complete within "
+                f"{timeout_s}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _finish(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _WorkerSlot:
+    """One lane worker's private execution state: its session, its
+    optional stacked dispatch kernel, and its retry bookkeeping."""
+
+    def __init__(
+        self,
+        lane: "_ModelLane",
+        index: int,
+        config: ServingConfig,
+        registry: MetricsRegistry,
+        clock: Callable[[], float],
+        injector: "FaultInjector | None",
+        validate: bool,
+    ):
+        from repro.runtime.session import EngineSession
+
+        middleware: list[Middleware] = []
+        self.retry_counters: dict[str, int] | None = None
+        self._flushed = dict.fromkeys(_RETRY_COUNTER_KEYS, 0)
+        if config.retry_policy is not None:
+            self.retry_counters = dict.fromkeys(_RETRY_COUNTER_KEYS, 0)
+            self.retry_events: deque = deque(maxlen=256)
+            rngs = {
+                dev: np.random.default_rng((config.seed, index, i))
+                for i, dev in enumerate(DEVICES)
+            }
+            middleware.append(
+                RetryMiddleware(
+                    config.retry_policy,
+                    self.retry_events,
+                    self.retry_counters,
+                    rngs,
+                    clock,
+                )
+            )
+        middleware.append(
+            MetricsMiddleware(registry, labels={"model": lane.name}, clock=clock)
+        )
+        self.session = EngineSession(
+            lane.opt.plan,
+            validate=validate,
+            opt=lane.opt,
+            middleware=middleware,
+            fault_injector=injector,
+            validate_transfers=config.validate_transfers,
+        )
+        self.stacked_kernel: DispatchKernel | None = None
+        if config.batching and config.stacking and lane.decision.stackable:
+            # No arena: stacked shapes vary with batch size and would
+            # thrash the per-slot buffers; no invariant middleware: the
+            # lane validates the *split* outputs instead.
+            self.stacked_kernel = DispatchKernel(
+                lane.opt.plan,
+                workers=InlineWorkers(),
+                middleware=middleware,
+                fault_injector=injector,
+                validate_transfers=config.validate_transfers,
+            )
+
+    def flush_retry_counters(self, lane: "_ModelLane") -> None:
+        """Publish retry-middleware counter deltas into the registry."""
+        if self.retry_counters is None:
+            return
+        for key in _RETRY_COUNTER_KEYS:
+            delta = self.retry_counters[key] - self._flushed[key]
+            if delta:
+                lane.retry_metrics[key].inc(delta, model=lane.name)
+                self._flushed[key] = self.retry_counters[key]
+
+
+class _ModelLane:
+    """One model's serving lane: queue, workers, metrics, stack decision."""
+
+    def __init__(
+        self,
+        name: str,
+        opt: "DuetOptimization",
+        config: ServingConfig,
+        registry: MetricsRegistry,
+        clock: Callable[[], float],
+        injector: "FaultInjector | None",
+        validate: bool,
+    ):
+        self.name = name
+        self.opt = opt
+        self.config = config
+        self.registry = registry
+        self.clock = clock
+        self.validate = validate
+        self.queue: "queue.Queue" = queue.Queue(maxsize=config.queue_capacity)
+        self.batch_config = config.batch_config()
+        self.decision = analyze_stack_safety(opt.plan)
+        self.expected_outputs = self._declared_output_types(opt.plan)
+        self.slots = [
+            _WorkerSlot(self, i, config, registry, clock, injector, validate)
+            for i in range(config.pool_size)
+        ]
+        self.threads: list[threading.Thread] = []
+
+        self.requests_total = registry.counter(
+            "duet_requests_total",
+            help="Requests by model and outcome (ok/error/rejected).",
+        )
+        self.batches_total = registry.counter(
+            "duet_batches_total",
+            help="Executed batches by model and mode (stacked/fallback/single).",
+        )
+        self.queue_depth = registry.gauge(
+            "duet_queue_depth", help="Requests waiting in the admission queue."
+        )
+        self.inflight = registry.gauge(
+            "duet_inflight_requests", help="Requests currently executing."
+        )
+        self.queue_wait = registry.histogram(
+            "duet_queue_wait_seconds",
+            help="Admission-to-dequeue wait per request.",
+        )
+        self.latency = registry.histogram(
+            "duet_request_latency_seconds",
+            help="Admission-to-completion latency per request.",
+        )
+        self.batch_size = registry.histogram(
+            "duet_batch_size",
+            buckets=BATCH_SIZE_BUCKETS,
+            help="Requests coalesced per executed batch.",
+        )
+        self.retry_metrics = {
+            "faults": registry.counter(
+                "duet_faults_total", help="Transient task faults observed."
+            ),
+            "retries": registry.counter(
+                "duet_retries_total", help="Task attempts retried."
+            ),
+            "giveups": registry.counter(
+                "duet_giveups_total", help="Tasks that exhausted their retries."
+            ),
+            "task_deadline_misses": registry.counter(
+                "duet_task_deadline_misses_total",
+                help="Task attempts that overran their deadline budget.",
+            ),
+        }
+
+    @staticmethod
+    def _declared_output_types(plan) -> list[tuple[tuple, np.dtype]]:
+        by_id = {task.task_id: task for task in plan.tasks}
+        declared = []
+        for tid, idx in plan.outputs:
+            task = by_id[tid]
+            node = task.module.graph.node(task.module.output_ids[idx])
+            declared.append(
+                (tuple(node.ty.shape), np.dtype(node.ty.dtype.to_numpy()))
+            )
+        return declared
+
+    # ------------------------------------------------------------------
+    # Worker side
+
+    def start(self) -> None:
+        for i in range(self.config.pool_size):
+            t = threading.Thread(
+                target=self._worker,
+                args=(self.slots[i],),
+                name=f"duet-serve-{self.name}-{i}",
+                daemon=True,
+            )
+            self.threads.append(t)
+            t.start()
+
+    def shutdown(self) -> None:
+        for _ in self.threads:
+            self.queue.put(_SHUTDOWN)
+        for t in self.threads:
+            t.join()
+        self.threads.clear()
+
+    def _timed_get(self, timeout_s: float):
+        """Batcher-facing queue pull; ``timeout_s <= 0`` never blocks."""
+        if timeout_s <= 0:
+            item = self.queue.get_nowait()
+        else:
+            item = self.queue.get(timeout=timeout_s)
+        if item is not _SHUTDOWN:
+            item.dequeued_at = self.clock()
+        return item
+
+    def _compatible(self, head, item) -> bool:
+        return item is not _SHUTDOWN and item.signature == head.signature
+
+    def _worker(self, slot: _WorkerSlot) -> None:
+        carry = None
+        while True:
+            head = carry if carry is not None else self.queue.get()
+            carry = None
+            if head is _SHUTDOWN:
+                return
+            head.dequeued_at = self.clock()
+            if self.config.batching:
+                batch, carry = collect_batch(
+                    head,
+                    self._timed_get,
+                    self.clock,
+                    self.batch_config,
+                    self._compatible,
+                )
+            else:
+                batch = [head]
+            if carry is _SHUTDOWN:
+                # Put the sentinel back: another worker (or this one, on
+                # the next loop) must still see it; the current batch
+                # executes first either way.
+                self.queue.put(_SHUTDOWN)
+                carry = None
+            self.queue_depth.set(self.queue.qsize(), model=self.name)
+            self._execute(slot, batch)
+
+    def _execute(self, slot: _WorkerSlot, batch: list[ServeFuture]) -> None:
+        self.inflight.inc(len(batch), model=self.name)
+        began = self.clock()
+        mode = "single" if len(batch) == 1 else "fallback"
+        outputs: list[list[np.ndarray] | None] = [None] * len(batch)
+        errors: list[BaseException | None] = [None] * len(batch)
+        stacked = False
+        if len(batch) > 1 and slot.stacked_kernel is not None:
+            try:
+                outputs = self._run_stacked_checked(slot, batch)
+                stacked, mode = True, "stacked"
+            except ReproError:
+                # Conservative recovery: anything the stacked path cannot
+                # serve exactly (give-ups included) re-runs per request,
+                # where failures attribute to individual requests.
+                outputs = [None] * len(batch)
+        if not stacked:
+            for i, req in enumerate(batch):
+                try:
+                    outputs[i] = slot.session.run(req.inputs).outputs
+                except ReproError as exc:
+                    errors[i] = exc
+        wall = self.clock() - began
+        now = self.clock()
+        self.batch_size.observe(len(batch), model=self.name)
+        self.batches_total.inc(1, model=self.name, mode=mode)
+        slot.flush_retry_counters(self)
+        for i, req in enumerate(batch):
+            wait = max(0.0, req.dequeued_at - req.enqueued_at)
+            self.queue_wait.observe(wait, model=self.name)
+            self.latency.observe(
+                max(0.0, now - req.enqueued_at), model=self.name
+            )
+            outcome = "ok" if errors[i] is None else "error"
+            self.requests_total.inc(1, model=self.name, outcome=outcome)
+            if errors[i] is not None:
+                req._fail(errors[i])
+            else:
+                req._finish(
+                    ServeResult(
+                        outputs=outputs[i],
+                        model=self.name,
+                        queue_wait_s=wait,
+                        batch_size=len(batch),
+                        stacked=stacked,
+                        wall_time_s=wall,
+                    )
+                )
+        self.inflight.dec(len(batch), model=self.name)
+
+    def _run_stacked_checked(
+        self, slot: _WorkerSlot, batch: list[ServeFuture]
+    ) -> list[list[np.ndarray]]:
+        kernel = slot.stacked_kernel
+        per_request = run_stacked(
+            lambda feeds: kernel.run(feeds).outputs,
+            [req.inputs for req in batch],
+            self.decision.batch,
+        )
+        if self.validate:
+            for outs in per_request:
+                for value, (shape, dtype) in zip(outs, self.expected_outputs):
+                    if tuple(value.shape) != shape or value.dtype != dtype:
+                        raise ExecutionError(
+                            f"stacked output {tuple(value.shape)}/"
+                            f"{value.dtype} does not match declared "
+                            f"{shape}/{dtype}"
+                        )
+        return per_request
+
+
+class ServingFrontend:
+    """Multi-tenant serving over a set of optimized models.
+
+    Typical use::
+
+        engine = DuetEngine()
+        with engine.serve({"m": graph}) as frontend:
+            result = frontend.request({"x": x})       # blocking
+            fut = frontend.submit({"x": x})           # async handle
+            ...
+            print(frontend.render_metrics())
+
+    Args:
+        engine: the optimizing engine; graphs in ``models`` are optimized
+            through it exactly once, at construction.
+        models: model name -> :class:`~repro.ir.graph.Graph` or prebuilt
+            :class:`~repro.core.engine.DuetOptimization`.
+        config: serving knobs; defaults to :class:`ServingConfig`.
+        registry: metrics destination; a fresh
+            :class:`~repro.serving.metrics.MetricsRegistry` by default.
+        clock: monotonic-seconds source for every queue-wait, linger,
+            latency, and busy-time measurement (injectable so tests can
+            pin timing-derived metrics exactly).
+        fault_injectors: optional model name ->
+            :class:`~repro.runtime.faults.FaultInjector` chaos hooks
+            (shared across that model's workers; use ``pool_size=1``
+            when injecting, injectors are not thread-safe).
+        autostart: start worker threads immediately.  Pass ``False`` to
+            pre-fill queues deterministically, then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        engine: "DuetEngine",
+        models: Mapping[str, "Graph | DuetOptimization"],
+        config: ServingConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+        fault_injectors: Mapping[str, "FaultInjector"] | None = None,
+        autostart: bool = True,
+    ):
+        from repro.core.engine import DuetOptimization
+
+        if not models:
+            raise ExecutionError("ServingFrontend needs at least one model")
+        self.engine = engine
+        self.config = config or ServingConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.clock = clock or time.perf_counter
+        validate = (
+            self.config.validate
+            if self.config.validate is not None
+            else engine._should_validate()
+        )
+        injectors = dict(fault_injectors or {})
+        self._lanes: dict[str, _ModelLane] = {}
+        for name, model in models.items():
+            opt = (
+                model
+                if isinstance(model, DuetOptimization)
+                else engine.optimize(model)
+            )
+            self._lanes[name] = _ModelLane(
+                name,
+                opt,
+                self.config,
+                self.registry,
+                self.clock,
+                injectors.get(name),
+                validate,
+            )
+        self._started = False
+        self._closed = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def models(self) -> tuple[str, ...]:
+        """The served model names."""
+        return tuple(self._lanes)
+
+    def lane_info(self, model: str | None = None) -> dict:
+        """Introspection: the lane's stacking decision and pool shape."""
+        lane = self._lane(model)
+        return {
+            "model": lane.name,
+            "stackable": lane.decision.stackable,
+            "stack_reason": lane.decision.reason,
+            "pool_size": self.config.pool_size,
+            "queue_capacity": self.config.queue_capacity,
+        }
+
+    def _lane(self, model: str | None) -> _ModelLane:
+        if model is None:
+            if len(self._lanes) != 1:
+                raise ExecutionError(
+                    "model name required when serving several models: "
+                    + ", ".join(self._lanes)
+                )
+            return next(iter(self._lanes.values()))
+        lane = self._lanes.get(model)
+        if lane is None:
+            raise ExecutionError(
+                f"unknown model {model!r}; serving: " + ", ".join(self._lanes)
+            )
+        return lane
+
+    def start(self) -> None:
+        """Start every lane's worker threads (idempotent)."""
+        if self._started or self._closed:
+            return
+        self._started = True
+        for lane in self._lanes.values():
+            lane.start()
+
+    def close(self) -> None:
+        """Drain queued requests, stop the workers, and refuse new work."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for lane in self._lanes.values():
+                lane.shutdown()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        model: str | None = None,
+    ) -> ServeFuture:
+        """Admit one request; returns a :class:`ServeFuture`.
+
+        Raises :class:`~repro.errors.QueueFullError` when the lane's
+        queue is full under ``admission="reject"``, or when a blocking
+        admission's ``submit_timeout_s`` expires.
+        """
+        if self._closed:
+            raise ExecutionError("serving frontend is closed")
+        lane = self._lane(model)
+        req = ServeFuture(lane.name, inputs)
+        req.enqueued_at = self.clock()
+        try:
+            if self.config.admission == "reject":
+                lane.queue.put_nowait(req)
+            else:
+                lane.queue.put(req, timeout=self.config.submit_timeout_s)
+        except queue.Full:
+            lane.requests_total.inc(1, model=lane.name, outcome="rejected")
+            raise QueueFullError(
+                f"admission queue for model {lane.name!r} is full "
+                f"({self.config.queue_capacity} waiting)"
+            ) from None
+        lane.queue_depth.set(lane.queue.qsize(), model=lane.name)
+        return req
+
+    def request(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        model: str | None = None,
+        timeout_s: float | None = None,
+    ) -> ServeResult:
+        """Admit one request and block until its result."""
+        return self.submit(inputs, model=model).result(timeout_s)
+
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-data snapshot of every registered metric."""
+        return self.registry.snapshot()
+
+    def render_metrics(self) -> str:
+        """Prometheus-style text exposition of the registry."""
+        return self.registry.render()

@@ -1,0 +1,461 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The serving layer needs to report what the engine is doing under load —
+queue waits, batch sizes, per-device busy time, retries — without pulling
+in a metrics client dependency.  This module is a small, thread-safe,
+deterministic implementation of the three Prometheus metric types the
+serving path uses:
+
+* :class:`Counter` — monotone labeled sums (requests, batches, retries).
+* :class:`Gauge` — last-write-wins labeled values (queue depth, inflight).
+* :class:`Histogram` — fixed-bucket distributions with quantile
+  estimation (queue wait, request latency, batch size).  Buckets are
+  fixed at registration so two runs of the same scenario produce the
+  same exposition text byte for byte.
+
+A :class:`MetricsRegistry` owns the metric families, renders a
+Prometheus-style text exposition (:meth:`MetricsRegistry.render`), and
+returns plain-data snapshots (:meth:`MetricsRegistry.snapshot`) for
+programmatic consumers — the load benchmark reads its p50/p95/p99 from
+histogram snapshots, not ad-hoc timers.  :func:`parse_exposition` parses
+the text format back into sample values, which the round-trip tests use.
+
+Bucket boundaries are defined once, here (:data:`LATENCY_BUCKETS_S`,
+:data:`BATCH_SIZE_BUCKETS`), and validated centrally by
+:func:`validate_buckets`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping
+
+from repro.errors import MetricsError
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "BATCH_SIZE_BUCKETS",
+    "validate_buckets",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "parse_exposition",
+]
+
+#: Latency histogram upper bounds in seconds (an implicit ``+Inf`` bucket
+#: is always appended).  Spans 10 µs .. 10 s, log-spaced at 1-2.5-5 steps:
+#: fine enough to interpolate sub-millisecond serving quantiles, coarse
+#: enough that one fixed layout serves every latency metric.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Batch-size histogram upper bounds (requests per dispatched batch).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+)
+
+
+def validate_buckets(bounds: Iterable[float]) -> tuple[float, ...]:
+    """Validate histogram bucket upper bounds; returns them as a tuple.
+
+    Bounds must be non-empty, finite, positive, and strictly increasing.
+    The ``+Inf`` bucket is implicit and must not be included.  Raises
+    :class:`~repro.errors.MetricsError` on any violation — this is the
+    single place bucket layouts are checked, for every histogram.
+    """
+    out = tuple(float(b) for b in bounds)
+    if not out:
+        raise MetricsError("histogram needs at least one bucket bound")
+    for b in out:
+        if not math.isfinite(b):
+            raise MetricsError(f"bucket bound {b!r} is not finite (+Inf is implicit)")
+        if b <= 0.0:
+            raise MetricsError(f"bucket bound {b!r} must be positive")
+    for lo, hi in zip(out, out[1:]):
+        if hi <= lo:
+            raise MetricsError(
+                f"bucket bounds must be strictly increasing, got {lo!r} >= {hi!r}"
+            )
+    return out
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value: float) -> str:
+    """Stable exposition formatting: integers without a trailing ``.0``."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Shared naming/locking plumbing of one metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+
+
+class Counter(_Metric):
+    """Monotonically increasing labeled sums."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labeled series (0.0 when never touched)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labeled series."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(self.name, key, "", v) for key, v in items]
+
+
+class Gauge(_Metric):
+    """Last-write-wins labeled values."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labeled series to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Adjust the labeled series by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Decrease the labeled series by ``amount``."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labeled series (0.0 when never set)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def _samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(self.name, key, "", v) for key, v in items]
+
+
+class HistogramSnapshot:
+    """Immutable view of one labeled histogram series.
+
+    Attributes:
+        bounds: finite bucket upper bounds (``+Inf`` implicit).
+        counts: observation count per bucket, cumulative-free (bucket ``i``
+            holds observations in ``(bounds[i-1], bounds[i]]``; the last
+            entry is the ``+Inf`` overflow bucket).
+        sum: sum of all observed values.
+        count: total number of observations.
+    """
+
+    def __init__(
+        self, bounds: tuple[float, ...], counts: tuple[int, ...], sum_: float
+    ):
+        self.bounds = bounds
+        self.counts = counts
+        self.sum = sum_
+        self.count = sum(counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        Uses the Prometheus convention: linear interpolation inside the
+        bucket that contains the target rank, with the lowest bucket
+        interpolated from 0 and the overflow bucket clamped to its lower
+        bound.  Returns ``nan`` when the series has no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                if i == len(self.bounds):  # +Inf overflow bucket
+                    return self.bounds[-1]
+                hi = self.bounds[i]
+                frac = (rank - cumulative) / n
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += n
+        return self.bounds[-1]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket labeled distributions."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+    ):
+        super().__init__(name, help, lock)
+        self.bounds = validate_buckets(buckets)
+        self._series: dict[tuple[tuple[str, str], ...], list] = {}
+
+    def _series_for(self, key):
+        series = self._series.get(key)
+        if series is None:
+            # counts per bucket (+1 overflow), running sum
+            series = [[0] * (len(self.bounds) + 1), 0.0]
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labeled series."""
+        value = float(value)
+        key = _label_key(labels)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            series = self._series_for(key)
+            series[0][idx] += 1
+            series[1] += value
+
+    def snapshot(self, **labels: str) -> HistogramSnapshot:
+        """Immutable view of one labeled series (empty when never touched)."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                counts, sum_ = (0,) * (len(self.bounds) + 1), 0.0
+            else:
+                counts, sum_ = tuple(series[0]), series[1]
+        return HistogramSnapshot(self.bounds, counts, sum_)
+
+    def merged(self) -> HistogramSnapshot:
+        """One snapshot aggregating every labeled series."""
+        with self._lock:
+            counts = [0] * (len(self.bounds) + 1)
+            sum_ = 0.0
+            for series in self._series.values():
+                for i, n in enumerate(series[0]):
+                    counts[i] += n
+                sum_ += series[1]
+        return HistogramSnapshot(self.bounds, tuple(counts), sum_)
+
+    def _samples(self):
+        with self._lock:
+            items = sorted(
+                (key, (list(series[0]), series[1]))
+                for key, series in self._series.items()
+            )
+        samples = []
+        for key, (counts, sum_) in items:
+            cumulative = 0
+            for bound, n in zip(self.bounds, counts):
+                cumulative += n
+                samples.append(
+                    (f"{self.name}_bucket", key, f'le="{_format_value(bound)}"',
+                     float(cumulative))
+                )
+            cumulative += counts[-1]
+            samples.append(
+                (f"{self.name}_bucket", key, 'le="+Inf"', float(cumulative))
+            )
+            samples.append((f"{self.name}_sum", key, "", sum_))
+            samples.append((f"{self.name}_count", key, "", float(cumulative)))
+        return samples
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric family one serving frontend emits.
+
+    Families are created on first use and shared afterwards::
+
+        registry = MetricsRegistry()
+        registry.counter("duet_requests_total").inc(model="wide_deep")
+        registry.histogram("duet_queue_wait_seconds").observe(3e-4)
+        print(registry.render())          # Prometheus text exposition
+
+    Registering one name as two different metric types raises
+    :class:`~repro.errors.MetricsError`; re-registering with the same type
+    returns the existing family (``help``/buckets of the first
+    registration win).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, name: str, kind: type, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name=name, lock=self._lock, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, kind):
+            raise MetricsError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {kind.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter family ``name``."""
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge family ``name``."""
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create the histogram family ``name``."""
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every family, for programmatic consumers.
+
+        Returns ``{name: {"type": ..., "help": ..., "samples": {...}}}``
+        where each histogram sample is a dict with ``bounds``, ``counts``,
+        ``sum``, ``count`` and each counter/gauge sample is a float, keyed
+        by the sorted ``(label, value)`` tuple.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        out: dict = {}
+        for name, metric in metrics:
+            entry: dict = {"type": metric.kind, "help": metric.help, "samples": {}}
+            if isinstance(metric, Histogram):
+                with self._lock:
+                    keys = sorted(metric._series)
+                for key in keys:
+                    snap = metric.snapshot(**dict(key))
+                    entry["samples"][key] = {
+                        "bounds": snap.bounds,
+                        "counts": snap.counts,
+                        "sum": snap.sum,
+                        "count": snap.count,
+                    }
+            else:
+                for sample_name, key, extra, value in metric._samples():
+                    entry["samples"][key] = value
+            out[name] = entry
+        return out
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every family.
+
+        Families are ordered by name and series by label key, so two runs
+        that record the same values render byte-identical text.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for sample_name, key, extra, value in metric._samples():
+                lines.append(
+                    f"{sample_name}{_format_labels(key, extra)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus-style exposition text back into sample values.
+
+    Returns ``{(sample_name, sorted_label_items): value}``.  Only the
+    subset of the format :meth:`MetricsRegistry.render` emits is
+    supported; malformed lines raise :class:`~repro.errors.MetricsError`.
+    The metrics tests round-trip ``render`` output through this parser.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise MetricsError(f"exposition line {lineno} has no value: {line!r}")
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise MetricsError(
+                    f"exposition line {lineno} has unterminated labels: {line!r}"
+                )
+            name, _, label_blob = name_part[:-1].partition("{")
+            labels = []
+            if label_blob:
+                for pair in label_blob.split(","):
+                    k, eq, v = pair.partition("=")
+                    if not eq or len(v) < 2 or v[0] != '"' or v[-1] != '"':
+                        raise MetricsError(
+                            f"exposition line {lineno} has a malformed "
+                            f"label {pair!r}"
+                        )
+                    labels.append((k, v[1:-1]))
+            key = tuple(sorted(labels))
+        else:
+            name, key = name_part, ()
+        try:
+            value = float(value_part)
+        except ValueError as exc:
+            raise MetricsError(
+                f"exposition line {lineno} has a non-numeric value: {line!r}"
+            ) from exc
+        samples[(name, key)] = value
+    return samples

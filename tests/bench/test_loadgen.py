@@ -1,0 +1,106 @@
+"""Shared load-generator tests + trivial-scale smoke of both throughput
+benches (the simulated stream one and the real-thread serving one), so
+the two consumers of :mod:`repro.bench.loadgen` can't drift apart
+unnoticed."""
+
+import importlib.util
+import pathlib
+import sys
+import threading
+
+import pytest
+
+from repro.bench import (
+    closed_loop_burst,
+    elementwise_chain,
+    run_closed_loop,
+)
+from repro.core import DuetEngine
+from repro.devices import default_machine
+from repro.errors import ExecutionError
+from repro.serving import analyze_stack_safety
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_bench(name):
+    """Import a benchmark module from the benchmarks/ directory."""
+    # Benchmarks import their sibling conftest for emit().
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            name, BENCH_DIR / f"{name}.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+class TestRunClosedLoop:
+    def test_completes_every_request_exactly_once(self):
+        seen = []
+        lock = threading.Lock()
+
+        def submit(i):
+            with lock:
+                seen.append(i)
+
+        load = run_closed_loop(submit, n_requests=40, concurrency=4)
+        assert load.n_requests == 40
+        assert load.n_errors == 0
+        assert sorted(seen) == list(range(40))
+        assert len(load.latencies_s) == 40
+        assert load.throughput_rps > 0
+
+    def test_counts_errors_without_propagating(self):
+        def submit(i):
+            if i % 2:
+                raise ValueError("boom")
+
+        load = run_closed_loop(submit, n_requests=10, concurrency=3)
+        assert load.n_requests == 5
+        assert load.n_errors == 5
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ExecutionError):
+            run_closed_loop(lambda i: None, n_requests=0, concurrency=1)
+        with pytest.raises(ExecutionError):
+            run_closed_loop(lambda i: None, n_requests=1, concurrency=0)
+
+
+class TestClosedLoopBurst:
+    def test_matches_stream_semantics(self):
+        engine = DuetEngine()
+        opt = engine.optimize(elementwise_chain(batch=2, width=8, depth=2))
+        result = closed_loop_burst(
+            opt.plan, default_machine(noisy=False), n_requests=5
+        )
+        assert len(result.latencies) == 5
+        assert result.throughput > 0
+
+
+class TestElementwiseChain:
+    def test_is_stack_safe(self):
+        opt = DuetEngine().optimize(elementwise_chain(batch=2, width=8, depth=2))
+        assert analyze_stack_safety(opt.plan).stackable
+
+    def test_depth_validation(self):
+        with pytest.raises(ExecutionError):
+            elementwise_chain(depth=0)
+
+
+class TestBenchSmoke:
+    def test_ext_throughput_bench_runs_at_trivial_scale(self):
+        bench = _load_bench("bench_ext_throughput")
+        rows = bench._run(default_machine(noisy=False))
+        assert {r["system"] for r in rows} == {"TVM-CPU", "TVM-GPU", "DUET"}
+
+    def test_serving_load_bench_runs_at_trivial_scale(self):
+        bench = _load_bench("bench_serving_load")
+        rows, results = bench._run(n_requests=24, concurrency=4)
+        assert {r["arm"] for r in rows} == {"unbatched", "batched"}
+        for load in results.values():
+            assert load.n_errors == 0
+            assert load.n_requests == 24

@@ -262,11 +262,12 @@ class TestSingleDeviceResult:
             np.testing.assert_array_equal(got, np.asarray(want))
         assert result.wall_time_s > 0
 
-    def test_dict_access_deprecated_but_works(self, result):
-        with pytest.warns(DeprecationWarning, match="use the .latency attribute"):
-            assert result["latency"] == result.latency
+    def test_dict_access_removed_with_directing_error(self, result):
+        # The one-cycle deprecation shim is gone; the TypeError names the
+        # attribute to use instead.
+        with pytest.raises(TypeError, match=r"use the \.latency attribute"):
+            result["latency"]
 
-    def test_dict_access_unknown_key_raises(self, result):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(KeyError):
-                result["no_such_field"]
+    def test_dict_access_removed_for_unknown_keys_too(self, result):
+        with pytest.raises(TypeError, match="removed"):
+            result["no_such_field"]

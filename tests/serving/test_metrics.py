@@ -1,0 +1,246 @@
+"""Metrics registry tests: pinned values, exposition round-trip, buckets.
+
+The deterministic serving scenario pins *exact* counter/gauge/histogram
+values: with an injected constant clock, a pre-filled queue, and zero
+linger, every timing-derived observation is exactly 0.0 and every count
+is fixed by the batching arithmetic — so two runs must render
+byte-identical exposition text.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import elementwise_chain
+from repro.core import DuetEngine
+from repro.errors import MetricsError
+from repro.ir import make_inputs
+from repro.serving import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    ServingConfig,
+    parse_exposition,
+    validate_buckets,
+)
+
+
+class TestBucketValidation:
+    """The single, central home of bucket-layout validation."""
+
+    def test_canonical_layouts_are_valid(self):
+        assert validate_buckets(LATENCY_BUCKETS_S) == LATENCY_BUCKETS_S
+        assert validate_buckets(BATCH_SIZE_BUCKETS) == BATCH_SIZE_BUCKETS
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            (),
+            (1.0, float("inf")),
+            (float("nan"),),
+            (0.0, 1.0),
+            (-1.0, 1.0),
+            (1.0, 1.0),
+            (2.0, 1.0),
+        ],
+    )
+    def test_invalid_layouts_raise(self, bad):
+        with pytest.raises(MetricsError):
+            validate_buckets(bad)
+
+
+class TestFamilies:
+    def test_counter_accumulates_per_label(self):
+        registry = MetricsRegistry()
+        c = registry.counter("reqs")
+        c.inc(model="a")
+        c.inc(2, model="a")
+        c.inc(5, model="b")
+        assert c.value(model="a") == 3
+        assert c.value(model="b") == 5
+        assert c.total() == 8
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(4, model="a")
+        g.inc(2, model="a")
+        g.dec(5, model="a")
+        assert g.value(model="a") == 1
+        assert g.value(model="never") == 0.0
+
+    def test_histogram_counts_and_sum(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # (0,1]: 0.5, 1.0; (1,2]: 1.5; (2,4]: 3.0; +Inf: 100.0
+        assert snap.counts == (2, 1, 1, 1)
+        assert snap.count == 5
+        assert snap.sum == pytest.approx(106.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(4):
+            h.observe(1.5)  # all in (1, 2]
+        snap = h.snapshot()
+        # rank 2 of 4 is midway through the (1, 2] bucket.
+        assert snap.quantile(0.5) == pytest.approx(1.5)
+        assert snap.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_edge_cases(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        assert math.isnan(h.snapshot().quantile(0.5))
+        h.observe(50.0)  # overflow bucket clamps to the last bound
+        assert h.snapshot().quantile(0.99) == 2.0
+        with pytest.raises(MetricsError):
+            h.snapshot().quantile(1.5)
+
+    def test_registry_same_name_same_type_is_shared(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_registry_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestExpositionRoundTrip:
+    def _sample_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("reqs", help="requests").inc(3, model="a", outcome="ok")
+        registry.counter("reqs").inc(1, model="b", outcome="error")
+        registry.gauge("depth").set(2.5, model="a")
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05, model="a")
+        h.observe(0.5, model="a")
+        h.observe(7.0, model="a")
+        return registry
+
+    def test_render_parses_back_to_the_same_samples(self):
+        registry = self._sample_registry()
+        samples = parse_exposition(registry.render())
+        assert samples[("reqs", (("model", "a"), ("outcome", "ok")))] == 3
+        assert samples[("reqs", (("model", "b"), ("outcome", "error")))] == 1
+        assert samples[("depth", (("model", "a"),))] == 2.5
+        key = ("lat_bucket", (("le", "0.1"), ("model", "a")))
+        assert samples[key] == 1
+        assert samples[("lat_bucket", (("le", "1"), ("model", "a")))] == 2
+        assert samples[("lat_bucket", (("le", "+Inf"), ("model", "a")))] == 3
+        assert samples[("lat_count", (("model", "a"),))] == 3
+        assert samples[("lat_sum", (("model", "a"),))] == pytest.approx(7.55)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no_value_here",
+            'name{unterminated="x" 1',
+            'name{noquotes=x} 1',
+            "name twelve",
+        ],
+    )
+    def test_parser_rejects_malformed_lines(self, bad):
+        with pytest.raises(MetricsError):
+            parse_exposition(bad)
+
+
+class TestDeterministicServingScenario:
+    """Single-threaded, constant-clock serving run with pinned metrics."""
+
+    N_REQUESTS = 6
+    MAX_BATCH = 4
+
+    @pytest.fixture(scope="class")
+    def engine_and_opt(self):
+        engine = DuetEngine()
+        graph = elementwise_chain(batch=2, width=8, depth=2)
+        return engine, engine.optimize(graph), graph
+
+    def _run_scenario(self, engine_and_opt) -> MetricsRegistry:
+        engine, opt, graph = engine_and_opt
+        registry = MetricsRegistry()
+        feeds = make_inputs(graph, seed=3)
+        frontend = engine.serve(
+            opt,
+            config=ServingConfig(
+                batching=True,
+                max_batch_size=self.MAX_BATCH,
+                max_linger_s=0.0,  # drain what is queued, never wait
+                pool_size=1,
+            ),
+            registry=registry,
+            clock=lambda: 0.0,
+            autostart=False,
+        )
+        futures = [frontend.submit(feeds) for _ in range(self.N_REQUESTS)]
+        frontend.start()
+        for fut in futures:
+            fut.result(10.0)
+        frontend.close()
+        return registry
+
+    def test_pinned_counter_and_histogram_values(self, engine_and_opt):
+        _, opt, _ = engine_and_opt
+        registry = self._run_scenario(engine_and_opt)
+
+        reqs = registry.counter("duet_requests_total")
+        assert reqs.value(model="default", outcome="ok") == self.N_REQUESTS
+        assert reqs.total() == self.N_REQUESTS
+
+        # 6 pre-queued requests drain as one batch of 4 then one of 2.
+        batches = registry.counter("duet_batches_total")
+        assert batches.value(model="default", mode="stacked") == 2
+        assert batches.total() == 2
+
+        sizes = registry.histogram("duet_batch_size").snapshot(model="default")
+        assert sizes.count == 2
+        assert sizes.sum == self.N_REQUESTS
+        by_bound = dict(zip(sizes.bounds, sizes.counts))
+        assert by_bound[2.0] == 1 and by_bound[4.0] == 1
+
+        # The injected clock never advances: every timing metric is 0.0.
+        waits = registry.histogram("duet_queue_wait_seconds").snapshot(
+            model="default"
+        )
+        assert waits.count == self.N_REQUESTS and waits.sum == 0.0
+        assert waits.counts[0] == self.N_REQUESTS  # all in the first bucket
+        lat = registry.histogram("duet_request_latency_seconds").snapshot(
+            model="default"
+        )
+        assert lat.count == self.N_REQUESTS and lat.sum == 0.0
+        busy = registry.counter("duet_device_busy_seconds_total")
+        assert busy.total() == 0.0
+
+        # Two dispatches, each running every task of the plan once.
+        attempts = registry.counter("duet_task_attempts_total")
+        assert attempts.total() == 2 * len(opt.plan.tasks)
+        assert registry.counter("duet_task_errors_total").total() == 0
+
+        assert registry.gauge("duet_queue_depth").value(model="default") == 0
+        assert registry.gauge("duet_inflight_requests").value(model="default") == 0
+
+    def test_exposition_is_stable_across_identical_runs(self, engine_and_opt):
+        first = self._run_scenario(engine_and_opt).render()
+        second = self._run_scenario(engine_and_opt).render()
+        assert first == second
+        # And it parses: the stable text is also well-formed.
+        assert parse_exposition(first)
+
+    def test_snapshot_matches_exposition(self, engine_and_opt):
+        registry = self._run_scenario(engine_and_opt)
+        snap = registry.snapshot()
+        samples = parse_exposition(registry.render())
+        key = (("model", "default"), ("outcome", "ok"))
+        assert snap["duet_requests_total"]["samples"][key] == samples[
+            ("duet_requests_total", key)
+        ]
+        hist = snap["duet_batch_size"]["samples"][(("model", "default"),)]
+        assert hist["count"] == samples[
+            ("duet_batch_size_count", (("model", "default"),))
+        ]

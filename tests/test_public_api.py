@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.compiler",
     "repro.devices",
     "repro.runtime",
+    "repro.serving",
     "repro.core",
     "repro.core.schedulers",
     "repro.models",
