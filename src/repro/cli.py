@@ -229,15 +229,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{load.n_requests} requests, {args.concurrency} clients: "
             f"{load.throughput_rps:.0f} req/s ({load.n_errors} errors)"
         )
+        quantiles = {q: hist.quantile_estimate(q) for q in (0.5, 0.95, 0.99)}
         print(
-            f"latency p50 {hist.quantile(0.5) * 1e3:.3f} ms  "
-            f"p95 {hist.quantile(0.95) * 1e3:.3f} ms  "
-            f"p99 {hist.quantile(0.99) * 1e3:.3f} ms"
+            "latency "
+            + "  ".join(
+                f"p{int(q * 100)} {value * 1e3:.3f} ms"
+                + (" (>= clamped)" if overflowed else "")
+                for q, (value, overflowed) in quantiles.items()
+            )
         )
+        if any(overflowed for _, overflowed in quantiles.values()):
+            print(
+                f"warning: {hist.overflow_count} of {hist.count} "
+                "observations exceeded the largest histogram bucket "
+                f"({hist.bounds[-1] * 1e3:.0f} ms); clamped quantiles are "
+                "lower bounds, not estimates",
+                file=sys.stderr,
+            )
         print(f"batches executed: {batches.total():.0f}")
         if args.metrics:
             print()
             print(frontend.render_metrics(), end="")
+    return 0
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    """League table: every scheduling policy x every model, both transfer
+    disciplines."""
+    from repro.bench import (
+        TOURNAMENT_MODELS,
+        league_table,
+        run_tournament,
+        tournament_winner,
+    )
+    models = tuple(args.models) if args.models else TOURNAMENT_MODELS
+    policies = tuple(args.policies) if args.policies else None
+    rows = run_tournament(
+        models=models,
+        policies=policies,
+        machine=default_machine(noisy=False),
+        seed=args.seed,
+        tiny=args.tiny,
+    )
+    table = league_table(rows)
+    lazy_winner = tournament_winner(rows)
+    overlap_winner = tournament_winner(rows, column="overlap_ms")
+    summary = (
+        f"league winners — lazy: {lazy_winner}, overlapped: {overlap_winner}"
+    )
+    print(table)
+    print(summary)
+    forfeits = [r for r in rows if r.get("note")]
+    for r in forfeits:
+        print(
+            f"forfeit: {r['policy']} on {r['model']}: {r['note']}",
+            file=sys.stderr,
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n" + summary + "\n")
+        print(f"league table written to {args.output}")
     return 0
 
 
@@ -378,6 +429,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus-style metrics exposition after the run",
     )
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_tournament = sub.add_parser(
+        "tournament",
+        help="scheduler league: every policy x model, lazy vs. overlap",
+    )
+    p_tournament.add_argument(
+        "--models", nargs="+", default=None, metavar="NAME",
+        help="tournament models (zoo names plus 'xfer_bound'; default league)",
+    )
+    p_tournament.add_argument(
+        "--policies", nargs="+", default=None, metavar="POLICY",
+        help="scheduling policies to enter (default: all registered)",
+    )
+    p_tournament.add_argument(
+        "--seed", type=int, default=0, help="seed for stochastic policies"
+    )
+    p_tournament.add_argument(
+        "--tiny", action="store_true", help="tiny model configurations (CI smoke)"
+    )
+    p_tournament.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the league table to this file",
+    )
+    p_tournament.set_defaults(fn=_cmd_tournament)
 
     p_fuzz = sub.add_parser(
         "fuzz",

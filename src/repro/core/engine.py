@@ -108,6 +108,10 @@ class DuetEngine:
     profile_sample_runs: int = 0
     fallback_margin: float = 0.0  # require DUET to beat single-device by this fraction
     validate: bool | None = None  # None: honor the REPRO_VALIDATE env var
+    # Schedule and price plans under the double-buffered transfer
+    # discipline (cross-device copies overlap compute); numerics are
+    # identical either way — only the cost model and virtual clock change.
+    overlap: bool = False
 
     def _should_validate(self) -> bool:
         if self.validate is not None:
@@ -187,14 +191,20 @@ class DuetEngine:
                         RuntimeWarning,
                         stacklevel=2,
                     )
-        scheduler = GreedyCorrectionScheduler(machine=self.machine)
+        scheduler = GreedyCorrectionScheduler(
+            machine=self.machine, overlap=self.overlap
+        )
         schedule = scheduler.schedule(graph, partition, profiles)
         if self._should_validate():
             self._debug_validate(graph, partition, schedule)
 
         single_modules = self._single_device_modules(graph)
+        # Priced under the same transfer discipline as the hetero schedule
+        # so the fallback comparison is apples-to-apples.
         single_latency = {
-            dev: run_single_device(mod, dev, self.machine).latency
+            dev: run_single_device(
+                mod, dev, self.machine, overlap=self.overlap
+            ).latency
             for dev, mod in single_modules.items()
         }
         best_dev = min(single_latency, key=lambda d: single_latency[d])
@@ -238,7 +248,9 @@ class DuetEngine:
         rng: np.random.Generator | None = None,
     ) -> ExecutionResult:
         """Execute one inference of an optimized model."""
-        return simulate(opt.plan, self.machine, rng=rng, inputs=inputs)
+        return simulate(
+            opt.plan, self.machine, rng=rng, inputs=inputs, overlap=self.overlap
+        )
 
     def session(
         self,

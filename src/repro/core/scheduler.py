@@ -28,6 +28,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+import numpy as np
+
 from repro.core.phases import PhasedPartition, PhaseType
 from repro.core.placement import PlanAssembler, validate_placement
 from repro.core.profiler import SubgraphProfile
@@ -42,6 +44,11 @@ __all__ = [
     "ScheduleResult",
     "GreedyCorrectionScheduler",
     "correct_placement",
+    "PolicyDecision",
+    "register_policy",
+    "available_policies",
+    "schedule_with_policy",
+    "DEFAULT_POLICY",
 ]
 
 
@@ -93,6 +100,9 @@ class LatencyOracle:
     Attributes:
         hits: measure calls answered from the cache.
         misses: measure calls that ran the simulator (== simulations).
+        overlap: when true, placements are priced under the overlapped
+            (double-buffered) transfer discipline — the cost model of an
+            ``overlap=True`` engine.
     """
 
     def __init__(
@@ -102,6 +112,7 @@ class LatencyOracle:
         profiles: Mapping[str, SubgraphProfile],
         machine: Machine,
         cache: bool = True,
+        overlap: bool = False,
     ):
         self._assembler = PlanAssembler(graph, partition, profiles)
         self._partition = partition
@@ -111,6 +122,7 @@ class LatencyOracle:
         self._enabled = cache
         self._latencies: dict[tuple[str, ...], float] = {}
         self._kernel_times: dict[tuple[str, str], tuple[float, ...]] = {}
+        self.overlap = overlap
         self.hits = 0
         self.misses = 0
 
@@ -162,6 +174,7 @@ class LatencyOracle:
             self._machine,
             record_kernels=False,
             kernel_times=kernel_times,
+            overlap=self.overlap,
         ).latency
         self.misses += 1
         if self._enabled:
@@ -176,9 +189,10 @@ def _measure_factory(
     partition: PhasedPartition,
     profiles: Mapping[str, SubgraphProfile],
     machine: Machine,
+    overlap: bool = False,
 ) -> LatencyOracle:
     """A (memoized) latency oracle for this scheduling problem."""
-    return LatencyOracle(graph, partition, profiles, machine)
+    return LatencyOracle(graph, partition, profiles, machine, overlap=overlap)
 
 
 def correct_placement(
@@ -262,11 +276,18 @@ def correct_placement(
 
 @dataclass
 class GreedyCorrectionScheduler:
-    """The paper's scheduler: greedy initialization + measured correction."""
+    """The paper's scheduler: greedy initialization + measured correction.
+
+    ``overlap`` selects the cost model the correction loop measures
+    against (lazy vs. double-buffered transfers); it only applies when the
+    scheduler builds its own oracle — a caller-supplied oracle keeps its
+    own setting.
+    """
 
     machine: Machine
     max_correction_rounds: int = 32
     epsilon: float = 1e-9
+    overlap: bool = False
 
     def initial_placement(
         self,
@@ -330,7 +351,9 @@ class GreedyCorrectionScheduler:
                 profiles, machine).
         """
         if oracle is None:
-            oracle = _measure_factory(graph, partition, profiles, self.machine)
+            oracle = _measure_factory(
+                graph, partition, profiles, self.machine, overlap=self.overlap
+            )
         hits_before, misses_before = oracle.hits, oracle.misses
 
         if initial is None:
@@ -361,3 +384,144 @@ class GreedyCorrectionScheduler:
             cache_hits=oracle.hits - hits_before,
             cache_misses=oracle.misses - misses_before,
         )
+
+
+# ----------------------------------------------------------------------
+# Policy registry: every scheduler selectable by name.
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What one policy decided for one scheduling problem.
+
+    Attributes:
+        policy: registry name of the policy.
+        placement: subgraph id -> device.
+        latency: the placement's latency measured by the shared oracle
+            (comparable across policies — same cost model, same caches).
+        estimate: the policy's own analytic cost where it has one (DP,
+            exhaustive, HEFT), else ``None``.
+    """
+
+    policy: str
+    placement: dict[str, str]
+    latency: float
+    estimate: float | None = None
+
+
+_POLICIES: dict[str, Callable] = {}
+
+
+def register_policy(name: str):
+    """Class/function decorator adding a policy under ``name``.
+
+    A policy is ``fn(graph, partition, profiles, machine, *, oracle,
+    seed) -> (placement, estimate | None)``.
+    """
+
+    def deco(fn):
+        _POLICIES[name] = fn
+        return fn
+
+    return deco
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_POLICIES))
+
+
+def schedule_with_policy(
+    name: str,
+    graph: Graph,
+    partition: PhasedPartition,
+    profiles: Mapping[str, SubgraphProfile],
+    machine: Machine,
+    *,
+    oracle: LatencyOracle | None = None,
+    seed: int = 0,
+) -> PolicyDecision:
+    """Run one registered policy and measure its placement.
+
+    Pass a shared ``oracle`` when comparing policies so every placement is
+    priced by the same memoized cost model; ``seed`` feeds the stochastic
+    policies (currently ``random``) so tournaments are reproducible.
+    """
+    fn = _POLICIES.get(name)
+    if fn is None:
+        raise SchedulingError(
+            f"unknown scheduling policy {name!r}; "
+            f"available: {', '.join(available_policies())}"
+        )
+    if oracle is None:
+        oracle = _measure_factory(graph, partition, profiles, machine)
+    placement, estimate = fn(
+        graph, partition, profiles, machine, oracle=oracle, seed=seed
+    )
+    validate_placement(partition, placement)
+    return PolicyDecision(
+        policy=name,
+        placement=dict(placement),
+        latency=oracle.measure(placement),
+        estimate=estimate,
+    )
+
+
+@register_policy("greedy")
+def _policy_greedy(graph, partition, profiles, machine, *, oracle, seed):
+    result = GreedyCorrectionScheduler(machine=machine).schedule(
+        graph, partition, profiles, oracle=oracle
+    )
+    return result.placement, None
+
+
+@register_policy("dp")
+def _policy_dp(graph, partition, profiles, machine, *, oracle, seed):
+    from repro.core.schedulers.dp import dp_placement
+
+    placement, estimate = dp_placement(graph, partition, profiles, machine)
+    return placement, estimate
+
+
+@register_policy("heft")
+def _policy_heft(graph, partition, profiles, machine, *, oracle, seed):
+    from repro.core.schedulers.heft import heft_placement
+
+    placement, estimate = heft_placement(graph, partition, profiles, machine)
+    return placement, estimate
+
+
+@register_policy("round_robin")
+def _policy_round_robin(graph, partition, profiles, machine, *, oracle, seed):
+    from repro.core.schedulers.round_robin import round_robin_placement
+
+    return round_robin_placement(partition), None
+
+
+@register_policy("random")
+def _policy_random(graph, partition, profiles, machine, *, oracle, seed):
+    from repro.core.schedulers.random_sched import random_placement
+
+    return random_placement(partition, np.random.default_rng(seed)), None
+
+
+@register_policy("exhaustive")
+def _policy_exhaustive(graph, partition, profiles, machine, *, oracle, seed):
+    from repro.core.schedulers.exhaustive import exhaustive_placement
+
+    placement, estimate = exhaustive_placement(
+        graph, partition, profiles, machine, oracle=oracle
+    )
+    return placement, estimate
+
+
+#: The policy ``schedule_with_policy`` recommends when none is named —
+#: promoted from the tournament league table (``python -m repro
+#: tournament``, see EXPERIMENTS.md).  DP ties greedy-correction on every
+#: regular zoo model and avoids greedy's swap-only correction blind spot
+#: on the transfer-bound join (the KL-style swap move set cannot reach the
+#: single-flip optimum there), so it wins the lazy league.  With
+#: ``overlap=True`` greedy's placement is the fastest overall and greedy
+#: wins that league; greedy-correction also remains the paper's algorithm
+#: and the engine's built-in scheduler (§V).
+DEFAULT_POLICY = "dp"

@@ -1,7 +1,9 @@
-"""Baseline scheduling policies used in the paper's §VI-C comparison."""
+"""Baseline scheduling policies used in the paper's §VI-C comparison,
+plus the HEFT critical-path scheduler from the tournament harness."""
 
 from repro.core.schedulers.dp import dp_placement, estimate_placement_cost
 from repro.core.schedulers.exhaustive import exhaustive_placement
+from repro.core.schedulers.heft import heft_placement, upward_ranks
 from repro.core.schedulers.random_sched import random_placement
 from repro.core.schedulers.round_robin import round_robin_placement
 
@@ -9,6 +11,8 @@ __all__ = [
     "dp_placement",
     "estimate_placement_cost",
     "exhaustive_placement",
+    "heft_placement",
+    "upward_ranks",
     "random_placement",
     "round_robin_placement",
 ]

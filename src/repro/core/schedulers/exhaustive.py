@@ -25,11 +25,14 @@ def exhaustive_placement(
     profiles: Mapping[str, SubgraphProfile],
     machine: Machine,
     max_subgraphs: int = 16,
+    oracle=None,
 ) -> tuple[dict[str, str], float]:
     """The latency-optimal placement by brute force.
 
     Raises :class:`SchedulingError` when the search space exceeds
-    ``2 ** max_subgraphs``.
+    ``2 ** max_subgraphs``.  Pass a shared
+    :class:`~repro.core.scheduler.LatencyOracle` so the enumeration
+    measures under the same cost settings (and caches) as other policies.
     """
     from repro.core.scheduler import LatencyOracle
 
@@ -39,10 +42,11 @@ def exhaustive_placement(
             f"{len(ids)} subgraphs exceed the exhaustive-search cap "
             f"({max_subgraphs}); the space is 2^n"
         )
-    # Every enumerated placement is distinct, so memoization buys nothing
-    # here — but the oracle's cached task specs and timing-only simulation
-    # make each of the 2^n measurements much cheaper.
-    oracle = LatencyOracle(graph, partition, profiles, machine, cache=False)
+    if oracle is None:
+        # Every enumerated placement is distinct, so memoization buys
+        # nothing here — but the oracle's cached task specs and
+        # timing-only simulation make each measurement much cheaper.
+        oracle = LatencyOracle(graph, partition, profiles, machine, cache=False)
     best_placement: dict[str, str] | None = None
     best_latency = float("inf")
     for assignment in itertools.product(("cpu", "gpu"), repeat=len(ids)):

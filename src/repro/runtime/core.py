@@ -151,6 +151,9 @@ class DispatchState:
         self.task_order: list[str] = []
         self.errors: list[BaseException] = []
         self.lost: set[str] = set()
+        # task id -> (device, feeds, crossed ids) staged by the transfer
+        # worker of an overlap-enabled dispatch, consumed by attempt 1.
+        self.prefetched: dict[str, tuple[str, dict, set]] = {}
         template = template or _DependencyTemplate(plan)
         self.remaining_deps = dict(template.remaining_deps)
         self.dependents = template.dependents
@@ -855,6 +858,15 @@ class DispatchKernel:
             strategy only), enforced by the orchestrator.
         validate_transfers: install the non-finite transfer guard after
             feed resolution.
+        overlap: double-buffer cross-device transfers (threaded strategy
+            only): ready tasks with cross-device inputs detour through a
+            dedicated transfer worker (``duet-worker-transfer``) that
+            resolves their feeds while the device workers keep computing,
+            so the copy of task *k+1*'s inputs overlaps task *k*'s
+            kernels.  Feeds are resolved from exactly the same committed
+            values either way, so outputs are bit-identical; with a fault
+            injector the prefetch is bypassed (transfers must be observed
+            by the attempt that consumes them, at attempt time).
     """
 
     def __init__(
@@ -868,6 +880,7 @@ class DispatchKernel:
         arena: "TensorArena | None" = None,
         deadline_s: float | None = None,
         validate_transfers: bool = False,
+        overlap: bool = False,
     ):
         self.plan = plan
         self.workers = workers or ThreadedWorkers()
@@ -877,6 +890,7 @@ class DispatchKernel:
         self.arena = arena
         self.deadline_s = deadline_s
         self.validate_transfers = validate_transfers
+        self.overlap = overlap
         self.template = _DependencyTemplate(plan)
 
     # ------------------------------------------------------------------
@@ -907,15 +921,25 @@ class DispatchKernel:
         def resolve_stage(ctx: TaskContext, call_next) -> None:
             ctx.crossed = set()
             with state.lock:
-                ctx.feeds = resolve_feeds(
-                    ctx.task,
-                    ctx.device,
-                    inputs,
-                    state.values,
-                    state.task_worker,
-                    injector,
-                    ctx.crossed,
-                )
+                staged = state.prefetched.pop(ctx.task.task_id, None)
+                if (
+                    staged is not None
+                    and ctx.attempt == 1
+                    and staged[0] == ctx.device
+                ):
+                    # The transfer worker already resolved these feeds from
+                    # the same committed values; retries re-resolve.
+                    _, ctx.feeds, ctx.crossed = staged
+                else:
+                    ctx.feeds = resolve_feeds(
+                        ctx.task,
+                        ctx.device,
+                        inputs,
+                        state.values,
+                        state.task_worker,
+                        injector,
+                        ctx.crossed,
+                    )
             call_next(ctx)
 
         def kernel_stage(ctx: TaskContext) -> None:
@@ -975,6 +999,17 @@ class DispatchKernel:
             self._commit(state, ctx)
         return self._collect(state, t0)
 
+    def _crosses_devices(self, state: DispatchState, task: TaskSpec, dest: str) -> bool:
+        """Does ``task`` consume any tensor produced off ``dest``?"""
+        with state.lock:
+            for src in task.sources.values():
+                if src.kind == "external":
+                    if dest != "cpu":  # model inputs are host-resident
+                        return True
+                elif state.task_worker.get(src.ref, dest) != dest:
+                    return True
+        return False
+
     def _run_threaded(self, state, inputs, t0) -> CoreResult:
         attempt = self._attempt_stack(state, inputs)
         policy = self.failure_policy
@@ -982,11 +1017,47 @@ class DispatchKernel:
             dev: queue.Queue() for dev in DEVICES
         }
         notify: "queue.Queue[_Message]" = queue.Queue()
+        # Double-buffered transfer stage: ready tasks with cross-device
+        # inputs detour through this queue so their feeds are staged while
+        # the device workers keep computing.  With a fault injector the
+        # stage is bypassed — injected transfer faults must hit the
+        # consuming attempt itself, not an early prefetch.
+        xfer_queue: "queue.Queue[tuple[TaskSpec, str] | None] | None" = (
+            queue.Queue()
+            if self.overlap and self.fault_injector is None
+            else None
+        )
 
         def clock() -> float:
             return time.perf_counter() - t0
 
         control = _Controller(self, state, queues, clock)
+
+        def route(task: TaskSpec, dest: str) -> None:
+            if xfer_queue is not None and self._crosses_devices(state, task, dest):
+                xfer_queue.put((task, dest))
+            else:
+                queues[dest].put(task)
+
+        def xfer_worker() -> None:
+            while True:
+                item = xfer_queue.get()
+                if item is None:
+                    return
+                task, dest = item
+                try:
+                    crossed: set[str] = set()
+                    with state.lock:
+                        feeds = resolve_feeds(
+                            task, dest, inputs, state.values,
+                            state.task_worker, None, crossed,
+                        )
+                        state.prefetched[task.task_id] = (dest, feeds, crossed)
+                except BaseException:
+                    # Stage nothing; the compute attempt re-resolves and
+                    # surfaces the failure through the normal path.
+                    pass
+                queues[dest].put(task)
 
         def process(task: TaskSpec, device: str) -> None:
             ctx = TaskContext(task=task, device=device)
@@ -1010,7 +1081,7 @@ class DispatchKernel:
                 notify.put(_Message("fail", task, exc))
                 return
             for dep, dest in self._commit(state, ctx):
-                queues[dest].put(dep)
+                route(dep, dest)
             notify.put(_Message("ok", task))
 
         def worker(device: str) -> None:
@@ -1031,10 +1102,16 @@ class DispatchKernel:
         }
         for t in workers.values():
             t.start()
+        xfer_thread: threading.Thread | None = None
+        if xfer_queue is not None:
+            xfer_thread = threading.Thread(
+                target=xfer_worker, name="duet-worker-transfer", daemon=True
+            )
+            xfer_thread.start()
         # Seed the queues with dependency-free tasks.
         for task in self.plan.tasks:
             if state.remaining_deps[task.task_id] == 0:
-                queues[task.device].put(task)
+                route(task, task.device)
 
         n_tasks = len(self.plan.tasks)
         n_done = 0
@@ -1065,7 +1142,20 @@ class DispatchKernel:
                 terminal = payload
             break
 
-        # Shutdown: drain, sentinel, join.
+        # Shutdown: drain, sentinel, join.  The transfer stage goes first
+        # so it cannot re-fill a compute queue after its drain.
+        join_timeout = self.workers.join_timeout
+        stuck = []
+        if xfer_queue is not None:
+            while True:
+                try:
+                    xfer_queue.get_nowait()
+                except queue.Empty:
+                    break
+            xfer_queue.put(None)
+            xfer_thread.join(timeout=join_timeout)
+            if xfer_thread.is_alive():
+                stuck.append("transfer")
         for q in queues.values():
             while True:
                 try:
@@ -1074,8 +1164,6 @@ class DispatchKernel:
                     break
         for dev in queues:
             queues[dev].put(None)
-        join_timeout = self.workers.join_timeout
-        stuck = []
         for dev, t in workers.items():
             t.join(timeout=join_timeout)
             if t.is_alive():

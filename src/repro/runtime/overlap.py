@@ -1,0 +1,341 @@
+"""Overlapped (double-buffered) timeline replay of heterogeneous plans.
+
+The baseline simulator (:func:`repro.runtime.simulator.simulate`) prices
+transfers *lazily*: a cross-device tensor is put on the PCIe link when the
+consuming task is visited, so the shared link serves transfers in
+task-iteration order.  That models a synchronous executor whose device
+workers issue their own copies.  A double-buffered runtime behaves
+differently: a dedicated transfer stage issues every copy the moment its
+producer finishes (and prefetches host-resident model inputs at request
+arrival), so the link serves transfers in *ready order* and copies overlap
+with compute on both devices.
+
+This module is the shared discrete-event core for that overlapped
+discipline.  It replays one plan over a sequence of request arrivals with
+
+* one serialized timeline per device (tasks in plan-priority order, the
+  executor's per-device queue order);
+* one serialized link timeline that always serves the pending transfer
+  with the earliest ready time (ties broken by issue order);
+* eager transfer issue: task outputs are enqueued for every cross-device
+  consumer at producer-finish time, external inputs at request arrival,
+  and model outputs produced off-host are enqueued for host landing;
+* the usual transfer cache — repeated consumers of one tensor on one
+  device within a request share a single copy.
+
+Events are committed in globally non-decreasing start-time order, which
+makes the earliest-ready link discipline exact: when the link is granted
+to a transfer starting at ``s``, every transfer issued later has a ready
+time ``>= s`` (its producer had not started yet), so no earlier-ready
+transfer can be preempted retroactively.
+
+Consumers: :func:`repro.runtime.simulator.simulate` with ``overlap=True``
+(single request) and :func:`repro.runtime.stream.simulate_stream` (many
+requests) — both therefore agree bit-for-bit on a one-request stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.devices.machine import Machine
+from repro.errors import ExecutionError
+from repro.runtime.plan import HeteroPlan, TaskSpec
+
+__all__ = ["ReplayTask", "ReplayTransfer", "ReplayResult", "replay_plan"]
+
+#: The host device: external inputs live here and model outputs land here.
+HOST_DEVICE = "cpu"
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """Committed execution of one task instance on the virtual clock."""
+
+    request: int
+    task_id: str
+    device: str
+    start: float
+    finish: float
+    kernel_durations: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ReplayTransfer:
+    """Committed occupancy of the link by one transfer."""
+
+    request: int
+    what: str  # e.g. "task:rnn[0]" or "external:image"
+    dest_device: str
+    n_bytes: float
+    ready: float
+    start: float
+    finish: float
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one overlapped replay.
+
+    Attributes:
+        tasks: committed task executions, in commit order.
+        transfers: committed link transfers, in link-service order.
+        completions: per-request completion time (all model outputs
+            host-resident), indexed like the ``arrivals`` argument.
+    """
+
+    tasks: list[ReplayTask]
+    transfers: list[ReplayTransfer]
+    completions: list[float]
+
+
+def _output_bytes(task: TaskSpec, index: int) -> float:
+    try:
+        out_id = task.module.output_ids[index]
+    except IndexError as exc:
+        raise ExecutionError(
+            f"task {task.task_id!r} has no output index {index}"
+        ) from exc
+    return float(task.module.graph.node(out_id).ty.size_bytes)
+
+
+class _Statics:
+    """Plan structure shared by every request of a replay."""
+
+    def __init__(self, plan: HeteroPlan):
+        self.plan = plan
+        self.task_by_id = {t.task_id: t for t in plan.tasks}
+        self.devices = sorted({t.device for t in plan.tasks} | {HOST_DEVICE})
+        # (producer id, output index) -> cross-device consumer destinations,
+        # in first-consumer order.  Model outputs produced off-host gain the
+        # host as a destination (the landing transfer).
+        self.consumers: dict[tuple[str, int], list[str]] = {}
+        # External tensors consumed off-host: (input name, dest, bytes),
+        # deduplicated, in plan order — these transfers are issued at
+        # request arrival (the prefetch of the double buffer).
+        self.external: list[tuple[str, str, float]] = []
+        seen_ext: set[tuple[str, str]] = set()
+        for task in plan.tasks:
+            for input_id, src in task.sources.items():
+                if src.kind == "external":
+                    if task.device == HOST_DEVICE:
+                        continue
+                    if (src.ref, task.device) in seen_ext:
+                        continue
+                    seen_ext.add((src.ref, task.device))
+                    n_bytes = float(
+                        task.module.graph.node(input_id).ty.size_bytes
+                    )
+                    self.external.append((src.ref, task.device, n_bytes))
+                else:
+                    producer = self.task_by_id[src.ref]
+                    if producer.device == task.device:
+                        continue
+                    dests = self.consumers.setdefault(
+                        (src.ref, src.output_index), []
+                    )
+                    if task.device not in dests:
+                        dests.append(task.device)
+        for tid, idx in plan.outputs:
+            if self.task_by_id[tid].device == HOST_DEVICE:
+                continue
+            dests = self.consumers.setdefault((tid, idx), [])
+            if HOST_DEVICE not in dests:
+                dests.append(HOST_DEVICE)
+
+
+def replay_plan(
+    plan: HeteroPlan,
+    machine: Machine,
+    arrivals: Sequence[float],
+    rng: np.random.Generator | None = None,
+    kernel_times: Mapping[str, Sequence[float]] | None = None,
+) -> ReplayResult:
+    """Replay ``plan`` once per arrival under the overlapped discipline.
+
+    Args:
+        plan: the heterogeneous plan (also used for single-device plans).
+        machine: devices + interconnect pricing the virtual clock.
+        arrivals: request arrival times, non-decreasing; one replayed
+            inference per entry.  ``[0.0]`` prices a single request.
+        rng: pass a generator to sample noisy kernel/transfer latencies
+            (drawn in commit order — deterministic for a seeded rng);
+            ``None`` uses cost-model means.
+        kernel_times: optional precomputed mean per-kernel durations
+            (task id -> one duration per kernel).  Mean mode only.
+    """
+    if not arrivals:
+        raise ExecutionError("replay_plan needs at least one arrival")
+    if any(b < a for a, b in zip(arrivals, list(arrivals)[1:])):
+        raise ExecutionError("request arrivals must be non-decreasing")
+    statics = _Statics(plan)
+    link = machine.interconnect
+    n_req = len(arrivals)
+
+    # Per-device FIFO of (request, task) in request-major plan order — the
+    # executor's queue discipline.
+    device_queue: dict[str, list[tuple[int, TaskSpec]]] = {
+        d: [] for d in statics.devices
+    }
+    for req in range(n_req):
+        for task in plan.tasks:
+            device_queue[task.device].append((req, task))
+    head: dict[str, int] = {d: 0 for d in statics.devices}
+
+    device_free: dict[str, float] = {d: 0.0 for d in statics.devices}
+    link_free = 0.0
+    finish: dict[tuple[int, str], float] = {}
+    # (request, tensor key, dest) -> arrival time of the committed copy.
+    arrived: dict[tuple[int, tuple, str], float] = {}
+
+    # Pending transfers: (ready, seq, request, key, label, dest, bytes).
+    pending: list[tuple[float, int, int, tuple, str, str, float]] = []
+    seq = 0
+    for req in range(n_req):
+        for ref, dest, n_bytes in statics.external:
+            heapq.heappush(
+                pending,
+                (
+                    float(arrivals[req]), seq, req,
+                    ("external", ref), f"external:{ref}", dest, n_bytes,
+                ),
+            )
+            seq += 1
+
+    def issue_outputs(req: int, task: TaskSpec, at: float) -> None:
+        nonlocal seq
+        for (tid, idx), dests in statics.consumers.items():
+            if tid != task.task_id:
+                continue
+            n_bytes = _output_bytes(task, idx)
+            for dest in dests:
+                heapq.heappush(
+                    pending,
+                    (
+                        at, seq, req,
+                        ("task", tid, idx), f"task:{tid}[{idx}]",
+                        dest, n_bytes,
+                    ),
+                )
+                seq += 1
+
+    def task_start(req: int, task: TaskSpec) -> float | None:
+        """Earliest start of the queue head, or ``None`` while blocked."""
+        start = max(device_free[task.device], float(arrivals[req]))
+        for input_id, src in task.sources.items():
+            if src.kind == "external":
+                if task.device == HOST_DEVICE:
+                    continue  # host-resident, ready at arrival
+                at = arrived.get((req, ("external", src.ref), task.device))
+                if at is None:
+                    return None
+                start = max(start, at)
+            else:
+                done = finish.get((req, src.ref))
+                if done is None:
+                    return None
+                if statics.task_by_id[src.ref].device == task.device:
+                    start = max(start, done)
+                else:
+                    at = arrived.get(
+                        (req, ("task", src.ref, src.output_index), task.device)
+                    )
+                    if at is None:
+                        return None
+                    start = max(start, at)
+        return start
+
+    tasks_out: list[ReplayTask] = []
+    transfers_out: list[ReplayTransfer] = []
+    remaining = n_req * len(plan.tasks)
+
+    while remaining > 0 or pending:
+        # Candidate actions, committed in non-decreasing start order.
+        # (start, kind-rank, tie, payload); transfers rank first on ties
+        # so the rng draw order is deterministic.
+        best: tuple | None = None
+        if pending:
+            ready, tseq, *_ = pending[0]
+            start = max(link_free, ready)
+            best = (start, 0, tseq, "xfer", None)
+        for di, dev in enumerate(statics.devices):
+            if head[dev] >= len(device_queue[dev]):
+                continue
+            req, task = device_queue[dev][head[dev]]
+            start = task_start(req, task)
+            if start is None:
+                continue
+            cand = (start, 1, di, "task", (req, task))
+            if best is None or cand < best:
+                best = cand
+        if best is None:
+            raise ExecutionError(
+                "overlapped replay deadlocked: no startable task or "
+                "transfer (plan order is not dependency-consistent)"
+            )
+
+        start, _, _, kind, payload = best
+        if kind == "xfer":
+            ready, _, req, key, label, dest, n_bytes = heapq.heappop(pending)
+            if rng is None:
+                duration = link.transfer_time(n_bytes)
+            else:
+                duration = link.sample_transfer_time(n_bytes, rng)
+            done = start + duration
+            link_free = done
+            arrived[(req, key, dest)] = done
+            transfers_out.append(
+                ReplayTransfer(
+                    request=req, what=label, dest_device=dest,
+                    n_bytes=n_bytes, ready=ready, start=start, finish=done,
+                )
+            )
+        else:
+            req, task = payload
+            device = machine.device(task.device)
+            if rng is None:
+                times = (
+                    kernel_times.get(task.task_id)
+                    if kernel_times is not None
+                    else None
+                )
+                if times is None:
+                    times = [
+                        device.kernel_time(k.cost) for k in task.module.kernels
+                    ]
+            else:
+                times = [
+                    device.sample_kernel_time(k.cost, rng)
+                    for k in task.module.kernels
+                ]
+            done = start
+            for duration in times:
+                done += duration
+            head[task.device] += 1
+            device_free[task.device] = done
+            finish[(req, task.task_id)] = done
+            remaining -= 1
+            tasks_out.append(
+                ReplayTask(
+                    request=req, task_id=task.task_id, device=task.device,
+                    start=start, finish=done, kernel_durations=tuple(times),
+                )
+            )
+            issue_outputs(req, task, done)
+
+    completions: list[float] = []
+    for req in range(n_req):
+        done = float(arrivals[req])
+        for tid, idx in plan.outputs:
+            if statics.task_by_id[tid].device == HOST_DEVICE:
+                done = max(done, finish[(req, tid)])
+            else:
+                done = max(done, arrived[(req, ("task", tid, idx), HOST_DEVICE)])
+        completions.append(done)
+    return ReplayResult(
+        tasks=tasks_out, transfers=transfers_out, completions=completions
+    )

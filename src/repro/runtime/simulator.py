@@ -29,6 +29,7 @@ import numpy as np
 from repro.devices.machine import Machine
 from repro.errors import ExecutionError
 from repro.runtime.core import execute_kernels, resolve_feeds
+from repro.runtime.overlap import replay_plan
 from repro.runtime.plan import HeteroPlan, Source, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -174,6 +175,7 @@ def simulate(
     record_kernels: bool = True,
     kernel_times: Mapping[str, Sequence[float]] | None = None,
     injector: "FaultInjector | None" = None,
+    overlap: bool = False,
 ) -> ExecutionResult:
     """Run one inference of ``plan`` on ``machine``.
 
@@ -201,7 +203,27 @@ def simulate(
             can be explored without threads.  With ``None`` or an empty
             fault plan, latencies are bit-identical to the uninstrumented
             simulation.
+        overlap: price the plan under the double-buffered transfer
+            discipline (:mod:`repro.runtime.overlap`): transfers are issued
+            eagerly at producer finish (external inputs at arrival) and the
+            link serves them in ready order, so copies overlap with compute.
+            Numerics are unaffected — only the virtual clock changes.
+            Incompatible with ``injector`` (chaos runs use the lazy clock).
     """
+    if overlap:
+        if injector is not None:
+            raise ExecutionError(
+                "overlap=True does not support fault injection; "
+                "use the lazy simulation for chaos probes"
+            )
+        return _simulate_overlapped(
+            plan,
+            machine,
+            rng,
+            inputs,
+            record_kernels=record_kernels,
+            kernel_times=kernel_times,
+        )
     link = _LinkTimeline(machine, rng)
     device_free = {"cpu": 0.0, "gpu": 0.0}
     task_finish: dict[str, float] = {}
@@ -332,6 +354,81 @@ def simulate(
         latency=latency,
         tasks=task_records,
         transfers=link.records,
+        outputs=outputs,
+    )
+
+
+def _simulate_overlapped(
+    plan: HeteroPlan,
+    machine: Machine,
+    rng: np.random.Generator | None,
+    inputs: Mapping[str, np.ndarray] | None,
+    *,
+    record_kernels: bool,
+    kernel_times: Mapping[str, Sequence[float]] | None,
+) -> ExecutionResult:
+    """The ``overlap=True`` arm of :func:`simulate`.
+
+    Timing comes from one single-request overlapped replay; numerics (when
+    ``inputs`` are given) from the same plan-order kernel walk as the lazy
+    path — the schedule discipline moves events on the virtual clock but
+    never changes what is computed.
+    """
+    replay = replay_plan(
+        plan, machine, arrivals=[0.0], rng=rng, kernel_times=kernel_times
+    )
+
+    task_records: list[TaskRecord] = []
+    for rt in replay.tasks:
+        task = plan.task(rt.task_id)
+        kernel_records: tuple[KernelRecord, ...] = ()
+        if record_kernels:
+            cursor = rt.start
+            recs = []
+            for kernel, duration in zip(task.module.kernels, rt.kernel_durations):
+                recs.append(
+                    KernelRecord(
+                        name=kernel.name, start=cursor, finish=cursor + duration
+                    )
+                )
+                cursor += duration
+            kernel_records = tuple(recs)
+        task_records.append(
+            TaskRecord(
+                task_id=rt.task_id,
+                device=rt.device,
+                start=rt.start,
+                finish=rt.finish,
+                kernels=kernel_records,
+            )
+        )
+    transfer_records = [
+        TransferRecord(
+            what=tr.what,
+            dest_device=tr.dest_device,
+            n_bytes=tr.n_bytes,
+            start=tr.start,
+            finish=tr.finish,
+        )
+        for tr in replay.transfers
+    ]
+
+    outputs = None
+    if inputs is not None:
+        values: dict[tuple[str, int], np.ndarray] = {}
+        task_device: dict[str, str] = {}
+        for task in plan.tasks:
+            feeds = resolve_feeds(task, task.device, inputs, values, task_device)
+            env = execute_kernels(task, feeds)
+            task_device[task.task_id] = task.device
+            for idx, out_id in enumerate(task.module.output_ids):
+                values[(task.task_id, idx)] = env[out_id]
+        outputs = [values[(tid, idx)] for tid, idx in plan.outputs]
+
+    return ExecutionResult(
+        latency=replay.completions[0],
+        tasks=task_records,
+        transfers=transfer_records,
         outputs=outputs,
     )
 

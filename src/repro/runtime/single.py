@@ -72,17 +72,19 @@ def run_single_device(
     machine: Machine,
     rng: np.random.Generator | None = None,
     inputs: Mapping[str, np.ndarray] | None = None,
+    overlap: bool = False,
 ) -> SingleDeviceResult:
     """One inference of ``module`` entirely on ``device``.
 
-    Timing comes from the discrete-event simulator; when ``inputs`` are
+    Timing comes from the discrete-event simulator (``overlap`` selects
+    the lazy vs. double-buffered transfer discipline); when ``inputs`` are
     given the kernels also execute numerically through the unified
     dispatch kernel (inline worker strategy), so the returned ``outputs``
     go through exactly the same code path as every other executor.
     """
     began = time.perf_counter()
     plan = single_device_plan(module, device)
-    sim = simulate(plan, machine, rng=rng)
+    sim = simulate(plan, machine, rng=rng, overlap=overlap)
     outputs = None
     if inputs is not None:
         outputs = DispatchKernel(plan, workers=InlineWorkers()).run(inputs).outputs

@@ -6,6 +6,14 @@ requests pipeline naturally: while request *r*'s RNN subgraph occupies the
 CPU, request *r+1*'s CNN subgraph can already run on the GPU.  This module
 replays a stream of requests through a plan with shared device and link
 timelines, yielding per-request latencies and steady-state throughput.
+
+The replay itself lives in :mod:`repro.runtime.overlap`: devices are
+derived from the plan (not hard-coded to cpu/gpu), and the shared PCIe
+link serves transfers in *ready order* rather than the order the replay
+happens to visit tasks — an earlier-ready copy is never stuck behind a
+later-ready one that merely appears earlier in some request's plan walk.
+A one-request stream therefore prices identically to
+``simulate(plan, machine, overlap=True)``.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import numpy as np
 
 from repro.devices.machine import Machine
 from repro.errors import ExecutionError
+from repro.runtime.overlap import replay_plan
 from repro.runtime.plan import HeteroPlan
 
 __all__ = ["StreamResult", "simulate_stream"]
@@ -59,87 +68,12 @@ def simulate_stream(
     """
     if n_requests <= 0:
         raise ExecutionError("n_requests must be positive")
-    device_free = {"cpu": 0.0, "gpu": 0.0}
-    link_free = 0.0
-    completions: list[float] = []
-
-    def transfer(duration_bytes: float, ready_at: float) -> float:
-        nonlocal link_free
-        link = machine.interconnect
-        if rng is None:
-            duration = link.transfer_time(duration_bytes)
-        else:
-            duration = link.sample_transfer_time(duration_bytes, rng)
-        start = max(link_free, ready_at)
-        link_free = start + duration
-        return link_free
-
-    for req in range(n_requests):
-        arrival = req * interarrival_s
-        finish: dict[str, float] = {}
-        arrived_on: dict[tuple[str, str], float] = {}  # (value key, device)
-
-        for task in plan.tasks:
-            input_ready = arrival
-            for input_id, src in task.sources.items():
-                n_bytes = float(task.module.graph.node(input_id).ty.size_bytes)
-                if src.kind == "external":
-                    key, produced_at, produced_on = (
-                        f"ext:{src.ref}", arrival, "cpu",
-                    )
-                else:
-                    producer = plan.task(src.ref)
-                    out_id = producer.module.output_ids[src.output_index]
-                    n_bytes = float(
-                        producer.module.graph.node(out_id).ty.size_bytes
-                    )
-                    key = f"task:{src.ref}:{src.output_index}"
-                    produced_at = finish[src.ref]
-                    produced_on = producer.device
-                if produced_on == task.device:
-                    ready = produced_at
-                else:
-                    cache = arrived_on.get((key, task.device))
-                    if cache is None:
-                        cache = transfer(n_bytes, produced_at)
-                        arrived_on[(key, task.device)] = cache
-                    ready = cache
-                input_ready = max(input_ready, ready)
-
-            device = machine.device(task.device)
-            if rng is None:
-                exec_time = sum(
-                    device.kernel_time(k.cost) for k in task.module.kernels
-                )
-            else:
-                exec_time = sum(
-                    device.sample_kernel_time(k.cost, rng)
-                    for k in task.module.kernels
-                )
-            start = max(device_free[task.device], input_ready)
-            finish[task.task_id] = start + exec_time
-            device_free[task.device] = finish[task.task_id]
-
-        done = arrival
-        for tid, idx in plan.outputs:
-            producer = plan.task(tid)
-            if producer.device == "cpu":
-                done = max(done, finish[tid])
-            else:
-                out_id = producer.module.output_ids[idx]
-                n_bytes = float(producer.module.graph.node(out_id).ty.size_bytes)
-                key = f"task:{tid}:{idx}"
-                cache = arrived_on.get((key, "cpu"))
-                if cache is None:
-                    cache = transfer(n_bytes, finish[tid])
-                    arrived_on[(key, "cpu")] = cache
-                done = max(done, cache)
-        completions.append(done)
-
+    arrivals = [req * interarrival_s for req in range(n_requests)]
+    replay = replay_plan(plan, machine, arrivals, rng=rng)
     latencies = tuple(
-        done - req * interarrival_s for req, done in enumerate(completions)
+        done - arrival for arrival, done in zip(arrivals, replay.completions)
     )
-    makespan = max(completions)
+    makespan = max(replay.completions)
     return StreamResult(
         latencies=latencies,
         makespan=makespan,

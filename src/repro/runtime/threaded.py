@@ -69,6 +69,9 @@ class ThreadedExecutor:
         fault_injector: optional deterministic chaos hooks
             (:class:`~repro.runtime.faults.FaultInjector`); injected
             faults abort the run like real ones.
+        overlap: enable the double-buffered transfer stage — cross-device
+            feeds are staged on a dedicated transfer worker while the
+            device workers compute.  Outputs are bit-identical either way.
     """
 
     def __init__(
@@ -76,10 +79,12 @@ class ThreadedExecutor:
         plan: HeteroPlan,
         join_timeout: float = 5.0,
         fault_injector: "FaultInjector | None" = None,
+        overlap: bool = False,
     ):
         self.plan = plan
         self.join_timeout = join_timeout
         self.fault_injector = fault_injector
+        self.overlap = overlap
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> ThreadedResult:
         """Execute the plan numerically; blocks until all tasks finish."""
@@ -88,6 +93,7 @@ class ThreadedExecutor:
             workers=ThreadedWorkers(join_timeout=self.join_timeout),
             fault_injector=self.fault_injector,
             failure_policy=AbortPolicy(),
+            overlap=self.overlap,
         )
         result = kernel.run(inputs)
         return ThreadedResult(

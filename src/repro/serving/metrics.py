@@ -202,6 +202,11 @@ class HistogramSnapshot:
         self.sum = sum_
         self.count = sum(counts)
 
+    @property
+    def overflow_count(self) -> int:
+        """Observations that landed in the implicit ``+Inf`` bucket."""
+        return self.counts[-1] if len(self.counts) > len(self.bounds) else 0
+
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by interpolating within buckets.
 
@@ -209,11 +214,25 @@ class HistogramSnapshot:
         bucket that contains the target rank, with the lowest bucket
         interpolated from 0 and the overflow bucket clamped to its lower
         bound.  Returns ``nan`` when the series has no observations.
+
+        A clamped result silently *underestimates* the true quantile;
+        use :meth:`quantile_estimate` when the caller needs to know the
+        estimate overflowed the finite buckets.
+        """
+        return self.quantile_estimate(q)[0]
+
+    def quantile_estimate(self, q: float) -> tuple[float, bool]:
+        """``(estimate, overflowed)`` for the ``q``-quantile.
+
+        ``overflowed`` is True when the target rank falls in the
+        implicit ``+Inf`` bucket: the estimate is then clamped to the
+        last finite bound and the true quantile is known only to be
+        *at least* that value.
         """
         if not 0.0 <= q <= 1.0:
             raise MetricsError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
-            return float("nan")
+            return float("nan"), False
         rank = q * self.count
         cumulative = 0
         for i, n in enumerate(self.counts):
@@ -222,12 +241,12 @@ class HistogramSnapshot:
             if cumulative + n >= rank:
                 lo = 0.0 if i == 0 else self.bounds[i - 1]
                 if i == len(self.bounds):  # +Inf overflow bucket
-                    return self.bounds[-1]
+                    return self.bounds[-1], True
                 hi = self.bounds[i]
                 frac = (rank - cumulative) / n
-                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0), False
             cumulative += n
-        return self.bounds[-1]
+        return self.bounds[-1], False
 
 
 class Histogram(_Metric):

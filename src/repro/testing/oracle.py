@@ -9,8 +9,11 @@ execution path and demanding exact agreement:
 * the discrete-event simulator executing the scheduled heterogeneous
   plan's kernels numerically (its timeline is additionally checked
   against the execution invariants, and its predicted completion order
-  must linearize the task DAG);
-* the :class:`~repro.runtime.threaded.ThreadedExecutor` (real threads);
+  must linearize the task DAG) — under both the lazy and the
+  double-buffered ``overlap=True`` transfer disciplines, which must be
+  bit-identical (overlap changes the virtual clock, never the data);
+* the :class:`~repro.runtime.threaded.ThreadedExecutor` (real threads),
+  with and without the prefetching transfer worker;
 * the :class:`~repro.runtime.resilient.ResilientExecutor` with no faults
   injected (the recovery machinery must be a no-op on healthy runs);
 * the unified :class:`~repro.runtime.core.DispatchKernel` driven
@@ -65,7 +68,9 @@ EXECUTOR_NAMES = (
     "single:cpu",
     "single:gpu",
     "simulator",
+    "simulator:overlap",
     "threaded",
+    "threaded:overlap",
     "resilient",
     "core",
 )
@@ -265,8 +270,31 @@ def run_differential(
             report.violations += check_execution(plan, result)
             report.violations += check_task_order(plan, outcome.task_order)
 
-        def run_threaded(outcome, plan=plan):
-            result = ThreadedExecutor(plan).run(feeds)
+        def run_simulator_overlap(outcome, plan=plan, suffix=suffix):
+            result = simulate(plan, machine, inputs=feeds, overlap=True)
+            outcome.outputs = result.outputs
+            outcome.task_order = [
+                r.task_id
+                for r in sorted(result.tasks, key=lambda r: (r.finish, r.start))
+            ]
+            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.violations += check_execution(plan, result)
+            report.violations += check_task_order(plan, outcome.task_order)
+            # Overlap reorders the virtual clock, never the data: outputs
+            # must be bit-identical to the lazy simulation of the same plan.
+            lazy = report.outcomes.get(f"simulator{suffix}")
+            if lazy is not None and lazy.outputs is not None:
+                if outcome.outputs is None or any(
+                    not np.array_equal(a, b)
+                    for a, b in zip(lazy.outputs, outcome.outputs)
+                ):
+                    report.divergences.append(
+                        f"{outcome.name}: overlap-enabled execution is not "
+                        "bit-identical to the lazy simulation"
+                    )
+
+        def run_threaded(outcome, plan=plan, overlap=False):
+            result = ThreadedExecutor(plan, overlap=overlap).run(feeds)
             outcome.outputs = result.outputs
             outcome.task_order = result.task_order
             report.divergences += _compare(outcome.name, result.outputs, ref)
@@ -311,7 +339,14 @@ def run_differential(
                     )
 
         attempt(f"simulator{suffix}", run_simulator)
+        attempt(f"simulator:overlap{suffix}", run_simulator_overlap)
         attempt(f"threaded{suffix}", run_threaded)
+        attempt(
+            f"threaded:overlap{suffix}",
+            lambda outcome, plan=plan: run_threaded(
+                outcome, plan=plan, overlap=True
+            ),
+        )
         attempt(f"resilient{suffix}", run_resilient)
         attempt(f"core{suffix}", run_core)
 

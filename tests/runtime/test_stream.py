@@ -24,16 +24,18 @@ def wd_plans():
 
 
 class TestStream:
-    def test_single_request_matches_simulate(self, wd_plans):
+    def test_single_request_matches_overlap_simulate(self, wd_plans):
+        # The stream replay uses the overlapped (ready-ordered) link
+        # discipline, so one request prices exactly as simulate(overlap=True).
         machine, duet_plan, _ = wd_plans
         stream = simulate_stream(duet_plan, machine, n_requests=1)
-        single = simulate(duet_plan, machine)
-        assert stream.latencies[0] == pytest.approx(single.latency, rel=1e-9)
-        assert stream.makespan == pytest.approx(single.latency, rel=1e-9)
+        single = simulate(duet_plan, machine, overlap=True)
+        assert stream.latencies[0] == single.latency
+        assert stream.makespan == single.latency
 
     def test_sparse_arrivals_have_unqueued_latency(self, wd_plans):
         machine, duet_plan, _ = wd_plans
-        single = simulate(duet_plan, machine).latency
+        single = simulate(duet_plan, machine, overlap=True).latency
         stream = simulate_stream(
             duet_plan, machine, n_requests=5, interarrival_s=single * 3
         )

@@ -100,6 +100,35 @@ class TestFamilies:
         with pytest.raises(MetricsError):
             h.snapshot().quantile(1.5)
 
+    def test_quantile_estimate_flags_overflow(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(9):
+            h.observe(0.5)
+        h.observe(50.0)  # lands in +Inf
+        snap = h.snapshot()
+        # p50 is safely inside the finite buckets.
+        value, overflowed = snap.quantile_estimate(0.5)
+        assert not overflowed and value <= 1.0
+        # p99's rank falls in the overflow bucket: the clamped value is
+        # only a lower bound and the caller must be told.
+        value, overflowed = snap.quantile_estimate(0.99)
+        assert overflowed and value == 2.0
+        assert snap.overflow_count == 1
+        # quantile() keeps its historical float-only contract.
+        assert snap.quantile(0.99) == value
+
+    def test_quantile_estimate_no_overflow_without_inf_hits(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap.overflow_count == 0
+        _, overflowed = snap.quantile_estimate(1.0)
+        assert not overflowed
+        # Empty series: NaN, not flagged.
+        empty = MetricsRegistry().histogram("lat2", buckets=(1.0,)).snapshot()
+        value, overflowed = empty.quantile_estimate(0.9)
+        assert math.isnan(value) and not overflowed
+
     def test_registry_same_name_same_type_is_shared(self):
         registry = MetricsRegistry()
         assert registry.counter("x") is registry.counter("x")

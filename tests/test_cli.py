@@ -51,6 +51,26 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_tournament_smoke(self, capsys, tmp_path):
+        artifact = tmp_path / "league.txt"
+        assert main([
+            "tournament", "--tiny",
+            "--models", "siamese", "xfer_bound",
+            "--policies", "dp", "greedy", "round_robin",
+            "--output", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler tournament" in out
+        assert "league winners" in out
+        assert "xfer_bound" in out
+        written = artifact.read_text(encoding="utf-8")
+        assert "overlap_gain_pct" in written
+
+    def test_tournament_unknown_policy_errors(self, capsys):
+        assert main(["tournament", "--tiny", "--models", "siamese",
+                     "--policies", "alphazero"]) == 1
+        assert "unknown" in capsys.readouterr().err
+
 
 class TestCLIProfileCache:
     def test_optimize_with_cache(self, capsys, tmp_path):
