@@ -253,6 +253,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """Scripted fault schedule against the serving frontend, with the
+    resilience invariants checked."""
+    from repro.bench import default_chaos_schedule, run_chaos_serve
+
+    schedule = default_chaos_schedule(
+        phase_s=args.phase_seconds, device=args.lose_device
+    )
+    report = run_chaos_serve(
+        schedule=schedule,
+        model=args.model,
+        tiny=args.tiny,
+        concurrency=args.concurrency,
+        pool_size=args.pool_size,
+        deadline_s=args.deadline_ms * 1e-3,
+        seed=args.seed,
+        recovery_threshold=args.recovery_threshold,
+    )
+    text = report.render()
+    print(text)
+    if args.metrics:
+        print()
+        print(report.metrics_text, end="")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+            if args.metrics:
+                fh.write("\n" + report.metrics_text)
+        print(f"chaos report written to {args.output}")
+    if not report.ok and not args.no_strict:
+        return 1
+    return 0
+
+
 def _cmd_tournament(args: argparse.Namespace) -> int:
     """League table: every scheduling policy x every model, both transfer
     disciplines."""
@@ -429,6 +463,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus-style metrics exposition after the run",
     )
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos-serve",
+        help="scripted fault schedule against the serving frontend "
+        "(transients -> stalls -> device loss -> recovery), invariants on",
+    )
+    p_chaos.add_argument(
+        "model", nargs="?", choices=MODEL_NAMES, default="siamese",
+        help="zoo model to serve under chaos (default: siamese)",
+    )
+    p_chaos.add_argument(
+        "--tiny", action="store_true", default=True,
+        help="test-scale model configuration (default: on)",
+    )
+    p_chaos.add_argument(
+        "--full-size", dest="tiny", action="store_false",
+        help="full-size model configuration",
+    )
+    p_chaos.add_argument(
+        "--phase-seconds", type=float, default=1.0, metavar="S",
+        help="duration of each fault phase",
+    )
+    p_chaos.add_argument(
+        "--concurrency", type=int, default=4, metavar="K",
+        help="closed-loop client threads",
+    )
+    p_chaos.add_argument(
+        "--pool-size", type=int, default=2, help="worker sessions per model"
+    )
+    p_chaos.add_argument(
+        "--deadline-ms", type=float, default=2000.0,
+        help="per-request deadline budget",
+    )
+    p_chaos.add_argument(
+        "--lose-device", choices=("cpu", "gpu"), default="gpu",
+        help="device killed during the outage phase",
+    )
+    p_chaos.add_argument(
+        "--recovery-threshold", type=float, default=0.8,
+        help="required post-recovery throughput as a fraction of baseline",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="corpus and jitter seed"
+    )
+    p_chaos.add_argument(
+        "--metrics", action="store_true",
+        help="also print the final metrics exposition",
+    )
+    p_chaos.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the chaos report to this file",
+    )
+    p_chaos.add_argument(
+        "--no-strict", action="store_true",
+        help="exit 0 even when resilience invariants fail",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos_serve)
 
     p_tournament = sub.add_parser(
         "tournament",

@@ -96,6 +96,54 @@ class QueueFullError(ExecutionError):
     """
 
 
+class CircuitOpenError(ExecutionError):
+    """A model lane's circuit breaker is open and rejected the request.
+
+    Raised by :meth:`repro.serving.ServingFrontend.submit` when the
+    lane's :class:`~repro.serving.breaker.CircuitBreaker` has tripped
+    after persistent request failures.  The lane rejects immediately —
+    no queueing, no worker time — until the breaker's recovery timeout
+    admits half-open probe requests again.
+
+    Attributes:
+        model: the lane that rejected the request.
+        retry_after_s: seconds until the breaker will admit a probe.
+    """
+
+    def __init__(self, model: str, retry_after_s: float):
+        super().__init__(
+            f"circuit breaker for model {model!r} is open; "
+            f"retry in {retry_after_s:.3f}s"
+        )
+        self.model = model
+        self.retry_after_s = retry_after_s
+
+
+class LoadShedError(ExecutionError):
+    """The request was shed at admission: its deadline is unmeetable.
+
+    Raised by :meth:`repro.serving.ServingFrontend.submit` when the
+    lane's adaptive shedder predicts — from observed queue delay and
+    service time — that the request cannot complete within its deadline.
+    Shedding at submit time is cheaper for everyone than admitting work
+    that will expire in the queue.
+
+    Attributes:
+        model: the lane that shed the request.
+        deadline_s: the request's deadline budget.
+        predicted_s: the shedder's predicted admission-to-completion time.
+    """
+
+    def __init__(self, model: str, deadline_s: float, predicted_s: float):
+        super().__init__(
+            f"request to model {model!r} shed: predicted completion in "
+            f"{predicted_s:.4f}s exceeds the {deadline_s:.4f}s deadline"
+        )
+        self.model = model
+        self.deadline_s = deadline_s
+        self.predicted_s = predicted_s
+
+
 class MetricsError(ReproError):
     """Invalid metrics-registry usage: bad bucket boundaries, a name
     registered twice with different types, or malformed exposition text."""

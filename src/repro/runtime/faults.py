@@ -29,6 +29,7 @@ Virtual-time hook (simulator):
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -48,6 +49,7 @@ __all__ = [
     "DeviceLoss",
     "FaultPlan",
     "FaultInjector",
+    "ScriptedChaosInjector",
 ]
 
 _DEVICES = ("cpu", "gpu")
@@ -210,6 +212,15 @@ class FaultInjector:
         """Force-mark a device as lost (used by executors on failover)."""
         self._lost.add(device)
 
+    def revive_device(self, device: str) -> None:
+        """Bring a lost device back (driver reset / hot-plug recovery).
+
+        Subsequent dispatches onto ``device`` stop raising
+        :class:`DeviceLostError`; attempt counters are untouched so
+        unrelated fault schedules keep replaying deterministically.
+        """
+        self._lost.discard(device)
+
     # ------------------------------------------------------------------
     # Wall-clock hooks (ThreadedExecutor / ResilientExecutor)
 
@@ -296,3 +307,104 @@ class FaultInjector:
         if stall is not None and attempt <= stall.stall_attempts:
             return stall.delay_s
         return 0.0
+
+
+class ScriptedChaosInjector(FaultInjector):
+    """Thread-safe injector whose faults are switched on and off live.
+
+    :class:`FaultInjector` realizes a *declarative* plan fixed before the
+    run and is documented as single-run, single-thread.  The serving
+    chaos harness needs the opposite shape: one injector shared by a pool
+    of worker slots, with the *harness* thread flipping fault modes while
+    request threads execute — "now everything is transient-flaky", "now
+    the GPU is gone", "now recover".  This subclass adds a mode switch
+    guarded by a lock, so the scripted schedule composes with concurrent
+    `EngineSession` pools:
+
+    * ``set_mode("transient", rate=k)`` — every *k*-th task attempt
+      (globally, across all threads) raises
+      :class:`~repro.errors.TransientKernelError`; retries in between
+      succeed, so the retry middleware absorbs the noise.
+    * ``set_mode("stall", stall_s=d)`` — every ``rate``-th attempt sleeps
+      an extra ``d`` seconds before running.
+    * ``lose_device(dev)`` / ``revive_device(dev)`` — permanent loss and
+      hot-plug recovery, reusing the base class's lost-device set (all
+      reads/writes of that set happen under the mode lock here).
+    * ``set_mode(None)`` — healthy.
+
+    Determinism is per-schedule, not per-interleaving: the *number* of
+    injected faults is a pure function of the attempt counter, but which
+    request observes fault *i* depends on thread timing — exactly the
+    nondeterminism the serving invariants (terminal-state accounting,
+    bit-identical successes) must hold under.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(FaultPlan())
+        self._script_lock = threading.Lock()
+        self._mode: str | None = None
+        self._rate = 1
+        self._stall_s = 0.0
+        self._calls = 0
+
+    def set_mode(
+        self, mode: str | None, rate: int = 3, stall_s: float = 0.0
+    ) -> None:
+        """Switch the active fault mode (``"transient"``/``"stall"``/None)."""
+        if mode not in (None, "transient", "stall"):
+            raise ExecutionError(f"invalid chaos mode {mode!r}")
+        if rate < 1:
+            raise ExecutionError(f"chaos rate must be >= 1, got {rate}")
+        if stall_s < 0:
+            raise ExecutionError(f"stall_s must be >= 0, got {stall_s}")
+        with self._script_lock:
+            self._mode = mode
+            self._rate = rate
+            self._stall_s = stall_s
+
+    def lose_device(self, device: str) -> None:
+        """Permanently lose ``device`` until :meth:`revive_device`."""
+        if device not in _DEVICES:
+            raise ExecutionError(f"invalid device {device!r}")
+        with self._script_lock:
+            self._lost.add(device)
+
+    def revive_device(self, device: str) -> None:
+        with self._script_lock:
+            self._lost.discard(device)
+
+    def device_is_lost(self, device: str) -> bool:
+        with self._script_lock:
+            return device in self._lost
+
+    def mark_device_lost(self, device: str) -> None:
+        with self._script_lock:
+            self._lost.add(device)
+
+    # ------------------------------------------------------------------
+
+    def on_task_start(self, task_id: str, device: str) -> None:
+        with self._script_lock:
+            if device in self._lost:
+                raise DeviceLostError(device)
+            if self._mode is None:
+                return
+            self._calls += 1
+            fire = self._calls % self._rate == 0
+            mode, stall_s = self._mode, self._stall_s
+        if not fire:
+            return
+        if mode == "transient":
+            raise TransientKernelError(
+                f"scripted transient fault (task {task_id!r})"
+            )
+        if mode == "stall" and stall_s > 0:
+            time.sleep(stall_s)
+
+    def on_transfer(
+        self, ref: str, dest_device: str, array: np.ndarray
+    ) -> np.ndarray:
+        with self._script_lock:
+            if dest_device in self._lost:
+                raise DeviceLostError(dest_device)
+        return array

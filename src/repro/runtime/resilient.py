@@ -57,9 +57,35 @@ __all__ = [
     "ExecutionEvent",
     "ExecutionReport",
     "ResilientExecutor",
+    "survivor_plan",
 ]
 
 _OTHER = OTHER_DEVICE
+
+
+def survivor_plan(
+    degradation_plans: Mapping[str, HeteroPlan],
+    lost: "set[str] | frozenset[str]",
+) -> tuple[str, HeteroPlan] | None:
+    """Pick a standing single-device plan that avoids every lost device.
+
+    Serving lanes use this when a worker slot observes a
+    :class:`~repro.errors.DeviceLostError`: the slot's session must be
+    rebuilt onto a surviving device, and the degradation plans
+    :meth:`DuetEngine.optimize` already compiled are exactly the
+    candidates.  Returns ``(device, plan)`` for the first surviving
+    device in the canonical :data:`~repro.runtime.core.DEVICES` order
+    (deterministic across runs), or ``None`` when no survivor has a
+    standing plan — the lane then has nothing to fail over to and must
+    keep failing requests until a device is restored.
+    """
+    for device in DEVICES:
+        if device in lost:
+            continue
+        plan = degradation_plans.get(device)
+        if plan is not None:
+            return device, plan
+    return None
 
 
 @dataclass(frozen=True)

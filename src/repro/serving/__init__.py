@@ -8,6 +8,12 @@ request by request, both bit-identical to a solo
 :class:`~repro.runtime.session.EngineSession` — and reports what the
 engine is doing through a :class:`MetricsRegistry` with Prometheus-style
 text exposition.
+
+A resilience layer keeps the lanes healthy under faults: health-checked
+worker slots that quarantine and rebuild onto surviving devices on
+device loss (:mod:`repro.serving.health`), per-model circuit breakers
+(:mod:`repro.serving.breaker`), and deadline-aware admission with
+adaptive load shedding.
 """
 
 from repro.serving.batcher import (
@@ -20,11 +26,29 @@ from repro.serving.batcher import (
     request_signature,
     run_stacked,
 )
+from repro.serving.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_CODES,
+    BreakerConfig,
+    CircuitBreaker,
+)
 from repro.serving.frontend import (
     ServeFuture,
     ServeResult,
     ServingConfig,
     ServingFrontend,
+)
+from repro.serving.health import (
+    SLOT_DEGRADED,
+    SLOT_HEALTHY,
+    SLOT_QUARANTINED,
+    SLOT_STATE_CODES,
+    AdaptiveShedder,
+    HealthConfig,
+    LaneHealth,
+    SlotHealth,
 )
 from repro.serving.metrics import (
     BATCH_SIZE_BUCKETS,
@@ -40,19 +64,33 @@ from repro.serving.metrics import (
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BREAKER_STATE_CODES",
     "LATENCY_BUCKETS_S",
+    "SLOT_DEGRADED",
+    "SLOT_HEALTHY",
+    "SLOT_QUARANTINED",
+    "SLOT_STATE_CODES",
     "STACK_SAFE_AXIS_OPS",
     "STACK_SAFE_ELEMENTWISE",
+    "AdaptiveShedder",
     "BatchConfig",
+    "BreakerConfig",
+    "CircuitBreaker",
     "Counter",
     "Gauge",
+    "HealthConfig",
     "Histogram",
     "HistogramSnapshot",
+    "LaneHealth",
     "MetricsRegistry",
     "ServeFuture",
     "ServeResult",
     "ServingConfig",
     "ServingFrontend",
+    "SlotHealth",
     "StackDecision",
     "analyze_stack_safety",
     "collect_batch",

@@ -118,6 +118,8 @@ def collect_batch(
     clock: Callable[[], float],
     config: BatchConfig,
     compatible: Callable[[object, object], bool],
+    drop: Callable[[object], bool] | None = None,
+    on_drop: Callable[[object], None] | None = None,
 ):
     """Collect one batching window; returns ``(batch, carry)``.
 
@@ -129,12 +131,21 @@ def collect_batch(
         clock: monotonic seconds.
         config: window size/linger limits.
         compatible: whether a request may join ``head``'s batch.
+        drop: optional predicate over dequeued joiners; a ``True`` verdict
+            discards the request from the window (it joins neither batch
+            nor carry).  The serving frontend uses this for deadline
+            expiry: work whose deadline passed while queued is dead
+            weight, and dropping it at dequeue keeps expired requests
+            from occupying batch slots.  ``head`` is never dropped here —
+            the caller vetted it before opening the window.
+        on_drop: called once per dropped request, so the caller can
+            resolve its future and count the expiry.
 
     The window closes when the batch reaches ``max_batch_size``, the
     linger deadline (anchored at entry, i.e. at ``head``'s dequeue time)
     expires, or an incompatible request arrives — that request is
     returned as ``carry`` and becomes the next window's head, preserving
-    arrival order.
+    arrival order.  Dropped requests do not close the window.
     """
     batch = [head]
     carry = None
@@ -144,6 +155,10 @@ def collect_batch(
             item = get(deadline - clock())
         except queue.Empty:
             break
+        if drop is not None and drop(item):
+            if on_drop is not None:
+                on_drop(item)
+            continue
         if not compatible(head, item):
             carry = item
             break

@@ -1,0 +1,233 @@
+"""Per-model circuit breakers: fail fast when a lane keeps failing.
+
+A lane whose requests fail persistently — a wedged kernel, a lost device
+without a usable degradation plan, poisoned weights — should not keep
+burning queue slots and worker time on work that is going to fail anyway.
+A :class:`CircuitBreaker` watches terminal request outcomes and moves
+through the classic three states:
+
+* **closed** — normal operation; every request is admitted.  Consecutive
+  failures are counted (any success resets the count); reaching
+  ``failure_threshold`` trips the breaker.
+* **open** — every request is rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (a structured, retryable
+  signal, not a timeout).  After ``recovery_timeout_s`` the breaker
+  moves to half-open.
+* **half-open** — up to ``half_open_probes`` in-flight probe requests
+  are admitted.  ``success_threshold`` probe successes close the
+  breaker; any probe failure reopens it (restarting the recovery
+  timeout).
+
+The breaker is deliberately oblivious to *why* requests fail — retries,
+failover, and slot rebuilds all happen below it; it only sees the
+terminal outcome per request.  Shed or expired requests never count:
+they say something about load, not about the lane's health, so the
+frontend reports them to the breaker as *discards* (which merely release
+a half-open probe slot).
+
+Everything is thread-safe and clock-injectable so tests (and the
+deterministic metrics suite) can drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExecutionError
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_STATE_CODES",
+    "BreakerConfig",
+    "CircuitBreaker",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: Numeric encoding of breaker states for the ``duet_breaker_state``
+#: gauge (stable across runs so expositions pin byte-identically).
+BREAKER_STATE_CODES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_HALF_OPEN: 1,
+    BREAKER_OPEN: 2,
+}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs of one lane's circuit breaker.
+
+    Attributes:
+        failure_threshold: consecutive request failures (in the closed
+            state) that trip the breaker open.
+        recovery_timeout_s: how long an open breaker rejects before
+            admitting half-open probes.
+        half_open_probes: probe requests allowed in flight at once while
+            half-open; the rest are rejected.
+        success_threshold: probe successes required to close again.
+    """
+
+    failure_threshold: int = 5
+    recovery_timeout_s: float = 1.0
+    half_open_probes: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ExecutionError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.recovery_timeout_s < 0:
+            raise ExecutionError(
+                f"recovery_timeout_s must be >= 0, got {self.recovery_timeout_s}"
+            )
+        if self.half_open_probes < 1:
+            raise ExecutionError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+        if self.success_threshold < 1:
+            raise ExecutionError(
+                f"success_threshold must be >= 1, got {self.success_threshold}"
+            )
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open breaker for one lane.
+
+    Args:
+        config: thresholds and timeouts; defaults to
+            :class:`BreakerConfig`.
+        clock: monotonic-seconds source (injectable for tests).
+        listener: optional ``listener(old_state, new_state)`` called on
+            every transition, outside hot paths but under the breaker
+            lock — keep it cheap (the serving lane uses it to update the
+            state gauge and transition counters).
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        listener: Callable[[str, str], None] | None = None,
+    ):
+        self.config = config or BreakerConfig()
+        self.clock = clock
+        self.listener = listener
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open if the timeout passed."""
+        with self._lock:
+            self._maybe_half_open(self.clock())
+            return self._state
+
+    def retry_after_s(self, now: float | None = None) -> float:
+        """Seconds until an open breaker will admit a probe (0 otherwise)."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return 0.0
+            return max(
+                0.0, self._opened_at + self.config.recovery_timeout_s - now
+            )
+
+    # ------------------------------------------------------------------
+
+    def allow(self, now: float | None = None) -> bool:
+        """Whether one request may be admitted right now.
+
+        In the half-open state a ``True`` return *reserves* a probe slot;
+        the caller must eventually report the request's outcome via
+        :meth:`record_success` / :meth:`record_failure` — or
+        :meth:`record_discard` if the request never executed — to release
+        it.
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            self._maybe_half_open(now)
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                return False
+            # Half-open: bounded probe admission.
+            if self._probes_inflight < self.config.half_open_probes:
+                self._probes_inflight += 1
+                return True
+            return False
+
+    def record_success(self, now: float | None = None) -> None:
+        """Report one admitted request that completed successfully."""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                self._consecutive_failures = 0
+            elif self._state == BREAKER_HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.success_threshold:
+                    self._transition(BREAKER_CLOSED)
+            # Open: a straggler admitted before the trip; ignore.
+
+    def record_failure(self, now: float | None = None) -> None:
+        """Report one admitted request that terminally failed."""
+        now = self.clock() if now is None else now
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.config.failure_threshold:
+                    self._opened_at = now
+                    self._transition(BREAKER_OPEN)
+            elif self._state == BREAKER_HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._opened_at = now
+                self._transition(BREAKER_OPEN)
+            # Open: straggler; the breaker is already rejecting.
+
+    def record_discard(self) -> None:
+        """Report one admitted request that never executed (shed/expired).
+
+        Neutral for health accounting, but releases the half-open probe
+        slot the admission reserved.
+        """
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+
+    # ------------------------------------------------------------------
+
+    def _maybe_half_open(self, now: float) -> None:
+        """Open → half-open once the recovery timeout expires (lock held)."""
+        if (
+            self._state == BREAKER_OPEN
+            and now - self._opened_at >= self.config.recovery_timeout_s
+        ):
+            self._transition(BREAKER_HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state``, resetting state-local counters (lock held)."""
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if new_state == BREAKER_CLOSED:
+            self._consecutive_failures = 0
+        if new_state == BREAKER_HALF_OPEN:
+            self._probes_inflight = 0
+            self._probe_successes = 0
+        if self.listener is not None:
+            self.listener(old, new_state)

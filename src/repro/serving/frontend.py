@@ -24,10 +24,35 @@ request to a solo :class:`~repro.runtime.session.EngineSession` run:
   worker's session;
 * ``single`` — the batch holds one request.
 
+On top of admission and batching sits a resilience layer composing the
+existing fault machinery into the frontend:
+
+* **health-checked session pools** — each worker slot carries a
+  :class:`~repro.serving.health.SlotHealth` record; a
+  :class:`~repro.errors.DeviceLostError` quarantines the slot, re-plans
+  onto a surviving device via the standing degradation plans
+  (:func:`~repro.runtime.resilient.survivor_plan`), and rebuilds the
+  slot's session on its own worker thread while the lane's other slots
+  keep serving.  :meth:`ServingFrontend.restore_device` stages
+  primary-plan rebuilds in the background; workers adopt them at the
+  next batch boundary.
+* **per-model circuit breakers**
+  (:class:`~repro.serving.breaker.CircuitBreaker`, opt-in via
+  ``ServingConfig(breaker=...)``) — persistent failures trip the lane
+  open and :meth:`ServingFrontend.submit` rejects fast with
+  :class:`~repro.errors.CircuitOpenError` until half-open probes succeed.
+* **deadline-aware admission and shedding** — requests may carry a
+  deadline; expired work is dropped at dequeue time with
+  :class:`~repro.errors.DeadlineExceededError`, and an
+  :class:`~repro.serving.health.AdaptiveShedder` rejects at submit time
+  (:class:`~repro.errors.LoadShedError`) when the observed queue delay
+  makes a deadline unmeetable.
+
 Every stage feeds the :class:`~repro.serving.metrics.MetricsRegistry`:
 queue depth/wait, batch sizes and modes, request latencies and outcomes,
-per-device busy time via :class:`~repro.runtime.core.MetricsMiddleware`,
-and retry/fault counters when a retry policy is installed.
+shed/expiry counts, breaker and slot-health state, per-device busy time
+via :class:`~repro.runtime.core.MetricsMiddleware`, and retry/fault
+counters when a retry policy is installed.
 
 ``REPRO_VALIDATE=1`` (or ``ServingConfig(validate=True)``) applies the
 same invariant middleware a solo session would use on the per-request
@@ -42,12 +67,20 @@ import queue
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
-from repro.errors import ExecutionError, QueueFullError, ReproError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DeviceLostError,
+    ExecutionError,
+    LoadShedError,
+    QueueFullError,
+    ReproError,
+)
 from repro.runtime.core import (
     DEVICES,
     DispatchKernel,
@@ -56,6 +89,7 @@ from repro.runtime.core import (
     Middleware,
     RetryMiddleware,
 )
+from repro.runtime.resilient import survivor_plan
 from repro.serving.batcher import (
     BatchConfig,
     analyze_stack_safety,
@@ -63,12 +97,27 @@ from repro.serving.batcher import (
     request_signature,
     run_stacked,
 )
+from repro.serving.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_STATE_CODES,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.serving.health import (
+    SLOT_HEALTHY,
+    SLOT_STATE_CODES,
+    AdaptiveShedder,
+    HealthConfig,
+    LaneHealth,
+    SlotHealth,
+)
 from repro.serving.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import DuetEngine, DuetOptimization
     from repro.ir.graph import Graph
     from repro.runtime.faults import FaultInjector
+    from repro.runtime.plan import HeteroPlan
     from repro.runtime.resilient import RetryPolicy
 
 __all__ = ["ServingConfig", "ServeResult", "ServeFuture", "ServingFrontend"]
@@ -107,6 +156,22 @@ class ServingConfig:
         validate_transfers: guard cross-device tensors against
             non-finite corruption (retryable under ``retry_policy``).
         seed: seeds the retry backoff-jitter generators.
+        default_deadline_s: deadline applied to requests submitted
+            without one; ``None`` means requests carry no deadline unless
+            the caller passes ``deadline_s`` explicitly.
+        shedding: enable the adaptive shedder — deadlined requests are
+            rejected at submit with :class:`~repro.errors.LoadShedError`
+            when observed queue delay predicts the deadline unmeetable.
+            Only acts on requests that carry a deadline.
+        shed_margin: safety factor on the shedder's predicted sojourn;
+            2.0 sheds when the deadline is under twice the prediction.
+        breaker: per-model circuit-breaker thresholds
+            (:class:`~repro.serving.breaker.BreakerConfig`); ``None``
+            disables breakers entirely.
+        health: slot health / device-loss recovery knobs
+            (:class:`~repro.serving.health.HealthConfig`); enabled by
+            default — set ``HealthConfig(enabled=False)`` to restore the
+            old fail-forever behaviour on device loss.
     """
 
     queue_capacity: int = 64
@@ -121,6 +186,11 @@ class ServingConfig:
     validate: bool | None = None
     validate_transfers: bool = False
     seed: int = 0
+    default_deadline_s: float | None = None
+    shedding: bool = True
+    shed_margin: float = 1.0
+    breaker: BreakerConfig | None = None
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if self.admission not in ("block", "reject"):
@@ -134,6 +204,14 @@ class ServingConfig:
         if self.pool_size < 1:
             raise ExecutionError(
                 f"pool_size must be >= 1, got {self.pool_size}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ExecutionError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+        if self.shed_margin <= 0:
+            raise ExecutionError(
+                f"shed_margin must be > 0, got {self.shed_margin}"
             )
         # Delegates batch-knob validation.
         self.batch_config()
@@ -167,14 +245,30 @@ class ServeResult:
 
 
 class ServeFuture:
-    """Handle to an admitted request; resolves when its batch executes."""
+    """Handle to an admitted request; resolves when its batch executes.
 
-    def __init__(self, model: str, inputs: Mapping[str, np.ndarray]):
+    Attributes:
+        deadline_s: the request's end-to-end budget (``None`` = no
+            deadline).  Work still queued past its deadline is dropped at
+            dequeue time and the future fails with
+            :class:`~repro.errors.DeadlineExceededError`.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        inputs: Mapping[str, np.ndarray],
+        deadline_s: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
         self.model = model
         self.inputs = {k: np.asarray(v) for k, v in inputs.items()}
         self.signature = request_signature(self.inputs)
+        self.deadline_s = deadline_s
         self.enqueued_at = 0.0
         self.dequeued_at = 0.0
+        self.expires_at = float("inf")
+        self._clock = clock or time.perf_counter
         self._event = threading.Event()
         self._result: ServeResult | None = None
         self._error: BaseException | None = None
@@ -184,11 +278,28 @@ class ServeFuture:
         return self._event.is_set()
 
     def result(self, timeout_s: float | None = None) -> ServeResult:
-        """Block until the request completes; re-raises its failure."""
+        """Block until the request completes; re-raises its failure.
+
+        Raises :class:`~repro.errors.DeadlineExceededError` when
+        ``timeout_s`` expires before the request resolves.
+        """
         if not self._event.wait(timeout_s):
-            raise ExecutionError(
+            context = ""
+            if self.enqueued_at:
+                elapsed = max(0.0, self._clock() - self.enqueued_at)
+                if self.dequeued_at:
+                    queued = max(0.0, self.dequeued_at - self.enqueued_at)
+                    context = (
+                        f" ({elapsed:.4f}s since admission, "
+                        f"{queued:.4f}s of it queued)"
+                    )
+                else:
+                    context = (
+                        f" ({elapsed:.4f}s since admission, still queued)"
+                    )
+            raise DeadlineExceededError(
                 f"request to model {self.model!r} did not complete within "
-                f"{timeout_s}s"
+                f"{timeout_s}s{context}"
             )
         if self._error is not None:
             raise self._error
@@ -206,7 +317,16 @@ class ServeFuture:
 
 class _WorkerSlot:
     """One lane worker's private execution state: its session, its
-    optional stacked dispatch kernel, and its retry bookkeeping."""
+    optional stacked dispatch kernel, its health record, and its retry
+    bookkeeping.
+
+    The slot can be *rebuilt* onto a different plan: synchronously on its
+    own worker thread after a device loss (onto the survivor's standing
+    degradation plan), or via a staged replacement built on a background
+    thread (back onto the primary plan after
+    :meth:`ServingFrontend.restore_device`) that the worker adopts at the
+    next batch boundary.
+    """
 
     def __init__(
         self,
@@ -218,16 +338,42 @@ class _WorkerSlot:
         injector: "FaultInjector | None",
         validate: bool,
     ):
-        from repro.runtime.session import EngineSession
-
-        middleware: list[Middleware] = []
+        self.lane = lane
+        self.index = index
+        self.config = config
+        self.registry = registry
+        self.clock = clock
+        self.injector = injector
+        self.validate = validate
+        self.health = SlotHealth()
         self.retry_counters: dict[str, int] | None = None
+        self.retry_events: deque = deque(maxlen=256)
         self._flushed = dict.fromkeys(_RETRY_COUNTER_KEYS, 0)
         if config.retry_policy is not None:
             self.retry_counters = dict.fromkeys(_RETRY_COUNTER_KEYS, 0)
-            self.retry_events: deque = deque(maxlen=256)
+        self._generation = 0
+        self._replacement: tuple | None = None
+        self.session, self.decision, self.stacked_kernel = self._components(
+            lane.opt.plan
+        )
+
+    def _components(self, plan: "HeteroPlan"):
+        """Build the session (and stacked kernel, when safe) for ``plan``."""
+        from repro.runtime.session import EngineSession
+
+        config, lane = self.config, self.lane
+        generation = self._generation
+        self._generation += 1
+        middleware: list[Middleware] = []
+        if config.retry_policy is not None:
+            # Generation 0 reproduces the pre-rebuild jitter seeds exactly;
+            # rebuilt sessions fold the generation in so their backoff
+            # draws stay deterministic without replaying the first life's.
+            key = (config.seed, self.index) if generation == 0 else (
+                config.seed, self.index, generation
+            )
             rngs = {
-                dev: np.random.default_rng((config.seed, index, i))
+                dev: np.random.default_rng((*key, i))
                 for i, dev in enumerate(DEVICES)
             }
             middleware.append(
@@ -236,32 +382,63 @@ class _WorkerSlot:
                     self.retry_events,
                     self.retry_counters,
                     rngs,
-                    clock,
+                    self.clock,
                 )
             )
         middleware.append(
-            MetricsMiddleware(registry, labels={"model": lane.name}, clock=clock)
+            MetricsMiddleware(
+                self.registry, labels={"model": lane.name}, clock=self.clock
+            )
         )
-        self.session = EngineSession(
-            lane.opt.plan,
-            validate=validate,
+        session = EngineSession(
+            plan,
+            validate=self.validate,
             opt=lane.opt,
             middleware=middleware,
-            fault_injector=injector,
+            fault_injector=self.injector,
             validate_transfers=config.validate_transfers,
         )
-        self.stacked_kernel: DispatchKernel | None = None
-        if config.batching and config.stacking and lane.decision.stackable:
+        decision = (
+            lane.decision
+            if plan is lane.opt.plan
+            else analyze_stack_safety(plan)
+        )
+        stacked_kernel: DispatchKernel | None = None
+        if config.batching and config.stacking and decision.stackable:
             # No arena: stacked shapes vary with batch size and would
             # thrash the per-slot buffers; no invariant middleware: the
             # lane validates the *split* outputs instead.
-            self.stacked_kernel = DispatchKernel(
-                lane.opt.plan,
+            stacked_kernel = DispatchKernel(
+                plan,
                 workers=InlineWorkers(),
                 middleware=middleware,
-                fault_injector=injector,
+                fault_injector=self.injector,
                 validate_transfers=config.validate_transfers,
             )
+        return session, decision, stacked_kernel
+
+    def rebuild_degraded(self, plan: "HeteroPlan", device: str) -> None:
+        """Rebuild onto a surviving device's degradation plan (called on
+        this slot's own worker thread; other slots keep serving)."""
+        self.session, self.decision, self.stacked_kernel = self._components(
+            plan
+        )
+        self.health.mark_degraded(device)
+
+    def build_replacement(self) -> None:
+        """Build primary-plan components off-thread and stage them; the
+        worker adopts at its next batch boundary."""
+        self._replacement = self._components(self.lane.opt.plan)
+
+    def adopt_replacement(self) -> bool:
+        """Swap in a staged replacement (worker thread only)."""
+        staged = self._replacement
+        if staged is None:
+            return False
+        self._replacement = None
+        self.session, self.decision, self.stacked_kernel = staged
+        self.health.mark_healthy()
+        return True
 
     def flush_retry_counters(self, lane: "_ModelLane") -> None:
         """Publish retry-middleware counter deltas into the registry."""
@@ -275,7 +452,8 @@ class _WorkerSlot:
 
 
 class _ModelLane:
-    """One model's serving lane: queue, workers, metrics, stack decision."""
+    """One model's serving lane: queue, workers, metrics, stack decision,
+    and the resilience trio (slot health, circuit breaker, shedder)."""
 
     def __init__(
         self,
@@ -297,19 +475,26 @@ class _ModelLane:
         self.batch_config = config.batch_config()
         self.decision = analyze_stack_safety(opt.plan)
         self.expected_outputs = self._declared_output_types(opt.plan)
-        self.slots = [
-            _WorkerSlot(self, i, config, registry, clock, injector, validate)
-            for i in range(config.pool_size)
-        ]
-        self.threads: list[threading.Thread] = []
+        self.health = LaneHealth()
+        self.shedder = AdaptiveShedder() if config.shedding else None
 
         self.requests_total = registry.counter(
             "duet_requests_total",
-            help="Requests by model and outcome (ok/error/rejected).",
+            help=(
+                "Requests by model and outcome "
+                "(ok/error/rejected/shed/expired)."
+            ),
         )
         self.batches_total = registry.counter(
             "duet_batches_total",
             help="Executed batches by model and mode (stacked/fallback/single).",
+        )
+        self.shed_total = registry.counter(
+            "duet_shed_total",
+            help=(
+                "Requests refused or dropped unexecuted, by model and "
+                "reason (breaker_open/unmeetable/expired)."
+            ),
         )
         self.queue_depth = registry.gauge(
             "duet_queue_depth", help="Requests waiting in the admission queue."
@@ -330,6 +515,30 @@ class _ModelLane:
             buckets=BATCH_SIZE_BUCKETS,
             help="Requests coalesced per executed batch.",
         )
+        self.breaker_state = registry.gauge(
+            "duet_breaker_state",
+            help="Circuit-breaker state (0=closed, 1=half_open, 2=open).",
+        )
+        self.breaker_transitions = registry.counter(
+            "duet_breaker_transitions_total",
+            help="Circuit-breaker state transitions by model.",
+        )
+        self.slot_state = registry.gauge(
+            "duet_slot_state",
+            help="Worker-slot health (0=healthy, 1=quarantined, 2=degraded).",
+        )
+        self.slot_failstreak = registry.gauge(
+            "duet_slot_consecutive_failures",
+            help="Consecutive request failures per worker slot.",
+        )
+        self.slot_quarantines = registry.counter(
+            "duet_slot_quarantines_total",
+            help="Worker slots quarantined after device loss.",
+        )
+        self.slot_rebuilds = registry.counter(
+            "duet_slot_rebuilds_total",
+            help="Slot session rebuilds by kind (degraded/restored).",
+        )
         self.retry_metrics = {
             "faults": registry.counter(
                 "duet_faults_total", help="Transient task faults observed."
@@ -346,6 +555,25 @@ class _ModelLane:
             ),
         }
 
+        self.breaker: CircuitBreaker | None = None
+        if config.breaker is not None:
+            self.breaker = CircuitBreaker(
+                config.breaker,
+                clock=clock,
+                listener=self._on_breaker_transition,
+            )
+            self.breaker_state.set(
+                BREAKER_STATE_CODES[BREAKER_CLOSED], model=name
+            )
+
+        self.slots = [
+            _WorkerSlot(self, i, config, registry, clock, injector, validate)
+            for i in range(config.pool_size)
+        ]
+        for slot in self.slots:
+            self._publish_slot_state(slot)
+        self.threads: list[threading.Thread] = []
+
     @staticmethod
     def _declared_output_types(plan) -> list[tuple[tuple, np.dtype]]:
         by_id = {task.task_id: task for task in plan.tasks}
@@ -357,6 +585,63 @@ class _ModelLane:
                 (tuple(node.ty.shape), np.dtype(node.ty.dtype.to_numpy()))
             )
         return declared
+
+    # ------------------------------------------------------------------
+    # Resilience bookkeeping
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.breaker_transitions.inc(
+            1, model=self.name, from_state=old, to_state=new
+        )
+        self.breaker_state.set(BREAKER_STATE_CODES[new], model=self.name)
+
+    def _publish_slot_state(self, slot: _WorkerSlot) -> None:
+        self.slot_state.set(
+            SLOT_STATE_CODES[slot.health.state],
+            model=self.name,
+            slot=str(slot.index),
+        )
+
+    def _handle_device_loss(
+        self, slot: _WorkerSlot, exc: DeviceLostError
+    ) -> bool:
+        """Quarantine ``slot`` and rebuild it onto a survivor's standing
+        degradation plan.  Returns True when the slot was rebuilt (the
+        caller retries the failed request once on the new session)."""
+        if not self.config.health.enabled:
+            return False
+        self.health.mark_lost(exc.device)
+        pick = survivor_plan(self.opt.degradation_plans, self.health.lost_devices)
+        if pick is None:
+            # Nothing to fail over to: no survivor has a standing plan.
+            return False
+        device, plan = pick
+        slot.health.quarantine()
+        self.slot_quarantines.inc(1, model=self.name)
+        self._publish_slot_state(slot)
+        slot.rebuild_degraded(plan, device)
+        self.slot_rebuilds.inc(1, model=self.name, kind="degraded")
+        self._publish_slot_state(slot)
+        return True
+
+    def restore(self, device: str) -> bool:
+        """Mark ``device`` healthy again and stage background rebuilds of
+        every non-healthy slot back onto the primary plan.  Returns True
+        when any rebuild was staged."""
+        self.health.revive(device)
+        if self.health.lost_devices:
+            # The primary plan still touches a lost device; stay degraded.
+            return False
+        staged = False
+        for slot in self.slots:
+            if slot.health.state != SLOT_HEALTHY:
+                threading.Thread(
+                    target=slot.build_replacement,
+                    name=f"duet-rebuild-{self.name}-{slot.index}",
+                    daemon=True,
+                ).start()
+                staged = True
+        return staged
 
     # ------------------------------------------------------------------
     # Worker side
@@ -378,6 +663,29 @@ class _ModelLane:
         for t in self.threads:
             t.join()
         self.threads.clear()
+        # The final in-flight batch's retry counters would otherwise be
+        # lost: the flush normally rides the worker loop, which has exited.
+        for slot in self.slots:
+            slot.flush_retry_counters(self)
+        # Requests that raced admission against close() and landed behind
+        # the sentinels would hang their futures forever; fail them now.
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            self.requests_total.inc(1, model=self.name, outcome="rejected")
+            if self.breaker is not None:
+                self.breaker.record_discard()
+            item._fail(
+                ExecutionError(
+                    f"serving frontend closed before the request to model "
+                    f"{self.name!r} executed"
+                )
+            )
+        self.queue_depth.set(0, model=self.name)
 
     def _timed_get(self, timeout_s: float):
         """Batcher-facing queue pull; ``timeout_s <= 0`` never blocks."""
@@ -392,14 +700,42 @@ class _ModelLane:
     def _compatible(self, head, item) -> bool:
         return item is not _SHUTDOWN and item.signature == head.signature
 
+    def _expired(self, item) -> bool:
+        return item is not _SHUTDOWN and self.clock() >= item.expires_at
+
+    def _expire(self, req: ServeFuture) -> None:
+        """Fail a request whose deadline passed while it sat queued."""
+        waited = max(0.0, self.clock() - req.enqueued_at)
+        self.requests_total.inc(1, model=self.name, outcome="expired")
+        self.shed_total.inc(1, model=self.name, reason="expired")
+        self.queue_wait.observe(waited, model=self.name)
+        if self.breaker is not None:
+            self.breaker.record_discard()
+        if self.shedder is not None:
+            # An expiry is hard evidence of congestion: the request's
+            # sojourn was at least its full wait.
+            self.shedder.observe(waited, waited)
+        req._fail(
+            DeadlineExceededError(
+                f"request to model {self.name!r} expired in queue: waited "
+                f"{waited:.4f}s of a {req.deadline_s:.4f}s deadline"
+            )
+        )
+
     def _worker(self, slot: _WorkerSlot) -> None:
         carry = None
         while True:
+            if slot.adopt_replacement():
+                self.slot_rebuilds.inc(1, model=self.name, kind="restored")
+                self._publish_slot_state(slot)
             head = carry if carry is not None else self.queue.get()
             carry = None
             if head is _SHUTDOWN:
                 return
             head.dequeued_at = self.clock()
+            if self._expired(head):
+                self._expire(head)
+                continue
             if self.config.batching:
                 batch, carry = collect_batch(
                     head,
@@ -407,6 +743,8 @@ class _ModelLane:
                     self.clock,
                     self.batch_config,
                     self._compatible,
+                    drop=self._expired,
+                    on_drop=self._expire,
                 )
             else:
                 batch = [head]
@@ -417,57 +755,104 @@ class _ModelLane:
                 self.queue.put(_SHUTDOWN)
                 carry = None
             self.queue_depth.set(self.queue.qsize(), model=self.name)
-            self._execute(slot, batch)
+            try:
+                self._execute(slot, batch)
+            except BaseException as exc:
+                # The zero-hung-futures invariant outranks everything: no
+                # matter what broke, every admitted request must reach a
+                # terminal state.
+                for req in batch:
+                    if not req.done():
+                        self.requests_total.inc(
+                            1, model=self.name, outcome="error"
+                        )
+                        if self.breaker is not None:
+                            self.breaker.record_failure()
+                        req._fail(
+                            ExecutionError(
+                                f"serving worker failed while executing a "
+                                f"batch for model {self.name!r}: {exc!r}"
+                            )
+                        )
 
     def _execute(self, slot: _WorkerSlot, batch: list[ServeFuture]) -> None:
         self.inflight.inc(len(batch), model=self.name)
-        began = self.clock()
-        mode = "single" if len(batch) == 1 else "fallback"
-        outputs: list[list[np.ndarray] | None] = [None] * len(batch)
-        errors: list[BaseException | None] = [None] * len(batch)
-        stacked = False
-        if len(batch) > 1 and slot.stacked_kernel is not None:
-            try:
-                outputs = self._run_stacked_checked(slot, batch)
-                stacked, mode = True, "stacked"
-            except ReproError:
-                # Conservative recovery: anything the stacked path cannot
-                # serve exactly (give-ups included) re-runs per request,
-                # where failures attribute to individual requests.
-                outputs = [None] * len(batch)
-        if not stacked:
-            for i, req in enumerate(batch):
+        try:
+            began = self.clock()
+            mode = "single" if len(batch) == 1 else "fallback"
+            outputs: list[list[np.ndarray] | None] = [None] * len(batch)
+            errors: list[BaseException | None] = [None] * len(batch)
+            stacked = False
+            if len(batch) > 1 and slot.stacked_kernel is not None:
                 try:
-                    outputs[i] = slot.session.run(req.inputs).outputs
-                except ReproError as exc:
-                    errors[i] = exc
-        wall = self.clock() - began
-        now = self.clock()
-        self.batch_size.observe(len(batch), model=self.name)
-        self.batches_total.inc(1, model=self.name, mode=mode)
-        slot.flush_retry_counters(self)
-        for i, req in enumerate(batch):
-            wait = max(0.0, req.dequeued_at - req.enqueued_at)
-            self.queue_wait.observe(wait, model=self.name)
-            self.latency.observe(
-                max(0.0, now - req.enqueued_at), model=self.name
-            )
-            outcome = "ok" if errors[i] is None else "error"
-            self.requests_total.inc(1, model=self.name, outcome=outcome)
-            if errors[i] is not None:
-                req._fail(errors[i])
-            else:
-                req._finish(
-                    ServeResult(
-                        outputs=outputs[i],
-                        model=self.name,
-                        queue_wait_s=wait,
-                        batch_size=len(batch),
-                        stacked=stacked,
-                        wall_time_s=wall,
+                    outputs = self._run_stacked_checked(slot, batch)
+                    stacked, mode = True, "stacked"
+                except ReproError:
+                    # Conservative recovery: anything the stacked path
+                    # cannot serve exactly (give-ups and device loss
+                    # included) re-runs per request, where failures
+                    # attribute to individual requests.
+                    outputs = [None] * len(batch)
+            if not stacked:
+                for i, req in enumerate(batch):
+                    try:
+                        outputs[i] = slot.session.run(req.inputs).outputs
+                    except DeviceLostError as exc:
+                        if self._handle_device_loss(slot, exc):
+                            # The slot now serves from the survivor's
+                            # degradation plan; retry this request once.
+                            try:
+                                outputs[i] = slot.session.run(
+                                    req.inputs
+                                ).outputs
+                            except ReproError as retry_exc:
+                                errors[i] = retry_exc
+                        else:
+                            errors[i] = exc
+                    except ReproError as exc:
+                        errors[i] = exc
+            wall = self.clock() - began
+            now = self.clock()
+            self.batch_size.observe(len(batch), model=self.name)
+            self.batches_total.inc(1, model=self.name, mode=mode)
+            slot.flush_retry_counters(self)
+            for i, req in enumerate(batch):
+                wait = max(0.0, req.dequeued_at - req.enqueued_at)
+                sojourn = max(0.0, now - req.enqueued_at)
+                self.queue_wait.observe(wait, model=self.name)
+                self.latency.observe(sojourn, model=self.name)
+                outcome = "ok" if errors[i] is None else "error"
+                self.requests_total.inc(1, model=self.name, outcome=outcome)
+                if errors[i] is not None:
+                    streak = slot.health.record_failure()
+                    self.slot_failstreak.set(
+                        streak, model=self.name, slot=str(slot.index)
                     )
-                )
-        self.inflight.dec(len(batch), model=self.name)
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    req._fail(errors[i])
+                else:
+                    if slot.health.consecutive_failures:
+                        self.slot_failstreak.set(
+                            0, model=self.name, slot=str(slot.index)
+                        )
+                    slot.health.record_success()
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    if self.shedder is not None:
+                        self.shedder.observe(wait, sojourn)
+                    req._finish(
+                        ServeResult(
+                            outputs=outputs[i],
+                            model=self.name,
+                            queue_wait_s=wait,
+                            batch_size=len(batch),
+                            stacked=stacked,
+                            wall_time_s=wall,
+                        )
+                    )
+        finally:
+            self.inflight.dec(len(batch), model=self.name)
 
     def _run_stacked_checked(
         self, slot: _WorkerSlot, batch: list[ServeFuture]
@@ -476,7 +861,7 @@ class _ModelLane:
         per_request = run_stacked(
             lambda feeds: kernel.run(feeds).outputs,
             [req.inputs for req in batch],
-            self.decision.batch,
+            slot.decision.batch,
         )
         if self.validate:
             for outs in per_request:
@@ -515,8 +900,10 @@ class ServingFrontend:
             pin timing-derived metrics exactly).
         fault_injectors: optional model name ->
             :class:`~repro.runtime.faults.FaultInjector` chaos hooks
-            (shared across that model's workers; use ``pool_size=1``
-            when injecting, injectors are not thread-safe).
+            (shared across that model's workers; plain injectors are not
+            thread-safe, so use ``pool_size=1`` with them — the
+            :class:`~repro.runtime.faults.ScriptedChaosInjector` is
+            thread-safe and supports any pool size).
         autostart: start worker threads immediately.  Pass ``False`` to
             pre-fill queues deterministically, then call :meth:`start`.
     """
@@ -574,7 +961,7 @@ class ServingFrontend:
         return tuple(self._lanes)
 
     def lane_info(self, model: str | None = None) -> dict:
-        """Introspection: the lane's stacking decision and pool shape."""
+        """Introspection: stacking decision, pool shape, and health."""
         lane = self._lane(model)
         return {
             "model": lane.name,
@@ -582,6 +969,11 @@ class ServingFrontend:
             "stack_reason": lane.decision.reason,
             "pool_size": self.config.pool_size,
             "queue_capacity": self.config.queue_capacity,
+            "breaker_state": (
+                lane.breaker.state if lane.breaker is not None else None
+            ),
+            "lost_devices": sorted(lane.health.lost_devices),
+            "slot_states": [slot.health.state for slot in lane.slots],
         }
 
     def _lane(self, model: str | None) -> _ModelLane:
@@ -612,9 +1004,10 @@ class ServingFrontend:
         if self._closed:
             return
         self._closed = True
-        if self._started:
-            for lane in self._lanes.values():
-                lane.shutdown()
+        # Even when the workers never started, queued futures must not be
+        # left hanging: shutdown() drains and fails whatever is waiting.
+        for lane in self._lanes.values():
+            lane.shutdown()
 
     def __enter__(self) -> "ServingFrontend":
         return self
@@ -624,33 +1017,104 @@ class ServingFrontend:
 
     # ------------------------------------------------------------------
 
+    def restore_device(self, device: str, model: str | None = None) -> bool:
+        """Declare a previously lost device healthy again.
+
+        Call this after the fault source recovers (in chaos runs, after
+        ``injector.revive_device(...)`` — the frontend never touches the
+        injector itself).  Each affected lane forgets the loss and stages
+        a *background* rebuild of every degraded slot back onto the
+        primary plan; worker threads adopt the fresh sessions at their
+        next batch boundary, so serving never pauses.  Returns True when
+        any rebuild was staged.
+        """
+        lanes = (
+            [self._lane(model)] if model is not None else self._lanes.values()
+        )
+        staged = False
+        for lane in lanes:
+            staged = lane.restore(device) or staged
+        return staged
+
     def submit(
         self,
         inputs: Mapping[str, np.ndarray],
         model: str | None = None,
+        deadline_s: float | None = None,
     ) -> ServeFuture:
         """Admit one request; returns a :class:`ServeFuture`.
 
-        Raises :class:`~repro.errors.QueueFullError` when the lane's
-        queue is full under ``admission="reject"``, or when a blocking
-        admission's ``submit_timeout_s`` expires.
+        Args:
+            inputs: the request's input tensors.
+            model: lane name (optional when serving a single model).
+            deadline_s: end-to-end budget for this request, from
+                admission; defaults to ``config.default_deadline_s``.
+                Deadlined work still queued past its deadline is dropped
+                at dequeue and fails with
+                :class:`~repro.errors.DeadlineExceededError`.
+
+        Raises:
+            ~repro.errors.QueueFullError: the lane's queue is full under
+                ``admission="reject"``, or a blocking admission's
+                ``submit_timeout_s`` expired.
+            ~repro.errors.CircuitOpenError: the lane's breaker is open.
+            ~repro.errors.LoadShedError: the adaptive shedder predicts
+                the deadline unmeetable.
         """
         if self._closed:
             raise ExecutionError("serving frontend is closed")
         lane = self._lane(model)
-        req = ServeFuture(lane.name, inputs)
-        req.enqueued_at = self.clock()
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ExecutionError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        if lane.breaker is not None and not lane.breaker.allow():
+            lane.requests_total.inc(1, model=lane.name, outcome="shed")
+            lane.shed_total.inc(1, model=lane.name, reason="breaker_open")
+            raise CircuitOpenError(lane.name, lane.breaker.retry_after_s())
         try:
-            if self.config.admission == "reject":
-                lane.queue.put_nowait(req)
-            else:
-                lane.queue.put(req, timeout=self.config.submit_timeout_s)
-        except queue.Full:
-            lane.requests_total.inc(1, model=lane.name, outcome="rejected")
-            raise QueueFullError(
-                f"admission queue for model {lane.name!r} is full "
-                f"({self.config.queue_capacity} waiting)"
-            ) from None
+            if (
+                deadline_s is not None
+                and lane.shedder is not None
+            ):
+                predicted = lane.shedder.unmeetable(
+                    deadline_s, self.config.shed_margin
+                )
+                if predicted is not None:
+                    lane.requests_total.inc(
+                        1, model=lane.name, outcome="shed"
+                    )
+                    lane.shed_total.inc(
+                        1, model=lane.name, reason="unmeetable"
+                    )
+                    raise LoadShedError(lane.name, deadline_s, predicted)
+            req = ServeFuture(
+                lane.name, inputs, deadline_s=deadline_s, clock=self.clock
+            )
+            req.enqueued_at = self.clock()
+            if deadline_s is not None:
+                req.expires_at = req.enqueued_at + deadline_s
+            try:
+                if self.config.admission == "reject":
+                    lane.queue.put_nowait(req)
+                else:
+                    lane.queue.put(req, timeout=self.config.submit_timeout_s)
+            except queue.Full:
+                lane.requests_total.inc(
+                    1, model=lane.name, outcome="rejected"
+                )
+                raise QueueFullError(
+                    f"admission queue for model {lane.name!r} is full "
+                    f"({self.config.queue_capacity} waiting)"
+                ) from None
+        except BaseException:
+            # A half-open admission reserved a probe slot; the request
+            # will never execute, so hand the slot back.
+            if lane.breaker is not None:
+                lane.breaker.record_discard()
+            raise
         lane.queue_depth.set(lane.queue.qsize(), model=lane.name)
         return req
 
@@ -659,9 +1123,12 @@ class ServingFrontend:
         inputs: Mapping[str, np.ndarray],
         model: str | None = None,
         timeout_s: float | None = None,
+        deadline_s: float | None = None,
     ) -> ServeResult:
         """Admit one request and block until its result."""
-        return self.submit(inputs, model=model).result(timeout_s)
+        return self.submit(inputs, model=model, deadline_s=deadline_s).result(
+            timeout_s
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,220 @@
+"""Health tracking for serving lanes: slot states, device loss, shedding.
+
+Three small, thread-safe pieces the frontend composes:
+
+* :class:`SlotHealth` — one worker slot's health record: consecutive
+  request failures plus a state machine over
+
+  ::
+
+      healthy ──DeviceLostError──▶ quarantined ──rebuild ok──▶ degraded
+         ▲                                                        │
+         └───────────── restore_device + rebuild ─────────────────┘
+
+  A *quarantined* slot is out of service while its
+  :class:`~repro.runtime.session.EngineSession` is rebuilt onto a
+  surviving device's standing degradation plan; a *degraded* slot serves
+  correctly (bit-identical outputs — the plans differ only in placement)
+  but without co-execution.  ``restore_device`` rebuilds degraded slots
+  back onto the primary plan in the background and swaps them in at a
+  batch boundary.
+
+* :class:`LaneHealth` — the lane-wide set of lost devices, shared by
+  every slot so the first slot to observe a loss spares the others a
+  doomed dispatch.
+
+* :class:`AdaptiveShedder` — an EWMA of observed queue wait and
+  admission-to-completion sojourn.  At submit time the frontend asks
+  whether a request's deadline is meetable given what the lane has
+  *actually* been delivering; unmeetable work is shed immediately with
+  :class:`~repro.errors.LoadShedError` instead of expiring in the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+__all__ = [
+    "SLOT_HEALTHY",
+    "SLOT_QUARANTINED",
+    "SLOT_DEGRADED",
+    "SLOT_STATE_CODES",
+    "HealthConfig",
+    "SlotHealth",
+    "LaneHealth",
+    "AdaptiveShedder",
+]
+
+SLOT_HEALTHY = "healthy"
+SLOT_QUARANTINED = "quarantined"
+SLOT_DEGRADED = "degraded"
+
+#: Numeric encoding of slot states for the ``duet_slot_state`` gauge.
+SLOT_STATE_CODES = {
+    SLOT_HEALTHY: 0,
+    SLOT_QUARANTINED: 1,
+    SLOT_DEGRADED: 2,
+}
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs of the lane health machinery.
+
+    Attributes:
+        enabled: quarantine/rebuild slots on device loss.  Off, a
+            :class:`~repro.errors.DeviceLostError` simply fails the
+            request (the pre-resilience behaviour).
+        failure_threshold: consecutive per-slot request failures at which
+            the slot is *reported* unhealthy (surfaced through the
+            ``duet_slot_consecutive_failures`` gauge; the per-model
+            circuit breaker is the actor that rejects).
+    """
+
+    enabled: bool = True
+    failure_threshold: int = 5
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ExecutionError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+
+
+class SlotHealth:
+    """Health record of one worker slot (owned by the slot's worker
+    thread; state reads from other threads are advisory)."""
+
+    def __init__(self) -> None:
+        self.state = SLOT_HEALTHY
+        self.consecutive_failures = 0
+        self.degraded_device: str | None = None
+        self.quarantines = 0
+        self.rebuilds = 0
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> int:
+        """Count one terminal request failure; returns the streak length."""
+        self.consecutive_failures += 1
+        return self.consecutive_failures
+
+    def quarantine(self) -> None:
+        self.state = SLOT_QUARANTINED
+        self.quarantines += 1
+
+    def mark_degraded(self, device: str) -> None:
+        """The slot now serves from ``device``'s degradation plan."""
+        self.state = SLOT_DEGRADED
+        self.degraded_device = device
+        self.rebuilds += 1
+
+    def mark_healthy(self) -> None:
+        """The slot is back on the primary plan."""
+        self.state = SLOT_HEALTHY
+        self.degraded_device = None
+        self.consecutive_failures = 0
+        self.rebuilds += 1
+
+
+class LaneHealth:
+    """Lane-wide lost-device set, shared across a lane's worker slots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lost: set[str] = set()
+
+    def mark_lost(self, device: str) -> bool:
+        """Record a device loss; returns True when newly observed."""
+        with self._lock:
+            newly = device not in self._lost
+            self._lost.add(device)
+            return newly
+
+    def revive(self, device: str) -> bool:
+        """Forget a device loss; returns True when it was recorded."""
+        with self._lock:
+            was = device in self._lost
+            self._lost.discard(device)
+            return was
+
+    def is_lost(self, device: str) -> bool:
+        with self._lock:
+            return device in self._lost
+
+    @property
+    def lost_devices(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._lost)
+
+
+class AdaptiveShedder:
+    """EWMA-based deadline feasibility check for admission-time shedding.
+
+    Observes each completed request's queue wait and total sojourn
+    (admission → completion), keeps exponentially weighted means, and
+    predicts the next request's sojourn.  Before ``warmup`` observations
+    the shedder abstains — no prediction, no shedding — so a cold lane
+    never rejects its first requests on zero evidence.
+
+    Args:
+        alpha: EWMA smoothing factor in (0, 1]; higher reacts faster.
+        warmup: observations required before predictions are offered.
+    """
+
+    def __init__(self, alpha: float = 0.2, warmup: int = 8):
+        if not 0.0 < alpha <= 1.0:
+            raise ExecutionError(f"alpha must be in (0, 1], got {alpha}")
+        if warmup < 1:
+            raise ExecutionError(f"warmup must be >= 1, got {warmup}")
+        self.alpha = alpha
+        self.warmup = warmup
+        self._lock = threading.Lock()
+        self._samples = 0
+        self._queue_wait_s = 0.0
+        self._sojourn_s = 0.0
+
+    def observe(self, queue_wait_s: float, sojourn_s: float) -> None:
+        """Record one completed request's timings."""
+        queue_wait_s = max(0.0, queue_wait_s)
+        sojourn_s = max(0.0, sojourn_s)
+        with self._lock:
+            if self._samples == 0:
+                self._queue_wait_s = queue_wait_s
+                self._sojourn_s = sojourn_s
+            else:
+                a = self.alpha
+                self._queue_wait_s += a * (queue_wait_s - self._queue_wait_s)
+                self._sojourn_s += a * (sojourn_s - self._sojourn_s)
+            self._samples += 1
+
+    def predicted_sojourn_s(self) -> float | None:
+        """Predicted admission-to-completion time; None before warmup."""
+        with self._lock:
+            if self._samples < self.warmup:
+                return None
+            return self._sojourn_s
+
+    def predicted_queue_wait_s(self) -> float | None:
+        """Predicted admission-to-dequeue wait; None before warmup."""
+        with self._lock:
+            if self._samples < self.warmup:
+                return None
+            return self._queue_wait_s
+
+    def unmeetable(self, deadline_s: float, margin: float = 1.0) -> float | None:
+        """Whether a ``deadline_s`` budget is predicted unmeetable.
+
+        Returns the offending prediction (sojourn * margin, in seconds)
+        when the deadline should be shed, else ``None`` — also ``None``
+        while warming up.
+        """
+        predicted = self.predicted_sojourn_s()
+        if predicted is None:
+            return None
+        predicted *= margin
+        return predicted if predicted > deadline_s else None

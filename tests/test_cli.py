@@ -71,6 +71,21 @@ class TestCLI:
                      "--policies", "alphazero"]) == 1
         assert "unknown" in capsys.readouterr().err
 
+    def test_chaos_serve_smoke(self, capsys, tmp_path):
+        artifact = tmp_path / "chaos.txt"
+        assert main([
+            "chaos-serve", "--phase-seconds", "0.3",
+            "--recovery-threshold", "0.25", "--metrics",
+            "--output", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos-serve phase scoreboard" in out
+        assert "recovery throughput" in out
+        assert "duet_requests_total" in out
+        written = artifact.read_text(encoding="utf-8")
+        for phase in ("baseline", "transient", "stall", "outage", "recovery"):
+            assert phase in written
+
 
 class TestCLIProfileCache:
     def test_optimize_with_cache(self, capsys, tmp_path):
