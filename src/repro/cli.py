@@ -190,14 +190,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Closed-loop load through the multi-tenant serving frontend."""
-    from repro.bench import elementwise_chain, run_closed_loop
+    from repro.bench import elementwise_chain, format_table, run_closed_loop
     from repro.ir import make_inputs
-    from repro.serving import ServingConfig
+    from repro.serving import ServingConfig, TenantRegistry
 
     if args.model:
         graph = build_model(args.model, tiny=args.tiny)
     else:
         graph = elementwise_chain()
+    tenants = None
+    if args.tenants:
+        try:
+            tenants = TenantRegistry.from_file(args.tenants)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     engine = DuetEngine(machine=default_machine(noisy=False))
     config = ServingConfig(
         queue_capacity=args.queue_capacity,
@@ -206,8 +213,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batching=not args.no_batching,
         max_batch_size=args.max_batch,
         max_linger_s=args.linger_ms * 1e-3,
+        tenants=tenants,
     )
     feeds = make_inputs(graph)
+    names = tenants.names if tenants is not None else ()
     with engine.serve(graph, config=config) as frontend:
         info = frontend.lane_info()
         print(
@@ -215,9 +224,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{'on' if config.batching else 'off'}, stacked execution "
             f"{'on' if info['stackable'] else 'off (' + info['stack_reason'] + ')'}"
         )
+        if names:
+            classes = ", ".join(
+                f"{name}={tenants.resolve(name).priority}" for name in names
+            )
+            print(f"tenants (round-robin traffic): {classes}")
         frontend.request(feeds)  # warm-up: weights + arena, paid once
         load = run_closed_loop(
-            lambda i: frontend.request(feeds),
+            lambda i: frontend.request(
+                feeds, tenant=names[i % len(names)] if names else None
+            ),
             n_requests=args.requests,
             concurrency=args.concurrency,
         )
@@ -247,6 +263,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         print(f"batches executed: {batches.total():.0f}")
+        if names:
+            lane_name = info["model"]
+            latency = frontend.registry.histogram(
+                "duet_tenant_request_latency_seconds"
+            )
+            served = frontend.registry.counter("duet_tenant_requests_total")
+            misses = frontend.registry.counter("duet_tenant_slo_miss_total")
+            preempts = frontend.registry.counter(
+                "duet_tenant_preemptions_total"
+            )
+            rows = []
+            for name in names:
+                cfg = tenants.resolve(name)
+                snap = latency.snapshot(model=lane_name, tenant=name)
+                p99, clamped = snap.quantile_estimate(0.99)
+                rows.append(
+                    {
+                        "tenant": name,
+                        "class": cfg.priority,
+                        "weight": cfg.weight,
+                        "ok": int(
+                            served.value(
+                                model=lane_name, tenant=name, outcome="ok"
+                            )
+                        ),
+                        "p99_ms": f"{p99 * 1e3:.3f}"
+                        + (">=" if clamped else ""),
+                        "slo_ms": (
+                            "-" if cfg.slo_p99_s is None
+                            else f"{cfg.slo_p99_s * 1e3:.1f}"
+                        ),
+                        "misses": int(
+                            misses.value(model=lane_name, tenant=name)
+                        ),
+                        "preempted": int(
+                            preempts.value(model=lane_name, tenant=name)
+                        ),
+                    }
+                )
+            print()
+            print(format_table(rows, title="per-tenant scoreboard"))
         if args.metrics:
             print()
             print(frontend.render_metrics(), end="")
@@ -282,6 +339,39 @@ def _cmd_chaos_serve(args: argparse.Namespace) -> int:
             if args.metrics:
                 fh.write("\n" + report.metrics_text)
         print(f"chaos report written to {args.output}")
+    if not report.ok and not args.no_strict:
+        return 1
+    return 0
+
+
+def _cmd_slo_bench(args: argparse.Namespace) -> int:
+    """Mixed-priority SLO benchmark: critical latency vs best-effort
+    throughput, with the two-sided scheduling invariants checked."""
+    import json as _json
+
+    from repro.bench import run_slo_mix
+
+    report = run_slo_mix(
+        duration_s=args.duration_seconds,
+        model=args.model,
+        tiny=args.tiny,
+        critical_clients=args.critical_clients,
+        critical_think_s=args.critical_think_ms * 1e-3,
+        critical_slo_s=args.slo_ms * 1e-3,
+        best_effort_clients=args.best_effort_clients,
+        seed=args.seed,
+        be_threshold=args.best_effort_threshold,
+        pool_size=args.pool_size,
+    )
+    print(report.render())
+    if args.metrics:
+        print()
+        print(report.metrics_text, end="")
+    if args.output:
+        report.write_scoreboard(args.output)
+        print(f"slo scoreboard written to {args.output}")
+    if args.json:
+        print(_json.dumps(report.scoreboard(), indent=2))
     if not report.ok and not args.no_strict:
         return 1
     return 0
@@ -462,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the Prometheus-style metrics exposition after the run",
     )
+    p_serve.add_argument(
+        "--tenants", default=None, metavar="FILE",
+        help="tenants JSON file (see examples/tenants.json); traffic is "
+        "spread round-robin across the registered tenants and a "
+        "per-tenant scoreboard is printed",
+    )
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_chaos = sub.add_parser(
@@ -520,6 +616,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 0 even when resilience invariants fail",
     )
     p_chaos.set_defaults(fn=_cmd_chaos_serve)
+
+    p_slo = sub.add_parser(
+        "slo-bench",
+        help="mixed-priority SLO benchmark: a paced critical tenant vs a "
+        "best-effort flood, two-sided invariants checked",
+    )
+    p_slo.add_argument(
+        "model", nargs="?", choices=MODEL_NAMES, default="wide_deep",
+        help="zoo model to serve (default: wide_deep, the multi-phase "
+        "model, so preemption points exist)",
+    )
+    p_slo.add_argument(
+        "--tiny", action="store_true", default=True,
+        help="test-scale model configuration (default: on)",
+    )
+    p_slo.add_argument(
+        "--full-size", dest="tiny", action="store_false",
+        help="full-size model configuration",
+    )
+    p_slo.add_argument(
+        "--duration-seconds", type=float, default=2.0, metavar="S",
+        help="length of each leg (isolated baseline, then the mix)",
+    )
+    p_slo.add_argument(
+        "--critical-clients", type=int, default=1, metavar="K",
+        help="paced interactive clients on the critical tenant",
+    )
+    p_slo.add_argument(
+        "--critical-think-ms", type=float, default=50.0,
+        help="critical client idle time between requests",
+    )
+    p_slo.add_argument(
+        "--slo-ms", type=float, default=250.0,
+        help="critical tenant's p99 SLO target",
+    )
+    p_slo.add_argument(
+        "--best-effort-clients", type=int, default=4, metavar="K",
+        help="closed-loop flood threads on the best-effort tenant",
+    )
+    p_slo.add_argument(
+        "--best-effort-threshold", type=float, default=0.7,
+        help="required best-effort throughput as a fraction of its "
+        "isolated baseline",
+    )
+    p_slo.add_argument(
+        "--pool-size", type=int, default=1, help="worker sessions per model"
+    )
+    p_slo.add_argument(
+        "--seed", type=int, default=0, help="input-corpus seed"
+    )
+    p_slo.add_argument(
+        "--metrics", action="store_true",
+        help="also print the final metrics exposition",
+    )
+    p_slo.add_argument(
+        "--json", action="store_true",
+        help="also print the scoreboard as JSON",
+    )
+    p_slo.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the per-tenant scoreboard (JSON) to this file",
+    )
+    p_slo.add_argument(
+        "--no-strict", action="store_true",
+        help="exit 0 even when SLO invariants fail",
+    )
+    p_slo.set_defaults(fn=_cmd_slo_bench)
 
     p_tournament = sub.add_parser(
         "tournament",

@@ -84,6 +84,7 @@ __all__ = [
     "TransferGuardMiddleware",
     "InvariantMiddleware",
     "DispatchKernel",
+    "PhaseCheckpoint",
 ]
 
 #: The device workers every plan is dispatched across.
@@ -188,6 +189,39 @@ class CoreResult:
     wall_time_s: float
     task_worker: dict[str, str]  # task id -> device worker that ran it
     task_order: list[str]  # completion order
+
+
+@dataclass
+class PhaseCheckpoint:
+    """A preempted inline dispatch, frozen at a plan phase boundary.
+
+    Returned by :meth:`DispatchKernel.run_preemptible` when the
+    ``should_preempt`` predicate fired between two tasks with different
+    ``phase_index``.  The checkpoint owns private *copies* of every
+    committed value — arena-backed dispatches share buffers across
+    requests, so anything the interrupting request executes through the
+    same kernel would otherwise clobber the suspended frontier.  Because
+    the copies are exact and feed resolution at resume reads them
+    verbatim, a resumed run is bit-identical to an uninterrupted one.
+
+    Attributes:
+        state: the dispatch state as of the completed-phase frontier
+            (values detached from the arena).
+        next_index: index into ``plan.tasks`` of the first unexecuted
+            task.
+        inputs: the request's external feeds (resume reuses them).
+        phase_index: the last *completed* phase.
+        elapsed_s: active execution wall time accumulated so far
+            (suspension time is not counted).
+        preemptions: how many times this run has been suspended.
+    """
+
+    state: DispatchState
+    next_index: int
+    inputs: Mapping[str, np.ndarray]
+    phase_index: int
+    elapsed_s: float
+    preemptions: int
 
 
 # ----------------------------------------------------------------------
@@ -998,6 +1032,97 @@ class DispatchKernel:
                 ) from exc.cause
             self._commit(state, ctx)
         return self._collect(state, t0)
+
+    def run_preemptible(
+        self,
+        inputs: Mapping[str, np.ndarray] | None = None,
+        should_preempt: Callable[[], bool] | None = None,
+        checkpoint: PhaseCheckpoint | None = None,
+    ) -> CoreResult | PhaseCheckpoint:
+        """Inline execution with suspension points at phase boundaries.
+
+        Runs the plan like :meth:`run` (inline workers only), but before
+        executing the first task of each *new* phase consults
+        ``should_preempt()``; when it returns True the dispatch is
+        frozen into a :class:`PhaseCheckpoint` and returned instead of a
+        result.  Pass the checkpoint back (``checkpoint=...``) to resume
+        from the completed-phase frontier; inputs are carried inside it.
+        Each segment executes at least one task, so a pathological
+        always-preempt predicate still terminates in at most
+        ``len(plan.tasks)`` resumptions.
+
+        The resumed run is bit-identical to an uninterrupted one: the
+        checkpoint detaches every committed value from the arena (exact
+        copies), and feed resolution consumes those copies verbatim —
+        interleaved requests through the same kernel/arena cannot
+        perturb it.  ``CoreResult.wall_time_s`` accumulates only active
+        segments, never suspended time.
+
+        Raises :class:`~repro.errors.ExecutionError` when driven with a
+        threaded worker strategy (preemption points are defined by the
+        sequential plan order).
+        """
+        if not isinstance(self.workers, InlineWorkers):
+            raise ExecutionError(
+                "run_preemptible requires InlineWorkers; threaded "
+                "dispatch has no sequential phase boundaries to suspend at"
+            )
+        if checkpoint is None:
+            if inputs is None:
+                raise ExecutionError(
+                    "run_preemptible needs inputs when starting fresh"
+                )
+            state = DispatchState(self.plan, self.template)
+            start, elapsed, preemptions = 0, 0.0, 0
+        else:
+            state = checkpoint.state
+            start = checkpoint.next_index
+            inputs = checkpoint.inputs
+            elapsed = checkpoint.elapsed_s
+            preemptions = checkpoint.preemptions
+        t0 = time.perf_counter()
+        attempt = self._attempt_stack(state, inputs)
+        tasks = self.plan.tasks  # plan order is topological
+        for i in range(start, len(tasks)):
+            task = tasks[i]
+            if (
+                should_preempt is not None
+                and i > start  # guarantee progress within each segment
+                and task.phase_index != tasks[i - 1].phase_index
+                and should_preempt()
+            ):
+                with state.lock:
+                    # Detach the frontier from the arena: an interloper
+                    # dispatched through this kernel while we are
+                    # suspended reuses (and clobbers) the same buffers.
+                    state.values = {
+                        key: np.copy(value)
+                        for key, value in state.values.items()
+                    }
+                return PhaseCheckpoint(
+                    state=state,
+                    next_index=i,
+                    inputs=inputs,
+                    phase_index=tasks[i - 1].phase_index,
+                    elapsed_s=elapsed + (time.perf_counter() - t0),
+                    preemptions=preemptions + 1,
+                )
+            ctx = TaskContext(task=task, device=task.device)
+            try:
+                attempt(ctx)
+            except _GiveUp as exc:
+                raise ExecutionError(
+                    f"task {task.task_id!r} failed after "
+                    f"{exc.attempts} attempt(s): {exc.cause}"
+                ) from exc.cause
+            self._commit(state, ctx)
+        outputs = [state.values[(tid, idx)] for tid, idx in self.plan.outputs]
+        return CoreResult(
+            outputs=outputs,
+            wall_time_s=elapsed + (time.perf_counter() - t0),
+            task_worker=dict(state.task_worker),
+            task_order=list(state.task_order),
+        )
 
     def _crosses_devices(self, state: DispatchState, task: TaskSpec, dest: str) -> bool:
         """Does ``task`` consume any tensor produced off ``dest``?"""

@@ -36,11 +36,13 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 import numpy as np
 
 from repro.runtime.core import (
+    CoreResult,
     DispatchKernel,
     ExecutionEvent,
     InlineWorkers,
     InvariantMiddleware,
     Middleware,
+    PhaseCheckpoint,
     TracingMiddleware,
 )
 from repro.runtime.memory import TensorArena
@@ -50,7 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import DuetOptimization
     from repro.runtime.faults import FaultInjector
 
-__all__ = ["SessionResult", "EngineSession"]
+__all__ = ["SessionResult", "SuspendedRun", "EngineSession"]
 
 
 @dataclass
@@ -65,6 +67,55 @@ class SessionResult:
 
     outputs: list[np.ndarray]
     wall_time_s: float
+    preemptions: int = 0
+
+
+class SuspendedRun:
+    """A session request preempted at a plan phase boundary.
+
+    Holds the :class:`~repro.runtime.core.PhaseCheckpoint` of the
+    suspended dispatch.  While suspended, the session lock is released:
+    the same session may serve other (e.g. higher-priority) requests,
+    whose arena reuse cannot perturb the checkpoint (its values are
+    detached copies).  Call :meth:`resume` to continue from the
+    completed-phase frontier; the eventual outputs are bit-identical to
+    an uninterrupted :meth:`EngineSession.run` of the same inputs.
+    """
+
+    def __init__(
+        self,
+        session: "EngineSession",
+        checkpoint: PhaseCheckpoint,
+        should_preempt: Callable[[], bool],
+    ):
+        self._session = session
+        self._checkpoint = checkpoint
+        self._should_preempt = should_preempt
+
+    @property
+    def phase_index(self) -> int:
+        """The last completed phase."""
+        return self._checkpoint.phase_index
+
+    @property
+    def preemptions(self) -> int:
+        """How many times this request has been suspended so far."""
+        return self._checkpoint.preemptions
+
+    def resume(
+        self, should_preempt: Callable[[], bool] | None = None
+    ) -> "SessionResult | SuspendedRun":
+        """Continue execution; may suspend again at a later boundary.
+
+        ``should_preempt`` overrides the predicate for the remaining
+        phases (defaults to the one the run started with).
+        """
+        return self._session._continue(
+            self._checkpoint,
+            should_preempt if should_preempt is not None else (
+                self._should_preempt
+            ),
+        )
 
 
 class EngineSession:
@@ -150,3 +201,54 @@ class EngineSession:
     ) -> list[SessionResult]:
         """Serve a sequence of requests back to back."""
         return [self.run(inputs) for inputs in batches]
+
+    def run_preemptible(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        should_preempt: Callable[[], bool],
+    ) -> "SessionResult | SuspendedRun":
+        """One inference that may suspend at plan phase boundaries.
+
+        Returns a :class:`SessionResult` when the request ran to
+        completion, or a :class:`SuspendedRun` when ``should_preempt()``
+        fired at a phase boundary.  The session lock is released while
+        suspended, so the caller may serve other requests on this
+        session before resuming; outputs are bit-identical to
+        :meth:`run` either way.
+        """
+        with self._lock:
+            outcome = self._kernel.run_preemptible(
+                inputs, should_preempt=should_preempt
+            )
+            return self._conclude(outcome, should_preempt, preemptions=0)
+
+    def _continue(
+        self,
+        checkpoint: PhaseCheckpoint,
+        should_preempt: Callable[[], bool],
+    ) -> "SessionResult | SuspendedRun":
+        with self._lock:
+            outcome = self._kernel.run_preemptible(
+                should_preempt=should_preempt, checkpoint=checkpoint
+            )
+            return self._conclude(
+                outcome, should_preempt, preemptions=checkpoint.preemptions
+            )
+
+    def _conclude(
+        self,
+        outcome: "CoreResult | PhaseCheckpoint",
+        should_preempt: Callable[[], bool],
+        preemptions: int,
+    ) -> "SessionResult | SuspendedRun":
+        """Wrap a preemptible dispatch outcome (caller holds the lock)."""
+        if isinstance(outcome, PhaseCheckpoint):
+            return SuspendedRun(self, outcome, should_preempt)
+        self.requests_served += 1
+        # wall_time_s counts active execution segments only; a preempted
+        # request is not billed for time spent suspended.
+        return SessionResult(
+            outputs=[np.copy(o) for o in outcome.outputs],
+            wall_time_s=outcome.wall_time_s,
+            preemptions=preemptions,
+        )

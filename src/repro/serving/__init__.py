@@ -49,7 +49,16 @@ from repro.serving.health import (
     HealthConfig,
     LaneHealth,
     SlotHealth,
+    TenantAwareShedder,
 )
+from repro.serving.tenants import (
+    DEFAULT_TENANT,
+    PRIORITY_CLASSES,
+    PRIORITY_TIERS,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.serving.wfq import WFQAdmissionQueue
 from repro.serving.metrics import (
     BATCH_SIZE_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -64,6 +73,9 @@ from repro.serving.metrics import (
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
+    "DEFAULT_TENANT",
+    "PRIORITY_CLASSES",
+    "PRIORITY_TIERS",
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
@@ -92,6 +104,10 @@ __all__ = [
     "ServingFrontend",
     "SlotHealth",
     "StackDecision",
+    "TenantAwareShedder",
+    "TenantConfig",
+    "TenantRegistry",
+    "WFQAdmissionQueue",
     "analyze_stack_safety",
     "collect_batch",
     "parse_exposition",

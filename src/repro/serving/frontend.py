@@ -87,6 +87,7 @@ from repro.runtime.core import (
     InlineWorkers,
     MetricsMiddleware,
     Middleware,
+    PhaseCheckpoint,
     RetryMiddleware,
 )
 from repro.runtime.resilient import survivor_plan
@@ -103,15 +104,18 @@ from repro.serving.breaker import (
     BreakerConfig,
     CircuitBreaker,
 )
+from repro.runtime.session import SuspendedRun
 from repro.serving.health import (
     SLOT_HEALTHY,
     SLOT_STATE_CODES,
-    AdaptiveShedder,
     HealthConfig,
     LaneHealth,
     SlotHealth,
+    TenantAwareShedder,
 )
 from repro.serving.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+from repro.serving.tenants import DEFAULT_TENANT, TenantConfig, TenantRegistry
+from repro.serving.wfq import WFQAdmissionQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import DuetEngine, DuetOptimization
@@ -172,6 +176,20 @@ class ServingConfig:
             (:class:`~repro.serving.health.HealthConfig`); enabled by
             default — set ``HealthConfig(enabled=False)`` to restore the
             old fail-forever behaviour on device loss.
+        tenants: the :class:`~repro.serving.tenants.TenantRegistry`
+            governing per-tenant priority classes, WFQ weights, SLO
+            targets, and default deadlines.  ``None`` leaves every
+            request on the anonymous standard-class default tenant
+            (single-flow FIFO, the pre-tenant behaviour).
+        preemption: let a waiting higher-priority request interrupt a
+            lower-priority one at its next plan *phase boundary*; the
+            preempted request resumes from its completed-phase frontier
+            with bit-identical outputs.  Tier-0 (critical) work is
+            never preempted.
+        starvation_escape: consecutive dequeues that may bypass a
+            backlogged lower-priority tier before one dequeue is
+            granted to the longest-waiting bypassed request; ``None``
+            disables the escape (pure strict priority).
     """
 
     queue_capacity: int = 64
@@ -191,6 +209,9 @@ class ServingConfig:
     shed_margin: float = 1.0
     breaker: BreakerConfig | None = None
     health: HealthConfig = field(default_factory=HealthConfig)
+    tenants: TenantRegistry | None = None
+    preemption: bool = True
+    starvation_escape: int | None = 64
 
     def __post_init__(self) -> None:
         if self.admission not in ("block", "reject"):
@@ -212,6 +233,11 @@ class ServingConfig:
         if self.shed_margin <= 0:
             raise ExecutionError(
                 f"shed_margin must be > 0, got {self.shed_margin}"
+            )
+        if self.starvation_escape is not None and self.starvation_escape < 1:
+            raise ExecutionError(
+                f"starvation_escape must be >= 1 or None, "
+                f"got {self.starvation_escape}"
             )
         # Delegates batch-knob validation.
         self.batch_config()
@@ -252,6 +278,11 @@ class ServeFuture:
             deadline).  Work still queued past its deadline is dropped at
             dequeue time and the future fails with
             :class:`~repro.errors.DeadlineExceededError`.
+        tenant: the :class:`~repro.serving.tenants.TenantConfig` the
+            request was admitted under (the anonymous standard-class
+            default unless the submitter named one).
+        preemptions: how many times this request's execution was
+            suspended at a phase boundary for higher-priority work.
     """
 
     def __init__(
@@ -260,11 +291,14 @@ class ServeFuture:
         inputs: Mapping[str, np.ndarray],
         deadline_s: float | None = None,
         clock: Callable[[], float] | None = None,
+        tenant: TenantConfig = DEFAULT_TENANT,
     ):
         self.model = model
         self.inputs = {k: np.asarray(v) for k, v in inputs.items()}
         self.signature = request_signature(self.inputs)
         self.deadline_s = deadline_s
+        self.tenant = tenant
+        self.preemptions = 0
         self.enqueued_at = 0.0
         self.dequeued_at = 0.0
         self.expires_at = float("inf")
@@ -471,12 +505,28 @@ class _ModelLane:
         self.registry = registry
         self.clock = clock
         self.validate = validate
-        self.queue: "queue.Queue" = queue.Queue(maxsize=config.queue_capacity)
+        self.tenants = config.tenants or TenantRegistry()
+        self.queue = WFQAdmissionQueue(
+            config.queue_capacity,
+            classify=self._classify,
+            starvation_escape=config.starvation_escape,
+        )
         self.batch_config = config.batch_config()
+        # Critical-tier heads never linger: latency beats batching for
+        # the top class (already-waiting compatible work still coalesces).
+        self.critical_batch_config = BatchConfig(
+            max_batch_size=config.max_batch_size, max_linger_s=0.0
+        )
         self.decision = analyze_stack_safety(opt.plan)
         self.expected_outputs = self._declared_output_types(opt.plan)
         self.health = LaneHealth()
-        self.shedder = AdaptiveShedder() if config.shedding else None
+        # The LatencyOracle-derived end-to-end estimate seeds the
+        # shedder's service prior so cold-start predictions are anchored.
+        self.shedder = (
+            TenantAwareShedder(service_prior_s=max(0.0, opt.latency))
+            if config.shedding
+            else None
+        )
 
         self.requests_total = registry.counter(
             "duet_requests_total",
@@ -538,6 +588,32 @@ class _ModelLane:
         self.slot_rebuilds = registry.counter(
             "duet_slot_rebuilds_total",
             help="Slot session rebuilds by kind (degraded/restored).",
+        )
+        self.tenant_queue_delay = registry.histogram(
+            "duet_tenant_queue_delay_seconds",
+            help="Admission-to-dequeue wait per request, by tenant.",
+        )
+        self.tenant_latency = registry.histogram(
+            "duet_tenant_request_latency_seconds",
+            help="Admission-to-completion latency per request, by tenant.",
+        )
+        self.tenant_requests = registry.counter(
+            "duet_tenant_requests_total",
+            help="Requests by model, tenant, and outcome.",
+        )
+        self.tenant_slo_miss = registry.counter(
+            "duet_tenant_slo_miss_total",
+            help=(
+                "Requests that missed their tenant's p99 SLO target "
+                "(completed late, expired, or shed)."
+            ),
+        )
+        self.tenant_preemptions = registry.counter(
+            "duet_tenant_preemptions_total",
+            help=(
+                "Executions suspended at a phase boundary for "
+                "higher-priority work, by preempted tenant."
+            ),
         )
         self.retry_metrics = {
             "faults": registry.counter(
@@ -687,6 +763,14 @@ class _ModelLane:
             )
         self.queue_depth.set(0, model=self.name)
 
+    @staticmethod
+    def _classify(item):
+        """WFQ classifier: shutdown sentinels ride the control channel."""
+        if item is _SHUTDOWN:
+            return None
+        tenant = item.tenant
+        return (tenant.tier, tenant.name, tenant.weight)
+
     def _timed_get(self, timeout_s: float):
         """Batcher-facing queue pull; ``timeout_s <= 0`` never blocks."""
         if timeout_s <= 0:
@@ -698,10 +782,24 @@ class _ModelLane:
         return item
 
     def _compatible(self, head, item) -> bool:
-        return item is not _SHUTDOWN and item.signature == head.signature
+        # Same-tier only: a batch has one priority, so higher-priority
+        # work is never held behind (or preempted by) its own batch.
+        return (
+            item is not _SHUTDOWN
+            and item.signature == head.signature
+            and item.tenant.tier == head.tenant.tier
+        )
 
     def _expired(self, item) -> bool:
         return item is not _SHUTDOWN and self.clock() >= item.expires_at
+
+    def _slo_missed(self, req: ServeFuture, sojourn_s: float) -> None:
+        """Count an SLO miss when the tenant has a target and blew it."""
+        slo = req.tenant.slo_p99_s
+        if slo is not None and sojourn_s > slo:
+            self.tenant_slo_miss.inc(
+                1, model=self.name, tenant=req.tenant.name
+            )
 
     def _expire(self, req: ServeFuture) -> None:
         """Fail a request whose deadline passed while it sat queued."""
@@ -709,12 +807,19 @@ class _ModelLane:
         self.requests_total.inc(1, model=self.name, outcome="expired")
         self.shed_total.inc(1, model=self.name, reason="expired")
         self.queue_wait.observe(waited, model=self.name)
+        self.tenant_requests.inc(
+            1, model=self.name, tenant=req.tenant.name, outcome="expired"
+        )
+        self.tenant_queue_delay.observe(
+            waited, model=self.name, tenant=req.tenant.name
+        )
+        self._slo_missed(req, waited)
         if self.breaker is not None:
             self.breaker.record_discard()
         if self.shedder is not None:
             # An expiry is hard evidence of congestion: the request's
             # sojourn was at least its full wait.
-            self.shedder.observe(waited, waited)
+            self.shedder.observe(waited, waited, tenant=req.tenant.name)
         req._fail(
             DeadlineExceededError(
                 f"request to model {self.name!r} expired in queue: waited "
@@ -741,7 +846,11 @@ class _ModelLane:
                     head,
                     self._timed_get,
                     self.clock,
-                    self.batch_config,
+                    (
+                        self.critical_batch_config
+                        if head.tenant.tier == 0
+                        else self.batch_config
+                    ),
                     self._compatible,
                     drop=self._expired,
                     on_drop=self._expire,
@@ -795,16 +904,21 @@ class _ModelLane:
                     outputs = [None] * len(batch)
             if not stacked:
                 for i, req in enumerate(batch):
+                    if i and self._preemptible(req.tenant.tier):
+                        # Between batch members is a natural preemption
+                        # point too: serve any higher-priority arrivals
+                        # before the next same-tier request.
+                        self._serve_preempting(slot, req.tenant.tier)
                     try:
-                        outputs[i] = slot.session.run(req.inputs).outputs
+                        outputs[i] = self._run_request(slot, req)
                     except DeviceLostError as exc:
                         if self._handle_device_loss(slot, exc):
                             # The slot now serves from the survivor's
-                            # degradation plan; retry this request once.
+                            # degradation plan; retry this request once
+                            # (from scratch — any suspended frontier
+                            # belonged to the lost session).
                             try:
-                                outputs[i] = slot.session.run(
-                                    req.inputs
-                                ).outputs
+                                outputs[i] = self._run_request(slot, req)
                             except ReproError as retry_exc:
                                 errors[i] = retry_exc
                         else:
@@ -823,6 +937,19 @@ class _ModelLane:
                 self.latency.observe(sojourn, model=self.name)
                 outcome = "ok" if errors[i] is None else "error"
                 self.requests_total.inc(1, model=self.name, outcome=outcome)
+                self.tenant_requests.inc(
+                    1,
+                    model=self.name,
+                    tenant=req.tenant.name,
+                    outcome=outcome,
+                )
+                self.tenant_queue_delay.observe(
+                    wait, model=self.name, tenant=req.tenant.name
+                )
+                self.tenant_latency.observe(
+                    sojourn, model=self.name, tenant=req.tenant.name
+                )
+                self._slo_missed(req, sojourn)
                 if errors[i] is not None:
                     streak = slot.health.record_failure()
                     self.slot_failstreak.set(
@@ -840,7 +967,9 @@ class _ModelLane:
                     if self.breaker is not None:
                         self.breaker.record_success()
                     if self.shedder is not None:
-                        self.shedder.observe(wait, sojourn)
+                        self.shedder.observe(
+                            wait, sojourn, tenant=req.tenant.name
+                        )
                     req._finish(
                         ServeResult(
                             outputs=outputs[i],
@@ -854,12 +983,110 @@ class _ModelLane:
         finally:
             self.inflight.dec(len(batch), model=self.name)
 
+    # ------------------------------------------------------------------
+    # Phase-boundary preemption
+
+    def _preemptible(self, tier: int) -> bool:
+        """Whether work of ``tier`` yields to higher-priority arrivals
+        at phase boundaries.  Tier 0 has nobody above it."""
+        return self.config.preemption and tier > 0
+
+    def _run_request(self, slot: _WorkerSlot, req: ServeFuture):
+        """One request on the slot's session, yielding to higher-priority
+        arrivals at plan phase boundaries when preemption is enabled."""
+        tier = req.tenant.tier
+        if not self._preemptible(tier):
+            return slot.session.run(req.inputs).outputs
+        outcome = slot.session.run_preemptible(
+            req.inputs,
+            should_preempt=lambda: self.queue.has_higher_tier(tier),
+        )
+        while isinstance(outcome, SuspendedRun):
+            self._record_preemption(req)
+            self._serve_preempting(slot, tier)
+            outcome = outcome.resume()
+        return outcome.outputs
+
+    def _record_preemption(self, req: ServeFuture) -> None:
+        req.preemptions += 1
+        self.tenant_preemptions.inc(
+            1, model=self.name, tenant=req.tenant.name
+        )
+
+    def _serve_preempting(self, slot: _WorkerSlot, tier: int) -> None:
+        """Drain and execute every request waiting above ``tier``.
+
+        Called while a lower-priority request sits suspended at a phase
+        boundary (its frontier is checkpointed off the arena, so these
+        executions cannot perturb it).  Preemptors skip the batching
+        window — the point is latency — and run as singleton batches
+        with full accounting; a standard-class preemptor may itself be
+        preempted by a critical arrival (recursion is bounded by the
+        number of tiers).
+        """
+        while True:
+            try:
+                vip = self.queue.get_preempting_nowait(tier)
+            except queue.Empty:
+                return
+            vip.dequeued_at = self.clock()
+            self.queue_depth.set(self.queue.qsize(), model=self.name)
+            if self._expired(vip):
+                self._expire(vip)
+                continue
+            try:
+                self._execute(slot, [vip])
+            except BaseException as exc:
+                # Same zero-hung-futures guarantee the worker loop gives.
+                if not vip.done():
+                    self.requests_total.inc(
+                        1, model=self.name, outcome="error"
+                    )
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    vip._fail(
+                        ExecutionError(
+                            f"serving worker failed while executing a "
+                            f"preempting request for model "
+                            f"{self.name!r}: {exc!r}"
+                        )
+                    )
+
     def _run_stacked_checked(
         self, slot: _WorkerSlot, batch: list[ServeFuture]
     ) -> list[list[np.ndarray]]:
         kernel = slot.stacked_kernel
+        tier = batch[0].tenant.tier
+        if self._preemptible(tier):
+
+            def run_feeds(feeds):
+                # The stacked dispatch suspends at phase boundaries too:
+                # a critical arrival interrupts the whole best-effort
+                # batch, runs on the slot's session, and the batch then
+                # resumes from its checkpointed frontier bit-identically.
+                outcome = kernel.run_preemptible(
+                    feeds,
+                    should_preempt=lambda: self.queue.has_higher_tier(tier),
+                )
+                while isinstance(outcome, PhaseCheckpoint):
+                    for req in batch:
+                        self._record_preemption(req)
+                    self._serve_preempting(slot, tier)
+                    outcome = kernel.run_preemptible(
+                        should_preempt=lambda: self.queue.has_higher_tier(
+                            tier
+                        ),
+                        checkpoint=outcome,
+                    )
+                return outcome.outputs
+
+        else:
+
+            def run_feeds(feeds):
+                return kernel.run(feeds).outputs
+
         per_request = run_stacked(
-            lambda feeds: kernel.run(feeds).outputs,
+            run_feeds,
             [req.inputs for req in batch],
             slot.decision.batch,
         )
@@ -972,6 +1199,8 @@ class ServingFrontend:
             "breaker_state": (
                 lane.breaker.state if lane.breaker is not None else None
             ),
+            "tenants": lane.tenants.names,
+            "preemption": self.config.preemption,
             "lost_devices": sorted(lane.health.lost_devices),
             "slot_states": [slot.health.state for slot in lane.slots],
         }
@@ -1041,6 +1270,7 @@ class ServingFrontend:
         inputs: Mapping[str, np.ndarray],
         model: str | None = None,
         deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> ServeFuture:
         """Admit one request; returns a :class:`ServeFuture`.
 
@@ -1048,10 +1278,16 @@ class ServingFrontend:
             inputs: the request's input tensors.
             model: lane name (optional when serving a single model).
             deadline_s: end-to-end budget for this request, from
-                admission; defaults to ``config.default_deadline_s``.
+                admission; defaults to the tenant's
+                ``default_deadline_s``, then ``config.default_deadline_s``.
                 Deadlined work still queued past its deadline is dropped
                 at dequeue and fails with
                 :class:`~repro.errors.DeadlineExceededError`.
+            tenant: tenant name resolving through the configured
+                :class:`~repro.serving.tenants.TenantRegistry`; ``None``
+                is the anonymous standard-class default.  The tenant
+                decides the request's strict-priority tier, WFQ weight,
+                SLO accounting, and default deadline.
 
         Raises:
             ~repro.errors.QueueFullError: the lane's queue is full under
@@ -1064,6 +1300,9 @@ class ServingFrontend:
         if self._closed:
             raise ExecutionError("serving frontend is closed")
         lane = self._lane(model)
+        tenant_cfg = lane.tenants.resolve(tenant)
+        if deadline_s is None:
+            deadline_s = tenant_cfg.default_deadline_s
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         if deadline_s is not None and deadline_s <= 0:
@@ -1080,7 +1319,10 @@ class ServingFrontend:
                 and lane.shedder is not None
             ):
                 predicted = lane.shedder.unmeetable(
-                    deadline_s, self.config.shed_margin
+                    deadline_s,
+                    self.config.shed_margin,
+                    tenant=tenant_cfg.name,
+                    backlog_ahead=lane.queue.backlog_ahead(tenant_cfg.tier),
                 )
                 if predicted is not None:
                     lane.requests_total.inc(
@@ -1089,9 +1331,25 @@ class ServingFrontend:
                     lane.shed_total.inc(
                         1, model=lane.name, reason="unmeetable"
                     )
+                    lane.tenant_requests.inc(
+                        1,
+                        model=lane.name,
+                        tenant=tenant_cfg.name,
+                        outcome="shed",
+                    )
+                    if tenant_cfg.slo_p99_s is not None:
+                        # Shed deadlined work never completes: that is
+                        # an SLO miss for a tenant with a target.
+                        lane.tenant_slo_miss.inc(
+                            1, model=lane.name, tenant=tenant_cfg.name
+                        )
                     raise LoadShedError(lane.name, deadline_s, predicted)
             req = ServeFuture(
-                lane.name, inputs, deadline_s=deadline_s, clock=self.clock
+                lane.name,
+                inputs,
+                deadline_s=deadline_s,
+                clock=self.clock,
+                tenant=tenant_cfg,
             )
             req.enqueued_at = self.clock()
             if deadline_s is not None:
@@ -1124,11 +1382,12 @@ class ServingFrontend:
         model: str | None = None,
         timeout_s: float | None = None,
         deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> ServeResult:
         """Admit one request and block until its result."""
-        return self.submit(inputs, model=model, deadline_s=deadline_s).result(
-            timeout_s
-        )
+        return self.submit(
+            inputs, model=model, deadline_s=deadline_s, tenant=tenant
+        ).result(timeout_s)
 
     # ------------------------------------------------------------------
 

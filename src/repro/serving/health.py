@@ -46,6 +46,7 @@ __all__ = [
     "SlotHealth",
     "LaneHealth",
     "AdaptiveShedder",
+    "TenantAwareShedder",
 ]
 
 SLOT_HEALTHY = "healthy"
@@ -217,4 +218,124 @@ class AdaptiveShedder:
         if predicted is None:
             return None
         predicted *= margin
+        return predicted if predicted > deadline_s else None
+
+
+class TenantAwareShedder:
+    """Per-tenant adaptive shedding with an oracle-seeded service prior.
+
+    Extends :class:`AdaptiveShedder` semantics across tenants:
+
+    * each tenant gets its own EWMA of queue wait and sojourn (a
+      best-effort tenant's inflated sojourns must not shed a critical
+      tenant whose observed latency is fine — and vice versa);
+    * one *shared* service-time EWMA (``sojourn - queue wait``) is kept
+      across tenants, seeded from the scheduler's
+      :class:`~repro.core.scheduler.LatencyOracle`-derived estimate
+      (``DuetOptimization.latency``) so predictions have an anchor
+      before any traffic arrives.  The oracle estimate is simulated
+      device time, not host wall time, so it is a *prior*, not a pin:
+      the EWMA converges onto observed service within a few requests;
+    * :meth:`unmeetable` takes the requesting tenant and the admission
+      queue's current ``backlog_ahead`` for it (items that would be
+      served first), adding a contention term ``backlog * service``.
+      Backlog-ahead is monotone in priority tier, so at equal load a
+      critical request is never predicted a longer sojourn — and hence
+      never shed — in favor of a best-effort one.
+
+    For a warm tenant with an empty queue the prediction degenerates to
+    exactly the tenant's sojourn EWMA — the single-tenant behaviour of
+    :class:`AdaptiveShedder`.
+    """
+
+    DEFAULT_TENANT = "default"
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        warmup: int = 8,
+        service_prior_s: float = 0.0,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ExecutionError(f"alpha must be in (0, 1], got {alpha}")
+        if warmup < 1:
+            raise ExecutionError(f"warmup must be >= 1, got {warmup}")
+        if service_prior_s < 0:
+            raise ExecutionError(
+                f"service_prior_s must be >= 0, got {service_prior_s}"
+            )
+        self.alpha = alpha
+        self.warmup = warmup
+        self.service_prior_s = service_prior_s
+        self._lock = threading.Lock()
+        self._samples = 0
+        self._service_s = service_prior_s
+        self._tenants: dict[str, AdaptiveShedder] = {}
+
+    def _tenant(self, tenant: str | None) -> AdaptiveShedder:
+        name = tenant or self.DEFAULT_TENANT
+        shedder = self._tenants.get(name)
+        if shedder is None:
+            shedder = self._tenants[name] = AdaptiveShedder(
+                alpha=self.alpha, warmup=self.warmup
+            )
+        return shedder
+
+    def observe(
+        self,
+        queue_wait_s: float,
+        sojourn_s: float,
+        tenant: str | None = None,
+    ) -> None:
+        """Record one completed request's timings for ``tenant``."""
+        self._tenant(tenant).observe(queue_wait_s, sojourn_s)
+        service = max(0.0, sojourn_s - queue_wait_s)
+        with self._lock:
+            if self._samples == 0 and self.service_prior_s == 0.0:
+                self._service_s = service
+            else:
+                # A nonzero oracle prior is blended away rather than
+                # replaced: it anchored cold-start predictions and the
+                # EWMA walks from it to the observed service time.
+                self._service_s += self.alpha * (service - self._service_s)
+            self._samples += 1
+
+    def service_estimate_s(self) -> float:
+        """Current service-time estimate (oracle prior until traffic)."""
+        with self._lock:
+            return self._service_s
+
+    def predicted_sojourn_s(self, tenant: str | None = None) -> float | None:
+        """``tenant``'s EWMA sojourn; None before its warmup."""
+        return self._tenant(tenant).predicted_sojourn_s()
+
+    def predicted_queue_wait_s(
+        self, tenant: str | None = None
+    ) -> float | None:
+        """``tenant``'s EWMA queue wait; None before its warmup."""
+        return self._tenant(tenant).predicted_queue_wait_s()
+
+    def unmeetable(
+        self,
+        deadline_s: float,
+        margin: float = 1.0,
+        tenant: str | None = None,
+        backlog_ahead: int = 0,
+    ) -> float | None:
+        """Whether ``tenant``'s deadline is predicted unmeetable.
+
+        Prediction = (tenant sojourn EWMA, or the shared service
+        estimate for a tenant still warming up) + ``backlog_ahead`` *
+        service estimate, scaled by ``margin``.  Returns the offending
+        prediction, or None to admit.  A fully cold lane (fewer than
+        ``warmup`` observations across *all* tenants) abstains entirely,
+        matching :class:`AdaptiveShedder`.
+        """
+        base = self._tenant(tenant).predicted_sojourn_s()
+        with self._lock:
+            if base is None:
+                if self._samples < self.warmup:
+                    return None
+                base = self._service_s
+            predicted = (base + backlog_ahead * self._service_s) * margin
         return predicted if predicted > deadline_s else None

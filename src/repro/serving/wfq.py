@@ -1,0 +1,296 @@
+"""Two-tier admission queue: strict priority over weighted fair queueing.
+
+Replaces the serving lane's single FIFO.  The queue holds *data* items
+(requests) in per-``(tier, tenant)`` flows plus an out-of-band *control*
+channel (worker shutdown sentinels).  Scheduling is:
+
+1. **Strict priority across tiers** — a waiting request in a lower-
+   numbered tier (``critical`` = 0) is always dequeued before any
+   higher-numbered tier, except when the anti-starvation escape fires
+   (below).
+2. **Weighted fair queueing within a tier** — start-time fair queueing
+   over the tier's tenant flows.  Each arrival is stamped with a virtual
+   *start* tag ``max(tier_vtime, tenant_last_finish)`` and a *finish*
+   tag ``start + 1/weight``; the flow whose head has the smallest finish
+   tag is served, and the tier's virtual time advances to the served
+   item's start tag.  Under sustained backlog each tenant drains in
+   proportion to its weight; within one tenant order is strictly FIFO
+   (tags are monotone per flow).
+3. **Anti-starvation escape** — after ``starvation_escape`` consecutive
+   dequeues that bypassed a backlogged lower-priority tier, one dequeue
+   goes to the longest-waiting bypassed item instead, so the lowest
+   class keeps a trickle of service under a permanent high-priority
+   flood.  ``None`` disables the escape (pure strict priority).
+
+The API is a drop-in superset of the :class:`queue.Queue` surface the
+frontend uses — ``put``/``put_nowait``/``get``/``get_nowait``/``qsize``
+raising :class:`queue.Empty`/:class:`queue.Full` — plus tenant-aware
+introspection (:meth:`backlog_ahead`, :meth:`depths`) and the
+preemption hooks (:meth:`has_higher_tier`,
+:meth:`get_preempting_nowait`) the phase-boundary preemption path is
+built on.
+
+Control items never count against capacity (a shutdown must never
+deadlock against a full queue) and are handed out only when no data is
+waiting, so ``close()`` drains admitted work before stopping workers.
+
+The queue is clock-free: fairness is defined over *dequeue decisions*,
+not wall time, which is what makes the property suite in
+``tests/serving/test_wfq.py`` runnable on a scripted virtual clock with
+no real sleeps.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import ExecutionError
+
+__all__ = ["WFQAdmissionQueue"]
+
+#: classify(item) -> (tier, tenant name, weight), or None for controls.
+Classifier = Callable[[object], "tuple[int, str, float] | None"]
+
+
+def _default_classify(item) -> tuple[int, str, float] | None:
+    tenant = getattr(item, "tenant", None)
+    if tenant is None:
+        return (1, "default", 1.0)
+    return (tenant.tier, tenant.name, tenant.weight)
+
+
+class _Flow:
+    """One tenant's FIFO within a tier, with its WFQ finish-tag state."""
+
+    __slots__ = ("items", "last_finish")
+
+    def __init__(self) -> None:
+        # (start_tag, finish_tag, seq, item); seq breaks finish-tag ties
+        # deterministically in arrival order.
+        self.items: deque[tuple[float, float, int, object]] = deque()
+        self.last_finish = 0.0
+
+
+class WFQAdmissionQueue:
+    """Bounded strict-priority + weighted-fair admission queue.
+
+    Args:
+        capacity: bound on waiting *data* items (controls are exempt).
+        classify: maps an item to ``(tier, tenant, weight)`` or ``None``
+            for control items; the default reads ``item.tenant``
+            (a :class:`~repro.serving.tenants.TenantConfig`) and treats
+            items without one as the standard-tier default tenant.
+        starvation_escape: consecutive lower-tier bypasses tolerated
+            before one dequeue is granted to the longest-waiting
+            bypassed item; ``None`` disables the escape.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        classify: Classifier | None = None,
+        starvation_escape: int | None = 64,
+    ):
+        if capacity < 1:
+            raise ExecutionError(f"capacity must be >= 1, got {capacity}")
+        if starvation_escape is not None and starvation_escape < 1:
+            raise ExecutionError(
+                f"starvation_escape must be >= 1 or None, "
+                f"got {starvation_escape}"
+            )
+        self.capacity = capacity
+        self.starvation_escape = starvation_escape
+        self._classify = classify or _default_classify
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._flows: dict[tuple[int, str], _Flow] = {}
+        self._vtime: dict[int, float] = {}
+        self._controls: deque = deque()
+        self._size = 0
+        self._seq = 0
+        self._bypasses = 0
+        self.escapes = 0  # granted anti-starvation dequeues (introspection)
+
+    # ------------------------------------------------------------------
+    # Producer side
+
+    def put(self, item, block: bool = True, timeout: float | None = None):
+        """Enqueue; blocks while data capacity is exhausted.
+
+        Control items (``classify(item) is None``) bypass capacity and
+        never block.
+        """
+        key = self._classify(item)
+        with self._not_full:
+            if key is None:
+                self._controls.append(item)
+                self._not_empty.notify()
+                return
+            if not block:
+                if self._size >= self.capacity:
+                    raise _queue.Full
+            elif timeout is None:
+                while self._size >= self.capacity:
+                    self._not_full.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while self._size >= self.capacity:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise _queue.Full
+                    self._not_full.wait(remaining)
+            self._enqueue(key, item)
+            self._not_empty.notify()
+
+    def put_nowait(self, item) -> None:
+        self.put(item, block=False)
+
+    def _enqueue(self, key: tuple[int, str, float], item) -> None:
+        tier, tenant, weight = key
+        flow = self._flows.setdefault((tier, tenant), _Flow())
+        start = max(self._vtime.get(tier, 0.0), flow.last_finish)
+        finish = start + 1.0 / weight
+        flow.last_finish = finish
+        flow.items.append((start, finish, self._seq, item))
+        self._seq += 1
+        self._size += 1
+
+    # ------------------------------------------------------------------
+    # Consumer side
+
+    def get(self, block: bool = True, timeout: float | None = None):
+        """Dequeue the scheduled item; controls only when no data waits."""
+        with self._not_empty:
+            if not block:
+                if not self._size and not self._controls:
+                    raise _queue.Empty
+            elif timeout is None:
+                while not self._size and not self._controls:
+                    self._not_empty.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while not self._size and not self._controls:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise _queue.Empty
+                    self._not_empty.wait(remaining)
+            return self._dequeue()
+
+    def get_nowait(self):
+        return self.get(block=False)
+
+    def get_preempting_nowait(self, tier: int):
+        """Dequeue from a tier strictly above ``tier``; raises
+        :class:`queue.Empty` when no higher-priority data waits.
+
+        This is the preemption pull: it never yields controls, never
+        trips the anti-starvation escape, and never returns same-or-
+        lower-priority work.
+        """
+        with self._not_empty:
+            best = self._best_tier(below=tier)
+            if best is None:
+                raise _queue.Empty
+            item = self._pop_tier(best)
+            self._size -= 1
+            self._not_full.notify()
+            return item
+
+    def _dequeue(self):
+        if not self._size:
+            return self._controls.popleft()
+        backlogged = sorted(
+            t for (t, _), flow in self._flows.items() if flow.items
+        )
+        tier = backlogged[0]
+        if (
+            self.starvation_escape is not None
+            and len(backlogged) > 1
+            and self._bypasses >= self.starvation_escape
+        ):
+            # Grant the longest-waiting bypassed item one dequeue.
+            tier = min(
+                backlogged[1:],
+                key=lambda t: min(
+                    flow.items[0][2]
+                    for (ft, _), flow in self._flows.items()
+                    if ft == t and flow.items
+                ),
+            )
+            self._bypasses = 0
+            self.escapes += 1
+        elif len(backlogged) > 1 and tier < backlogged[-1]:
+            self._bypasses += 1
+        else:
+            self._bypasses = 0
+        item = self._pop_tier(tier)
+        self._size -= 1
+        self._not_full.notify()
+        return item
+
+    def _best_tier(self, below: int) -> int | None:
+        """Lowest-numbered backlogged tier strictly above ``below``."""
+        tiers = [
+            t
+            for (t, _), flow in self._flows.items()
+            if flow.items and t < below
+        ]
+        return min(tiers) if tiers else None
+
+    def _pop_tier(self, tier: int):
+        """WFQ pick within ``tier``: smallest head finish tag wins,
+        arrival order breaks ties; the tier's virtual time advances to
+        the served item's start tag (start-time fair queueing)."""
+        flow = min(
+            (f for (t, _), f in self._flows.items() if t == tier and f.items),
+            key=lambda f: (f.items[0][1], f.items[0][2]),
+        )
+        start, _finish, _seq, item = flow.items.popleft()
+        vt = self._vtime.get(tier, 0.0)
+        if start > vt:
+            self._vtime[tier] = start
+        return item
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def qsize(self) -> int:
+        """Waiting *data* items (controls excluded)."""
+        with self._lock:
+            return self._size
+
+    def empty(self) -> bool:
+        with self._lock:
+            return not self._size and not self._controls
+
+    def has_higher_tier(self, tier: int) -> bool:
+        """Any data waiting in a tier strictly above (lower-numbered
+        than) ``tier``?  The phase-boundary preemption predicate."""
+        with self._lock:
+            return self._best_tier(below=tier) is not None
+
+    def backlog_ahead(self, tier: int) -> int:
+        """Waiting items a new ``tier`` arrival would queue behind:
+        everything in its own or a higher-priority tier.  Feeds the
+        shedder's contention term — monotone in tier, so a critical
+        request never sees more contention than a best-effort one."""
+        with self._lock:
+            return sum(
+                len(flow.items)
+                for (t, _), flow in self._flows.items()
+                if t <= tier
+            )
+
+    def depths(self) -> dict[str, int]:
+        """Waiting items per tenant (non-empty flows only)."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for (_, tenant), flow in self._flows.items():
+                if flow.items:
+                    out[tenant] = out.get(tenant, 0) + len(flow.items)
+            return out

@@ -19,7 +19,13 @@ execution path and demanding exact agreement:
 * the unified :class:`~repro.runtime.core.DispatchKernel` driven
   directly with the inline worker strategy and an arena — the
   configuration :class:`~repro.runtime.session.EngineSession` serves
-  repeated requests with.
+  repeated requests with;
+* the same kernel driven *preemptibly*
+  (:meth:`~repro.runtime.core.DispatchKernel.run_preemptible`), forced
+  to suspend at **every** plan phase boundary with an interloping
+  full dispatch clobbering the shared arena between segments — the
+  serving frontend's phase-boundary preemption path, which must resume
+  from its checkpointed frontier bit-identically.
 
 Outputs are compared element-exactly (same shape, same dtype, ``==``
 everywhere) — all paths run the same NumPy kernels in dependency order,
@@ -47,7 +53,7 @@ from repro.devices.machine import Machine, default_machine
 from repro.errors import ReproError
 from repro.ir.graph import Graph
 from repro.ir.interpreter import make_inputs, run_graph
-from repro.runtime.core import DispatchKernel, InlineWorkers
+from repro.runtime.core import DispatchKernel, InlineWorkers, PhaseCheckpoint
 from repro.runtime.memory import TensorArena
 from repro.runtime.resilient import ResilientExecutor
 from repro.runtime.simulator import simulate
@@ -73,6 +79,7 @@ EXECUTOR_NAMES = (
     "threaded:overlap",
     "resilient",
     "core",
+    "preempt",
 )
 
 PlacementTransform = Callable[[dict[str, str], PhasedPartition], dict[str, str]]
@@ -338,6 +345,38 @@ def run_differential(
                         "between repeated runs"
                     )
 
+        def run_preempt(outcome, plan=plan):
+            # The serving frontend's preemption path: force a suspension
+            # at every phase boundary, and run a full interloping dispatch
+            # on the same kernel (same arena) while suspended — exactly
+            # what a higher-priority request does to a preempted one.
+            # The checkpointed frontier must survive the arena clobber.
+            kernel = DispatchKernel(
+                plan, workers=InlineWorkers(), arena=TensorArena()
+            )
+            hops = 0
+            out = kernel.run_preemptible(feeds, should_preempt=lambda: True)
+            while isinstance(out, PhaseCheckpoint):
+                hops += 1
+                kernel.run(feeds)  # interloper clobbers the arena
+                out = kernel.run_preemptible(
+                    should_preempt=lambda: True, checkpoint=out
+                )
+            outcome.outputs = out.outputs
+            outcome.task_order = out.task_order
+            report.divergences += _compare(outcome.name, out.outputs, ref)
+            report.violations += check_task_order(plan, out.task_order)
+            boundaries = sum(
+                1
+                for prev, cur in zip(plan.tasks, plan.tasks[1:])
+                if cur.phase_index != prev.phase_index
+            )
+            if hops != boundaries:
+                report.violations.append(
+                    f"{outcome.name}: suspended {hops} times, plan has "
+                    f"{boundaries} phase boundaries"
+                )
+
         attempt(f"simulator{suffix}", run_simulator)
         attempt(f"simulator:overlap{suffix}", run_simulator_overlap)
         attempt(f"threaded{suffix}", run_threaded)
@@ -349,5 +388,6 @@ def run_differential(
         )
         attempt(f"resilient{suffix}", run_resilient)
         attempt(f"core{suffix}", run_core)
+        attempt(f"preempt{suffix}", run_preempt)
 
     return report

@@ -1,0 +1,466 @@
+"""Property suite for the two-tier WFQ admission queue.
+
+Everything here runs on a *virtual clock*: the queue's fairness is
+defined over dequeue decisions, not wall time, so the properties are
+checked by replaying scripted put/get sequences — no sleeps, no worker
+threads, no timing tolerance beyond WFQ's inherent discretization.
+
+Properties under test (ISSUE 8, satellite 1):
+
+* work conservation — a dequeue never comes up empty while data waits,
+  and every admitted item is eventually served exactly once;
+* weighted share — under sustained backlog, tenants within one tier
+  drain in proportion to their weights (within discretization
+  tolerance);
+* no starvation — with the escape enabled, the lowest class keeps a
+  trickle of service under a permanent higher-priority flood;
+* FIFO within tenant — a tenant's own requests are never reordered,
+  for any interleaving of arrivals and any weights;
+* single-flow degeneration — with one anonymous tenant the queue is
+  exactly the FIFO it replaced.
+"""
+
+import queue
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.serving import TenantConfig, WFQAdmissionQueue
+from tests.strategies import GET, PUT, admission_scripts
+
+
+class Item:
+    """A fake request: a tenant plus an arrival serial number."""
+
+    __slots__ = ("tenant", "serial")
+
+    def __init__(self, tenant, serial):
+        self.tenant = tenant
+        self.serial = serial
+
+    def __repr__(self):
+        name = self.tenant.name if self.tenant else None
+        return f"Item({name}, {self.serial})"
+
+
+def make_tenants(*specs):
+    """specs: (name, priority, weight) triples -> TenantConfig list."""
+    return [
+        TenantConfig(name=name, priority=priority, weight=weight)
+        for name, priority, weight in specs
+    ]
+
+
+def drain(q):
+    """Dequeue everything, no blocking; order is the schedule."""
+    out = []
+    while True:
+        try:
+            out.append(q.get_nowait())
+        except queue.Empty:
+            return out
+
+
+# ---------------------------------------------------------------------------
+# Construction / queue.Queue surface
+
+
+def test_capacity_validation():
+    with pytest.raises(ExecutionError):
+        WFQAdmissionQueue(0)
+    with pytest.raises(ExecutionError):
+        WFQAdmissionQueue(4, starvation_escape=0)
+    WFQAdmissionQueue(4, starvation_escape=None)  # escape off is legal
+
+
+def test_put_nowait_full_and_get_nowait_empty():
+    q = WFQAdmissionQueue(2)
+    q.put_nowait(Item(None, 0))
+    q.put_nowait(Item(None, 1))
+    with pytest.raises(queue.Full):
+        q.put_nowait(Item(None, 2))
+    assert q.qsize() == 2
+    drain(q)
+    with pytest.raises(queue.Empty):
+        q.get_nowait()
+
+
+def test_put_with_timeout_raises_full():
+    q = WFQAdmissionQueue(1)
+    q.put_nowait(Item(None, 0))
+    with pytest.raises(queue.Full):
+        q.put(Item(None, 1), timeout=0.01)
+
+
+def test_get_with_timeout_raises_empty():
+    q = WFQAdmissionQueue(1)
+    with pytest.raises(queue.Empty):
+        q.get(timeout=0.01)
+
+
+def control_aware(sentinels):
+    """A classifier mapping ``sentinels`` to the control channel, like
+    the frontend's (the default classifier treats everything as data)."""
+
+    def classify(item):
+        if item in sentinels:
+            return None
+        t = item.tenant
+        if t is None:
+            return (1, "default", 1.0)
+        return (t.tier, t.name, t.weight)
+
+    return classify
+
+
+def test_controls_bypass_capacity_and_yield_after_data():
+    sentinel_a, sentinel_b = object(), object()
+    q = WFQAdmissionQueue(1, classify=control_aware((sentinel_a, sentinel_b)))
+    q.put_nowait(Item(None, 0))
+    # Queue is at data capacity; the control must still go through
+    # (shutdown cannot deadlock on a full queue) and must not be handed
+    # out while admitted work waits (close() drains the backlog first).
+    q.put_nowait(sentinel_a)
+    q.put_nowait(sentinel_b)
+    assert q.qsize() == 1  # controls are not data
+    assert not q.empty()
+    first = q.get_nowait()
+    assert isinstance(first, Item)
+    assert q.get_nowait() is sentinel_a
+    assert q.get_nowait() is sentinel_b
+    assert q.empty()
+
+
+# ---------------------------------------------------------------------------
+# FIFO degeneration and per-tenant FIFO
+
+
+@settings(max_examples=60, deadline=None)
+@given(admission_scripts(num_tenants=1, capacity=16))
+def test_single_anonymous_tenant_is_exactly_fifo(script):
+    """One flow == the plain FIFO the WFQ queue replaced."""
+    q = WFQAdmissionQueue(16)
+    serial = 0
+    expected: list[int] = []
+    got: list[int] = []
+    backlog: list[int] = []
+    for op, _ in script:
+        if op == PUT:
+            q.put_nowait(Item(None, serial))
+            backlog.append(serial)
+            serial += 1
+        else:
+            got.append(q.get_nowait().serial)
+            expected.append(backlog.pop(0))
+    assert got == expected
+    # whatever the script left behind drains in arrival order too
+    assert [item.serial for item in drain(q)] == backlog
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    admission_scripts(num_tenants=3, capacity=16),
+    st.lists(
+        st.sampled_from([0.5, 1.0, 2.0, 4.0]), min_size=3, max_size=3
+    ),
+)
+def test_fifo_within_tenant_any_interleaving(script, weights):
+    """A tenant's own items are never reordered, whatever the weights."""
+    tenants = make_tenants(
+        ("a", "standard", weights[0]),
+        ("b", "standard", weights[1]),
+        ("c", "best_effort", weights[2]),
+    )
+    q = WFQAdmissionQueue(16)
+    serial = 0
+    served: dict[str, list[int]] = {t.name: [] for t in tenants}
+    arrived: dict[str, list[int]] = {t.name: [] for t in tenants}
+    for op, idx in script:
+        if op == PUT:
+            t = tenants[idx]
+            q.put_nowait(Item(t, serial))
+            arrived[t.name].append(serial)
+            serial += 1
+        else:
+            item = q.get_nowait()
+            served[item.tenant.name].append(item.serial)
+    for item in drain(q):
+        served[item.tenant.name].append(item.serial)
+    assert served == arrived  # same items, same per-tenant order
+
+
+# ---------------------------------------------------------------------------
+# Work conservation
+
+
+@settings(max_examples=60, deadline=None)
+@given(admission_scripts(num_tenants=3, capacity=16))
+def test_work_conservation(script):
+    """Every admitted item is served exactly once; a get never fails
+    while data waits; qsize tracks the script's pending count."""
+    tenants = make_tenants(
+        ("crit", "critical", 1.0),
+        ("std", "standard", 2.0),
+        ("be", "best_effort", 1.0),
+    )
+    q = WFQAdmissionQueue(16, starvation_escape=4)
+    serial = 0
+    pending = 0
+    seen: set[int] = set()
+    for op, idx in script:
+        if op == PUT:
+            q.put_nowait(Item(tenants[idx], serial))
+            serial += 1
+            pending += 1
+        else:
+            item = q.get_nowait()  # must not raise: data is waiting
+            assert item.serial not in seen
+            seen.add(item.serial)
+            pending -= 1
+        assert q.qsize() == pending
+    rest = drain(q)
+    assert len(seen) + len(rest) == serial
+    assert seen.isdisjoint({i.serial for i in rest})
+
+
+# ---------------------------------------------------------------------------
+# Weighted fair share within a tier
+
+
+def weighted_share_counts(weights, rounds=600):
+    """Sustained backlog: every dequeue is followed by a same-tenant
+    put, so all flows stay backlogged and the service counts measure
+    the scheduler's steady-state shares."""
+    tenants = make_tenants(
+        *((f"t{i}", "standard", w) for i, w in enumerate(weights))
+    )
+    q = WFQAdmissionQueue(capacity=len(tenants) * 4)
+    serial = 0
+    for t in tenants:
+        for _ in range(4):
+            q.put_nowait(Item(t, serial))
+            serial += 1
+    counts = {t.name: 0 for t in tenants}
+    for _ in range(rounds):
+        item = q.get_nowait()
+        counts[item.tenant.name] += 1
+        q.put_nowait(Item(item.tenant, serial))
+        serial += 1
+    return counts
+
+
+@pytest.mark.parametrize(
+    "weights",
+    [
+        (1.0, 1.0),
+        (1.0, 2.0),
+        (1.0, 2.0, 4.0),
+        (0.5, 1.0, 1.0, 2.0),
+    ],
+)
+def test_weighted_share_proportional(weights):
+    rounds = 600
+    counts = weighted_share_counts(weights, rounds=rounds)
+    total_w = sum(weights)
+    for i, w in enumerate(weights):
+        got = counts[f"t{i}"] / rounds
+        want = w / total_w
+        # Start-time fair queueing converges on proportional shares; a
+        # 5-percentage-point band absorbs the discretization error.
+        assert abs(got - want) < 0.05, (counts, weights)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.sampled_from([0.5, 1.0, 2.0, 3.0]), min_size=2, max_size=4)
+)
+def test_weighted_share_proportional_random_weights(weights):
+    rounds = 400
+    counts = weighted_share_counts(weights, rounds=rounds)
+    total_w = sum(weights)
+    for i, w in enumerate(weights):
+        assert abs(counts[f"t{i}"] / rounds - w / total_w) < 0.08, (
+            counts,
+            weights,
+        )
+
+
+def test_equal_weights_interleave_round_robin():
+    """Two equal flows with standing backlog alternate service."""
+    a, b = make_tenants(("a", "standard", 1.0), ("b", "standard", 1.0))
+    q = WFQAdmissionQueue(16)
+    for i in range(4):
+        q.put_nowait(Item(a, i))
+    for i in range(4):
+        q.put_nowait(Item(b, 10 + i))
+    order = [item.tenant.name for item in drain(q)]
+    # After the first service of each flow, no tenant is served twice
+    # in a row while the other is backlogged.
+    for i in range(1, 7):
+        window = order[i - 1 : i + 2]
+        assert len(set(window)) > 1, order
+
+
+# ---------------------------------------------------------------------------
+# Strict priority across tiers, and the anti-starvation escape
+
+
+def test_strict_priority_without_escape():
+    """Escape disabled: lower tiers are served only when higher tiers
+    are empty — the best-effort class can starve completely."""
+    crit, be = make_tenants(
+        ("crit", "critical", 1.0), ("be", "best_effort", 1.0)
+    )
+    q = WFQAdmissionQueue(64, starvation_escape=None)
+    for i in range(8):
+        q.put_nowait(Item(be, i))
+    served = []
+    for i in range(100):
+        q.put_nowait(Item(crit, 100 + i))
+        served.append(q.get_nowait().tenant.name)
+    assert served == ["crit"] * 100
+    assert q.escapes == 0
+    # Once the flood stops, best-effort drains in FIFO order.
+    assert [it.serial for it in drain(q)] == list(range(8))
+
+
+def test_starvation_escape_grants_trickle():
+    """After K bypasses of a backlogged lower tier, one dequeue goes to
+    its longest-waiting item."""
+    K = 5
+    crit, be = make_tenants(
+        ("crit", "critical", 1.0), ("be", "best_effort", 1.0)
+    )
+    q = WFQAdmissionQueue(256, starvation_escape=K)
+    for i in range(16):
+        q.put_nowait(Item(be, i))
+    served = []
+    for i in range(96):  # sustained critical flood
+        q.put_nowait(Item(crit, 1000 + i))
+        served.append(q.get_nowait())
+    names = [it.tenant.name for it in served]
+    be_served = [it.serial for it in served if it.tenant.name == "be"]
+    assert q.escapes == len(be_served) > 0
+    # The trickle is periodic: exactly one best-effort dequeue per K+1.
+    assert len(be_served) == 96 // (K + 1)
+    for idx, name in enumerate(names):
+        assert name == ("be" if idx % (K + 1) == K else "crit"), names
+    # Longest-waiting first: the escape serves best-effort in FIFO order.
+    assert be_served == list(range(len(be_served)))
+
+
+def test_escape_counter_resets_when_backlog_clears():
+    """Bypass streaks do not accumulate across idle periods of the
+    lower tier: with only one backlogged tier there is no bypass."""
+    crit, be = make_tenants(
+        ("crit", "critical", 1.0), ("be", "best_effort", 1.0)
+    )
+    q = WFQAdmissionQueue(64, starvation_escape=3)
+    # Critical-only service never counts as a bypass.
+    for i in range(10):
+        q.put_nowait(Item(crit, i))
+        assert q.get_nowait().tenant.name == "crit"
+    assert q.escapes == 0
+    # Two bypasses, then the BE backlog clears via normal service.
+    q.put_nowait(Item(be, 100))
+    for i in range(2):
+        q.put_nowait(Item(crit, 200 + i))
+        assert q.get_nowait().tenant.name == "crit"
+    assert q.get_nowait().tenant.name == "be"  # tier 0 empty -> BE serves
+    # A fresh flood must take 3 full bypasses again before escaping.
+    q.put_nowait(Item(be, 101))
+    names = []
+    for i in range(4):
+        q.put_nowait(Item(crit, 300 + i))
+        names.append(q.get_nowait().tenant.name)
+    assert names == ["crit", "crit", "crit", "be"]
+
+
+# ---------------------------------------------------------------------------
+# Preemption hooks
+
+
+def test_has_higher_tier_and_preempting_get():
+    crit, std, be = make_tenants(
+        ("crit", "critical", 1.0),
+        ("std", "standard", 1.0),
+        ("be", "best_effort", 1.0),
+    )
+    q = WFQAdmissionQueue(16)
+    assert not q.has_higher_tier(2)
+    q.put_nowait(Item(be, 0))
+    assert not q.has_higher_tier(2)  # same tier is not "higher"
+    q.put_nowait(Item(std, 1))
+    assert q.has_higher_tier(2)
+    assert not q.has_higher_tier(1)
+    q.put_nowait(Item(crit, 2))
+    assert q.has_higher_tier(1)
+
+    # The preemption pull takes the best waiting tier above the caller's,
+    # never same-or-lower.
+    got = q.get_preempting_nowait(2)
+    assert got.tenant.name == "crit"
+    got = q.get_preempting_nowait(2)
+    assert got.tenant.name == "std"
+    with pytest.raises(queue.Empty):
+        q.get_preempting_nowait(1)  # only best-effort (+ default) left
+
+
+def test_preempting_get_skips_controls():
+    be, = make_tenants(("be", "best_effort", 1.0))
+    sentinel = object()
+    q = WFQAdmissionQueue(
+        16,
+        classify=lambda item: None
+        if item is sentinel
+        else (item.tenant.tier, item.tenant.name, item.tenant.weight),
+    )
+    q.put_nowait(sentinel)
+    with pytest.raises(queue.Empty):
+        q.get_preempting_nowait(2)  # controls are not preemption targets
+    q.put_nowait(Item(be, 0))
+    with pytest.raises(queue.Empty):
+        q.get_preempting_nowait(2)  # same tier: not a preemptor
+    assert q.get_preempting_nowait(3).serial == 0
+
+
+def test_backlog_ahead_monotone_in_tier():
+    crit, std, be = make_tenants(
+        ("crit", "critical", 1.0),
+        ("std", "standard", 1.0),
+        ("be", "best_effort", 1.0),
+    )
+    q = WFQAdmissionQueue(16)
+    for t, n in ((crit, 1), (std, 2), (be, 3)):
+        for i in range(n):
+            q.put_nowait(Item(t, i))
+    assert q.backlog_ahead(0) == 1
+    assert q.backlog_ahead(1) == 3
+    assert q.backlog_ahead(2) == 6
+    assert q.depths() == {"crit": 1, "std": 2, "be": 3}
+
+
+@settings(max_examples=40, deadline=None)
+@given(admission_scripts(num_tenants=3, capacity=12))
+def test_backlog_ahead_monotonicity_property(script):
+    """backlog_ahead(t) is non-decreasing in t at every script step —
+    the property the shedder's never-shed-critical-first guarantee
+    rests on."""
+    tenants = make_tenants(
+        ("crit", "critical", 1.0),
+        ("std", "standard", 1.0),
+        ("be", "best_effort", 2.0),
+    )
+    q = WFQAdmissionQueue(12)
+    serial = 0
+    for op, idx in script:
+        if op == PUT:
+            q.put_nowait(Item(tenants[idx], serial))
+            serial += 1
+        else:
+            q.get_nowait()
+        ahead = [q.backlog_ahead(t) for t in range(3)]
+        assert ahead == sorted(ahead)
+        assert ahead[2] == q.qsize()

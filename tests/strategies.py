@@ -19,6 +19,9 @@ from hypothesis import strategies as st
 
 from repro.testing.generators import DEFAULT_FAMILIES, GeneratorConfig, generate_graph
 
+#: One scripted queue operation: ("put", tenant_index) or ("get", None).
+PUT, GET = "put", "get"
+
 
 @st.composite
 def random_graphs(
@@ -48,3 +51,35 @@ def random_graphs(
     return generate_graph(
         np.random.default_rng(seed), config, name=f"random_{seed}"
     )
+
+
+@st.composite
+def admission_scripts(
+    draw,
+    num_tenants: int,
+    capacity: int = 64,
+    min_events: int = 4,
+    max_events: int = 200,
+):
+    """A valid put/get script for a bounded admission queue.
+
+    Yields a list of ``(PUT, tenant_index)`` / ``(GET, None)`` events
+    that never overflows ``capacity`` and never dequeues an empty queue,
+    so the WFQ property suite can replay it on a virtual clock with no
+    real blocking.  Interleaving (not just the multiset of arrivals) is
+    drawn, which is what exercises the virtual-time bookkeeping.
+    """
+    n = draw(st.integers(min_events, max_events))
+    events: list[tuple[str, int | None]] = []
+    pending = 0
+    for _ in range(n):
+        can_put = pending < capacity
+        can_get = pending > 0
+        do_put = draw(st.booleans()) if (can_put and can_get) else can_put
+        if do_put:
+            events.append((PUT, draw(st.integers(0, num_tenants - 1))))
+            pending += 1
+        else:
+            events.append((GET, None))
+            pending -= 1
+    return events
