@@ -34,7 +34,7 @@ from repro.bench import (
     table3_resnet,
 )
 from repro.core import DuetEngine, PhaseType, partition_graph
-from repro.devices import default_machine
+from repro.devices import default_machine, load_mesh
 from repro.errors import ReproError
 from repro.ir import format_graph
 from repro.models import MODEL_NAMES, build_model
@@ -56,6 +56,15 @@ _EXPERIMENTS: dict[str, Callable[..., list[dict]]] = {
     "ablation-granularity": ablation_granularity,
     "ablation-correction": ablation_correction,
 }
+
+
+def _machine_from_args(args: argparse.Namespace, noisy: bool = False):
+    """The machine a command runs against: ``--mesh FILE`` when given
+    (see ``examples/mesh.json``), else the default 2-device machine."""
+    mesh = getattr(args, "mesh", None)
+    if mesh:
+        return load_mesh(mesh)
+    return default_machine(noisy=noisy)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -121,8 +130,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(f"fallback:         {opt.fallback_device or 'none (co-execution)'}")
     mem = opt.memory_report()
     print(
-        f"resident weights: cpu {mem.cpu.param_bytes / 1e6:.1f} MB, "
-        f"gpu {mem.gpu.param_bytes / 1e6:.1f} MB"
+        "resident weights: "
+        + ", ".join(
+            f"{dev} {m.param_bytes / 1e6:.1f} MB"
+            for dev, m in sorted(mem.per_device.items())
+        )
     )
     if args.runs > 0:
         stats = engine.latency_stats(opt, n_runs=args.runs)
@@ -205,7 +217,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    engine = DuetEngine(machine=default_machine(noisy=False))
+    engine = DuetEngine(machine=_machine_from_args(args))
     config = ServingConfig(
         queue_capacity=args.queue_capacity,
         admission=args.admission,
@@ -391,7 +403,7 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
     rows = run_tournament(
         models=models,
         policies=policies,
-        machine=default_machine(noisy=False),
+        machine=_machine_from_args(args),
         seed=args.seed,
         tiny=args.tiny,
     )
@@ -553,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Prometheus-style metrics exposition after the run",
     )
     p_serve.add_argument(
+        "--mesh", default=None, metavar="FILE",
+        help="serve on an N-device mesh loaded from a topology JSON file "
+        "(see examples/mesh.json) instead of the default CPU+GPU machine",
+    )
+    p_serve.add_argument(
         "--tenants", default=None, metavar="FILE",
         help="tenants JSON file (see examples/tenants.json); traffic is "
         "spread round-robin across the registered tenants and a "
@@ -695,6 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tournament.add_argument(
         "--policies", nargs="+", default=None, metavar="POLICY",
         help="scheduling policies to enter (default: all registered)",
+    )
+    p_tournament.add_argument(
+        "--mesh", default=None, metavar="FILE",
+        help="run the league on an N-device mesh loaded from a topology "
+        "JSON file (see examples/mesh.json)",
     )
     p_tournament.add_argument(
         "--seed", type=int, default=0, help="seed for stochastic policies"

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.compiler.lowering import CompiledModule
 from repro.compiler.pipeline import Compiler
-from repro.compiler.target import CPU_TARGET, GPU_TARGET
 from repro.core.partition import partition_graph
 from repro.core.phases import PhasedPartition
 from repro.core.profiler import CompilerAwareProfiler, SubgraphProfile
@@ -131,14 +130,23 @@ class DuetEngine:
 
         assert_valid(
             validate_schedule(
-                graph, partition, schedule.placement, schedule.plan
+                graph, partition, schedule.placement, schedule.plan,
+                devices=self.machine.device_names, host=self.machine.host,
             )
         )
 
     def _single_device_modules(self, graph: Graph) -> dict[str, CompiledModule]:
+        """One whole-model module per mesh device, in machine order.
+
+        Each device compiles for its spec's kind-appropriate target; on
+        the default machine this is exactly the historical
+        ``{"cpu": ..., "gpu": ...}`` pair.
+        """
+        from repro.core.profiler import device_target
+
         return {
-            "cpu": self.compiler.compile(graph, CPU_TARGET),
-            "gpu": self.compiler.compile(graph, GPU_TARGET),
+            device.name: self.compiler.compile(graph, device_target(device))
+            for device in self.machine.devices
         }
 
     def optimize(

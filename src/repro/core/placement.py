@@ -1,13 +1,15 @@
 """Placements and plan construction.
 
-A *placement* maps each subgraph id to ``"cpu"`` or ``"gpu"``.  Combining a
-partition, per-device compiled modules (from the profiler), and a placement
-yields the :class:`~repro.runtime.plan.HeteroPlan` the executor runs.
+A *placement* maps each subgraph id to one of the machine's device names
+(the default machine's ``"cpu"``/``"gpu"``, or any mesh device).
+Combining a partition, per-device compiled modules (from the profiler),
+and a placement yields the :class:`~repro.runtime.plan.HeteroPlan` the
+executor runs.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.core.phases import PhasedPartition
 from repro.core.profiler import SubgraphProfile
@@ -19,9 +21,23 @@ __all__ = ["Placement", "PlanAssembler", "validate_placement", "build_hetero_pla
 
 Placement = Mapping[str, str]
 
+#: The default machine's device names — the fallback valid set when a
+#: caller has no machine in scope.
+DEFAULT_DEVICES = ("cpu", "gpu")
 
-def validate_placement(partition: PhasedPartition, placement: Placement) -> None:
-    """Every subgraph placed exactly once, on a real device."""
+
+def validate_placement(
+    partition: PhasedPartition,
+    placement: Placement,
+    devices: Iterable[str] | None = None,
+) -> None:
+    """Every subgraph placed exactly once, on one of ``devices``.
+
+    ``devices`` is the machine's device-name set (pass
+    ``machine.device_names``); without it the default 2-device machine's
+    ``("cpu", "gpu")`` is assumed.
+    """
+    valid = tuple(devices) if devices is not None else DEFAULT_DEVICES
     ids = {sg.id for sg in partition.subgraphs}
     missing = ids - set(placement)
     if missing:
@@ -30,8 +46,11 @@ def validate_placement(partition: PhasedPartition, placement: Placement) -> None
     if extra:
         raise SchedulingError(f"placement names unknown subgraphs: {sorted(extra)}")
     for sid, dev in placement.items():
-        if dev not in ("cpu", "gpu"):
-            raise SchedulingError(f"subgraph {sid!r} placed on invalid device {dev!r}")
+        if dev not in valid:
+            raise SchedulingError(
+                f"subgraph {sid!r} placed on unknown device {dev!r}; "
+                f"this machine's devices are {list(valid)}"
+            )
 
 
 class PlanAssembler:
@@ -51,10 +70,18 @@ class PlanAssembler:
         graph: Graph,
         partition: PhasedPartition,
         profiles: Mapping[str, SubgraphProfile],
+        devices: Iterable[str] | None = None,
     ):
         self._graph = graph
         self._partition = partition
         self._profiles = profiles
+        if devices is not None:
+            self._devices = tuple(devices)
+        else:
+            # The devices the profiler actually compiled for — the true
+            # valid set when no machine is in scope.
+            compiled = {d for p in profiles.values() for d in p.modules}
+            self._devices = tuple(sorted(compiled)) or DEFAULT_DEVICES
         # Which subgraph produces each boundary tensor (parent node id)?
         self._producer: dict[str, tuple[str, int]] = {}
         for sg in partition.subgraphs:
@@ -114,7 +141,7 @@ class PlanAssembler:
 
     def build(self, placement: Placement) -> HeteroPlan:
         """Wire a placement into an executable plan from cached parts."""
-        validate_placement(self._partition, placement)
+        validate_placement(self._partition, placement, self._devices)
         tasks = [
             self.task_spec(sg, placement[sg.id])
             for sg in self._partition.subgraphs
@@ -127,6 +154,9 @@ def build_hetero_plan(
     partition: PhasedPartition,
     profiles: Mapping[str, SubgraphProfile],
     placement: Placement,
+    devices: Iterable[str] | None = None,
 ) -> HeteroPlan:
     """Wire placed subgraphs into an executable heterogeneous plan."""
-    return PlanAssembler(graph, partition, profiles).build(placement)
+    return PlanAssembler(graph, partition, profiles, devices=devices).build(
+        placement
+    )

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.compiler.lowering import CompiledModule
 from repro.compiler.pipeline import Compiler
-from repro.compiler.target import CPU_TARGET, GPU_TARGET
+from repro.compiler.target import CPU_TARGET, GPU_TARGET, Target
 from repro.core.phases import PhasedPartition
 from repro.core.subgraph import SubgraphInfo
 from repro.devices.base import Device
@@ -33,6 +33,12 @@ from repro.runtime.measurement import LatencyStats
 __all__ = ["SubgraphProfile", "CompilerAwareProfiler"]
 
 _DEVICE_TARGETS = {"cpu": CPU_TARGET, "gpu": GPU_TARGET}
+
+
+def device_target(device: Device) -> Target:
+    """The compilation target of one mesh device (by its spec kind, so a
+    ``gpu1`` Titan V compiles with the GPU backend)."""
+    return _DEVICE_TARGETS.get(device.spec.kind) or Target(device.spec.kind)
 
 
 @dataclass(frozen=True)
@@ -113,8 +119,9 @@ class CompilerAwareProfiler:
         modules: dict[str, CompiledModule] = {}
         mean_time: dict[str, float] = {}
         stats: dict[str, LatencyStats] = {}
-        for dev_name, target in _DEVICE_TARGETS.items():
-            device = self.machine.device(dev_name)
+        for device in self.machine.devices:
+            dev_name = device.name
+            target = device_target(device)
             try:
                 module = self.compiler.compile(subgraph.graph, target)
             except Exception as exc:

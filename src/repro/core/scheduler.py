@@ -54,13 +54,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CorrectionStep:
-    """One applied swap of the correction loop."""
+    """One applied swap of the correction loop.
+
+    ``pair`` is the device pair the swap exchanged between; the legacy
+    field names read "forward" (``moved_to_gpu``: the subgraph moved
+    ``pair[0] -> pair[1]``) and "backward" (``moved_to_cpu``: moved
+    ``pair[1] -> pair[0]``) — on the default machine the pair is
+    ``("cpu", "gpu")`` and the names are literal.
+    """
 
     phase_index: int
     moved_to_gpu: str | None
     moved_to_cpu: str | None
     latency_before: float
     latency_after: float
+    pair: tuple[str, str] = ("cpu", "gpu")
 
 
 @dataclass
@@ -201,6 +209,7 @@ def correct_placement(
     measure: Callable[[Mapping[str, str]], float],
     max_rounds: int = 32,
     epsilon: float = 1e-9,
+    devices: tuple[str, ...] = ("cpu", "gpu"),
 ) -> tuple[dict[str, str], list[CorrectionStep], int]:
     """Step 3: KL-style swap refinement driven by measured latency.
 
@@ -210,6 +219,14 @@ def correct_placement(
     over the phases is not enough: the per-phase refinement is wrapped in
     an outer sweep that repeats until one full sweep applies no swap
     (bounded by ``max_rounds`` sweeps).
+
+    On an N-device mesh the swap move set generalizes per device *pair*:
+    each round evaluates, for every pair ``(a, b)`` in mesh order, every
+    (subgraph on ``a``, subgraph on ``b``) exchange — either side may be
+    empty, i.e. a single move — and applies the globally best one.  With
+    two devices this enumerates exactly the paper's (CPU, GPU) trials in
+    the original order, so the refinement (and its measure-call sequence)
+    is unchanged on the default machine.
 
     Returns the refined placement, the applied steps, and the number of
     ``measure`` calls made (exactly one call per evaluated placement,
@@ -221,43 +238,48 @@ def correct_placement(
     n_measures = 1
     t_old = measure(placement)
 
+    pairs = list(itertools.combinations(devices, 2))
     phases = list(partition.multi_path_phases())
     for _sweep in range(max_rounds):
         swept_gain = False
         for phase in phases:
             ids = [sg.id for sg in phase.subgraphs]
             for _round in range(max_rounds):
-                cpu_side = [s for s in ids if placement[s] == "cpu"]
-                gpu_side = [s for s in ids if placement[s] == "gpu"]
                 best_gain = 0.0
-                best_pair: tuple[str | None, str | None] | None = None
+                best_move: tuple[str | None, str | None] | None = None
+                best_devpair: tuple[str, str] | None = None
                 best_latency = t_old
-                # Pairs (si from CPU, sj from GPU); one side may be empty,
-                # which is a single-subgraph move.
-                for si, sj in itertools.product(
-                    cpu_side + [None], gpu_side + [None]
-                ):
-                    if si is None and sj is None:
-                        continue
-                    trial = dict(placement)
-                    if si is not None:
-                        trial[si] = "gpu"
-                    if sj is not None:
-                        trial[sj] = "cpu"
-                    t_new = measure(trial)
-                    n_measures += 1
-                    gain = t_old - t_new
-                    if gain > best_gain + epsilon:
-                        best_gain = gain
-                        best_pair = (si, sj)
-                        best_latency = t_new
-                if best_pair is None:
+                for dev_a, dev_b in pairs:
+                    a_side = [s for s in ids if placement[s] == dev_a]
+                    b_side = [s for s in ids if placement[s] == dev_b]
+                    # Pairs (si from a, sj from b); one side may be empty,
+                    # which is a single-subgraph move.
+                    for si, sj in itertools.product(
+                        a_side + [None], b_side + [None]
+                    ):
+                        if si is None and sj is None:
+                            continue
+                        trial = dict(placement)
+                        if si is not None:
+                            trial[si] = dev_b
+                        if sj is not None:
+                            trial[sj] = dev_a
+                        t_new = measure(trial)
+                        n_measures += 1
+                        gain = t_old - t_new
+                        if gain > best_gain + epsilon:
+                            best_gain = gain
+                            best_move = (si, sj)
+                            best_devpair = (dev_a, dev_b)
+                            best_latency = t_new
+                if best_move is None:
                     break
-                si, sj = best_pair
+                si, sj = best_move
+                dev_a, dev_b = best_devpair
                 if si is not None:
-                    placement[si] = "gpu"
+                    placement[si] = dev_b
                 if sj is not None:
-                    placement[sj] = "cpu"
+                    placement[sj] = dev_a
                 steps.append(
                     CorrectionStep(
                         phase_index=phase.index,
@@ -265,6 +287,7 @@ def correct_placement(
                         moved_to_cpu=sj,
                         latency_before=t_old,
                         latency_after=best_latency,
+                        pair=(dev_a, dev_b),
                     )
                 )
                 t_old = best_latency
@@ -295,6 +318,7 @@ class GreedyCorrectionScheduler:
         profiles: Mapping[str, SubgraphProfile],
     ) -> dict[str, str]:
         """Steps 1 and 2: critical path + greedy balancing."""
+        devices = self.machine.device_names
         placement: dict[str, str] = {}
         for phase in partition.phases:
             if phase.type is PhaseType.SEQUENTIAL:
@@ -311,7 +335,7 @@ class GreedyCorrectionScheduler:
             )
             critical = members[0]
             placement[critical.id] = profiles[critical.id].best_device
-            loads = {"cpu": 0.0, "gpu": 0.0}
+            loads = {dev: 0.0 for dev in devices}
             loads[placement[critical.id]] += profiles[critical.id].best_time
 
             # Step 2: greedily place the rest, largest first, minimizing
@@ -319,7 +343,7 @@ class GreedyCorrectionScheduler:
             for sg in members[1:]:
                 prof = profiles[sg.id]
                 options = {}
-                for dev in ("cpu", "gpu"):
+                for dev in devices:
                     trial = dict(loads)
                     trial[dev] += prof.time_on(dev)
                     options[dev] = max(trial.values())
@@ -360,7 +384,7 @@ class GreedyCorrectionScheduler:
             placement = self.initial_placement(partition, profiles)
         else:
             placement = dict(initial)
-        validate_placement(partition, placement)
+        validate_placement(partition, placement, self.machine.device_names)
         initial_latency = oracle.measure(placement)
 
         placement, steps, _calls = correct_placement(
@@ -369,6 +393,7 @@ class GreedyCorrectionScheduler:
             oracle,
             max_rounds=self.max_correction_rounds,
             epsilon=self.epsilon,
+            devices=self.machine.device_names,
         )
         # The corrected placement was measured during correction; both the
         # final latency and its plan come from the oracle's caches.
@@ -458,7 +483,7 @@ def schedule_with_policy(
     placement, estimate = fn(
         graph, partition, profiles, machine, oracle=oracle, seed=seed
     )
-    validate_placement(partition, placement)
+    validate_placement(partition, placement, machine.device_names)
     return PolicyDecision(
         policy=name,
         placement=dict(placement),
@@ -477,8 +502,15 @@ def _policy_greedy(graph, partition, profiles, machine, *, oracle, seed):
 
 @register_policy("dp")
 def _policy_dp(graph, partition, profiles, machine, *, oracle, seed):
-    from repro.core.schedulers.dp import dp_placement
+    from repro.core.schedulers.dp import DP_MAX_DEVICES, dp_placement
 
+    if len(machine.devices) > DP_MAX_DEVICES:
+        # The per-phase assignment enumeration is |devices|^k; beyond the
+        # device threshold fall back to HEFT's list scheduling, which
+        # scales linearly in mesh width.
+        from repro.core.schedulers.heft import heft_placement
+
+        return heft_placement(graph, partition, profiles, machine)
     placement, estimate = dp_placement(graph, partition, profiles, machine)
     return placement, estimate
 
@@ -495,14 +527,21 @@ def _policy_heft(graph, partition, profiles, machine, *, oracle, seed):
 def _policy_round_robin(graph, partition, profiles, machine, *, oracle, seed):
     from repro.core.schedulers.round_robin import round_robin_placement
 
-    return round_robin_placement(partition), None
+    return round_robin_placement(partition, devices=machine.device_names), None
 
 
 @register_policy("random")
 def _policy_random(graph, partition, profiles, machine, *, oracle, seed):
     from repro.core.schedulers.random_sched import random_placement
 
-    return random_placement(partition, np.random.default_rng(seed)), None
+    return (
+        random_placement(
+            partition,
+            np.random.default_rng(seed),
+            devices=machine.device_names,
+        ),
+        None,
+    )
 
 
 @register_policy("exhaustive")

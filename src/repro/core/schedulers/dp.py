@@ -36,9 +36,12 @@ from repro.devices.machine import Machine
 from repro.errors import SchedulingError
 from repro.ir.graph import Graph
 
-__all__ = ["dp_placement", "estimate_placement_cost"]
+__all__ = ["dp_placement", "estimate_placement_cost", "DP_MAX_DEVICES"]
 
-_DEVICES = ("cpu", "gpu")
+#: Device-count threshold beyond which the ``dp`` policy falls back to
+#: HEFT: the DP enumerates ``|devices|^k`` assignments per phase, so wide
+#: meshes blow the state space long before wide phases do.
+DP_MAX_DEVICES = 4
 
 
 def _make_phase_cost(
@@ -57,7 +60,8 @@ def _make_phase_cost(
     (rather than after the DP) keeps the total objective decomposable
     over consecutive phases, which is what makes the DP exact.
     """
-    link = machine.interconnect
+    device_names = machine.device_names
+    host = machine.host
 
     producer: dict[str, str] = {}
     for sg in partition.subgraphs:
@@ -67,40 +71,45 @@ def _make_phase_cost(
         sg.id: phase.index for phase in partition.phases for sg in phase.subgraphs
     }
 
-    # Host-landing cost each subgraph owes if it computes model outputs
-    # on the GPU (one transfer per declared output tensor).
-    landing: dict[str, float] = {}
+    # Sizes of the model outputs each subgraph computes: a subgraph placed
+    # off-host owes one landing transfer per declared output tensor, over
+    # its own device's host link (so heterogeneous links price correctly).
+    landing_bytes: dict[str, list[float]] = {}
     for out in graph.outputs:
         src = producer.get(out)
         if src is not None:
             n_bytes = float(
                 partition.subgraph(src).graph.node(out).ty.size_bytes
             )
-            landing[src] = landing.get(src, 0.0) + link.transfer_time(n_bytes)
+            landing_bytes.setdefault(src, []).append(n_bytes)
 
     def phase_cost(
         phase, assignment: Mapping[str, str], prev_assignment: Mapping[str, str]
     ) -> float:
-        compute = {"cpu": 0.0, "gpu": 0.0}
+        compute = {dev: 0.0 for dev in device_names}
         comm = 0.0
         for sg in phase.subgraphs:
             dev = assignment[sg.id]
             compute[dev] += profiles[sg.id].time_on(dev)
-            if dev == "gpu":
-                comm += landing.get(sg.id, 0.0)
+            if dev != host and sg.id in landing_bytes:
+                host_link = machine.link(dev, host)
+                cost = 0.0
+                for n_bytes in landing_bytes[sg.id]:
+                    cost += host_link.transfer_time(n_bytes)
+                comm += cost
             for tensor in sg.boundary_inputs:
                 n_bytes = float(sg.graph.node(tensor).ty.size_bytes)
                 src = producer.get(tensor)
                 if src is None:
-                    src_dev = "cpu"  # model input: host resident
+                    src_dev = host  # model input: host resident
                 elif phase_of[src] == phase.index - 1 and prev_assignment:
                     src_dev = prev_assignment[src]
                 elif phase_of[src] == phase.index:
                     continue  # intra-phase edges cannot exist (independent)
                 else:
-                    src_dev = "cpu"  # older producer: approximate as host
+                    src_dev = host  # older producer: approximate as host
                 if src_dev != dev:
-                    comm += link.transfer_time(n_bytes)
+                    comm += machine.link(src_dev, dev).transfer_time(n_bytes)
         return max(compute.values()) + comm
 
     return phase_cost
@@ -144,11 +153,14 @@ def dp_placement(
     barrier and immediate-predecessor approximations).
     """
     phases = partition.phases
+    device_names = machine.device_names
     for phase in phases:
-        if len(phase.subgraphs) > max_phase_subgraphs:
+        k = len(phase.subgraphs)
+        if len(device_names) ** k > 2 ** max_phase_subgraphs:
             raise SchedulingError(
-                f"phase {phase.index} has {len(phase.subgraphs)} subgraphs; "
-                f"DP enumerates 2^k assignments (cap {max_phase_subgraphs})"
+                f"phase {phase.index} has {k} subgraphs on "
+                f"{len(device_names)} devices; DP enumerates |devices|^k "
+                f"assignments (cap 2^{max_phase_subgraphs} states)"
             )
     phase_cost = _make_phase_cost(graph, partition, profiles, machine)
 
@@ -158,7 +170,7 @@ def dp_placement(
     for phase in phases:
         ids = [sg.id for sg in phase.subgraphs]
         new_best: dict[tuple, tuple[float, dict[str, str]]] = {}
-        for devices in itertools.product(_DEVICES, repeat=len(ids)):
+        for devices in itertools.product(device_names, repeat=len(ids)):
             assignment = dict(zip(ids, devices))
             for prev_key, (cost, placement) in best.items():
                 prev_assignment = (

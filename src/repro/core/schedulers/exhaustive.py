@@ -37,10 +37,12 @@ def exhaustive_placement(
     from repro.core.scheduler import LatencyOracle
 
     ids = [sg.id for sg in partition.subgraphs]
-    if len(ids) > max_subgraphs:
+    devices = machine.device_names
+    if len(devices) ** len(ids) > 2 ** max_subgraphs:
         raise SchedulingError(
-            f"{len(ids)} subgraphs exceed the exhaustive-search cap "
-            f"({max_subgraphs}); the space is 2^n"
+            f"{len(ids)} subgraphs on {len(devices)} devices exceed the "
+            f"exhaustive-search cap (2^{max_subgraphs} states); the space "
+            "is |devices|^n"
         )
     if oracle is None:
         # Every enumerated placement is distinct, so memoization buys
@@ -49,7 +51,7 @@ def exhaustive_placement(
         oracle = LatencyOracle(graph, partition, profiles, machine, cache=False)
     best_placement: dict[str, str] | None = None
     best_latency = float("inf")
-    for assignment in itertools.product(("cpu", "gpu"), repeat=len(ids)):
+    for assignment in itertools.product(devices, repeat=len(ids)):
         placement = dict(zip(ids, assignment))
         latency = oracle.measure(placement)
         if latency < best_latency:

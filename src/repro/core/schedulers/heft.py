@@ -41,9 +41,21 @@ from repro.ir.graph import Graph
 
 __all__ = ["heft_placement", "upward_ranks"]
 
-_DEVICES = ("cpu", "gpu")
-#: Probability an edge of a 2-device placement crosses devices.
-_CROSS_PROB = 0.5
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+def _mean_transfer(machine: Machine, n_bytes: float) -> float:
+    """Link transfer time averaged over every device pair (the expected
+    cost of an edge whose endpoints are not yet placed)."""
+    names = machine.device_names
+    total, pairs = 0.0, 0
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            total += machine.link(a, b).transfer_time(n_bytes)
+            pairs += 1
+    return total / pairs if pairs else 0.0
 
 
 class _SubgraphDag:
@@ -100,18 +112,22 @@ def upward_ranks(
 ) -> dict[str, float]:
     """Upward rank of every subgraph (the HEFT priority)."""
     dag = _SubgraphDag(graph, partition)
-    link = machine.interconnect
+    devices = machine.device_names
+    # Probability an edge crosses devices when both endpoints are drawn
+    # uniformly from the mesh: (n-1)/n — the classic 1/2 on the pair.
+    cross_prob = (len(devices) - 1) / len(devices)
     ranks: dict[str, float] = {}
     for sid in reversed(dag.order):  # plan order is topological
         prof = profiles[sid]
-        w = sum(prof.time_on(d) for d in _DEVICES) / len(_DEVICES)
+        w = sum(prof.time_on(d) for d in devices) / len(devices)
         tail = 0.0
         for succ, n_bytes in dag.succ_bytes[sid].items():
             tail = max(
-                tail, _CROSS_PROB * link.transfer_time(n_bytes) + ranks[succ]
+                tail,
+                cross_prob * _mean_transfer(machine, n_bytes) + ranks[succ],
             )
         for _tensor, n_bytes in dag.outputs[sid]:
-            tail = max(tail, _CROSS_PROB * link.transfer_time(n_bytes))
+            tail = max(tail, cross_prob * _mean_transfer(machine, n_bytes))
         ranks[sid] = w + tail
     return ranks
 
@@ -125,14 +141,17 @@ def heft_placement(
     """HEFT placement of every subgraph; returns it with the analytic
     makespan of HEFT's own timeline (callers re-measure via the oracle)."""
     dag = _SubgraphDag(graph, partition)
-    link = machine.interconnect
+    devices = machine.device_names
+    host = machine.host
     ranks = upward_ranks(graph, partition, profiles, machine)
     # Descending rank; plan position breaks exact ties deterministically.
     position = {sid: i for i, sid in enumerate(dag.order)}
     schedule_order = sorted(dag.order, key=lambda s: (-ranks[s], position[s]))
 
-    device_free = {d: 0.0 for d in _DEVICES}
-    link_free = 0.0
+    device_free = {d: 0.0 for d in devices}
+    # Each device pair is its own serialized link with its own free cursor
+    # (the 2-device machine has exactly one, recovering the scalar model).
+    link_free: dict[tuple[str, str], float] = {}
     arrival: dict[tuple[str, str], float] = {}  # (tensor, dest) -> time
     finish: dict[str, float] = {}
     placed_on: dict[str, str] = {}
@@ -140,12 +159,11 @@ def heft_placement(
     def walk_inputs(sid: str, dest: str, commit: bool) -> float:
         """Latest input-availability on ``dest``; optionally commit the
         link reservations this requires."""
-        nonlocal link_free
-        cursor = link_free
+        cursors = dict(link_free)
         latest = 0.0
         for src, tensor, n_bytes in dag.inputs[sid]:
             produced_at = 0.0 if src is None else finish[src]
-            produced_on = "cpu" if src is None else placed_on[src]
+            produced_on = host if src is None else placed_on[src]
             if produced_on == dest:
                 avail = produced_at
             else:
@@ -153,20 +171,23 @@ def heft_placement(
                 if cached is not None:
                     avail = cached
                 else:
-                    start = max(cursor, produced_at)
-                    avail = start + link.transfer_time(n_bytes)
-                    cursor = avail
+                    pair = _pair(produced_on, dest)
+                    start = max(cursors.get(pair, 0.0), produced_at)
+                    avail = start + machine.link(
+                        produced_on, dest
+                    ).transfer_time(n_bytes)
+                    cursors[pair] = avail
                     if commit:
                         arrival[(tensor, dest)] = avail
             latest = max(latest, avail)
         if commit:
-            link_free = cursor
+            link_free.update(cursors)
         return latest
 
     for sid in schedule_order:
         prof = profiles[sid]
         best: tuple[float, float, str] | None = None  # (eft, exec, device)
-        for dev in _DEVICES:
+        for dev in devices:
             ready = max(device_free[dev], walk_inputs(sid, dev, commit=False))
             eft = ready + prof.time_on(dev)
             cand = (eft, prof.time_on(dev), dev)
@@ -183,14 +204,17 @@ def heft_placement(
     makespan = 0.0
     for sid in dag.order:
         for tensor, n_bytes in dag.outputs[sid]:
-            if placed_on[sid] == "cpu":
+            if placed_on[sid] == host:
                 makespan = max(makespan, finish[sid])
                 continue
-            cached = arrival.get((tensor, "cpu"))
+            cached = arrival.get((tensor, host))
             if cached is None:
-                start = max(link_free, finish[sid])
-                cached = start + link.transfer_time(n_bytes)
-                link_free = cached
-                arrival[(tensor, "cpu")] = cached
+                pair = _pair(placed_on[sid], host)
+                start = max(link_free.get(pair, 0.0), finish[sid])
+                cached = start + machine.link(
+                    placed_on[sid], host
+                ).transfer_time(n_bytes)
+                link_free[pair] = cached
+                arrival[(tensor, host)] = cached
             makespan = max(makespan, cached)
     return placed_on, makespan

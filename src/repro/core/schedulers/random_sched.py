@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.phases import PhasedPartition
@@ -10,10 +12,19 @@ __all__ = ["random_placement"]
 
 
 def random_placement(
-    partition: PhasedPartition, rng: np.random.Generator
+    partition: PhasedPartition,
+    rng: np.random.Generator,
+    devices: Sequence[str] = ("cpu", "gpu"),
 ) -> dict[str, str]:
-    """Assign every subgraph to CPU or GPU uniformly at random."""
+    """Assign every subgraph to one of ``devices`` uniformly at random.
+
+    One uniform draw per subgraph, bucketed over the device list — with
+    two devices this consumes the generator exactly like the historical
+    ``"cpu" if rng.random() < 0.5 else "gpu"``, so seeded baselines
+    reproduce bit-identically on the default machine.
+    """
+    n = len(devices)
     return {
-        sg.id: ("cpu" if rng.random() < 0.5 else "gpu")
+        sg.id: devices[min(int(rng.random() * n), n - 1)]
         for sg in partition.subgraphs
     }

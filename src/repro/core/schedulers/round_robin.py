@@ -1,16 +1,20 @@
-"""Round-robin placement baseline (paper §VI-C): subgraphs alternate
-between CPU and GPU in partition order."""
+"""Round-robin placement baseline (paper §VI-C): subgraphs cycle through
+the machine's devices in partition order."""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.core.phases import PhasedPartition
 
 __all__ = ["round_robin_placement"]
 
 
-def round_robin_placement(partition: PhasedPartition) -> dict[str, str]:
-    """Alternate cpu/gpu assignments across the subgraph sequence."""
+def round_robin_placement(
+    partition: PhasedPartition, devices: Sequence[str] = ("cpu", "gpu")
+) -> dict[str, str]:
+    """Cycle device assignments across the subgraph sequence."""
     placement: dict[str, str] = {}
     for i, sg in enumerate(partition.subgraphs):
-        placement[sg.id] = "cpu" if i % 2 == 0 else "gpu"
+        placement[sg.id] = devices[i % len(devices)]
     return placement

@@ -1,12 +1,15 @@
-"""Device substrate: calibrated CPU/GPU cost models and the PCIe link."""
+"""Device substrate: calibrated device cost models, link models, and
+N-device machine topologies (default CPU+GPU pair or JSON-loaded meshes)."""
 
 from repro.devices.base import Device
 from repro.devices.interconnect import Interconnect, make_pcie3
 from repro.devices.machine import (
     Machine,
     default_machine,
+    load_mesh,
     make_cpu,
     make_gpu,
+    make_mesh,
     scale_device,
 )
 from repro.devices.noise import (
@@ -39,8 +42,10 @@ __all__ = [
     "TITAN_V",
     "XEON_GOLD_6152",
     "default_machine",
+    "load_mesh",
     "make_cpu",
     "make_gpu",
+    "make_mesh",
     "make_pcie3",
     "scale_device",
 ]

@@ -74,7 +74,8 @@ class DeviceLostError(ExecutionError):
     device's remaining work to the survivor.
 
     Attributes:
-        device: placement name (``"cpu"``/``"gpu"``) of the lost device.
+        device: placement name of the lost device (``"cpu"``/``"gpu"``
+            on the default machine; any mesh device name otherwise).
     """
 
     def __init__(self, device: str, message: str | None = None):

@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards for type hints
 __all__ = [
     "DEVICES",
     "OTHER_DEVICE",
+    "plan_worker_devices",
     "ExecutionEvent",
     "TaskContext",
     "DispatchState",
@@ -87,11 +88,27 @@ __all__ = [
     "PhaseCheckpoint",
 ]
 
-#: The device workers every plan is dispatched across.
+#: The default machine's device workers: any plan placed entirely on
+#: these devices is dispatched across exactly this pair, preserving the
+#: historical worker set (and thread names) even for single-device plans.
 DEVICES = ("cpu", "gpu")
 
-#: The failover partner of each device.
+#: The failover partner of each default-machine device.
 OTHER_DEVICE = {"cpu": "gpu", "gpu": "cpu"}
+
+
+def plan_worker_devices(plan: HeteroPlan) -> tuple[str, ...]:
+    """The worker device set a plan is dispatched across.
+
+    Plans placed entirely on the default machine keep the canonical
+    ``("cpu", "gpu")`` pair; mesh plans get one worker per device the
+    plan actually uses, canonical devices first then the rest sorted.
+    """
+    devs = {t.device for t in plan.tasks}
+    if devs <= set(DEVICES):
+        return DEVICES
+    known = tuple(d for d in DEVICES if d in devs)
+    return known + tuple(sorted(devs - set(DEVICES)))
 
 
 @dataclass(frozen=True)
@@ -740,9 +757,11 @@ class RestartOnSurvivor(Exception):
 class FailoverPolicy:
     """Resilient failure semantics: retries already happened in the
     middleware; terminal task failures abort with a structured message,
-    and device losses fail remaining work over to the survivor — by
-    migrating queued tasks in place, or by signalling a restart on a
-    standing degradation plan when nothing has completed yet."""
+    and device losses fail remaining work over to the survivors — by
+    migrating queued tasks in place (round-robin across survivors in
+    worker order), or by signalling a restart on a standing
+    single-device degradation plan when exactly one device survives and
+    nothing has completed yet."""
 
     def __init__(
         self,
@@ -751,12 +770,15 @@ class FailoverPolicy:
         failover: bool = True,
         restart_devices: frozenset[str] | set[str] = frozenset(),
         allow_restart: bool = True,
+        devices: Sequence[str] = DEVICES,
     ):
         self.events = events
         self.counters = counters
         self.failover = failover
         self.restart_devices = set(restart_devices)
         self.allow_restart = allow_restart
+        self.devices = tuple(devices)
+        self._next_survivor = 0
 
     def on_failure(self, msg: _Message, control: _Controller):
         """Handle one failure message; returns an orchestrator action."""
@@ -775,11 +797,10 @@ class FailoverPolicy:
         state = control.state
         exc = msg.exc
         dead = exc.device
-        survivor = OTHER_DEVICE[dead]
         with state.lock:
             newly = dead not in state.lost
             state.lost.add(dead)
-            survivor_dead = survivor in state.lost
+            survivors = [d for d in self.devices if d not in state.lost]
             completed_any = bool(state.task_order)
         if newly:
             self.counters["device_losses"] += 1
@@ -792,7 +813,7 @@ class FailoverPolicy:
                     detail=str(exc),
                 )
             )
-        if survivor_dead:
+        if not survivors:
             return (
                 "abort",
                 ExecutionError(
@@ -804,17 +825,25 @@ class FailoverPolicy:
         if (
             self.allow_restart
             and not completed_any
-            and survivor in self.restart_devices
+            and len(survivors) == 1
+            and survivors[0] in self.restart_devices
         ):
-            return ("restart", RestartOnSurvivor(survivor, exc))
+            return ("restart", RestartOnSurvivor(survivors[0], exc))
         if newly:
             self.counters["failovers"] += 1
             # Retarget the dead device's queued-but-unstarted work.
             for moved in control.drain(dead):
-                self._migrate(moved, dead, survivor, control)
+                self._migrate(moved, dead, self._pick(survivors), control)
         # The task whose attempt observed the loss migrates too.
-        self._migrate(msg.task, dead, survivor, control)
+        self._migrate(msg.task, dead, self._pick(survivors), control)
         return None  # continue
+
+    def _pick(self, survivors: list[str]) -> str:
+        """Deterministic round-robin over survivors in worker order (with
+        one survivor — the whole 2-device machine — always that one)."""
+        dest = survivors[self._next_survivor % len(survivors)]
+        self._next_survivor += 1
+        return dest
 
     def _migrate(
         self, task: TaskSpec, dead: str, survivor: str, control: _Controller
@@ -925,6 +954,7 @@ class DispatchKernel:
         self.deadline_s = deadline_s
         self.validate_transfers = validate_transfers
         self.overlap = overlap
+        self.devices = plan_worker_devices(plan)
         self.template = _DependencyTemplate(plan)
 
     # ------------------------------------------------------------------
@@ -1000,11 +1030,12 @@ class DispatchKernel:
             for dep in state.dependents[task.task_id]:
                 state.remaining_deps[dep.task_id] -= 1
                 if state.remaining_deps[dep.task_id] == 0:
-                    dest = (
-                        OTHER_DEVICE[dep.device]
-                        if dep.device in state.lost
-                        else dep.device
-                    )
+                    dest = dep.device
+                    if dest in state.lost:
+                        dest = next(
+                            (d for d in self.devices if d not in state.lost),
+                            dest,
+                        )
                     ready.append((dep, dest))
         return ready
 
@@ -1139,7 +1170,7 @@ class DispatchKernel:
         attempt = self._attempt_stack(state, inputs)
         policy = self.failure_policy
         queues: dict[str, "queue.Queue[TaskSpec | None]"] = {
-            dev: queue.Queue() for dev in DEVICES
+            dev: queue.Queue() for dev in self.devices
         }
         notify: "queue.Queue[_Message]" = queue.Queue()
         # Double-buffered transfer stage: ready tasks with cross-device
@@ -1223,7 +1254,7 @@ class DispatchKernel:
                 name=f"duet-worker-{dev}",
                 daemon=True,
             )
-            for dev in DEVICES
+            for dev in self.devices
         }
         for t in workers.values():
             t.start()

@@ -52,7 +52,10 @@ __all__ = [
     "ScriptedChaosInjector",
 ]
 
-_DEVICES = ("cpu", "gpu")
+def _check_device(name: str, what: str) -> None:
+    """Device names are open-ended on a mesh; only reject junk values."""
+    if not isinstance(name, str) or not name:
+        raise ExecutionError(f"invalid {what} device {name!r}")
 
 
 @dataclass(frozen=True)
@@ -109,8 +112,7 @@ class TransferFault:
     def __post_init__(self) -> None:
         if self.mode not in ("fail", "corrupt"):
             raise ExecutionError(f"invalid TransferFault mode {self.mode!r}")
-        if self.dest_device not in _DEVICES:
-            raise ExecutionError(f"invalid TransferFault device {self.dest_device!r}")
+        _check_device(self.dest_device, "TransferFault")
         if self.fail_attempts < 1:
             raise ExecutionError(
                 f"TransferFault.fail_attempts must be >= 1, got {self.fail_attempts}"
@@ -132,8 +134,7 @@ class DeviceLoss:
     at_time: float | None = None
 
     def __post_init__(self) -> None:
-        if self.device not in _DEVICES:
-            raise ExecutionError(f"invalid DeviceLoss device {self.device!r}")
+        _check_device(self.device, "DeviceLoss")
         if self.at_task is None and self.at_time is None:
             raise ExecutionError("DeviceLoss needs at_task or at_time")
 
@@ -364,8 +365,7 @@ class ScriptedChaosInjector(FaultInjector):
 
     def lose_device(self, device: str) -> None:
         """Permanently lose ``device`` until :meth:`revive_device`."""
-        if device not in _DEVICES:
-            raise ExecutionError(f"invalid device {device!r}")
+        _check_device(device, "lose_device")
         with self._script_lock:
             self._lost.add(device)
 

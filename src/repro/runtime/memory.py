@@ -94,20 +94,36 @@ class DeviceMemory:
         return self.param_bytes + self.peak_activation_bytes
 
 
+_NO_FOOTPRINT = DeviceMemory(param_bytes=0.0, peak_activation_bytes=0.0, tasks=0)
+
+
 @dataclass(frozen=True)
 class MemoryReport:
-    """Memory footprint of a plan on both devices."""
+    """Memory footprint of a plan on every device it touches.
 
-    cpu: DeviceMemory
-    gpu: DeviceMemory
+    ``per_device`` maps device name -> :class:`DeviceMemory`; devices the
+    plan never placed anything on read back as an all-zero footprint (the
+    ``cpu``/``gpu`` convenience accessors preserve the historical
+    2-device report shape).
+    """
+
+    per_device: dict[str, DeviceMemory]
 
     def device(self, name: str) -> DeviceMemory:
-        return self.cpu if name == "cpu" else self.gpu
+        return self.per_device.get(name, _NO_FOOTPRINT)
+
+    @property
+    def cpu(self) -> DeviceMemory:
+        return self.device("cpu")
+
+    @property
+    def gpu(self) -> DeviceMemory:
+        return self.device("gpu")
 
 
 def memory_report(plan: HeteroPlan) -> MemoryReport:
     """Compute the per-device memory footprint of ``plan``."""
-    stats = {
+    stats: dict[str, dict[str, float]] = {
         "cpu": {"params": 0.0, "peak": 0.0, "tasks": 0},
         "gpu": {"params": 0.0, "peak": 0.0, "tasks": 0},
     }
@@ -118,19 +134,19 @@ def memory_report(plan: HeteroPlan) -> MemoryReport:
             sum(n.ty.size_bytes for n in graph.input_nodes())
             + sum(n.ty.size_bytes for n in graph.op_nodes())
         )
-        entry = stats[task.device]
+        entry = stats.setdefault(
+            task.device, {"params": 0.0, "peak": 0.0, "tasks": 0}
+        )
         entry["params"] += params
         entry["peak"] = max(entry["peak"], working)
         entry["tasks"] += 1
     return MemoryReport(
-        cpu=DeviceMemory(
-            param_bytes=stats["cpu"]["params"],
-            peak_activation_bytes=stats["cpu"]["peak"],
-            tasks=int(stats["cpu"]["tasks"]),
-        ),
-        gpu=DeviceMemory(
-            param_bytes=stats["gpu"]["params"],
-            peak_activation_bytes=stats["gpu"]["peak"],
-            tasks=int(stats["gpu"]["tasks"]),
-        ),
+        per_device={
+            dev: DeviceMemory(
+                param_bytes=entry["params"],
+                peak_activation_bytes=entry["peak"],
+                tasks=int(entry["tasks"]),
+            )
+            for dev, entry in stats.items()
+        }
     )

@@ -48,8 +48,14 @@ from repro.runtime.plan import HeteroPlan, TaskSpec
 
 __all__ = ["ReplayTask", "ReplayTransfer", "ReplayResult", "replay_plan"]
 
-#: The host device: external inputs live here and model outputs land here.
+#: The default machine's host device: external inputs live here and model
+#: outputs land here.  Meshes override this with ``machine.host``.
 HOST_DEVICE = "cpu"
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Canonical key of the (undirected) link between two devices."""
+    return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -106,10 +112,11 @@ def _output_bytes(task: TaskSpec, index: int) -> float:
 class _Statics:
     """Plan structure shared by every request of a replay."""
 
-    def __init__(self, plan: HeteroPlan):
+    def __init__(self, plan: HeteroPlan, host: str = HOST_DEVICE):
         self.plan = plan
+        self.host = host
         self.task_by_id = {t.task_id: t for t in plan.tasks}
-        self.devices = sorted({t.device for t in plan.tasks} | {HOST_DEVICE})
+        self.devices = sorted({t.device for t in plan.tasks} | {host})
         # (producer id, output index) -> cross-device consumer destinations,
         # in first-consumer order.  Model outputs produced off-host gain the
         # host as a destination (the landing transfer).
@@ -122,7 +129,7 @@ class _Statics:
         for task in plan.tasks:
             for input_id, src in task.sources.items():
                 if src.kind == "external":
-                    if task.device == HOST_DEVICE:
+                    if task.device == host:
                         continue
                     if (src.ref, task.device) in seen_ext:
                         continue
@@ -141,11 +148,11 @@ class _Statics:
                     if task.device not in dests:
                         dests.append(task.device)
         for tid, idx in plan.outputs:
-            if self.task_by_id[tid].device == HOST_DEVICE:
+            if self.task_by_id[tid].device == host:
                 continue
             dests = self.consumers.setdefault((tid, idx), [])
-            if HOST_DEVICE not in dests:
-                dests.append(HOST_DEVICE)
+            if host not in dests:
+                dests.append(host)
 
 
 def replay_plan(
@@ -172,8 +179,8 @@ def replay_plan(
         raise ExecutionError("replay_plan needs at least one arrival")
     if any(b < a for a, b in zip(arrivals, list(arrivals)[1:])):
         raise ExecutionError("request arrivals must be non-decreasing")
-    statics = _Statics(plan)
-    link = machine.interconnect
+    host = machine.host
+    statics = _Statics(plan, host)
     n_req = len(arrivals)
 
     # Per-device FIFO of (request, task) in request-major plan order — the
@@ -187,48 +194,54 @@ def replay_plan(
     head: dict[str, int] = {d: 0 for d in statics.devices}
 
     device_free: dict[str, float] = {d: 0.0 for d in statics.devices}
-    link_free = 0.0
+    # Every device pair is its own serialized FIFO link with its own free
+    # cursor and pending queue; the default machine has exactly one pair,
+    # recovering the historical single-link timeline event for event.
+    link_free: dict[tuple[str, str], float] = {}
     finish: dict[tuple[int, str], float] = {}
     # (request, tensor key, dest) -> arrival time of the committed copy.
     arrived: dict[tuple[int, tuple, str], float] = {}
 
-    # Pending transfers: (ready, seq, request, key, label, dest, bytes).
-    pending: list[tuple[float, int, int, tuple, str, str, float]] = []
+    # Per-link pending transfers: (ready, seq, request, key, label, dest,
+    # bytes); the global ``seq`` keeps issue order comparable across links.
+    pending: dict[
+        tuple[str, str], list[tuple[float, int, int, tuple, str, str, float]]
+    ] = {}
     seq = 0
+
+    def push_transfer(
+        ready: float, req: int, src_dev: str, key: tuple, label: str,
+        dest: str, n_bytes: float,
+    ) -> None:
+        nonlocal seq
+        queue = pending.setdefault(_pair(src_dev, dest), [])
+        heapq.heappush(queue, (ready, seq, req, key, label, dest, n_bytes))
+        seq += 1
+
     for req in range(n_req):
         for ref, dest, n_bytes in statics.external:
-            heapq.heappush(
-                pending,
-                (
-                    float(arrivals[req]), seq, req,
-                    ("external", ref), f"external:{ref}", dest, n_bytes,
-                ),
+            push_transfer(
+                float(arrivals[req]), req, host,
+                ("external", ref), f"external:{ref}", dest, n_bytes,
             )
-            seq += 1
 
     def issue_outputs(req: int, task: TaskSpec, at: float) -> None:
-        nonlocal seq
         for (tid, idx), dests in statics.consumers.items():
             if tid != task.task_id:
                 continue
             n_bytes = _output_bytes(task, idx)
             for dest in dests:
-                heapq.heappush(
-                    pending,
-                    (
-                        at, seq, req,
-                        ("task", tid, idx), f"task:{tid}[{idx}]",
-                        dest, n_bytes,
-                    ),
+                push_transfer(
+                    at, req, task.device,
+                    ("task", tid, idx), f"task:{tid}[{idx}]", dest, n_bytes,
                 )
-                seq += 1
 
     def task_start(req: int, task: TaskSpec) -> float | None:
         """Earliest start of the queue head, or ``None`` while blocked."""
         start = max(device_free[task.device], float(arrivals[req]))
         for input_id, src in task.sources.items():
             if src.kind == "external":
-                if task.device == HOST_DEVICE:
+                if task.device == host:
                     continue  # host-resident, ready at arrival
                 at = arrived.get((req, ("external", src.ref), task.device))
                 if at is None:
@@ -253,15 +266,24 @@ def replay_plan(
     transfers_out: list[ReplayTransfer] = []
     remaining = n_req * len(plan.tasks)
 
-    while remaining > 0 or pending:
+    def pending_left() -> bool:
+        return any(pending.values())
+
+    while remaining > 0 or pending_left():
         # Candidate actions, committed in non-decreasing start order.
         # (start, kind-rank, tie, payload); transfers rank first on ties
-        # so the rng draw order is deterministic.
+        # so the rng draw order is deterministic, and the globally unique
+        # issue ``seq`` orders transfer ties across links.
         best: tuple | None = None
-        if pending:
-            ready, tseq, *_ = pending[0]
-            start = max(link_free, ready)
-            best = (start, 0, tseq, "xfer", None)
+        for pair in sorted(pending):
+            queue = pending[pair]
+            if not queue:
+                continue
+            ready, tseq, *_ = queue[0]
+            start = max(link_free.get(pair, 0.0), ready)
+            cand = (start, 0, tseq, "xfer", pair)
+            if best is None or cand < best:
+                best = cand
         for di, dev in enumerate(statics.devices):
             if head[dev] >= len(device_queue[dev]):
                 continue
@@ -280,13 +302,17 @@ def replay_plan(
 
         start, _, _, kind, payload = best
         if kind == "xfer":
-            ready, _, req, key, label, dest, n_bytes = heapq.heappop(pending)
+            pair = payload
+            ready, _, req, key, label, dest, n_bytes = heapq.heappop(
+                pending[pair]
+            )
+            link = machine.link(pair[0], pair[1])
             if rng is None:
                 duration = link.transfer_time(n_bytes)
             else:
                 duration = link.sample_transfer_time(n_bytes, rng)
             done = start + duration
-            link_free = done
+            link_free[pair] = done
             arrived[(req, key, dest)] = done
             transfers_out.append(
                 ReplayTransfer(
@@ -331,10 +357,10 @@ def replay_plan(
     for req in range(n_req):
         done = float(arrivals[req])
         for tid, idx in plan.outputs:
-            if statics.task_by_id[tid].device == HOST_DEVICE:
+            if statics.task_by_id[tid].device == host:
                 done = max(done, finish[(req, tid)])
             else:
-                done = max(done, arrived[(req, ("task", tid, idx), HOST_DEVICE)])
+                done = max(done, arrived[(req, ("task", tid, idx), host)])
         completions.append(done)
     return ReplayResult(
         tasks=tasks_out, transfers=transfers_out, completions=completions

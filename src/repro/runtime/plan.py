@@ -2,8 +2,8 @@
 
 A plan is the executor's input (paper Fig. 9): a set of compiled subgraph
 tasks, each pinned to a device, wired together by data edges.  Tensors are
-produced on the producer's device; consuming them from the other device
-implies a PCIe transfer, which the simulator prices and the scheduler's
+produced on the producer's device; consuming them from a different device
+implies a link transfer, which the simulator prices and the scheduler's
 correction step optimizes against.
 """
 
@@ -45,7 +45,11 @@ class TaskSpec:
 
     Attributes:
         task_id: unique id within the plan.
-        device: ``"cpu"`` or ``"gpu"``.
+        device: a mesh device placement name (``"cpu"``/``"gpu"`` on the
+            default machine).  The plan itself only requires a non-empty
+            name; membership in a concrete machine's device set is
+            checked when the plan meets that machine (assembly,
+            simulation, :func:`~repro.testing.invariants.check_plan`).
         module: the subgraph compiled for that device.
         sources: module input id -> where its value comes from.
         phase_index: the partition phase this task belongs to (display/
@@ -59,7 +63,7 @@ class TaskSpec:
     phase_index: int = 0
 
     def __post_init__(self) -> None:
-        if self.device not in ("cpu", "gpu"):
+        if not isinstance(self.device, str) or not self.device:
             raise SchedulingError(f"invalid device {self.device!r}")
         missing = set(self.module.input_ids) - set(self.sources)
         if missing:

@@ -36,7 +36,6 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.runtime.core import (
     DEVICES,
-    OTHER_DEVICE,
     CoreResult,
     DispatchKernel,
     ExecutionEvent,
@@ -45,6 +44,7 @@ from repro.runtime.core import (
     RetryMiddleware,
     TaskDeadlineMiddleware,
     ThreadedWorkers,
+    plan_worker_devices,
 )
 from repro.runtime.plan import HeteroPlan
 
@@ -60,12 +60,10 @@ __all__ = [
     "survivor_plan",
 ]
 
-_OTHER = OTHER_DEVICE
-
-
 def survivor_plan(
     degradation_plans: Mapping[str, HeteroPlan],
     lost: "set[str] | frozenset[str]",
+    devices: "tuple[str, ...] | None" = None,
 ) -> tuple[str, HeteroPlan] | None:
     """Pick a standing single-device plan that avoids every lost device.
 
@@ -74,12 +72,16 @@ def survivor_plan(
     rebuilt onto a surviving device, and the degradation plans
     :meth:`DuetEngine.optimize` already compiled are exactly the
     candidates.  Returns ``(device, plan)`` for the first surviving
-    device in the canonical :data:`~repro.runtime.core.DEVICES` order
-    (deterministic across runs), or ``None`` when no survivor has a
-    standing plan — the lane then has nothing to fail over to and must
-    keep failing requests until a device is restored.
+    device in preference order — ``devices`` when given, else the
+    canonical :data:`~repro.runtime.core.DEVICES` pair followed by any
+    other devices with standing plans, sorted (deterministic across
+    runs) — or ``None`` when no survivor has a standing plan: the lane
+    then has nothing to fail over to and must keep failing requests
+    until a device is restored.
     """
-    for device in DEVICES:
+    if devices is None:
+        devices = DEVICES + tuple(sorted(set(degradation_plans) - set(DEVICES)))
+    for device in devices:
         if device in lost:
             continue
         plan = degradation_plans.get(device)
@@ -267,10 +269,13 @@ class ResilientExecutor:
             return time.perf_counter() - t0
 
         # Fresh per-dispatch jitter generators, exactly as the standalone
-        # executor seeded them (restarts reset the draw sequence).
+        # executor seeded them (restarts reset the draw sequence); the
+        # worker set — and hence the seed order — is the plan's (the
+        # canonical pair for default-machine plans).
+        devices = plan_worker_devices(plan)
         rngs = {
             dev: np.random.default_rng((config.seed, i))
-            for i, dev in enumerate(DEVICES)
+            for i, dev in enumerate(devices)
         }
         middleware = [
             RetryMiddleware(config.retry, events, counters, rngs, clock)
@@ -283,6 +288,7 @@ class ResilientExecutor:
             failover=config.failover,
             restart_devices=set(self.degradation_plans),
             allow_restart=allow_restart,
+            devices=devices,
         )
         return DispatchKernel(
             plan,
@@ -308,13 +314,17 @@ class ResilientExecutor:
                 self.plan, t0, events, counters, allow_restart=True
             ).run(inputs, t0=t0)
             if self.fault_injector is not None:
-                lost = [
+                devices = plan_worker_devices(self.plan)
+                survivors = [
                     dev
-                    for dev in DEVICES
-                    if self.fault_injector.device_is_lost(dev)
+                    for dev in devices
+                    if not self.fault_injector.device_is_lost(dev)
                 ]
-                if lost:
-                    degraded = _OTHER[lost[0]]
+                # With exactly one survivor the engine should serve from
+                # that device's standing plan; with >= 2 survivors the
+                # mesh re-places in flight instead of degrading.
+                if len(survivors) < len(devices) and len(survivors) == 1:
+                    degraded = survivors[0]
         except RestartOnSurvivor as sig:
             counters["failovers"] += 1
             restarted = True

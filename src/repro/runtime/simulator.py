@@ -108,13 +108,24 @@ class ExecutionResult:
         return sum(t.n_bytes for t in self.transfers)
 
 
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Canonical key of the (undirected) link between two devices."""
+    return (a, b) if a <= b else (b, a)
+
+
 class _LinkTimeline:
-    """The serialized PCIe link with a transfer cache."""
+    """The mesh's serialized links with a transfer cache.
+
+    Each device pair is one serialized FIFO resource with its own free
+    cursor; on the default 2-device machine there is exactly one pair, so
+    this degenerates to the historical single PCIe timeline (same event
+    order, same noise draws).
+    """
 
     def __init__(self, machine: Machine, rng: np.random.Generator | None):
         self._machine = machine
         self._rng = rng
-        self._free_at = 0.0
+        self._free_at: dict[tuple[str, str], float] = {}
         # (source key, device) -> arrival time of the tensor on that device
         self._arrivals: dict[tuple[tuple, str], float] = {}
         self.records: list[TransferRecord] = []
@@ -135,14 +146,15 @@ class _LinkTimeline:
         cached = self._arrivals.get((key, dest))
         if cached is not None:
             return cached
-        link = self._machine.interconnect
+        link = self._machine.link(produced_on, dest)
         if self._rng is None:
             duration = link.transfer_time(n_bytes)
         else:
             duration = link.sample_transfer_time(n_bytes, self._rng)
-        start = max(self._free_at, produced_at)
+        pair = _pair(produced_on, dest)
+        start = max(self._free_at.get(pair, 0.0), produced_at)
         finish = start + duration
-        self._free_at = finish
+        self._free_at[pair] = finish
         self._arrivals[(key, dest)] = finish
         self.records.append(
             TransferRecord(
@@ -225,7 +237,8 @@ def simulate(
             kernel_times=kernel_times,
         )
     link = _LinkTimeline(machine, rng)
-    device_free = {"cpu": 0.0, "gpu": 0.0}
+    host = machine.host
+    device_free = {name: 0.0 for name in machine.device_names}
     task_finish: dict[str, float] = {}
     task_device: dict[str, str] = {}
     task_records: list[TaskRecord] = []
@@ -238,7 +251,7 @@ def simulate(
                 key=("external", src.ref),
                 label=f"external:{src.ref}",
                 produced_at=0.0,
-                produced_on="cpu",  # host-resident
+                produced_on=host,  # host-resident
                 dest=task.device,
                 n_bytes=n_bytes,
             )
@@ -342,7 +355,7 @@ def simulate(
             label=f"task:{tid}[{idx}]",
             produced_at=task_finish[tid],
             produced_on=task_device[tid],
-            dest="cpu",
+            dest=host,
             n_bytes=out_bytes,
         )
         latency = max(latency, arrival)
@@ -434,13 +447,14 @@ def _simulate_overlapped(
 
 
 class _BatchLinkTimeline:
-    """Vectorized serialized link: every scalar time is an (n_runs,) array."""
+    """Vectorized serialized links: every scalar time is an (n_runs,)
+    array, with one free cursor per device pair (see :class:`_LinkTimeline`)."""
 
     def __init__(self, machine: Machine, rng: np.random.Generator, n_runs: int):
         self._machine = machine
         self._rng = rng
         self._n = n_runs
-        self._free_at = np.zeros(n_runs)
+        self._free_at: dict[tuple[str, str], np.ndarray] = {}
         self._arrivals: dict[tuple[tuple, str], np.ndarray] = {}
 
     def arrival(
@@ -456,11 +470,15 @@ class _BatchLinkTimeline:
         cached = self._arrivals.get((key, dest))
         if cached is not None:
             return cached
-        link = self._machine.interconnect
+        link = self._machine.link(produced_on, dest)
         duration = link.sample_transfer_time_batch(n_bytes, self._rng, self._n)
-        start = np.maximum(self._free_at, produced_at)
+        pair = _pair(produced_on, dest)
+        free_at = self._free_at.get(pair)
+        if free_at is None:
+            free_at = np.zeros(self._n)
+        start = np.maximum(free_at, produced_at)
         finish = start + duration
-        self._free_at = finish
+        self._free_at[pair] = finish
         self._arrivals[(key, dest)] = finish
         return finish
 
@@ -489,8 +507,11 @@ def simulate_batch(
     if n_runs <= 0:
         raise ExecutionError(f"n_runs must be positive, got {n_runs}")
     link = _BatchLinkTimeline(machine, rng, n_runs)
+    host = machine.host
     zeros = np.zeros(n_runs)
-    device_free: dict[str, np.ndarray] = {"cpu": zeros, "gpu": zeros}
+    device_free: dict[str, np.ndarray] = {
+        name: zeros for name in machine.device_names
+    }
     task_finish: dict[str, np.ndarray] = {}
     task_device: dict[str, str] = {}
 
@@ -500,7 +521,7 @@ def simulate_batch(
             return link.arrival(
                 key=("external", src.ref),
                 produced_at=0.0,
-                produced_on="cpu",  # host-resident
+                produced_on=host,  # host-resident
                 dest=task.device,
                 n_bytes=n_bytes,
             )
@@ -537,7 +558,7 @@ def simulate_batch(
             key=("task", tid, idx),
             produced_at=task_finish[tid],
             produced_on=task_device[tid],
-            dest="cpu",
+            dest=host,
             n_bytes=out_bytes,
         )
         latency = np.maximum(latency, arrival)

@@ -82,13 +82,13 @@ from repro.errors import (
     ReproError,
 )
 from repro.runtime.core import (
-    DEVICES,
     DispatchKernel,
     InlineWorkers,
     MetricsMiddleware,
     Middleware,
     PhaseCheckpoint,
     RetryMiddleware,
+    plan_worker_devices,
 )
 from repro.runtime.resilient import survivor_plan
 from repro.serving.batcher import (
@@ -406,9 +406,12 @@ class _WorkerSlot:
             key = (config.seed, self.index) if generation == 0 else (
                 config.seed, self.index, generation
             )
+            # Enumerating the plan's worker set keeps the (device, index)
+            # seed pairs identical to the historical DEVICES pair on the
+            # default machine while covering every mesh device.
             rngs = {
                 dev: np.random.default_rng((*key, i))
-                for i, dev in enumerate(DEVICES)
+                for i, dev in enumerate(plan_worker_devices(plan))
             }
             middleware.append(
                 RetryMiddleware(

@@ -49,8 +49,16 @@ __all__ = [
     "assert_valid",
 ]
 
+#: Default-machine device set, used when a caller does not say which
+#: mesh the schedule was produced for.
 _DEVICES = ("cpu", "gpu")
+_HOST = "cpu"
 _EPS = 1e-9
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Canonical key of the (undirected) link between two devices."""
+    return (a, b) if a <= b else (b, a)
 
 
 def assert_valid(violations: Sequence[str]) -> None:
@@ -144,10 +152,17 @@ def check_partition(graph: Graph, partition: PhasedPartition) -> list[str]:
 
 
 def check_placement(
-    partition: PhasedPartition, placement: Mapping[str, str]
+    partition: PhasedPartition,
+    placement: Mapping[str, str],
+    devices: Sequence[str] | None = None,
 ) -> list[str]:
-    """Every subgraph placed exactly once, on a real device."""
+    """Every subgraph placed exactly once, on a real device.
+
+    ``devices`` is the machine's device set; the default-machine pair
+    when omitted.
+    """
     violations: list[str] = []
+    valid = tuple(devices) if devices is not None else _DEVICES
     ids = {sg.id for sg in partition.subgraphs}
     missing = ids - set(placement)
     if missing:
@@ -156,7 +171,7 @@ def check_placement(
     if extra:
         violations.append(f"placement names unknown subgraphs: {sorted(extra)}")
     for sid, dev in placement.items():
-        if dev not in _DEVICES:
+        if dev not in valid:
             violations.append(f"subgraph {sid!r} placed on invalid device {dev!r}")
     return violations
 
@@ -171,14 +186,17 @@ def check_plan(
     graph: Graph | None = None,
     partition: PhasedPartition | None = None,
     placement: Mapping[str, str] | None = None,
+    devices: Sequence[str] | None = None,
 ) -> list[str]:
     """Static validity of an executable plan.
 
     With ``graph`` the operator coverage is verified; with ``partition``
     (and optionally ``placement``) the plan is cross-checked against the
-    scheduling decision it supposedly implements.
+    scheduling decision it supposedly implements.  ``devices`` is the
+    machine's device set (default-machine pair when omitted).
     """
     violations: list[str] = []
+    valid_devices = tuple(devices) if devices is not None else _DEVICES
     ids = [t.task_id for t in plan.tasks]
     for tid, n in Counter(ids).items():
         if n > 1:
@@ -187,7 +205,7 @@ def check_plan(
 
     seen: set[str] = set()
     for task in plan.tasks:
-        if task.device not in _DEVICES:
+        if task.device not in valid_devices:
             violations.append(
                 f"task {task.task_id!r} pinned to invalid device {task.device!r}"
             )
@@ -339,14 +357,18 @@ def check_task_order(plan: HeteroPlan, order: Sequence[str]) -> list[str]:
 # ----------------------------------------------------------------------
 
 
-def check_execution(plan: HeteroPlan, result: ExecutionResult) -> list[str]:
+def check_execution(
+    plan: HeteroPlan, result: ExecutionResult, host: str = _HOST
+) -> list[str]:
     """Causality and resource-exclusivity of a simulated execution.
 
     Verifies the §IV-D executor semantics on the recorded timeline:
     per-device serialization, one matching PCIe transfer per cross-device
     edge (started after the producer finished, delivered before the
-    consumer started), serialized link usage, and host delivery of every
-    GPU-resident model output by the reported latency.
+    consumer started), serialized usage of each device-pair link, and
+    host delivery of every off-host model output by the reported latency.
+    ``host`` is where external inputs live and outputs land (the default
+    machine's ``"cpu"`` when omitted).
     """
     violations: list[str] = []
     recs = {r.task_id: r for r in result.tasks}
@@ -372,7 +394,7 @@ def check_execution(plan: HeteroPlan, result: ExecutionResult) -> list[str]:
             violations.append(f"task {rec.task_id!r} finishes before it starts")
 
     # Devices execute one task at a time (footnote 2).
-    for device in _DEVICES:
+    for device in sorted({r.device for r in result.tasks}):
         timeline = sorted(
             (r for r in result.tasks if r.device == device),
             key=lambda r: (r.start, r.finish),
@@ -384,13 +406,29 @@ def check_execution(plan: HeteroPlan, result: ExecutionResult) -> list[str]:
                     f"on {device}"
                 )
 
-    # The PCIe link is one serialized resource.
-    link = sorted(result.transfers, key=lambda t: (t.start, t.finish))
-    for prev, cur in zip(link, link[1:]):
-        if cur.start < prev.finish - _EPS:
-            violations.append(
-                f"transfers {prev.what!r} and {cur.what!r} overlap on the link"
-            )
+    # Each device-pair link is one serialized resource.  The transfer
+    # records carry only the destination, so the source side is derived:
+    # external tensors leave the host, task outputs leave the device the
+    # producer was recorded on.
+    def transfer_src(t) -> str:
+        if t.what.startswith("task:"):
+            tid = t.what[len("task:"):].rsplit("[", 1)[0]
+            rec = recs.get(tid)
+            if rec is not None:
+                return rec.device
+        return host
+
+    by_link: dict[tuple[str, str], list] = {}
+    for t in result.transfers:
+        by_link.setdefault(_pair(transfer_src(t), t.dest_device), []).append(t)
+    for link_pair in sorted(by_link):
+        link = sorted(by_link[link_pair], key=lambda t: (t.start, t.finish))
+        for prev, cur in zip(link, link[1:]):
+            if cur.start < prev.finish - _EPS:
+                violations.append(
+                    f"transfers {prev.what!r} and {cur.what!r} overlap on "
+                    f"the link {link_pair}"
+                )
 
     def find_transfer(label: str, dest: str):
         for t in result.transfers:
@@ -404,7 +442,7 @@ def check_execution(plan: HeteroPlan, result: ExecutionResult) -> list[str]:
             continue
         for src in task.sources.values():
             if src.kind == "external":
-                produced_at, produced_on = 0.0, "cpu"
+                produced_at, produced_on = 0.0, host
                 label = f"external:{src.ref}"
             else:
                 producer = recs.get(src.ref)
@@ -442,14 +480,14 @@ def check_execution(plan: HeteroPlan, result: ExecutionResult) -> list[str]:
         rec = recs.get(tid)
         if rec is None:
             continue
-        if rec.device == "cpu":
+        if rec.device == host:
             arrival = rec.finish
         else:
             label = f"task:{tid}[{idx}]"
-            transfer = find_transfer(label, "cpu")
+            transfer = find_transfer(label, host)
             if transfer is None:
                 violations.append(
-                    f"GPU-resident output ({tid!r}, {idx}) never transferred "
+                    f"off-host output ({tid!r}, {idx}) never transferred "
                     "to the host"
                 )
                 continue
@@ -473,11 +511,20 @@ def validate_schedule(
     placement: Mapping[str, str],
     plan: HeteroPlan,
     result: ExecutionResult | None = None,
+    devices: Sequence[str] | None = None,
+    host: str = _HOST,
 ) -> list[str]:
-    """Run every applicable invariant over one scheduling decision."""
+    """Run every applicable invariant over one scheduling decision.
+
+    ``devices``/``host`` describe the machine the schedule targets; the
+    defaults are the 2-device machine's.
+    """
     violations = check_partition(graph, partition)
-    violations += check_placement(partition, placement)
-    violations += check_plan(plan, graph=graph, partition=partition, placement=placement)
+    violations += check_placement(partition, placement, devices=devices)
+    violations += check_plan(
+        plan, graph=graph, partition=partition, placement=placement,
+        devices=devices,
+    )
     if result is not None:
-        violations += check_execution(plan, result)
+        violations += check_execution(plan, result, host=host)
     return violations

@@ -43,11 +43,10 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.compiler.pipeline import Compiler
-from repro.compiler.target import CPU_TARGET, GPU_TARGET
 from repro.core.partition import partition_graph
 from repro.core.phases import PhasedPartition
 from repro.core.placement import build_hetero_plan
-from repro.core.profiler import CompilerAwareProfiler
+from repro.core.profiler import CompilerAwareProfiler, device_target
 from repro.core.scheduler import GreedyCorrectionScheduler
 from repro.devices.machine import Machine, default_machine
 from repro.errors import ReproError
@@ -158,10 +157,13 @@ def _compare(name: str, got, ref) -> list[str]:
     return msgs
 
 
-def alternating_placement(partition: PhasedPartition) -> dict[str, str]:
-    """cpu/gpu round-robin over subgraphs: guarantees cross-device edges."""
+def alternating_placement(
+    partition: PhasedPartition, devices: tuple[str, ...] = ("cpu", "gpu")
+) -> dict[str, str]:
+    """Device round-robin over subgraphs: guarantees cross-device edges
+    (and, on a mesh, touches every device once enough subgraphs exist)."""
     return {
-        sg.id: ("cpu" if i % 2 == 0 else "gpu")
+        sg.id: devices[i % len(devices)]
         for i, sg in enumerate(partition.subgraphs)
     }
 
@@ -192,6 +194,8 @@ def run_differential(
         single_device: include the compiled single-device runtime arms.
     """
     machine = machine or default_machine(noisy=False)
+    devices = machine.device_names
+    host = machine.host
     report = DifferentialReport(graph=graph)
 
     feeds = make_inputs(graph, seed=input_seed)
@@ -209,9 +213,9 @@ def run_differential(
 
     if single_device:
         compiler = Compiler()
-        for device, target in (("cpu", CPU_TARGET), ("gpu", GPU_TARGET)):
+        for dev in machine.devices:
 
-            def run_single(outcome, device=device, target=target):
+            def run_single(outcome, device=dev.name, target=device_target(dev)):
                 module = compiler.compile(graph, target)
                 result = run_single_device(
                     module, device, machine, inputs=feeds
@@ -219,7 +223,7 @@ def run_differential(
                 outcome.outputs = result.outputs
                 report.divergences += _compare(outcome.name, result.outputs, ref)
 
-            attempt(f"single:{device}", run_single)
+            attempt(f"single:{dev.name}", run_single)
 
     # Partition, profile, schedule — the real pipeline under test.
     try:
@@ -241,7 +245,7 @@ def run_differential(
         placement = placement_transform(placement, partition)
     report.placement = placement
 
-    placement_violations = check_placement(partition, placement)
+    placement_violations = check_placement(partition, placement, devices=devices)
     if placement_violations:
         # The validator caught the (injected or real) scheduler bug before
         # plan construction could crash on it.
@@ -249,20 +253,22 @@ def run_differential(
         return report
 
     arms: list[tuple[str, dict[str, str]]] = [("", placement)]
-    alt = alternating_placement(partition)
+    alt = alternating_placement(partition, devices)
     if cross_device and alt != placement:
         arms.append(("@alt", alt))
 
     for suffix, arm_placement in arms:
         try:
-            plan = build_hetero_plan(graph, partition, profiles, arm_placement)
+            plan = build_hetero_plan(
+                graph, partition, profiles, arm_placement, devices=devices
+            )
         except ReproError as exc:
             report.violations.append(
                 f"plan construction{suffix} raised {type(exc).__name__}: {exc}"
             )
             continue
         report.violations += validate_schedule(
-            graph, partition, arm_placement, plan
+            graph, partition, arm_placement, plan, devices=devices, host=host
         )
 
         def run_simulator(outcome, plan=plan):
@@ -274,7 +280,7 @@ def run_differential(
                 for r in sorted(result.tasks, key=lambda r: (r.finish, r.start))
             ]
             report.divergences += _compare(outcome.name, result.outputs, ref)
-            report.violations += check_execution(plan, result)
+            report.violations += check_execution(plan, result, host=host)
             report.violations += check_task_order(plan, outcome.task_order)
 
         def run_simulator_overlap(outcome, plan=plan, suffix=suffix):
@@ -285,7 +291,7 @@ def run_differential(
                 for r in sorted(result.tasks, key=lambda r: (r.finish, r.start))
             ]
             report.divergences += _compare(outcome.name, result.outputs, ref)
-            report.violations += check_execution(plan, result)
+            report.violations += check_execution(plan, result, host=host)
             report.violations += check_task_order(plan, outcome.task_order)
             # Overlap reorders the virtual clock, never the data: outputs
             # must be bit-identical to the lazy simulation of the same plan.

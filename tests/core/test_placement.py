@@ -52,6 +52,31 @@ class TestValidatePlacement:
         with pytest.raises(SchedulingError):
             validate_placement(partition, placement)
 
+    def test_bad_device_message_names_machine_devices(self, setup):
+        # The error enumerates the actual device set — not a hard-coded
+        # ("cpu", "gpu") — so mesh misconfigurations are self-explaining.
+        _, partition, _ = setup
+        placement = _all_cpu(partition)
+        placement[next(iter(placement))] = "tpu"
+        with pytest.raises(SchedulingError, match=r"\['cpu', 'gpu'\]"):
+            validate_placement(partition, placement)
+        with pytest.raises(
+            SchedulingError, match=r"\['cpu', 'gpu0', 'gpu1'\]"
+        ):
+            validate_placement(
+                partition, placement, devices=("cpu", "gpu0", "gpu1")
+            )
+
+    def test_mesh_devices_accepted(self, setup):
+        _, partition, _ = setup
+        placement = {sg.id: "gpu1" for sg in partition.subgraphs}
+        validate_placement(
+            partition, placement, devices=("cpu", "gpu0", "gpu1")
+        )
+        # ...but only when the machine actually has them.
+        with pytest.raises(SchedulingError, match="unknown device 'gpu1'"):
+            validate_placement(partition, placement)
+
 
 class TestBuildPlan:
     def test_plan_structure(self, setup):
@@ -90,6 +115,29 @@ class TestBuildPlan:
             result = simulate(plan, machine, inputs=feeds)
             for got, want in zip(result.outputs, ref):
                 np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_mesh_plan_executes_numerically(self):
+        from repro.devices import make_mesh
+
+        mesh = make_mesh(num_gpus=2, noisy=False)
+        graph = build_model("siamese", tiny=True)
+        partition = partition_graph(graph)
+        profiles = CompilerAwareProfiler(machine=mesh).profile_partition(
+            partition
+        )
+        ids = [sg.id for sg in partition.subgraphs]
+        placement = {
+            sid: mesh.device_names[i % 3] for i, sid in enumerate(ids)
+        }
+        plan = build_hetero_plan(
+            graph, partition, profiles, placement,
+            devices=mesh.device_names,
+        )
+        feeds = make_inputs(graph)
+        result = simulate(plan, mesh, inputs=feeds)
+        ref = run_graph(graph, feeds)
+        for got, want in zip(result.outputs, ref):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
 
     def test_task_metadata(self, setup):
         graph, partition, profiles = setup

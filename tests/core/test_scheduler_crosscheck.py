@@ -20,7 +20,7 @@ from repro.core.schedulers import (
     estimate_placement_cost,
     exhaustive_placement,
 )
-from repro.devices import default_machine
+from repro.devices import default_machine, make_mesh
 from repro.testing.generators import GeneratorConfig, generate_graph
 
 import numpy as np
@@ -30,13 +30,28 @@ _MACHINE = default_machine(noisy=False)
 # Small graphs so the partition stays within the 2^6 enumeration budget.
 _CONFIG = GeneratorConfig(max_ops=8)
 
+#: Mesh arms of the DP conformance check: the DP's exactness claim is
+#: per-machine, so it is brute-forced on wider and heterogeneous meshes
+#: too (a derated gpu1 makes per-device compute and link pricing
+#: actually matter — a placement bug that only swaps identical GPUs
+#: would be invisible on the uniform meshes).
+_MESHES = {
+    "default_2dev": _MACHINE,
+    "mesh_3dev": make_mesh(num_gpus=2, noisy=False),
+    "mesh_4dev": make_mesh(num_gpus=3, noisy=False),
+    "mesh_3dev_hetero": make_mesh(
+        num_gpus=2, noisy=False, gpu_slowdowns=(1.0, 1.7)
+    ),
+}
 
-def _small_instance(seed):
+
+def _small_instance(seed, machine=_MACHINE, max_states=4096):
     graph = generate_graph(np.random.default_rng(seed), _CONFIG).pruned()
     partition = partition_graph(graph)
-    if len(partition.subgraphs) > 6:
+    n = len(partition.subgraphs)
+    if n > 6 or len(machine.device_names) ** n > max_states:
         return None
-    profiles = CompilerAwareProfiler(machine=_MACHINE).profile_partition(
+    profiles = CompilerAwareProfiler(machine=machine).profile_partition(
         partition
     )
     return graph, partition, profiles
@@ -64,6 +79,38 @@ def test_dp_matches_bruteforce_of_its_objective(seed):
     # The returned placement actually achieves the returned cost.
     assert estimate_placement_cost(
         graph, partition, profiles, _MACHINE, placement
+    ) == pytest.approx(dp_cost, rel=1e-12)
+
+
+@pytest.mark.parametrize("mesh_name", sorted(_MESHES))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+@given(st.integers(0, 2**32 - 1))
+def test_dp_matches_bruteforce_on_meshes(mesh_name, seed):
+    """The DP's exactness survives the N-device generalization: on 3-
+    and 4-device meshes (uniform and heterogeneous) its makespan still
+    equals the brute-force minimum of the analytic objective over all
+    |devices|^n assignment vectors."""
+    machine = _MESHES[mesh_name]
+    instance = _small_instance(seed, machine)
+    if instance is None:
+        return
+    graph, partition, profiles = instance
+    placement, dp_cost = dp_placement(graph, partition, profiles, machine)
+    assert set(placement.values()) <= set(machine.device_names)
+
+    ids = [sg.id for sg in partition.subgraphs]
+    brute_cost = min(
+        estimate_placement_cost(
+            graph, partition, profiles, machine, dict(zip(ids, devices))
+        )
+        for devices in itertools.product(
+            machine.device_names, repeat=len(ids)
+        )
+    )
+    assert dp_cost == pytest.approx(brute_cost, rel=1e-12)
+    assert estimate_placement_cost(
+        graph, partition, profiles, machine, placement
     ) == pytest.approx(dp_cost, rel=1e-12)
 
 

@@ -1,0 +1,50 @@
+"""Regression pin: default 2-device plans are bit-identical to the seed.
+
+The fixture was captured from the pre-mesh code (when ``Machine`` was a
+hard-coded CPU+GPU pair) by running ``DuetEngine().optimize`` over the
+whole zoo and recording placements, plan task/device/output wiring, and
+``repr``-exact latencies.  The mesh refactor must be behavior-preserving
+at N=2, so the same run today must reproduce every byte: float values
+are compared via ``repr`` so even a last-ulp drift — e.g. from a changed
+accumulation order in the simulator or a reordered RNG draw — fails.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import DuetEngine
+from repro.models.zoo import MODEL_NAMES, build_model
+
+_FIXTURE = Path(__file__).parent / "fixtures" / "golden_plans_2dev.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(_FIXTURE) as f:
+        return json.load(f)
+
+
+def test_fixture_covers_whole_zoo(golden):
+    assert set(golden) == set(MODEL_NAMES)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_NAMES))
+def test_default_machine_plan_matches_seed(name, golden):
+    opt = DuetEngine().optimize(build_model(name))
+    got = {
+        "placement": dict(sorted(opt.schedule.placement.items())),
+        "fallback_device": opt.fallback_device,
+        "latency": repr(opt.latency),
+        "schedule_latency": repr(opt.schedule.latency),
+        "plan_tasks": [[t.task_id, t.device] for t in opt.plan.tasks],
+        "plan_outputs": [[tid, idx] for tid, idx in opt.plan.outputs],
+        "single_device_latency": {
+            k: repr(v) for k, v in sorted(opt.single_device_latency.items())
+        },
+    }
+    assert got == golden[name], (
+        f"{name}: default 2-device machine no longer reproduces the "
+        "pre-mesh seed bit-for-bit"
+    )

@@ -43,14 +43,19 @@ class TestFaultPlanValidation:
             TransferFault("t", "gpu", mode="explode")
 
     def test_bad_transfer_device(self):
+        # Mesh device names are open-ended; only junk values are rejected.
         with pytest.raises(ExecutionError, match="device"):
-            TransferFault("t", "tpu")
+            TransferFault("t", "")
+
+    def test_mesh_device_names_accepted(self):
+        TransferFault("t", "gpu1")
+        DeviceLoss("gpu1", at_task="t")
 
     def test_device_loss_needs_trigger(self):
         with pytest.raises(ExecutionError, match="at_task or at_time"):
             DeviceLoss("gpu")
         with pytest.raises(ExecutionError, match="device"):
-            DeviceLoss("tpu", at_task="t")
+            DeviceLoss("", at_task="t")
 
 
 class TestInjectorAttemptCounting:

@@ -33,8 +33,16 @@ class TestSource:
 
 class TestTaskSpec:
     def test_invalid_device_rejected(self):
+        # Plans are machine-agnostic: any non-empty name is a device (it
+        # is checked against a concrete machine at assembly/simulation),
+        # but empty/non-string names are malformed outright.
         with pytest.raises(SchedulingError):
-            _task(device="tpu")
+            _task(device="")
+        with pytest.raises(SchedulingError):
+            _task(device=None)
+
+    def test_mesh_device_accepted(self):
+        assert _task(device="gpu1").device == "gpu1"
 
     def test_unwired_input_rejected(self):
         with pytest.raises(SchedulingError):

@@ -66,6 +66,16 @@ class TestCLI:
         written = artifact.read_text(encoding="utf-8")
         assert "overlap_gain_pct" in written
 
+    def test_tournament_mesh_smoke(self, capsys):
+        assert main([
+            "tournament", "--tiny",
+            "--mesh", "examples/mesh.json",
+            "--models", "siamese",
+            "--policies", "dp", "round_robin",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler tournament" in out
+
     def test_tournament_unknown_policy_errors(self, capsys):
         assert main(["tournament", "--tiny", "--models", "siamese",
                      "--policies", "alphazero"]) == 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.devices import default_machine
+from repro.devices import default_machine, make_mesh
 from repro.models import build_model
 from repro.testing.generators import case_rng, generate_graph
 from repro.testing.oracle import alternating_placement, run_differential
@@ -12,6 +12,11 @@ from repro.testing.oracle import alternating_placement, run_differential
 @pytest.fixture(scope="module")
 def machine():
     return default_machine(noisy=False)
+
+
+@pytest.fixture(scope="module")
+def mesh3():
+    return make_mesh(num_gpus=2, noisy=False)
 
 
 class TestConformingGraphs:
@@ -47,6 +52,55 @@ class TestConformingGraphs:
         for a, b in zip(got, ref):
             assert a.dtype == b.dtype
             assert np.array_equal(a, b)
+
+
+class TestMeshArm:
+    """The oracle generalizes past the paper pair: every arm (scheduled,
+    per-device singles, threaded, resilient, forced alternating) must
+    agree on an N-device mesh too."""
+
+    def test_fuzz_graph_all_paths_agree_on_3dev_mesh(self, mesh3):
+        graph = generate_graph(case_rng(100, 5))
+        report = run_differential(graph, machine=mesh3)
+        assert report.ok, report.summary()
+        # One single-device arm per mesh device.
+        assert {"single:cpu", "single:gpu0", "single:gpu1", "simulator",
+                "threaded", "resilient"} <= set(report.outcomes)
+
+    def test_zoo_model_all_paths_agree_on_3dev_mesh(self, mesh3):
+        graph = build_model("mtdnn", tiny=True)
+        report = run_differential(graph, machine=mesh3)
+        assert report.ok, report.summary()
+
+    def test_alternating_arm_spans_mesh(self, mesh3):
+        from repro.core import partition_graph
+
+        graph = build_model("mtdnn", tiny=True)
+        partition = partition_graph(graph)
+        alt = alternating_placement(partition, mesh3.device_names)
+        assert set(alt) == {sg.id for sg in partition.subgraphs}
+        if len(alt) >= 3:
+            assert set(alt.values()) == {"cpu", "gpu0", "gpu1"}
+
+    def test_heterogeneous_mesh_agrees(self):
+        mesh = make_mesh(num_gpus=2, noisy=False, gpu_slowdowns=(1.0, 1.6))
+        graph = generate_graph(case_rng(100, 6))
+        report = run_differential(graph, machine=mesh)
+        assert report.ok, report.summary()
+
+    def test_invalid_device_caught_on_mesh(self, mesh3):
+        graph = generate_graph(case_rng(100, 7))
+
+        def wrong_device(placement, partition):
+            broken = dict(placement)
+            broken[sorted(broken)[0]] = "gpu7"
+            return broken
+
+        report = run_differential(
+            graph, machine=mesh3, placement_transform=wrong_device
+        )
+        assert not report.ok
+        assert any("invalid device" in v for v in report.violations)
 
 
 class TestMutationDetection:
