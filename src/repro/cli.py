@@ -441,6 +441,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             status = "ok" if diff.ok else "FAIL"
             print(f"  case {case.index:4d} ({ops:3d} ops): {status}")
 
+    backend = getattr(args, "backend", "numpy")
+    if backend == "native":
+        from repro.compiler.native import native_available
+
+        if not native_available():
+            print(
+                "warning: no C compiler found — native kernels fall back "
+                "to NumPy (the native oracle arms are marked skipped)",
+                file=sys.stderr,
+            )
+
     report = run_campaign(
         args.seed,
         args.count,
@@ -450,6 +461,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         artifact_dir=args.artifact_dir,
         time_budget_s=args.time_budget,
         progress=progress,
+        backend=backend,
     )
     print(report.summary())
     for failure in report.failures:
@@ -458,6 +470,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             "\nreproduce with: python -m repro fuzz "
             f"--seed {args.seed} --count {args.count}"
+            + (f" --backend {backend}" if backend != "numpy" else "")
         )
         return 1
     return 0
@@ -755,6 +768,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument(
         "--verbose", action="store_true", help="print every case, not just failures"
+    )
+    p_fuzz.add_argument(
+        "--backend", choices=("numpy", "native"), default="numpy",
+        help="kernel backend for every compiled oracle arm (native = "
+        "C renderer + .so cache under the ULP comparison policy)",
     )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
     return parser

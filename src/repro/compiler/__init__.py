@@ -4,10 +4,17 @@ from repro.compiler.fusion import FusionGroup, plan_fusion
 from repro.compiler.kernel import CompiledKernel, KernelCost
 from repro.compiler.lowering import CompiledModule, lower
 from repro.compiler.pass_manager import PassManager, PassRecord, default_passes
+from repro.compiler.native import (
+    NativeCache,
+    NativeKernel,
+    NativeOptions,
+    native_available,
+)
 from repro.compiler.pipeline import Compiler, CompileResult, compile_graph
-from repro.compiler.target import CPU_TARGET, GPU_TARGET, Target
+from repro.compiler.target import BACKENDS, CPU_TARGET, GPU_TARGET, Target
 
 __all__ = [
+    "BACKENDS",
     "CPU_TARGET",
     "GPU_TARGET",
     "CompileResult",
@@ -16,11 +23,15 @@ __all__ = [
     "Compiler",
     "FusionGroup",
     "KernelCost",
+    "NativeCache",
+    "NativeKernel",
+    "NativeOptions",
     "PassManager",
     "PassRecord",
     "Target",
     "compile_graph",
     "default_passes",
     "lower",
+    "native_available",
     "plan_fusion",
 ]

@@ -63,9 +63,19 @@ class CompiledKernel:
         node_ids: graph nodes folded into this kernel (topological order).
         input_ids: kernel-external argument node ids, positional.
         output_id: graph node id whose value this kernel produces.
-        fn: NumPy implementation taking the external arguments.
+        fn: implementation taking the external arguments — the NumPy
+            closure, or a ctypes-dispatched native kernel with the same
+            call contract.
         cost: cost metadata for the device models.
-        target_name: backend this kernel was generated for.
+        target_name: device this kernel was generated for.
+        backend: kernel backend actually in use: ``"numpy"``, or
+            ``"native"`` when the C renderer accepted the group (native
+            modules may mix per-kernel when the renderer rejects some).
+        exact: True when this kernel is bit-identical to the NumPy
+            reference (always True for numpy; per the renderer's
+            order-preserving analysis for native).
+        run_into: optional zero-copy entry writing into a caller-owned
+            contiguous buffer (native kernels only).
     """
 
     name: str
@@ -75,6 +85,9 @@ class CompiledKernel:
     fn: Callable[[Sequence[np.ndarray]], np.ndarray]
     cost: KernelCost
     target_name: str = "cpu"
+    backend: str = "numpy"
+    exact: bool = True
+    run_into: Callable[[Sequence[np.ndarray], np.ndarray], np.ndarray] | None = None
 
     def __call__(self, args: Sequence[np.ndarray]) -> np.ndarray:
         return self.fn(args)

@@ -55,8 +55,19 @@ def _group_cost(graph: Graph, group: FusionGroup) -> KernelCost:
     )
 
 
-def build_kernel(graph: Graph, group: FusionGroup, target: Target) -> CompiledKernel:
-    """Generate the executable kernel for one fusion group."""
+def build_kernel(
+    graph: Graph,
+    group: FusionGroup,
+    target: Target,
+    native: "object | None" = None,
+) -> CompiledKernel:
+    """Generate the executable kernel for one fusion group.
+
+    With a native-backend target, the fusion group is rendered to C and
+    compiled through the signature-keyed cache; any group the renderer
+    rejects (or a missing system compiler) keeps the NumPy closure for
+    that kernel only — the module transparently mixes backends.
+    """
     members = set(group.node_ids)
     external: list[str] = []
     seen: set[str] = set()
@@ -82,6 +93,19 @@ def build_kernel(graph: Graph, group: FusionGroup, target: Target) -> CompiledKe
             env[nid] = compute([env[i] for i in inputs], attrs)
         return env[output_id]
 
+    backend = "numpy"
+    exact = True
+    run_into = None
+    if target.is_native:
+        from repro.compiler.native import build_native_kernel
+
+        native_kernel = build_native_kernel(graph, group, external, native)
+        if native_kernel is not None:
+            fn = native_kernel
+            run_into = native_kernel.run_into
+            backend = "native"
+            exact = native_kernel.exact
+
     ops = "_".join(graph.node(n).op for n in group.node_ids[:3])
     prefix = "fused_" if len(group.node_ids) > 1 else ""
     return CompiledKernel(
@@ -92,6 +116,9 @@ def build_kernel(graph: Graph, group: FusionGroup, target: Target) -> CompiledKe
         fn=fn,
         cost=_group_cost(graph, group),
         target_name=target.name,
+        backend=backend,
+        exact=exact,
+        run_into=run_into,
     )
 
 
@@ -141,7 +168,12 @@ class CompiledModule:
         return [env[o] for o in self.output_ids]
 
 
-def lower(graph: Graph, target: Target, fuse: bool = True) -> CompiledModule:
+def lower(
+    graph: Graph,
+    target: Target,
+    fuse: bool = True,
+    native: "object | None" = None,
+) -> CompiledModule:
     """Lower an optimized graph to a compiled module for ``target``.
 
     With ``fuse=False`` every operator becomes its own kernel — this is how
@@ -167,7 +199,7 @@ def lower(graph: Graph, target: Target, fuse: bool = True) -> CompiledModule:
     # by the topological index of their *output* node is.
     topo_index = {nid: i for i, nid in enumerate(graph.topo_order())}
     groups.sort(key=lambda g: topo_index[g.output_id])
-    kernels = [build_kernel(graph, g, target) for g in groups]
+    kernels = [build_kernel(graph, g, target, native=native) for g in groups]
     return CompiledModule(
         graph=graph,
         target=target,

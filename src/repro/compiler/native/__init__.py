@@ -1,0 +1,173 @@
+"""Native C backend for fused kernels.
+
+``build_native_kernel`` is the single entry the lowering pass calls per
+fusion group.  The flow::
+
+    render (pure Python, raises NativeUnsupported for foreign ops)
+      -> base signature (op sequence + shapes + dtypes + renderer version)
+      -> autotune? read meta / time tile variants / persist choice
+      -> cache lookup (loaded memo -> on-disk .so -> compile with cc)
+      -> NativeKernel (ctypes callable with the NumPy-closure contract)
+
+Every failure mode — unsupported op, no system compiler, compile error,
+corrupted cache entry — returns ``None`` so the caller keeps the NumPy
+closure for that kernel only.  Nothing in the engine above this line
+ever sees a native-backend exception.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.compiler.fusion import FusionGroup
+from repro.compiler.native.autotune import GEMM_TILES, autotune_tile
+from repro.compiler.native.cache import (
+    CacheStats,
+    NativeCache,
+    kernel_signature,
+    variant_signature,
+)
+from repro.compiler.native.policy import (
+    EXACT_OPS,
+    ULP_BUDGETS,
+    graph_ulp_budget,
+    max_ulp_diff,
+    ulp_close,
+)
+from repro.compiler.native.renderer import (
+    DEFAULT_TILE,
+    RENDERER_VERSION,
+    NativeUnsupported,
+    RenderedKernel,
+    render_group,
+)
+from repro.compiler.native.runtime import (
+    NativeBuildError,
+    NativeKernel,
+    compile_source,
+    find_compiler,
+    native_available,
+)
+from repro.ir.graph import Graph
+
+__all__ = [
+    "EXACT_OPS",
+    "GEMM_TILES",
+    "RENDERER_VERSION",
+    "ULP_BUDGETS",
+    "CacheStats",
+    "NativeCache",
+    "NativeBuildError",
+    "NativeKernel",
+    "NativeOptions",
+    "NativeUnsupported",
+    "RenderedKernel",
+    "build_native_kernel",
+    "default_native_cache",
+    "find_compiler",
+    "graph_ulp_budget",
+    "kernel_signature",
+    "max_ulp_diff",
+    "native_available",
+    "render_group",
+    "ulp_close",
+]
+
+_shared_cache: NativeCache | None = None
+_warned_no_cc = False
+
+
+def default_native_cache() -> NativeCache:
+    """Process-wide cache instance rooted at ``REPRO_NATIVE_CACHE_DIR``
+    (or ``$XDG_CACHE_HOME/repro/native``)."""
+    global _shared_cache
+    if _shared_cache is None:
+        _shared_cache = NativeCache()
+    return _shared_cache
+
+
+def reset_default_cache() -> None:
+    """Testing hook: forget the shared cache instance (e.g. after the
+    env var changed)."""
+    global _shared_cache
+    _shared_cache = None
+
+
+@dataclass
+class NativeOptions:
+    """Knobs for the native build path, threaded down from ``Compiler``."""
+
+    cache: NativeCache | None = None
+    autotune: bool = False
+    tile: tuple[int, int] | None = None
+
+    def resolve_cache(self) -> NativeCache:
+        return self.cache if self.cache is not None else default_native_cache()
+
+
+def _warn_once_no_cc() -> None:
+    global _warned_no_cc
+    if not _warned_no_cc:
+        _warned_no_cc = True
+        warnings.warn(
+            "no C compiler found (set REPRO_CC or install cc/gcc/clang); "
+            "backend='native' falls back to NumPy kernels",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _obtain(cache: NativeCache, rendered: RenderedKernel, sig: str) -> NativeKernel | None:
+    """Memo -> disk -> compile; None when the compiler rejects it."""
+    lib = cache.get_library(sig)
+    if lib is None:
+        try:
+            so_path = compile_source(rendered.source, cache.root)
+        except NativeBuildError:
+            cache.stats.fallbacks += 1
+            return None
+        lib = cache.store(sig, rendered.source, so_path)
+    return NativeKernel(rendered=rendered, signature=sig, library=lib)
+
+
+def build_native_kernel(
+    graph: Graph,
+    group: FusionGroup,
+    external: Sequence[str],
+    options: NativeOptions | None = None,
+) -> NativeKernel | None:
+    """Render + compile one fusion group, or ``None`` to keep NumPy."""
+    options = options or NativeOptions()
+    if not native_available():
+        _warn_once_no_cc()
+        return None
+    cache = options.resolve_cache()
+
+    try:
+        probe = render_group(graph, group, external, tile=options.tile or DEFAULT_TILE)
+    except NativeUnsupported:
+        cache.stats.fallbacks += 1
+        return None
+
+    base_sig = kernel_signature(graph, group, external)
+    tile = options.tile or DEFAULT_TILE
+    if probe.tunable and options.autotune and options.tile is None:
+        arg_specs = [
+            (tuple(graph.node(nid).ty.shape), graph.node(nid).ty.dtype.name)
+            for nid in external
+        ]
+
+        def build_variant(t: tuple[int, int]) -> NativeKernel | None:
+            try:
+                rk = render_group(graph, group, external, tile=t)
+            except NativeUnsupported:
+                return None
+            return _obtain(cache, rk, variant_signature(base_sig, t))
+
+        tile = autotune_tile(base_sig, cache, build_variant, arg_specs)
+
+    rendered = probe if tile == probe.tile else render_group(graph, group, external, tile=tile)
+    sig = variant_signature(base_sig, tile) if rendered.tunable else base_sig
+    return _obtain(cache, rendered, sig)

@@ -1,0 +1,111 @@
+"""Per-kernel tile autotuning for GEMM-bearing native kernels.
+
+The search space is the register tile (MR, NR) of the GEMM microkernel.
+Every variant accumulates each output element over ``k`` sequentially,
+so all variants of one kernel are bit-identical — the autotuner can
+never change numerics, only speed.
+
+The chosen tile and its measured timings persist in the cache as
+``<base_sig>.meta.json``; a warm session reads the meta, builds (or
+disk-loads) only the winning variant, and performs zero re-timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.compiler.native.cache import NativeCache
+from repro.compiler.native.runtime import NativeKernel
+
+__all__ = ["GEMM_TILES", "autotune_tile"]
+
+#: Candidate (MR, NR) register tiles.  The first entry is the default
+#: used when autotuning is off.
+GEMM_TILES: tuple[tuple[int, int], ...] = ((4, 4), (2, 8), (8, 2), (8, 8), (4, 8))
+
+#: Interleaved timing rounds: every variant is visited once per round
+#: and keeps its per-round minimum, so a transient stall (CI neighbour,
+#: frequency throttle) hurts one sample of every variant instead of
+#: every sample of one variant.
+_TUNE_ROUNDS = 5
+
+#: Target wall time per timing sample; fast kernels batch enough calls
+#: to reach it so timer resolution and call overhead don't decide tiles.
+_TARGET_SAMPLE_S = 1e-4
+
+
+def _sample(arg_specs: Sequence[tuple[tuple[int, ...], str]], seed: int = 0):
+    """Deterministic synthetic inputs for timing: normal floats, zero
+    ints (keeps embedding-style index args trivially in range)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for shape, dtype_name in arg_specs:
+        dt = np.dtype(dtype_name)
+        if np.issubdtype(dt, np.floating):
+            out.append(rng.standard_normal(shape).astype(dt))
+        elif dt == np.bool_:
+            out.append(rng.integers(0, 2, size=shape).astype(dt))
+        else:
+            out.append(np.zeros(shape, dtype=dt))
+    return out
+
+
+def _time_variants(
+    variants: dict[tuple[int, int], NativeKernel], args, rounds: int = _TUNE_ROUNDS
+) -> dict[tuple[int, int], float]:
+    """Best per-call time for each variant, interleaved round-robin."""
+    est = float("inf")
+    for kernel in variants.values():  # warm (page-in + icache) + calibrate
+        t0 = time.perf_counter()
+        kernel(args)
+        est = min(est, time.perf_counter() - t0)
+    iters = max(1, min(64, int(_TARGET_SAMPLE_S / max(est, 1e-9))))
+    best = {tile: float("inf") for tile in variants}
+    for _ in range(rounds):
+        for tile, kernel in variants.items():
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                kernel(args)
+            best[tile] = min(best[tile], (time.perf_counter() - t0) / iters)
+    return best
+
+
+def autotune_tile(
+    base_sig: str,
+    cache: NativeCache,
+    build_variant: Callable[[tuple[int, int]], "NativeKernel | None"],
+    arg_specs: Sequence[tuple[tuple[int, ...], str]],
+    tiles: Sequence[tuple[int, int]] = GEMM_TILES,
+) -> tuple[int, int]:
+    """Pick (and persist) the fastest register tile for one kernel.
+
+    Returns the cached choice immediately when ``<base_sig>.meta.json``
+    exists — a warm run never re-times, never recompiles losers.
+    """
+    meta = cache.read_meta(base_sig)
+    if meta and "tile" in meta:
+        mr, nr = meta["tile"]
+        return (int(mr), int(nr))
+
+    variants: dict[tuple[int, int], NativeKernel] = {}
+    for tile in tiles:
+        kernel = build_variant(tile)
+        if kernel is not None:
+            variants[tuple(tile)] = kernel
+
+    if variants:
+        per_tile = _time_variants(variants, _sample(arg_specs))
+        best_tile = min(per_tile, key=per_tile.get)
+        timings = {f"{mr}x{nr}": t for (mr, nr), t in per_tile.items()}
+    else:
+        best_tile = tuple(tiles[0])
+        timings = {}
+    cache.write_meta(
+        base_sig,
+        {"tile": list(best_tile), "timings_s": timings, "rounds": _TUNE_ROUNDS},
+    )
+    cache.stats.autotunes += 1
+    return best_tile

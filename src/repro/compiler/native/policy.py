@@ -1,0 +1,177 @@
+"""Numerics policy for the native C backend.
+
+The native renderer deliberately splits the operator inventory into two
+classes, and the differential oracle compares each class differently:
+
+* **Order-preserving (exact) ops** replicate the NumPy reference
+  evaluation order operation-for-operation using only IEEE-754 basic
+  arithmetic (``+ - * /``, ``sqrt``, comparisons, copies).  Compiled
+  with ``-ffp-contract=off`` (no FMA contraction) and without
+  ``-ffast-math`` these are **bit-identical** to the NumPy kernels, so
+  the oracle demands exact equality — same shape, same dtype, ``==``
+  everywhere.
+
+* **Reassociated / transcendental ops** cannot be bit-exact: NumPy's
+  GEMM (BLAS) and reductions (pairwise summation) use a different
+  association order than our sequential-``k`` microkernels, and NumPy's
+  SIMD transcendentals (``exp``/``log``/``tanh``) differ from libm by a
+  few ULP.  Each such op carries a ULP budget below; a graph's total
+  tolerance is the *sum* of the budgets of every inexact op instance it
+  contains (error compounds along depth), with recurrent layers scaled
+  by their sequential step count (state drift compounds per step).
+
+The budgets are deliberately generous — tens of thousands of float32
+ULPs is still ~1e-3 relative error, far below what any real kernel bug
+(wrong element, wrong axis, stale state) produces — while exact-class
+kernels keep the oracle's bit-level teeth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.graph import Graph
+
+__all__ = [
+    "EXACT_OPS",
+    "ULP_BUDGETS",
+    "graph_ulp_budget",
+    "is_exact_op",
+    "max_ulp_diff",
+    "ulp_close",
+]
+
+#: Ops the renderer emits in NumPy's exact evaluation order using only
+#: correctly-rounded IEEE-754 operations: bit-identical to the reference.
+EXACT_OPS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "maximum",
+        "minimum",
+        "relu",
+        "negative",
+        "abs",
+        "sqrt",
+        "identity",
+        "leaky_relu",
+        "clip",
+        "bias_add",
+        "batch_norm",
+        "max_pool2d",
+        "reduce_max",
+        "reduce_min",
+        "argmax",
+        "reshape",
+        "flatten",
+        "transpose",
+        "concat",
+        "strided_slice",
+        "embedding",
+        "reverse",
+    }
+)
+
+#: Per-op ULP budgets for the reassociated/transcendental class.
+#: Keys absent here and from EXACT_OPS are ops the renderer rejects
+#: (it falls back to the NumPy closure, which is exact by definition).
+ULP_BUDGETS: dict[str, float] = {
+    # libm vs NumPy SIMD transcendentals: a few ULP each.
+    "exp": 256.0,
+    "log": 256.0,
+    "sigmoid": 256.0,
+    "tanh": 256.0,
+    "gelu": 512.0,
+    # Reductions: pairwise (NumPy) vs sequential (C) summation.
+    "reduce_sum": 1024.0,
+    "reduce_mean": 1024.0,
+    "avg_pool2d": 512.0,
+    "global_avg_pool2d": 1024.0,
+    "softmax": 2048.0,
+    "log_softmax": 2048.0,
+    "layer_norm": 4096.0,
+    # GEMM family: BLAS blocking vs register-tile microkernel.
+    "dense": 4096.0,
+    "matmul": 4096.0,
+    "batch_matmul": 4096.0,
+    "conv2d": 8192.0,
+    "depthwise_conv2d": 4096.0,
+    # Recurrent: budget below is *per step*; graph_ulp_budget scales it
+    # by seq_len because hidden-state drift compounds every step.
+    "lstm": 8192.0,
+    "gru": 8192.0,
+}
+
+_RECURRENT = ("lstm", "gru")
+
+
+def is_exact_op(name: str) -> bool:
+    """True when the renderer's emission of ``name`` is bit-exact."""
+    return name in EXACT_OPS
+
+
+def graph_ulp_budget(graph: Graph) -> float:
+    """Total ULP tolerance for comparing a native run of ``graph`` to
+    the NumPy reference; ``0.0`` means the comparison must be exact."""
+    budget = 0.0
+    for nid in graph.topo_order():
+        node = graph.node(nid)
+        if not node.is_op:
+            continue
+        per_op = ULP_BUDGETS.get(node.op, 0.0)
+        if per_op and node.op in _RECURRENT:
+            data_ty = graph.node(node.inputs[0]).ty
+            per_op *= max(1, int(data_ty.shape[1]))
+        budget += per_op
+    return budget
+
+
+def max_ulp_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest elementwise ULP distance between two same-typed float
+    arrays, with a cancellation floor.
+
+    The distance for each element is ``|a - b| / spacing(scale)`` where
+    ``scale`` is the larger magnitude of the pair, floored at ``1e-6`` of
+    the tensor-wide maximum magnitude so that catastrophic cancellation
+    (two big sums whose difference is tiny) does not explode the metric.
+    Non-finite values must match exactly (NaN==NaN, same-signed inf) or
+    the result is ``inf``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return float("inf")
+    if not np.issubdtype(a.dtype, np.floating):
+        return 0.0 if np.array_equal(a, b) else float("inf")
+    finite_a, finite_b = np.isfinite(a), np.isfinite(b)
+    if not np.array_equal(finite_a, finite_b):
+        return float("inf")
+    nonfinite = ~finite_a
+    if nonfinite.any() and not np.array_equal(
+        a[nonfinite], b[nonfinite], equal_nan=True
+    ):
+        return float("inf")
+    if not finite_a.any():
+        return 0.0
+    af = a[finite_a].astype(np.float64)
+    bf = b[finite_b].astype(np.float64)
+    scale = np.maximum(np.abs(af), np.abs(bf))
+    floor = float(scale.max()) * 1e-6
+    tiny = float(np.finfo(a.dtype).tiny)
+    scale = np.maximum(scale, max(floor, tiny)).astype(a.dtype)
+    ulp = np.abs(af - bf) / np.spacing(scale).astype(np.float64)
+    return float(ulp.max()) if ulp.size else 0.0
+
+
+def ulp_close(a: np.ndarray, b: np.ndarray, budget: float) -> bool:
+    """Whether ``a`` matches ``b`` within ``budget`` ULPs (exact when
+    the budget is zero or the dtype is not floating)."""
+    if budget <= 0.0:
+        return bool(
+            np.asarray(a).shape == np.asarray(b).shape
+            and np.asarray(a).dtype == np.asarray(b).dtype
+            and np.array_equal(a, b)
+        )
+    return max_ulp_diff(a, b) <= budget

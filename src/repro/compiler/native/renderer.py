@@ -1,0 +1,1079 @@
+"""C renderer: one fused kernel group → one standalone C function.
+
+The renderer walks a fusion group's member nodes in topological order and
+emits one loop nest per node, writing intermediates into a scratch
+workspace and the group output into the caller's ``out`` buffer:
+
+.. code-block:: c
+
+    void duet_kernel(const void *const *args, void *out, void *scratch);
+
+Emission rules (see :mod:`repro.compiler.native.policy`):
+
+* Exact-class ops replicate NumPy's evaluation order with IEEE basic
+  arithmetic only — compiled with ``-ffp-contract=off`` they are
+  bit-identical to the reference kernels.  NaN-propagating min/max are
+  emitted explicitly (C's ``?:`` would drop NaNs that ``np.maximum``
+  keeps).
+* GEMM-family ops use a register-blocked microkernel (an ``MR×NR``
+  accumulator tile; the tile is the autotuner's search variable).  The
+  per-output ``k`` accumulation stays sequential for every tile, so a
+  given kernel is deterministic across tile variants.
+* LSTM/GRU lower to explicit step loops over scratch-resident state,
+  matching the PyTorch weight layout and gate order of the reference.
+
+Anything the renderer cannot prove it handles (unsupported op, dtype
+promotion it does not model) raises :class:`NativeUnsupported`, and the
+caller falls back to the NumPy closure for that kernel only.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.fusion import FusionGroup
+from repro.ir.graph import Graph
+
+__all__ = [
+    "RENDERER_VERSION",
+    "DEFAULT_TILE",
+    "NativeUnsupported",
+    "RenderedKernel",
+    "render_group",
+]
+
+#: Bump on any change to emitted code; part of every kernel signature, so
+#: a bump invalidates the on-disk .so cache wholesale.
+RENDERER_VERSION = 1
+
+#: Default GEMM register tile (MR, NR) when no autotuned choice is cached.
+DEFAULT_TILE = (4, 4)
+
+ENTRY = "duet_kernel"
+
+_CTYPE = {
+    "float32": "f32",
+    "float64": "f64",
+    "int32": "i32",
+    "int64": "i64",
+    "bool": "u8",
+}
+
+_FLOATS = ("float32", "float64")
+
+_PRELUDE = """\
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef unsigned char u8;
+
+/* NaN-propagating min/max, matching np.maximum/np.minimum/np.max/np.min. */
+static inline f32 duet_max_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f32 duet_min_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+static inline f64 duet_max_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f64 duet_min_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+/* np.clip: lower bound first, upper bound wins on an inverted range. */
+static inline f32 duet_clip_f32(f32 x, f32 lo, f32 hi) {
+    f32 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f64 duet_clip_f64(f64 x, f64 lo, f64 hi) {
+    f64 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f32 duet_sigmoid_f32(f32 x) { return 1.0f / (1.0f + expf(-x)); }
+static inline f64 duet_sigmoid_f64(f64 x) { return 1.0 / (1.0 + exp(-x)); }
+"""
+
+
+class NativeUnsupported(Exception):
+    """The renderer cannot emit this group; fall back to NumPy."""
+
+
+@dataclass(frozen=True)
+class RenderedKernel:
+    """One rendered-but-not-yet-compiled kernel."""
+
+    name: str
+    entry: str
+    source: str
+    n_args: int
+    arg_dtypes: tuple[str, ...]
+    out_shape: tuple[int, ...]
+    out_dtype: str
+    scratch_bytes: int
+    exact: bool
+    tunable: bool
+    tile: tuple[int, int]
+
+
+def _ct(dtype_name: str) -> str:
+    ct = _CTYPE.get(dtype_name)
+    if ct is None:
+        raise NativeUnsupported(f"unsupported dtype {dtype_name!r}")
+    return ct
+
+
+def _strides(shape: Sequence[int]) -> list[int]:
+    out = [1] * len(shape)
+    for d in range(len(shape) - 2, -1, -1):
+        out[d] = out[d + 1] * shape[d + 1]
+    return out
+
+
+def _index(ivars: Sequence[str], strides: Sequence[int]) -> str:
+    terms = [
+        v if s == 1 else f"{v}*{s}"
+        for v, s in zip(ivars, strides)
+        if s != 0
+    ]
+    return " + ".join(terms) if terms else "0"
+
+
+def _bcast_strides(out_shape: Sequence[int], in_shape: Sequence[int]) -> list[int]:
+    """Element strides of a right-aligned broadcast operand; 0 marks a
+    broadcast dimension."""
+    strides = _strides(in_shape)
+    pad = len(out_shape) - len(in_shape)
+    out: list[int] = [0] * pad
+    for d, (extent, stride) in enumerate(zip(in_shape, strides)):
+        if extent == 1 and out_shape[pad + d] != 1:
+            out.append(0)
+        else:
+            out.append(stride)
+    return out
+
+
+def _scalar(value: float, ct: str) -> str:
+    """A C constant equal to NumPy's cast of a Python float scalar.
+
+    Emitted as a double literal cast to the target type, so the decimal
+    is first rounded to binary64 (what Python holds) and then narrowed —
+    exactly the path ``np.float32(0.044715)`` takes.  Going straight to
+    an ``f`` suffix could double-round differently.
+    """
+    if ct in ("i32", "i64"):
+        return str(int(value))
+    return f"({ct})({float(value)!r})"
+
+
+_MATH_FN = {
+    "f32": {"sqrt": "sqrtf", "exp": "expf", "log": "logf", "tanh": "tanhf", "abs": "fabsf"},
+    "f64": {"sqrt": "sqrt", "exp": "exp", "log": "log", "tanh": "tanh", "abs": "fabs"},
+}
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 1
+        self._loops = 0
+
+    def w(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def open(self, text: str) -> None:
+        self.w(text)
+        self.depth += 1
+
+    def close(self) -> None:
+        self.depth -= 1
+        self.w("}")
+
+    def loop(self, extent: int) -> str:
+        var = f"i{self._loops}"
+        self._loops += 1
+        self.open(f"for (long {var} = 0; {var} < {extent}; ++{var}) {{")
+        return var
+
+    def loops(self, shape: Sequence[int]) -> list[str]:
+        return [self.loop(e) for e in shape]
+
+    def close_n(self, n: int) -> None:
+        for _ in range(n):
+            self.close()
+
+
+class _Renderer:
+    def __init__(
+        self,
+        graph: Graph,
+        group: FusionGroup,
+        external: Sequence[str],
+        tile: tuple[int, int],
+    ) -> None:
+        self.graph = graph
+        self.group = group
+        self.external = list(external)
+        self.tile = tile
+        self.w = _Writer()
+        self.decls: list[str] = []
+        self.scratch_off = 0
+        self.ptr: dict[str, str] = {}  # node id -> C pointer expression
+        self.exact = True
+        self.tunable = False
+        for k, nid in enumerate(self.external):
+            ct = _ct(graph.node(nid).ty.dtype.name)
+            self.decls.append(f"const {ct} *a{k} = (const {ct} *)args[{k}];")
+            self.ptr[nid] = f"a{k}"
+
+    # -- scratch -------------------------------------------------------
+    def alloc(self, name: str, nelems: int, ct: str) -> str:
+        size = {"f32": 4, "f64": 8, "i32": 4, "i64": 8, "u8": 1}[ct]
+        off = self.scratch_off
+        self.decls.append(f"{ct} *{name} = ({ct} *)(scratch + {off});")
+        self.scratch_off += (nelems * size + 63) // 64 * 64
+        return name
+
+    # -- helpers -------------------------------------------------------
+    def ty(self, nid: str):
+        return self.graph.node(nid).ty
+
+    def shape(self, nid: str) -> tuple[int, ...]:
+        return tuple(self.ty(nid).shape)
+
+    def ctype(self, nid: str) -> str:
+        return _ct(self.ty(nid).dtype.name)
+
+    def require_float(self, node) -> str:
+        name = self.ty(node.id).dtype.name
+        for src in node.inputs:
+            if self.ty(src).dtype.name != name:
+                raise NativeUnsupported(
+                    f"{node.op}: mixed dtypes {self.ty(src).dtype.name} -> {name}"
+                )
+        if name not in _FLOATS:
+            raise NativeUnsupported(f"{node.op}: non-float dtype {name}")
+        return _ct(name)
+
+    # -- top level -----------------------------------------------------
+    def render(self) -> RenderedKernel:
+        graph, group = self.graph, self.group
+        out_ty = self.ty(group.output_id)
+        out_ct = _ct(out_ty.dtype.name)
+        self.decls.append(f"{out_ct} *outp = ({out_ct} *)out;")
+        self.ptr[group.output_id] = "outp"
+        tidx = 0
+        for nid in group.node_ids:
+            if nid == group.output_id:
+                continue
+            ct = self.ctype(nid)
+            nelems = max(1, math.prod(self.shape(nid)))
+            self.ptr[nid] = self.alloc(f"t{tidx}", nelems, ct)
+            tidx += 1
+
+        for nid in group.node_ids:
+            node = graph.node(nid)
+            emit = getattr(self, f"_op_{node.op}", None)
+            if emit is None:
+                raise NativeUnsupported(f"no native emitter for op {node.op!r}")
+            from repro.compiler.native.policy import is_exact_op
+
+            if not is_exact_op(node.op):
+                self.exact = False
+            self.w.open("{")
+            self.w.w(f"/* {node.op} -> {nid} */")
+            emit(node, self.ptr[nid])
+            self.w.close()
+
+        name = _sanitize(f"{group.output_id}")
+        body = "\n".join(
+            [_PRELUDE, f"void {ENTRY}(const void *const *args, void *out, void *scratch_v) {{"]
+            + ["    (void)args; (void)scratch_v;"]
+            + ["    char *scratch = (char *)scratch_v; (void)scratch;"]
+            + ["    " + d for d in self.decls]
+            + self.w.lines
+            + ["}", ""]
+        )
+        return RenderedKernel(
+            name=name,
+            entry=ENTRY,
+            source=body,
+            n_args=len(self.external),
+            arg_dtypes=tuple(self.ty(i).dtype.name for i in self.external),
+            out_shape=tuple(out_ty.shape),
+            out_dtype=out_ty.dtype.name,
+            scratch_bytes=self.scratch_off,
+            exact=self.exact,
+            tunable=self.tunable,
+            tile=self.tile,
+        )
+
+    # -- generic elementwise machinery ---------------------------------
+    def _map(self, node, dst: str, expr_fn, in_strides=None) -> None:
+        """Emit an elementwise/broadcast loop nest over the node's output
+        shape.  ``expr_fn(values) -> str`` combines the loaded inputs."""
+        w = self.w
+        out_shape = self.shape(node.id) or (1,)
+        ivars = w.loops(out_shape)
+        vals = []
+        for k, src in enumerate(node.inputs):
+            ct = self.ctype(src)
+            strides = (
+                in_strides[k]
+                if in_strides is not None
+                else _bcast_strides(out_shape, self.shape(src) or (1,))
+            )
+            w.w(f"{ct} v{k} = {self.ptr[src]}[{_index(ivars, strides)}];")
+            vals.append(f"v{k}")
+        w.w(f"{dst}[{_index(ivars, _strides(out_shape))}] = {expr_fn(vals)};")
+        w.close_n(len(out_shape))
+
+    # -- elementwise ops -----------------------------------------------
+    def _binary(self, node, dst: str, tmpl: str) -> None:
+        ct = self.ctype(node.id)
+        for src in node.inputs:
+            if self.ctype(src) != ct:
+                raise NativeUnsupported(f"{node.op}: mixed input dtypes")
+        self._map(node, dst, lambda v: tmpl.format(a=v[0], b=v[1], t=ct))
+
+    def _op_add(self, node, dst):
+        self._binary(node, dst, "({a} + {b})")
+
+    def _op_subtract(self, node, dst):
+        self._binary(node, dst, "({a} - {b})")
+
+    def _op_multiply(self, node, dst):
+        self._binary(node, dst, "({a} * {b})")
+
+    def _op_divide(self, node, dst):
+        if self.ctype(node.id) not in ("f32", "f64"):
+            raise NativeUnsupported("divide: integer true-division promotes")
+        self._binary(node, dst, "({a} / {b})")
+
+    def _minmax(self, node, dst, which: str) -> None:
+        ct = self.ctype(node.id)
+        if ct in ("f32", "f64"):
+            self._binary(node, dst, f"duet_{which}_{ct}({{a}}, {{b}})")
+        else:
+            op = ">" if which == "max" else "<"
+            self._binary(node, dst, f"({{a}} {op} {{b}} ? {{a}} : {{b}})")
+
+    def _op_maximum(self, node, dst):
+        self._minmax(node, dst, "max")
+
+    def _op_minimum(self, node, dst):
+        self._minmax(node, dst, "min")
+
+    def _unary(self, node, dst, tmpl: str) -> None:
+        self._map(node, dst, lambda v: tmpl.format(x=v[0]))
+
+    def _op_relu(self, node, dst):
+        ct = self.require_float(node)
+        self._unary(node, dst, f"duet_max_{ct}({{x}}, 0)")
+
+    def _op_negative(self, node, dst):
+        self._unary(node, dst, "(-{x})")
+
+    def _op_abs(self, node, dst):
+        ct = self.ctype(node.id)
+        if ct in ("f32", "f64"):
+            self._unary(node, dst, f"{_MATH_FN[ct]['abs']}({{x}})")
+        else:
+            self._unary(node, dst, "({x} < 0 ? -{x} : {x})")
+
+    def _op_sqrt(self, node, dst):
+        ct = self.require_float(node)
+        self._unary(node, dst, f"{_MATH_FN[ct]['sqrt']}({{x}})")
+
+    def _op_exp(self, node, dst):
+        ct = self.require_float(node)
+        self._unary(node, dst, f"{_MATH_FN[ct]['exp']}({{x}})")
+
+    def _op_log(self, node, dst):
+        ct = self.require_float(node)
+        self._unary(node, dst, f"{_MATH_FN[ct]['log']}({{x}})")
+
+    def _op_sigmoid(self, node, dst):
+        ct = self.require_float(node)
+        self._unary(node, dst, f"duet_sigmoid_{ct}({{x}})")
+
+    def _op_tanh(self, node, dst):
+        ct = self.require_float(node)
+        self._unary(node, dst, f"{_MATH_FN[ct]['tanh']}({{x}})")
+
+    def _op_gelu(self, node, dst):
+        ct = self.require_float(node)
+        tanh = _MATH_FN[ct]["tanh"]
+        half, c0, c1 = _scalar(0.5, ct), _scalar(0.7978845608028654, ct), _scalar(0.044715, ct)
+        one = "1.0f" if ct == "f32" else "1.0"
+        self._unary(
+            node,
+            dst,
+            f"{half} * {{x}} * ({one} + {tanh}({c0} * ({{x}} + {c1} * {{x}}*{{x}}*{{x}})))",
+        )
+
+    def _op_identity(self, node, dst):
+        self._memcpy(node.inputs[0], dst, self.shape(node.id))
+
+    def _op_leaky_relu(self, node, dst):
+        ct = self.require_float(node)
+        alpha = _scalar(float(node.attrs.get("alpha", 0.01)), ct)
+        self._unary(node, dst, f"({{x}} >= 0 ? {{x}} : {alpha} * {{x}})")
+
+    def _op_clip(self, node, dst):
+        ct = self.require_float(node)
+        lo = _scalar(float(node.attrs["min"]), ct)
+        hi = _scalar(float(node.attrs["max"]), ct)
+        self._unary(node, dst, f"duet_clip_{ct}({{x}}, {lo}, {hi})")
+
+    def _op_bias_add(self, node, dst):
+        data, bias = node.inputs
+        out_shape = self.shape(node.id)
+        axis = int(node.attrs.get("axis", -1))
+        if axis < 0:
+            axis += len(out_shape)
+        bias_strides = [0] * len(out_shape)
+        bias_strides[axis] = 1
+        self._map(
+            node,
+            dst,
+            lambda v: f"({v[0]} + {v[1]})",
+            in_strides=[_strides(out_shape), bias_strides],
+        )
+
+    def _op_batch_norm(self, node, dst):
+        data, gamma, beta, mean, var = node.inputs
+        ct = self.require_float(node)
+        shape = self.shape(node.id)
+        c = shape[1]
+        eps = _scalar(float(node.attrs.get("epsilon", 1e-5)), ct)
+        sqrt = _MATH_FN[ct]["sqrt"]
+        sc = self.alloc(f"bn_sc_{_sanitize(node.id)}", c, ct)
+        sh = self.alloc(f"bn_sh_{_sanitize(node.id)}", c, ct)
+        w = self.w
+        g, b, m, v = (self.ptr[i] for i in (gamma, beta, mean, var))
+        cv = w.loop(c)
+        # Mirrors the reference: scale = gamma/sqrt(var+eps);
+        # shift = beta - mean*gamma/sqrt(var+eps) (sqrt evaluated twice,
+        # products left-associated) so the result is bit-identical.
+        w.w(f"{sc}[{cv}] = {g}[{cv}] / {sqrt}({v}[{cv}] + {eps});")
+        w.w(
+            f"{sh}[{cv}] = {b}[{cv}] - {m}[{cv}] * {g}[{cv}] / "
+            f"{sqrt}({v}[{cv}] + {eps});"
+        )
+        w.close()
+        ivars = w.loops(shape)
+        idx = _index(ivars, _strides(shape))
+        w.w(f"{dst}[{idx}] = {self.ptr[data]}[{idx}] * {sc}[{ivars[1]}] + {sh}[{ivars[1]}];")
+        w.close_n(len(shape))
+
+    # -- GEMM family ----------------------------------------------------
+    def _emit_gemm(
+        self,
+        dst: str,
+        a: str,
+        b: str,
+        ct: str,
+        m: int,
+        n: int,
+        k: int,
+        b_layout: str,
+        a_off: str = "0",
+        b_off: str = "0",
+        d_off: str = "0",
+    ) -> None:
+        """Register-blocked GEMM: dst[m,n] (+offsets) = sum_k a[m,k]*b.
+
+        ``b_layout``: ``"nk"`` reads ``b[n*K+k]`` (dense's [out,in]
+        weight), ``"kn"`` reads ``b[k*N+n]`` (plain matmul).  The k loop
+        is sequential per output element for every tile, so numerics do
+        not depend on the tile choice.
+        """
+        self.tunable = True
+        mr, nr = self.tile
+        w = self.w
+        w.open(f"for (long m0 = 0; m0 < {m}; m0 += {mr}) {{")
+        w.w(f"long mb = {m} - m0 < {mr} ? {m} - m0 : {mr};")
+        w.open(f"for (long n0 = 0; n0 < {n}; n0 += {nr}) {{")
+        w.w(f"long nb = {n} - n0 < {nr} ? {n} - n0 : {nr};")
+        w.w(f"{ct} acc[{mr * nr}];")
+        w.w(f"for (long z = 0; z < {mr * nr}; ++z) acc[z] = 0;")
+        w.open(f"for (long k = 0; k < {k}; ++k) {{")
+        w.open("for (long mi = 0; mi < mb; ++mi) {")
+        w.w(f"{ct} av = {a}[{a_off} + (m0 + mi) * {k} + k];")
+        if b_layout == "nk":
+            bexpr = f"{b}[{b_off} + (n0 + ni) * {k} + k]"
+        else:
+            bexpr = f"{b}[{b_off} + k * {n} + n0 + ni]"
+        w.open("for (long ni = 0; ni < nb; ++ni) {")
+        w.w(f"acc[mi * {nr} + ni] += av * {bexpr};")
+        w.close()
+        w.close()
+        w.close()
+        w.open("for (long mi = 0; mi < mb; ++mi) {")
+        w.open("for (long ni = 0; ni < nb; ++ni) {")
+        w.w(f"{dst}[{d_off} + (m0 + mi) * {n} + n0 + ni] = acc[mi * {nr} + ni];")
+        w.close()
+        w.close()
+        w.close()
+        w.close()
+
+    def _op_dense(self, node, dst):
+        ct = self.require_float(node)
+        data, weight = node.inputs
+        m, k = self.shape(data)
+        n = self.shape(weight)[0]
+        self._emit_gemm(dst, self.ptr[data], self.ptr[weight], ct, m, n, k, "nk")
+
+    def _op_matmul(self, node, dst):
+        ct = self.require_float(node)
+        a, b = node.inputs
+        m, k = self.shape(a)
+        n = self.shape(b)[1]
+        self._emit_gemm(dst, self.ptr[a], self.ptr[b], ct, m, n, k, "kn")
+
+    def _op_batch_matmul(self, node, dst):
+        ct = self.require_float(node)
+        a, b = node.inputs
+        bsz, m, k = self.shape(a)
+        n = self.shape(b)[2]
+        bv = self.w.loop(bsz)
+        self._emit_gemm(
+            dst,
+            self.ptr[a],
+            self.ptr[b],
+            ct,
+            m,
+            n,
+            k,
+            "kn",
+            a_off=f"{bv} * {m * k}",
+            b_off=f"{bv} * {k * n}",
+            d_off=f"{bv} * {m * n}",
+        )
+        self.w.close()
+
+    # -- convolutions ---------------------------------------------------
+    def _conv_attrs(self, node) -> tuple[int, int, int, int]:
+        sh, sw = (int(s) for s in node.attrs.get("strides", (1, 1)))
+        ph, pw = (int(p) for p in node.attrs.get("padding", (0, 0)))
+        return sh, sw, ph, pw
+
+    def _op_conv2d(self, node, dst):
+        # im2col into scratch, then the register-blocked GEMM:
+        # out[n] = weight[OC, C*KH*KW] @ col[C*KH*KW, OH*OW].  The
+        # per-output k accumulation order (ic, kh, kw) matches the naive
+        # triple loop; padding contributes exact +0.0 terms.
+        ct = self.require_float(node)
+        data, weight = node.inputs
+        n, c, h, wd = self.shape(data)
+        oc, _, kh, kw = self.shape(weight)
+        _, _, oh, ow = self.shape(node.id)
+        sh, sw, ph, pw = self._conv_attrs(node)
+        kdim, ndim = c * kh * kw, oh * ow
+        col = self.alloc(f"col_{_sanitize(node.id)}", kdim * ndim, ct)
+        w = self.w
+        x, wt = self.ptr[data], self.ptr[weight]
+        nv = w.loop(n)
+        icv, khv, kwv = w.loops((c, kh, kw))
+        w.w(f"long r = (({icv} * {kh} + {khv}) * {kw} + {kwv}) * {ndim};")
+        ohv = w.loop(oh)
+        w.w(f"long ih = {ohv} * {sh} - {ph} + {khv};")
+        w.open(f"if (ih < 0 || ih >= {h}) {{")
+        w.open(f"for (long q = 0; q < {ow}; ++q) {{")
+        w.w(f"{col}[r + {ohv} * {ow} + q] = 0;")
+        w.close()
+        w.w("} else {")
+        w.depth += 1
+        w.open(f"for (long q = 0; q < {ow}; ++q) {{")
+        w.w(f"long iw = q * {sw} - {pw} + {kwv};")
+        w.w(
+            f"{col}[r + {ohv} * {ow} + q] = (iw >= 0 && iw < {wd}) ? "
+            f"{x}[(({nv} * {c} + {icv}) * {h} + ih) * {wd} + iw] : 0;"
+        )
+        w.close()
+        w.close()
+        w.close_n(4)
+        self._emit_gemm(
+            dst,
+            wt,
+            col,
+            ct,
+            oc,
+            ndim,
+            kdim,
+            "kn",
+            d_off=f"{nv} * {oc * ndim}",
+        )
+        w.close()
+
+    def _op_depthwise_conv2d(self, node, dst):
+        ct = self.require_float(node)
+        data, weight = node.inputs
+        n, c, h, wd = self.shape(data)
+        _, _, kh, kw = self.shape(weight)
+        _, _, oh, ow = self.shape(node.id)
+        sh, sw, ph, pw = self._conv_attrs(node)
+        w = self.w
+        x, wt = self.ptr[data], self.ptr[weight]
+        nv, cv, ohv, owv = w.loops((n, c, oh, ow))
+        w.w(f"{ct} acc = 0;")
+        khv, kwv = w.loops((kh, kw))
+        w.w(f"long ih = {ohv} * {sh} - {ph} + {khv};")
+        w.w(f"long iw = {owv} * {sw} - {pw} + {kwv};")
+        w.open(f"if (ih >= 0 && ih < {h} && iw >= 0 && iw < {wd}) {{")
+        w.w(
+            f"acc += {x}[(({nv} * {c} + {cv}) * {h} + ih) * {wd} + iw] * "
+            f"{wt}[({cv} * {kh} + {khv}) * {kw} + {kwv}];"
+        )
+        w.close()
+        w.close_n(2)
+        w.w(f"{dst}[(({nv} * {c} + {cv}) * {oh} + {ohv}) * {ow} + {owv}] = acc;")
+        w.close_n(4)
+
+    # -- pooling --------------------------------------------------------
+    def _pool_attrs(self, node):
+        k0, k1 = (int(v) for v in node.attrs.get("pool_size", (2, 2)))
+        st = node.attrs.get("strides", (k0, k1))
+        sh, sw = (int(v) for v in st)
+        ph, pw = (int(v) for v in node.attrs.get("padding", (0, 0)))
+        return k0, k1, sh, sw, ph, pw
+
+    def _op_max_pool2d(self, node, dst):
+        ct = self.require_float(node)
+        data = node.inputs[0]
+        n, c, h, wd = self.shape(data)
+        _, _, oh, ow = self.shape(node.id)
+        k0, k1, sh, sw, ph, pw = self._pool_attrs(node)
+        w = self.w
+        x = self.ptr[data]
+        inf = "INFINITY"
+        nv, cv, ohv, owv = w.loops((n, c, oh, ow))
+        w.w(f"{ct} m = -{inf};")
+        khv, kwv = w.loops((k0, k1))
+        w.w(f"long ih = {ohv} * {sh} - {ph} + {khv};")
+        w.w(f"long iw = {owv} * {sw} - {pw} + {kwv};")
+        w.open(f"if (ih >= 0 && ih < {h} && iw >= 0 && iw < {wd}) {{")
+        w.w(f"m = duet_max_{ct}(m, {x}[(({nv} * {c} + {cv}) * {h} + ih) * {wd} + iw]);")
+        w.close()
+        w.close_n(2)
+        w.w(f"{dst}[(({nv} * {c} + {cv}) * {oh} + {ohv}) * {ow} + {owv}] = m;")
+        w.close_n(4)
+
+    def _op_avg_pool2d(self, node, dst):
+        ct = self.require_float(node)
+        data = node.inputs[0]
+        n, c, h, wd = self.shape(data)
+        _, _, oh, ow = self.shape(node.id)
+        k0, k1, sh, sw, ph, pw = self._pool_attrs(node)
+        w = self.w
+        x = self.ptr[data]
+        nv, cv, ohv, owv = w.loops((n, c, oh, ow))
+        w.w(f"{ct} acc = 0;")
+        khv, kwv = w.loops((k0, k1))
+        w.w(f"long ih = {ohv} * {sh} - {ph} + {khv};")
+        w.w(f"long iw = {owv} * {sw} - {pw} + {kwv};")
+        w.open(f"if (ih >= 0 && ih < {h} && iw >= 0 && iw < {wd}) {{")
+        w.w(f"acc += {x}[(({nv} * {c} + {cv}) * {h} + ih) * {wd} + iw];")
+        w.close()
+        w.close_n(2)
+        # Zero padding contributes zeros; the mean divides by the full
+        # window size, matching the padded reference.
+        w.w(
+            f"{dst}[(({nv} * {c} + {cv}) * {oh} + {ohv}) * {ow} + {owv}] = "
+            f"acc / ({ct}){k0 * k1};"
+        )
+        w.close_n(4)
+
+    def _op_global_avg_pool2d(self, node, dst):
+        ct = self.require_float(node)
+        data = node.inputs[0]
+        n, c, h, wd = self.shape(data)
+        w = self.w
+        x = self.ptr[data]
+        nv, cv = w.loops((n, c))
+        w.w(f"{ct} acc = 0;")
+        hv, wv = w.loops((h, wd))
+        w.w(f"acc += {x}[(({nv} * {c} + {cv}) * {h} + {hv}) * {wd} + {wv}];")
+        w.close_n(2)
+        w.w(f"{dst}[{nv} * {c} + {cv}] = acc / ({ct}){h * wd};")
+        w.close_n(2)
+
+    # -- reductions -----------------------------------------------------
+    def _axis_split(self, node) -> tuple[int, int, int]:
+        shape = self.shape(node.inputs[0])
+        axis = int(node.attrs.get("axis", -1))
+        if axis < 0:
+            axis += len(shape)
+        outer = math.prod(shape[:axis]) if axis else 1
+        inner = math.prod(shape[axis + 1:]) if axis + 1 < len(shape) else 1
+        return outer, shape[axis], inner
+
+    def _op_softmax(self, node, dst):
+        ct = self.require_float(node)
+        outer, ax, inner = self._axis_split(node)
+        exp = _MATH_FN[ct]["exp"]
+        w = self.w
+        x = self.ptr[node.inputs[0]]
+        ov, iv = w.loop(outer), w.loop(inner)
+        w.w(f"long base = {ov} * {ax * inner} + {iv};")
+        w.w(f"{ct} m = {x}[base];")
+        w.open(f"for (long k = 1; k < {ax}; ++k) {{")
+        w.w(f"m = duet_max_{ct}(m, {x}[base + k * {inner}]);")
+        w.close()
+        w.w(f"{ct} s = 0;")
+        w.open(f"for (long k = 0; k < {ax}; ++k) {{")
+        w.w(f"{ct} e = {exp}({x}[base + k * {inner}] - m);")
+        w.w(f"{dst}[base + k * {inner}] = e;")
+        w.w("s += e;")
+        w.close()
+        w.open(f"for (long k = 0; k < {ax}; ++k) {{")
+        w.w(f"{dst}[base + k * {inner}] /= s;")
+        w.close()
+        w.close_n(2)
+
+    def _op_log_softmax(self, node, dst):
+        ct = self.require_float(node)
+        outer, ax, inner = self._axis_split(node)
+        exp, log = _MATH_FN[ct]["exp"], _MATH_FN[ct]["log"]
+        w = self.w
+        x = self.ptr[node.inputs[0]]
+        ov, iv = w.loop(outer), w.loop(inner)
+        w.w(f"long base = {ov} * {ax * inner} + {iv};")
+        w.w(f"{ct} m = {x}[base];")
+        w.open(f"for (long k = 1; k < {ax}; ++k) {{")
+        w.w(f"m = duet_max_{ct}(m, {x}[base + k * {inner}]);")
+        w.close()
+        w.w(f"{ct} s = 0;")
+        w.open(f"for (long k = 0; k < {ax}; ++k) {{")
+        w.w(f"s += {exp}({x}[base + k * {inner}] - m);")
+        w.close()
+        w.w(f"{ct} ls = {log}(s);")
+        w.open(f"for (long k = 0; k < {ax}; ++k) {{")
+        w.w(f"{dst}[base + k * {inner}] = ({x}[base + k * {inner}] - m) - ls;")
+        w.close()
+        w.close_n(2)
+
+    def _op_layer_norm(self, node, dst):
+        ct = self.require_float(node)
+        data, gamma, beta = node.inputs
+        shape = self.shape(data)
+        d = shape[-1]
+        rows = math.prod(shape[:-1]) if len(shape) > 1 else 1
+        eps = _scalar(float(node.attrs.get("epsilon", 1e-5)), ct)
+        sqrt = _MATH_FN[ct]["sqrt"]
+        w = self.w
+        x, g, b = (self.ptr[i] for i in (data, gamma, beta))
+        rv = w.loop(rows)
+        w.w(f"{ct} s = 0;")
+        w.open(f"for (long k = 0; k < {d}; ++k) {{")
+        w.w(f"s += {x}[{rv} * {d} + k];")
+        w.close()
+        w.w(f"{ct} mean = s / ({ct}){d};")
+        w.w(f"{ct} ss = 0;")
+        w.open(f"for (long k = 0; k < {d}; ++k) {{")
+        w.w(f"{ct} dcent = {x}[{rv} * {d} + k] - mean;")
+        w.w("ss += dcent * dcent;")
+        w.close()
+        w.w(f"{ct} inv = {sqrt}(ss / ({ct}){d} + {eps});")
+        w.open(f"for (long k = 0; k < {d}; ++k) {{")
+        w.w(
+            f"{dst}[{rv} * {d} + k] = ({x}[{rv} * {d} + k] - mean) / inv * "
+            f"{g}[k] + {b}[k];"
+        )
+        w.close()
+        w.close()
+
+    def _reduce(self, node, dst, kind: str) -> None:
+        ct = self.ctype(node.inputs[0])
+        if kind in ("sum", "mean") and ct not in ("f32", "f64"):
+            raise NativeUnsupported(f"reduce_{kind}: non-float dtype")
+        outer, ax, inner = self._axis_split(node)
+        w = self.w
+        x = self.ptr[node.inputs[0]]
+        ov, iv = w.loop(outer), w.loop(inner)
+        w.w(f"long base = {ov} * {ax * inner} + {iv};")
+        if kind in ("sum", "mean"):
+            w.w(f"{ct} acc = 0;")
+            w.open(f"for (long k = 0; k < {ax}; ++k) {{")
+            w.w(f"acc += {x}[base + k * {inner}];")
+            w.close()
+            if kind == "mean":
+                w.w(f"acc /= ({ct}){ax};")
+            w.w(f"{dst}[{ov} * {inner} + {iv}] = acc;")
+        else:
+            w.w(f"{ct} acc = {x}[base];")
+            w.open(f"for (long k = 1; k < {ax}; ++k) {{")
+            if ct in ("f32", "f64"):
+                w.w(f"acc = duet_{kind}_{ct}(acc, {x}[base + k * {inner}]);")
+            else:
+                op = ">" if kind == "max" else "<"
+                w.w(f"{ct} v = {x}[base + k * {inner}];")
+                w.w(f"acc = v {op} acc ? v : acc;")
+            w.close()
+            w.w(f"{dst}[{ov} * {inner} + {iv}] = acc;")
+        w.close_n(2)
+
+    def _op_reduce_sum(self, node, dst):
+        self._reduce(node, dst, "sum")
+
+    def _op_reduce_mean(self, node, dst):
+        self._reduce(node, dst, "mean")
+
+    def _op_reduce_max(self, node, dst):
+        self._reduce(node, dst, "max")
+
+    def _op_reduce_min(self, node, dst):
+        self._reduce(node, dst, "min")
+
+    def _op_argmax(self, node, dst):
+        ct = self.ctype(node.inputs[0])
+        outer, ax, inner = self._axis_split(node)
+        w = self.w
+        x = self.ptr[node.inputs[0]]
+        ov, iv = w.loop(outer), w.loop(inner)
+        w.w(f"long base = {ov} * {ax * inner} + {iv};")
+        w.w(f"{ct} best = {x}[base];")
+        w.w("long bi = 0;")
+        w.open(f"for (long k = 1; k < {ax}; ++k) {{")
+        w.w(f"{ct} v = {x}[base + k * {inner}];")
+        # np.argmax: NaN ranks above everything; first NaN wins, and the
+        # scan never leaves a NaN best.
+        w.open("if (best == best && (v != v || v > best)) {")
+        w.w("best = v; bi = k;")
+        w.close()
+        w.close()
+        w.w(f"{dst}[{ov} * {inner} + {iv}] = (i64)bi;")
+        w.close_n(2)
+
+    # -- data movement --------------------------------------------------
+    def _memcpy(self, src: str, dst: str, shape: Sequence[int]) -> None:
+        ct = _ct(self.ty(src).dtype.name)
+        size = {"f32": 4, "f64": 8, "i32": 4, "i64": 8, "u8": 1}[ct]
+        nbytes = max(1, math.prod(shape)) * size
+        self.w.w(f"memcpy({dst}, {self.ptr[src]}, {nbytes});")
+
+    def _op_reshape(self, node, dst):
+        self._memcpy(node.inputs[0], dst, self.shape(node.id))
+
+    def _op_flatten(self, node, dst):
+        self._memcpy(node.inputs[0], dst, self.shape(node.id))
+
+    def _op_transpose(self, node, dst):
+        data = node.inputs[0]
+        in_shape = self.shape(data)
+        axes = node.attrs.get("axes")
+        if axes is None:
+            perm = tuple(reversed(range(len(in_shape))))
+        else:
+            perm = tuple(int(a) for a in axes)
+        out_shape = self.shape(node.id)
+        in_strides = _strides(in_shape)
+        w = self.w
+        ivars = w.loops(out_shape)
+        src_idx = _index(ivars, [in_strides[p] for p in perm])
+        w.w(f"{dst}[{_index(ivars, _strides(out_shape))}] = {self.ptr[data]}[{src_idx}];")
+        w.close_n(len(out_shape))
+
+    def _op_concat(self, node, dst):
+        out_shape = self.shape(node.id)
+        axis = int(node.attrs.get("axis", 0))
+        if axis < 0:
+            axis += len(out_shape)
+        out_strides = _strides(out_shape)
+        w = self.w
+        offset = 0
+        for src in node.inputs:
+            s_shape = self.shape(src)
+            ivars = w.loops(s_shape)
+            dst_terms = []
+            for d, v in enumerate(ivars):
+                coord = f"({v} + {offset})" if d == axis else v
+                if out_strides[d] == 1:
+                    dst_terms.append(coord)
+                else:
+                    dst_terms.append(f"{coord} * {out_strides[d]}")
+            w.w(
+                f"{dst}[{' + '.join(dst_terms)}] = "
+                f"{self.ptr[src]}[{_index(ivars, _strides(s_shape))}];"
+            )
+            w.close_n(len(s_shape))
+            offset += s_shape[axis]
+
+    def _op_strided_slice(self, node, dst):
+        data = node.inputs[0]
+        in_shape = self.shape(data)
+        out_shape = self.shape(node.id)
+        begin = tuple(int(b) for b in node.attrs["begin"])
+        in_strides = _strides(in_shape)
+        w = self.w
+        ivars = w.loops(out_shape)
+        src_terms = [
+            f"({v} + {b}) * {s}" if s != 1 else f"({v} + {b})"
+            for v, b, s in zip(ivars, begin, in_strides)
+        ]
+        w.w(
+            f"{dst}[{_index(ivars, _strides(out_shape))}] = "
+            f"{self.ptr[data]}[{' + '.join(src_terms)}];"
+        )
+        w.close_n(len(out_shape))
+
+    def _op_reverse(self, node, dst):
+        data = node.inputs[0]
+        shape = self.shape(node.id)
+        axis = int(node.attrs.get("axis", 1))
+        if axis < 0:
+            axis += len(shape)
+        strides = _strides(shape)
+        w = self.w
+        ivars = w.loops(shape)
+        src_terms = []
+        for d, v in enumerate(ivars):
+            coord = f"({shape[d] - 1} - {v})" if d == axis else v
+            src_terms.append(coord if strides[d] == 1 else f"{coord} * {strides[d]}")
+        w.w(
+            f"{dst}[{_index(ivars, strides)}] = "
+            f"{self.ptr[data]}[{' + '.join(src_terms)}];"
+        )
+        w.close_n(len(shape))
+
+    def _op_embedding(self, node, dst):
+        table, indices = node.inputs
+        vocab, dim = self.shape(table)
+        idx_ty = self.ty(indices).dtype.name
+        if idx_ty not in ("int32", "int64"):
+            raise NativeUnsupported("embedding: non-integer indices")
+        flat = max(1, math.prod(self.shape(indices)))
+        w = self.w
+        sv = w.loop(flat)
+        w.w(f"long ix = (long){self.ptr[indices]}[{sv}];")
+        w.w(f"if (ix < 0) ix += {vocab};")
+        w.w(f"if (ix < 0) ix = 0; if (ix >= {vocab}) ix = {vocab - 1};")
+        dv = w.loop(dim)
+        w.w(f"{dst}[{sv} * {dim} + {dv}] = {self.ptr[table]}[ix * {dim} + {dv}];")
+        w.close_n(2)
+
+    # -- recurrent ------------------------------------------------------
+    def _rnn_common(self, node):
+        ct = self.require_float(node)
+        data, w_ih, w_hh, bias = node.inputs
+        b, t, i = self.shape(data)
+        hidden = int(node.attrs["hidden_size"])
+        return_seq = bool(node.attrs.get("return_sequences", True))
+        return ct, data, w_ih, w_hh, bias, b, t, i, hidden, return_seq
+
+    def _op_lstm(self, node, dst):
+        ct, data, w_ih, w_hh, bias, b, t, i, hh, return_seq = self._rnn_common(node)
+        tanh, sig = _MATH_FN[ct]["tanh"], f"duet_sigmoid_{ct}"
+        tag = _sanitize(node.id)
+        hbuf = self.alloc(f"lstm_h_{tag}", b * hh, ct)
+        cbuf = self.alloc(f"lstm_c_{tag}", b * hh, ct)
+        gbuf = self.alloc(f"lstm_g_{tag}", b * 4 * hh, ct)
+        x, wih, whh, bp = (self.ptr[n] for n in (data, w_ih, w_hh, bias))
+        w = self.w
+        size = 4 if ct == "f32" else 8
+        w.w(f"memset({hbuf}, 0, {b * hh * size});")
+        w.w(f"memset({cbuf}, 0, {b * hh * size});")
+        w.open(f"for (long t = 0; t < {t}; ++t) {{")
+        # gates[b, 4H] = x[b,t,:] @ w_ih.T + h @ w_hh.T + bias
+        w.open(f"for (long bb = 0; bb < {b}; ++bb) {{")
+        w.open(f"for (long g = 0; g < {4 * hh}; ++g) {{")
+        w.w(f"{ct} acc = 0;")
+        w.open(f"for (long q = 0; q < {i}; ++q) {{")
+        w.w(f"acc += {x}[(bb * {t} + t) * {i} + q] * {wih}[g * {i} + q];")
+        w.close()
+        w.open(f"for (long q = 0; q < {hh}; ++q) {{")
+        w.w(f"acc += {hbuf}[bb * {hh} + q] * {whh}[g * {hh} + q];")
+        w.close()
+        w.w(f"{gbuf}[bb * {4 * hh} + g] = acc + {bp}[g];")
+        w.close()
+        w.close()
+        w.open(f"for (long bb = 0; bb < {b}; ++bb) {{")
+        w.open(f"for (long u = 0; u < {hh}; ++u) {{")
+        w.w(f"{ct} gi = {sig}({gbuf}[bb * {4 * hh} + u]);")
+        w.w(f"{ct} gf = {sig}({gbuf}[bb * {4 * hh} + {hh} + u]);")
+        w.w(f"{ct} gg = {tanh}({gbuf}[bb * {4 * hh} + {2 * hh} + u]);")
+        w.w(f"{ct} go = {sig}({gbuf}[bb * {4 * hh} + {3 * hh} + u]);")
+        w.w(f"{ct} cn = gf * {cbuf}[bb * {hh} + u] + gi * gg;")
+        w.w(f"{cbuf}[bb * {hh} + u] = cn;")
+        w.w(f"{ct} hn = go * {tanh}(cn);")
+        w.w(f"{hbuf}[bb * {hh} + u] = hn;")
+        if return_seq:
+            w.w(f"{dst}[(bb * {t} + t) * {hh} + u] = hn;")
+        w.close()
+        w.close()
+        w.close()
+        if not return_seq:
+            self.w.w(f"memcpy({dst}, {hbuf}, {b * hh * size});")
+
+    def _op_gru(self, node, dst):
+        ct, data, w_ih, w_hh, bias, b, t, i, hh, return_seq = self._rnn_common(node)
+        tanh, sig = _MATH_FN[ct]["tanh"], f"duet_sigmoid_{ct}"
+        tag = _sanitize(node.id)
+        hbuf = self.alloc(f"gru_h_{tag}", b * hh, ct)
+        xg = self.alloc(f"gru_x_{tag}", b * 3 * hh, ct)
+        hg = self.alloc(f"gru_hg_{tag}", b * 3 * hh, ct)
+        x, wih, whh, bp = (self.ptr[n] for n in (data, w_ih, w_hh, bias))
+        w = self.w
+        size = 4 if ct == "f32" else 8
+        w.w(f"memset({hbuf}, 0, {b * hh * size});")
+        w.open(f"for (long t = 0; t < {t}; ++t) {{")
+        w.open(f"for (long bb = 0; bb < {b}; ++bb) {{")
+        w.open(f"for (long g = 0; g < {3 * hh}; ++g) {{")
+        w.w(f"{ct} ax = 0;")
+        w.open(f"for (long q = 0; q < {i}; ++q) {{")
+        w.w(f"ax += {x}[(bb * {t} + t) * {i} + q] * {wih}[g * {i} + q];")
+        w.close()
+        w.w(f"{xg}[bb * {3 * hh} + g] = ax;")
+        w.w(f"{ct} ah = 0;")
+        w.open(f"for (long q = 0; q < {hh}; ++q) {{")
+        w.w(f"ah += {hbuf}[bb * {hh} + q] * {whh}[g * {hh} + q];")
+        w.close()
+        w.w(f"{hg}[bb * {3 * hh} + g] = ah;")
+        w.close()
+        w.close()
+        w.open(f"for (long bb = 0; bb < {b}; ++bb) {{")
+        w.open(f"for (long u = 0; u < {hh}; ++u) {{")
+        w.w(f"{ct} r = {sig}({xg}[bb * {3 * hh} + u] + {hg}[bb * {3 * hh} + u] + {bp}[u]);")
+        w.w(
+            f"{ct} z = {sig}({xg}[bb * {3 * hh} + {hh} + u] + "
+            f"{hg}[bb * {3 * hh} + {hh} + u] + {bp}[{hh} + u]);"
+        )
+        w.w(
+            f"{ct} nn = {tanh}({xg}[bb * {3 * hh} + {2 * hh} + u] + "
+            f"r * {hg}[bb * {3 * hh} + {2 * hh} + u] + {bp}[{2 * hh} + u]);"
+        )
+        one = "1.0f" if ct == "f32" else "1.0"
+        w.w(f"{ct} hn = ({one} - z) * nn + z * {hbuf}[bb * {hh} + u];")
+        w.w(f"{hbuf}[bb * {hh} + u] = hn;")
+        if return_seq:
+            w.w(f"{dst}[(bb * {t} + t) * {hh} + u] = hn;")
+        w.close()
+        w.close()
+        w.close()
+        if not return_seq:
+            self.w.w(f"memcpy({dst}, {hbuf}, {b * hh * size});")
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"\W", "_", name)
+
+
+def render_group(
+    graph: Graph,
+    group: FusionGroup,
+    external: Sequence[str],
+    tile: tuple[int, int] = DEFAULT_TILE,
+) -> RenderedKernel:
+    """Render one fusion group to C; raises :class:`NativeUnsupported`
+    when any member op/dtype falls outside the renderer's inventory."""
+    for nid in group.node_ids:
+        _ct(graph.node(nid).ty.dtype.name)  # validate dtypes up front
+    return _Renderer(graph, group, external, tile).render()

@@ -32,21 +32,25 @@ def compile_graph(
     opt_level: int = 2,
     param_seed: int = 0,
     fuse: bool = True,
+    native: "object | None" = None,
 ) -> CompileResult:
     """Optimize and lower ``graph`` for ``target``.
 
     Args:
         graph: model or subgraph to compile.
-        target: CPU or GPU backend.
+        target: CPU or GPU device, with the kernel backend to lower
+            through (``Target.backend``).
         opt_level: 0 = no rewrites, 1 = structural cleanups, 2 = full
             graph-level optimization (default; the paper's TVM baseline).
         param_seed: seed for lazy parameter materialization.
         fuse: disable to get one kernel per operator (framework-like
             execution without fusion).
+        native: optional :class:`repro.compiler.native.NativeOptions`
+            (cache/autotune knobs) for native-backend targets.
     """
     pm = PassManager(default_passes(opt_level))
     optimized = pm.run(graph)
-    module = lower(optimized, target, fuse=fuse)
+    module = lower(optimized, target, fuse=fuse, native=native)
     module.param_seed = param_seed
     return CompileResult(module=module, pass_trace=tuple(pm.trace))
 
@@ -58,19 +62,30 @@ class Compiler:
     ``fuse=False`` yields one kernel per operator — used by the
     compiler-awareness ablation to produce the kind of unoptimized timing
     a framework profiler would report (§IV-B).
+
+    ``backend="native"`` lowers fused kernels through the C renderer and
+    the signature-keyed .so cache; kernels the renderer rejects keep
+    their NumPy closures, and the whole path degrades to NumPy when no
+    system compiler exists.  ``native`` carries the cache/autotune knobs
+    (:class:`repro.compiler.native.NativeOptions`).
     """
 
     opt_level: int = 2
     param_seed: int = 0
     fuse: bool = True
+    backend: str = "numpy"
+    native: "object | None" = None
 
     def compile(self, graph: Graph, target: Target) -> CompiledModule:
+        if self.backend != target.backend:
+            target = target.with_backend(self.backend)
         return compile_graph(
             graph,
             target,
             opt_level=self.opt_level,
             param_seed=self.param_seed,
             fuse=self.fuse,
+            native=self.native,
         ).module
 
     def compile_cpu(self, graph: Graph) -> CompiledModule:

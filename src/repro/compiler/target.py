@@ -1,19 +1,33 @@
 """Compilation targets.
 
-A target names the backend a module is generated for.  Numerics are
-identical across targets (both lower to NumPy kernels); what differs is the
-cost metadata the backend attaches — on GPU every kernel is a device-kernel
-launch, while the CPU backend runs kernels as plain function calls — and
-which device cost model the runtime applies.
+A target names the device a module is generated for plus the kernel
+*backend* used to execute it.  Numerics policy:
+
+* ``backend="numpy"`` (default) lowers every kernel to the NumPy
+  reference closures; numerics are identical across devices.
+* ``backend="native"`` lowers each fused kernel through the C renderer
+  (:mod:`repro.compiler.native`) when possible, falling back to the
+  NumPy closure per-kernel for anything the renderer rejects or when no
+  system compiler exists.  Order-preserving kernels stay bit-identical
+  to NumPy; reassociated GEMM/reduction kernels differ within the
+  documented ULP policy (:mod:`repro.compiler.native.policy`).
+
+What differs between cpu/gpu is the cost metadata the backend attaches —
+on GPU every kernel is a device-kernel launch, while the CPU backend
+runs kernels as plain function calls — and which device cost model the
+runtime applies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import CompilerError
 
-__all__ = ["Target", "CPU_TARGET", "GPU_TARGET"]
+__all__ = ["Target", "BACKENDS", "CPU_TARGET", "GPU_TARGET"]
+
+#: Recognized kernel backends.
+BACKENDS = ("numpy", "native")
 
 
 @dataclass(frozen=True)
@@ -22,20 +36,34 @@ class Target:
 
     Attributes:
         name: ``"cpu"`` or ``"gpu"``.
+        backend: kernel backend, ``"numpy"`` or ``"native"``.
     """
 
     name: str
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.name not in ("cpu", "gpu"):
             raise CompilerError(f"unknown target {self.name!r}")
+        if self.backend not in BACKENDS:
+            raise CompilerError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
     @property
     def is_gpu(self) -> bool:
         return self.name == "gpu"
 
+    @property
+    def is_native(self) -> bool:
+        return self.backend == "native"
+
+    def with_backend(self, backend: str) -> "Target":
+        """This target with a different kernel backend."""
+        return self if backend == self.backend else replace(self, backend=backend)
+
     def __str__(self) -> str:  # pragma: no cover - trivial
-        return self.name
+        return self.name if self.backend == "numpy" else f"{self.name}+{self.backend}"
 
 
 CPU_TARGET = Target("cpu")

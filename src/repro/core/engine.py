@@ -111,6 +111,17 @@ class DuetEngine:
     # discipline (cross-device copies overlap compute); numerics are
     # identical either way — only the cost model and virtual clock change.
     overlap: bool = False
+    # Kernel backend shorthand: DuetEngine(backend="native") lowers every
+    # module (plan subgraphs, single-device fallbacks, serving sessions)
+    # through the C renderer + .so cache, falling back per-kernel to the
+    # NumPy closures.  None keeps whatever the supplied compiler says.
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend != self.compiler.backend:
+            import dataclasses
+
+            self.compiler = dataclasses.replace(self.compiler, backend=self.backend)
 
     def _should_validate(self) -> bool:
         if self.validate is not None:

@@ -43,6 +43,17 @@ class TensorArena:
         """Number of live slot buffers currently held."""
         return len(self._buffers)
 
+    def buffer(self, key: tuple[str, str], shape: tuple, dtype) -> np.ndarray:
+        """The slot's stable buffer itself, for kernels that write their
+        output in place (the native backend's ``run_into`` path) — skips
+        the produce-then-copy round trip of :meth:`store`."""
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
+            buf = np.empty(tuple(shape), dtype=dtype)
+            self._buffers[key] = buf
+            self.allocations += 1
+        return buf
+
     def store(self, key: tuple[str, str], value: np.ndarray) -> np.ndarray:
         """Copy ``value`` into the slot's stable buffer and return it."""
         value = np.asarray(value)

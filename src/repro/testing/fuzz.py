@@ -113,6 +113,7 @@ def replay_case(
     index: int,
     config: GeneratorConfig | None = None,
     machine: Machine | None = None,
+    backend: str = "numpy",
 ) -> DifferentialReport:
     """Re-run one case of a campaign exactly as the fuzzer ran it."""
     from repro.testing.generators import case_rng, generate_graph
@@ -122,7 +123,7 @@ def replay_case(
         config,
         name=f"fuzz_s{campaign_seed}_i{index}",
     )
-    return run_differential(graph, machine=machine)
+    return run_differential(graph, machine=machine, backend=backend)
 
 
 def run_campaign(
@@ -134,6 +135,7 @@ def run_campaign(
     artifact_dir: str | Path | None = None,
     time_budget_s: float | None = None,
     progress: Callable[[FuzzCase, DifferentialReport], None] | None = None,
+    backend: str = "numpy",
 ) -> FuzzReport:
     """Run a seeded fuzz campaign through the differential oracle.
 
@@ -147,13 +149,16 @@ def run_campaign(
         time_budget_s: stop starting new cases once this much wall time
             has elapsed (the in-flight case always completes).
         progress: callback invoked after every case with its report.
+        backend: kernel backend for every compiled oracle arm
+            (``--backend native`` fuzzes the C renderer + .so cache under
+            the two-class ULP comparison policy).
     """
     report = FuzzReport(campaign_seed=campaign_seed, requested=count)
     t0 = time.monotonic()
     for case in generate_cases(campaign_seed, count, config):
         if time_budget_s is not None and time.monotonic() - t0 > time_budget_s:
             break
-        diff = run_differential(case.graph, machine=machine)
+        diff = run_differential(case.graph, machine=machine, backend=backend)
         report.cases_run += 1
         if progress is not None:
             progress(case, diff)
@@ -169,11 +174,13 @@ def run_campaign(
         if minimize:
             result: MinimizationResult = minimize_graph(
                 case.graph,
-                lambda g: not run_differential(g, machine=machine).ok,
+                lambda g: not run_differential(
+                    g, machine=machine, backend=backend
+                ).ok,
             )
             failure.minimized = result.graph
             failure.minimized_problems = run_differential(
-                result.graph, machine=machine
+                result.graph, machine=machine, backend=backend
             ).problems
         if artifact_dir is not None:
             failure.artifact_path = _write_artifact(Path(artifact_dir), failure)

@@ -33,6 +33,20 @@ so there is no tolerance to hide behind.  Plans are exercised both under
 the scheduler's own placement and under a forced alternating placement
 that guarantees cross-device edges, so the transfer paths are always
 covered even when the scheduler would keep a small graph on one device.
+
+Two additional arms run the graph through the **native C backend**
+(``native`` directly, ``native:threaded`` under real worker threads).
+Their comparison follows the two-class policy of
+:mod:`repro.compiler.native.policy`: when every compiled kernel is
+order-preserving the comparison stays bit-exact; when any kernel
+reassociates (GEMM/reductions) or calls libm transcendentals, outputs
+must agree within the graph's summed per-op ULP budget.  When no system
+C compiler exists the arms are *skipped with a visible marker* (the
+outcome's ``skipped`` flag, surfaced in the report summary) rather than
+silently passing.  ``run_differential(backend="native")`` additionally
+swaps the native compiler into every arm — single-device, simulator,
+threaded, serving core — so the whole scheduling pipeline is exercised
+over ctypes-dispatched kernels.
 """
 
 from __future__ import annotations
@@ -72,6 +86,8 @@ __all__ = ["ExecutorOutcome", "DifferentialReport", "run_differential"]
 EXECUTOR_NAMES = (
     "single:cpu",
     "single:gpu",
+    "native",
+    "native:threaded",
     "simulator",
     "simulator:overlap",
     "threaded",
@@ -92,6 +108,10 @@ class ExecutorOutcome:
     outputs: list[np.ndarray] | None = None
     task_order: list[str] | None = None
     error: str | None = None
+    #: Arm could not run in this environment (e.g. native arms without a
+    #: C compiler).  Skips are surfaced in the report summary, never
+    #: silently counted as agreement.
+    skipped: bool = False
 
 
 @dataclass
@@ -118,20 +138,31 @@ class DifferentialReport:
         """All failures, divergences first."""
         return list(self.divergences) + list(self.violations)
 
+    @property
+    def skipped_arms(self) -> list[str]:
+        """Arms that could not run in this environment."""
+        return [n for n, o in self.outcomes.items() if o.skipped]
+
     def summary(self) -> str:
+        skipped = self.skipped_arms
+        marker = f" [SKIPPED: {', '.join(skipped)} — no C compiler]" if skipped else ""
         if self.ok:
-            return (
-                f"{self.graph.name}: OK "
-                f"({len(self.outcomes)} execution paths agree)"
-            )
-        lines = [f"{self.graph.name}: FAILED"]
+            ran = len(self.outcomes) - len(skipped)
+            return f"{self.graph.name}: OK ({ran} execution paths agree){marker}"
+        lines = [f"{self.graph.name}: FAILED{marker}"]
         lines += [f"  divergence: {d}" for d in self.divergences]
         lines += [f"  invariant:  {v}" for v in self.violations]
         return "\n".join(lines)
 
 
-def _compare(name: str, got, ref) -> list[str]:
-    """Exact output comparison against the interpreter reference."""
+def _compare(name: str, got, ref, ulp_budget: float = 0.0) -> list[str]:
+    """Output comparison against the interpreter reference.
+
+    Exact by default.  A positive ``ulp_budget`` (native arms whose
+    modules contain reassociated/transcendental kernels) admits
+    elementwise drift up to the budget; shape and dtype always match
+    exactly, and non-finite values must agree exactly.
+    """
     if got is None:
         return [f"{name}: produced no outputs"]
     if len(got) != len(ref):
@@ -148,6 +179,17 @@ def _compare(name: str, got, ref) -> list[str]:
                 f"{name}: output {i} dtype {a.dtype} != reference {b.dtype}"
             )
         elif not np.array_equal(a, b):
+            if ulp_budget > 0.0:
+                from repro.compiler.native.policy import max_ulp_diff
+
+                ulp = max_ulp_diff(a, b)
+                if ulp <= ulp_budget:
+                    continue
+                msgs.append(
+                    f"{name}: output {i} drifts {ulp:.0f} ULP from the "
+                    f"interpreter (budget {ulp_budget:.0f})"
+                )
+                continue
             with np.errstate(invalid="ignore"):
                 delta = float(np.max(np.abs(a.astype(np.float64) - b)))
             msgs.append(
@@ -168,6 +210,22 @@ def alternating_placement(
     }
 
 
+def _module_budget(module) -> float:
+    """ULP tolerance for comparing one compiled module's outputs to the
+    interpreter: zero (exact) when every kernel is order-preserving,
+    else the module graph's summed per-op budget."""
+    if all(k.exact for k in module.kernels):
+        return 0.0
+    from repro.compiler.native.policy import graph_ulp_budget
+
+    return graph_ulp_budget(module.graph)
+
+
+def _plan_budget(plan) -> float:
+    """Summed ULP tolerance over a heterogeneous plan's task modules."""
+    return sum(_module_budget(task.module) for task in plan.tasks)
+
+
 def run_differential(
     graph: Graph,
     machine: Machine | None = None,
@@ -176,6 +234,7 @@ def run_differential(
     placement_transform: PlacementTransform | None = None,
     cross_device: bool = True,
     single_device: bool = True,
+    backend: str = "numpy",
 ) -> DifferentialReport:
     """Run ``graph`` through every execution path and cross-check.
 
@@ -192,6 +251,10 @@ def run_differential(
             transfer paths are covered even when the scheduler keeps the
             graph on one device.
         single_device: include the compiled single-device runtime arms.
+        backend: kernel backend for every compiled arm (``"numpy"`` or
+            ``"native"``).  With ``"native"`` comparisons follow the
+            two-class ULP policy; inter-executor checks stay bit-exact
+            (the same compiled kernels are deterministic everywhere).
     """
     machine = machine or default_machine(noisy=False)
     devices = machine.device_names
@@ -211,8 +274,8 @@ def run_differential(
         report.outcomes[name] = outcome
         return outcome
 
+    compiler = Compiler(backend=backend)
     if single_device:
-        compiler = Compiler()
         for dev in machine.devices:
 
             def run_single(outcome, device=dev.name, target=device_target(dev)):
@@ -221,16 +284,68 @@ def run_differential(
                     module, device, machine, inputs=feeds
                 )
                 outcome.outputs = result.outputs
-                report.divergences += _compare(outcome.name, result.outputs, ref)
+                report.divergences += _compare(
+                    outcome.name, result.outputs, ref, _module_budget(module)
+                )
 
             attempt(f"single:{dev.name}", run_single)
+
+    # Dedicated native-backend arms: direct module execution, and the
+    # same module under real worker threads (ctypes drops the GIL inside
+    # kernels, so this exercises genuinely concurrent native dispatch).
+    # Visibly skipped — never silently green — without a C compiler.
+    from repro.compiler.native import native_available
+
+    native_compiler = (
+        compiler if backend == "native" else Compiler(backend="native")
+    )
+    host_dev = machine.devices[0]
+
+    def run_native(outcome):
+        if not native_available():
+            outcome.skipped = True
+            return
+        module = native_compiler.compile(graph, device_target(host_dev))
+        outputs = module.run(feeds)
+        outcome.outputs = outputs
+        report.divergences += _compare(
+            outcome.name, outputs, ref, _module_budget(module)
+        )
+
+    def run_native_threaded(outcome):
+        if not native_available():
+            outcome.skipped = True
+            return
+        from repro.runtime.single import single_device_plan
+
+        module = native_compiler.compile(graph, device_target(host_dev))
+        plan = single_device_plan(module, host_dev.name)
+        result = ThreadedExecutor(plan).run(feeds)
+        outcome.outputs = result.outputs
+        report.divergences += _compare(
+            outcome.name, result.outputs, ref, _module_budget(module)
+        )
+        # Same kernels as the direct native arm: bit-identical, always.
+        direct = report.outcomes.get("native")
+        if direct is not None and direct.outputs is not None:
+            if result.outputs is None or any(
+                not np.array_equal(a, b)
+                for a, b in zip(direct.outputs, result.outputs)
+            ):
+                report.divergences.append(
+                    f"{outcome.name}: threaded native execution is not "
+                    "bit-identical to direct native execution"
+                )
+
+    attempt("native", run_native)
+    attempt("native:threaded", run_native_threaded)
 
     # Partition, profile, schedule — the real pipeline under test.
     try:
         partition = partition_graph(graph)
-        profiles = CompilerAwareProfiler(machine=machine).profile_partition(
-            partition
-        )
+        profiles = CompilerAwareProfiler(
+            machine=machine, compiler=compiler
+        ).profile_partition(partition)
         schedule = GreedyCorrectionScheduler(machine=machine).schedule(
             graph, partition, profiles
         )
@@ -270,8 +385,9 @@ def run_differential(
         report.violations += validate_schedule(
             graph, partition, arm_placement, plan, devices=devices, host=host
         )
+        plan_budget = _plan_budget(plan)
 
-        def run_simulator(outcome, plan=plan):
+        def run_simulator(outcome, plan=plan, plan_budget=plan_budget):
             result = simulate(plan, machine, inputs=feeds)
             outcome.outputs = result.outputs
             # Predicted completion order = tasks sorted by virtual finish.
@@ -279,18 +395,24 @@ def run_differential(
                 r.task_id
                 for r in sorted(result.tasks, key=lambda r: (r.finish, r.start))
             ]
-            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.divergences += _compare(
+                outcome.name, result.outputs, ref, plan_budget
+            )
             report.violations += check_execution(plan, result, host=host)
             report.violations += check_task_order(plan, outcome.task_order)
 
-        def run_simulator_overlap(outcome, plan=plan, suffix=suffix):
+        def run_simulator_overlap(
+            outcome, plan=plan, suffix=suffix, plan_budget=plan_budget
+        ):
             result = simulate(plan, machine, inputs=feeds, overlap=True)
             outcome.outputs = result.outputs
             outcome.task_order = [
                 r.task_id
                 for r in sorted(result.tasks, key=lambda r: (r.finish, r.start))
             ]
-            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.divergences += _compare(
+                outcome.name, result.outputs, ref, plan_budget
+            )
             report.violations += check_execution(plan, result, host=host)
             report.violations += check_task_order(plan, outcome.task_order)
             # Overlap reorders the virtual clock, never the data: outputs
@@ -306,11 +428,13 @@ def run_differential(
                         "bit-identical to the lazy simulation"
                     )
 
-        def run_threaded(outcome, plan=plan, overlap=False):
+        def run_threaded(outcome, plan=plan, overlap=False, plan_budget=plan_budget):
             result = ThreadedExecutor(plan, overlap=overlap).run(feeds)
             outcome.outputs = result.outputs
             outcome.task_order = result.task_order
-            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.divergences += _compare(
+                outcome.name, result.outputs, ref, plan_budget
+            )
             report.violations += check_task_order(plan, result.task_order)
             for tid, dev in result.task_worker.items():
                 if plan.task(tid).device != dev:
@@ -319,11 +443,13 @@ def run_differential(
                         f"planned {plan.task(tid).device!r}"
                     )
 
-        def run_resilient(outcome, plan=plan):
+        def run_resilient(outcome, plan=plan, plan_budget=plan_budget):
             result = ResilientExecutor(plan).run(feeds)
             outcome.outputs = result.outputs
             outcome.task_order = result.task_order
-            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.divergences += _compare(
+                outcome.name, result.outputs, ref, plan_budget
+            )
             report.violations += check_task_order(plan, result.task_order)
             if result.events:
                 report.violations.append(
@@ -331,7 +457,7 @@ def run_differential(
                     f"{len(result.events)} recovery events"
                 )
 
-        def run_core(outcome, plan=plan):
+        def run_core(outcome, plan=plan, plan_budget=plan_budget):
             # Two arena-backed requests through one kernel: the session
             # configuration, plus a check that buffer reuse on the second
             # request does not perturb the numerics.
@@ -342,7 +468,9 @@ def run_differential(
             result = kernel.run(feeds)
             outcome.outputs = result.outputs
             outcome.task_order = result.task_order
-            report.divergences += _compare(outcome.name, result.outputs, ref)
+            report.divergences += _compare(
+                outcome.name, result.outputs, ref, plan_budget
+            )
             report.violations += check_task_order(plan, result.task_order)
             for a, b in zip(first, result.outputs):
                 if not np.array_equal(a, b):
@@ -351,7 +479,7 @@ def run_differential(
                         "between repeated runs"
                     )
 
-        def run_preempt(outcome, plan=plan):
+        def run_preempt(outcome, plan=plan, plan_budget=plan_budget):
             # The serving frontend's preemption path: force a suspension
             # at every phase boundary, and run a full interloping dispatch
             # on the same kernel (same arena) while suspended — exactly
@@ -370,7 +498,9 @@ def run_differential(
                 )
             outcome.outputs = out.outputs
             outcome.task_order = out.task_order
-            report.divergences += _compare(outcome.name, out.outputs, ref)
+            report.divergences += _compare(
+                outcome.name, out.outputs, ref, plan_budget
+            )
             report.violations += check_task_order(plan, out.task_order)
             boundaries = sum(
                 1

@@ -1,0 +1,283 @@
+"""Property tests for the signature-keyed native kernel cache.
+
+Three invariants the rest of the stack leans on:
+
+1. *Warm means warm* — the same kernel signature is never compiled
+   twice, whether the hit comes from the in-process memo or the on-disk
+   ``.so`` store of a previous process.
+2. *Signatures track numerics* — anything that can change the compiled
+   code (shape, dtype, op attrs, renderer version, GEMM tile) changes
+   the signature; anything that can't (graph/node names, target name)
+   doesn't.
+3. *Corruption heals* — a truncated or garbage ``.so`` is evicted and
+   rebuilt on the next load instead of crashing the engine.
+
+Tests that need an actual ``cc`` are gated on :func:`native_available`;
+signature tests are pure Python and always run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+
+from repro.compiler.fusion import plan_fusion
+from repro.compiler.lowering import build_kernel
+from repro.compiler.native import (
+    NativeCache,
+    NativeOptions,
+    build_native_kernel,
+    kernel_signature,
+    native_available,
+)
+from repro.compiler.native.cache import variant_signature
+from repro.compiler.native.runtime import ENV_DISABLE, find_compiler
+from repro.compiler.pass_manager import PassManager, default_passes
+from repro.compiler.target import Target
+from repro.ir.builder import GraphBuilder
+from repro.ir.dtype import FLOAT32, FLOAT64
+
+needs_cc = pytest.mark.skipif(
+    not native_available(), reason="no C compiler on PATH"
+)
+
+
+def _elementwise_graph(name="cachetest", shape=(4, 8), dtype=FLOAT32):
+    b = GraphBuilder(name)
+    x = b.input("x", shape, dtype=dtype)
+    y = b.input("y", shape, dtype=dtype)
+    z = b.op("relu", b.op("add", x, y))
+    return b.build(z)
+
+
+def _dense_graph(name="densetest"):
+    b = GraphBuilder(name)
+    x = b.input("x", (8, 16))
+    w = b.const((4, 16), name="w")
+    bias = b.const((4,), name="bias")
+    z = b.op("bias_add", b.op("dense", x, w), bias)
+    return b.build(z)
+
+
+def _first_group(graph):
+    """(optimized_graph, group, external) for the first fusion group,
+    computing externals exactly as lowering does."""
+    opt = PassManager(default_passes(2)).run(graph)
+    group = plan_fusion(opt)[0]
+    members = set(group.node_ids)
+    external, seen = [], set()
+    for nid in group.node_ids:
+        for src in opt.node(nid).inputs:
+            if src not in members and src not in seen:
+                seen.add(src)
+                external.append(src)
+    return opt, group, external
+
+
+def _build(graph, cache, **opt_kwargs):
+    opt, group, external = _first_group(graph)
+    options = NativeOptions(cache=cache, **opt_kwargs)
+    return build_native_kernel(opt, group, external, options)
+
+
+# ---------------------------------------------------------------------------
+# Signature properties (pure Python, no compiler required)
+# ---------------------------------------------------------------------------
+
+
+def test_signature_ignores_graph_and_node_names():
+    sig_a = kernel_signature(*_first_group(_elementwise_graph("alpha")))
+    sig_b = kernel_signature(*_first_group(_elementwise_graph("beta")))
+    assert sig_a == sig_b
+
+
+def test_signature_changes_on_shape():
+    base = kernel_signature(*_first_group(_elementwise_graph(shape=(4, 8))))
+    other = kernel_signature(*_first_group(_elementwise_graph(shape=(4, 9))))
+    assert base != other
+
+
+def test_signature_changes_on_dtype():
+    f32 = kernel_signature(*_first_group(_elementwise_graph()))
+    f64 = kernel_signature(
+        *_first_group(_elementwise_graph(dtype=FLOAT64))
+    )
+    assert f32 != f64
+
+
+def test_signature_changes_on_renderer_version_bump():
+    opt, group, external = _first_group(_elementwise_graph())
+    v1 = kernel_signature(opt, group, external, renderer_version=1)
+    v2 = kernel_signature(opt, group, external, renderer_version=2)
+    assert v1 != v2
+
+
+def test_variant_signatures_distinct_per_tile():
+    base = kernel_signature(*_first_group(_dense_graph()))
+    assert variant_signature(base, (4, 4)) != variant_signature(base, (8, 2))
+    assert variant_signature(base, (4, 4)).startswith(base)
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour (requires cc)
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_same_signature_never_recompiles(tmp_path):
+    cache = NativeCache(root=tmp_path)
+    graph = _elementwise_graph()
+    k1 = _build(graph, cache)
+    assert k1 is not None
+    assert cache.stats.compiles == 1
+
+    # Same process: served from the loaded-library memo.
+    k2 = _build(_elementwise_graph("renamed"), cache)
+    assert k2 is not None and k2.signature == k1.signature
+    assert cache.stats.compiles == 1
+    assert cache.stats.memo_hits == 1
+
+    # New process (fresh cache object, same root): served from disk.
+    cold = NativeCache(root=tmp_path)
+    k3 = _build(graph, cold)
+    assert k3 is not None
+    assert cold.stats.compiles == 0
+    assert cold.stats.disk_hits == 1
+
+
+@needs_cc
+def test_kernel_matches_numpy_closure(tmp_path):
+    graph = _elementwise_graph()
+    opt, group, external = _first_group(graph)
+    native = build_native_kernel(
+        opt, group, external, NativeOptions(cache=NativeCache(root=tmp_path))
+    )
+    assert native is not None and native.exact
+    numpy_kernel = build_kernel(opt, group, Target("cpu"))
+    rng = np.random.default_rng(0)
+    args = [
+        rng.standard_normal(opt.node(nid).ty.shape, dtype=np.float32)
+        for nid in external
+    ]
+    np.testing.assert_array_equal(native(args), numpy_kernel.fn(args))
+
+
+@needs_cc
+def test_corrupted_so_is_evicted_and_rebuilt(tmp_path):
+    cache = NativeCache(root=tmp_path)
+    graph = _elementwise_graph()
+    k1 = _build(graph, cache)
+    assert k1 is not None
+
+    # Corrupt via unlink + rewrite (a new inode, like a torn copy or a
+    # disk error would leave) — never truncate in place, because the
+    # builder process still has the original inode mapped.
+    so = cache.object_path(k1.signature)
+    so.unlink()
+    so.write_bytes(b"this is not an ELF shared object")
+
+    # dlopen dedupes by pathname inside one process, so the corrupted
+    # entry can only be observed by a genuinely fresh process.  It must
+    # evict, recompile, and still compute correctly.
+    script = textwrap.dedent(
+        f"""
+        import json
+        import numpy as np
+        from repro.compiler.fusion import plan_fusion
+        from repro.compiler.native import (
+            NativeCache, NativeOptions, build_native_kernel,
+        )
+        from repro.compiler.pass_manager import PassManager, default_passes
+        from repro.ir.builder import GraphBuilder
+
+        b = GraphBuilder("cachetest")
+        x = b.input("x", (4, 8))
+        y = b.input("y", (4, 8))
+        z = b.op("relu", b.op("add", x, y))
+        graph = PassManager(default_passes(2)).run(b.build(z))
+        group = plan_fusion(graph)[0]
+        members = set(group.node_ids)
+        external, seen = [], set()
+        for nid in group.node_ids:
+            for src in graph.node(nid).inputs:
+                if src not in members and src not in seen:
+                    seen.add(src)
+                    external.append(src)
+        cache = NativeCache(root={str(tmp_path)!r})
+        k = build_native_kernel(graph, group, external, NativeOptions(cache=cache))
+        assert k is not None
+        a = np.ones((4, 8), dtype=np.float32)
+        np.testing.assert_array_equal(k([a, -2 * a]), np.zeros((4, 8), np.float32))
+        print(json.dumps(cache.stats.snapshot()))
+        """
+    )
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(src_dir)},
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    stats = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert stats["evictions"] == 1
+    assert stats["compiles"] == 1
+    assert stats["disk_hits"] == 0
+
+
+@needs_cc
+def test_autotune_persists_choice_and_warm_runs_skip_search(tmp_path):
+    cache = NativeCache(root=tmp_path)
+    graph = _dense_graph()
+    k1 = _build(graph, cache, autotune=True)
+    assert k1 is not None
+    assert cache.stats.autotunes == 1
+    base = kernel_signature(*_first_group(graph))
+    meta = cache.read_meta(base)
+    assert meta is not None and tuple(meta["tile"]) == k1.rendered.tile
+
+    # Warm process: the persisted meta short-circuits the search and the
+    # chosen variant loads from disk — zero compiles, zero re-tunes.
+    cold = NativeCache(root=tmp_path)
+    k2 = _build(graph, cold, autotune=True)
+    assert k2 is not None
+    assert k2.signature == k1.signature
+    assert cold.stats.autotunes == 0
+    assert cold.stats.compiles == 0
+
+
+@needs_cc
+def test_explicit_tile_bypasses_autotune(tmp_path):
+    cache = NativeCache(root=tmp_path)
+    kernel = _build(_dense_graph(), cache, autotune=True, tile=(2, 8))
+    assert kernel is not None
+    assert kernel.rendered.tile == (2, 8)
+    assert kernel.signature.endswith("_t2x8")
+    assert cache.stats.autotunes == 0
+
+
+def test_disable_env_forces_numpy_fallback(monkeypatch):
+    monkeypatch.setenv(ENV_DISABLE, "1")
+    find_compiler.cache_clear()
+    try:
+        assert not native_available()
+        with pytest.warns(RuntimeWarning, match="falls back to NumPy"):
+            import repro.compiler.native as native_mod
+
+            native_mod._warned_no_cc = False
+            opt, group, external = _first_group(_elementwise_graph())
+            assert build_native_kernel(opt, group, external) is None
+        # Lowering keeps the NumPy closure rather than erroring out.
+        kernel = build_kernel(opt, group, Target("cpu", backend="native"))
+        assert kernel.backend == "numpy"
+    finally:
+        monkeypatch.delenv(ENV_DISABLE)
+        find_compiler.cache_clear()

@@ -1,0 +1,77 @@
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef unsigned char u8;
+
+/* NaN-propagating min/max, matching np.maximum/np.minimum/np.max/np.min. */
+static inline f32 duet_max_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f32 duet_min_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+static inline f64 duet_max_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f64 duet_min_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+/* np.clip: lower bound first, upper bound wins on an inverted range. */
+static inline f32 duet_clip_f32(f32 x, f32 lo, f32 hi) {
+    f32 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f64 duet_clip_f64(f64 x, f64 lo, f64 hi) {
+    f64 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f32 duet_sigmoid_f32(f32 x) { return 1.0f / (1.0f + expf(-x)); }
+static inline f64 duet_sigmoid_f64(f64 x) { return 1.0 / (1.0 + exp(-x)); }
+
+void duet_kernel(const void *const *args, void *out, void *scratch_v) {
+    (void)args; (void)scratch_v;
+    char *scratch = (char *)scratch_v; (void)scratch;
+    const f32 *a0 = (const f32 *)args[0];
+    const f32 *a1 = (const f32 *)args[1];
+    const f32 *a2 = (const f32 *)args[2];
+    const f32 *a3 = (const f32 *)args[3];
+    f32 *outp = (f32 *)out;
+    f32 *lstm_h_lstm_out = (f32 *)(scratch + 0);
+    f32 *lstm_c_lstm_out = (f32 *)(scratch + 64);
+    f32 *lstm_g_lstm_out = (f32 *)(scratch + 128);
+    {
+        /* lstm -> lstm_out */
+        memset(lstm_h_lstm_out, 0, 64);
+        memset(lstm_c_lstm_out, 0, 64);
+        for (long t = 0; t < 5; ++t) {
+            for (long bb = 0; bb < 2; ++bb) {
+                for (long g = 0; g < 32; ++g) {
+                    f32 acc = 0;
+                    for (long q = 0; q < 8; ++q) {
+                        acc += a0[(bb * 5 + t) * 8 + q] * a1[g * 8 + q];
+                    }
+                    for (long q = 0; q < 8; ++q) {
+                        acc += lstm_h_lstm_out[bb * 8 + q] * a2[g * 8 + q];
+                    }
+                    lstm_g_lstm_out[bb * 32 + g] = acc + a3[g];
+                }
+            }
+            for (long bb = 0; bb < 2; ++bb) {
+                for (long u = 0; u < 8; ++u) {
+                    f32 gi = duet_sigmoid_f32(lstm_g_lstm_out[bb * 32 + u]);
+                    f32 gf = duet_sigmoid_f32(lstm_g_lstm_out[bb * 32 + 8 + u]);
+                    f32 gg = tanhf(lstm_g_lstm_out[bb * 32 + 16 + u]);
+                    f32 go = duet_sigmoid_f32(lstm_g_lstm_out[bb * 32 + 24 + u]);
+                    f32 cn = gf * lstm_c_lstm_out[bb * 8 + u] + gi * gg;
+                    lstm_c_lstm_out[bb * 8 + u] = cn;
+                    f32 hn = go * tanhf(cn);
+                    lstm_h_lstm_out[bb * 8 + u] = hn;
+                    outp[(bb * 5 + t) * 8 + u] = hn;
+                }
+            }
+        }
+    }
+}

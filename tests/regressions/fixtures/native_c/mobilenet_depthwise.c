@@ -1,0 +1,99 @@
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef unsigned char u8;
+
+/* NaN-propagating min/max, matching np.maximum/np.minimum/np.max/np.min. */
+static inline f32 duet_max_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f32 duet_min_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+static inline f64 duet_max_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f64 duet_min_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+/* np.clip: lower bound first, upper bound wins on an inverted range. */
+static inline f32 duet_clip_f32(f32 x, f32 lo, f32 hi) {
+    f32 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f64 duet_clip_f64(f64 x, f64 lo, f64 hi) {
+    f64 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f32 duet_sigmoid_f32(f32 x) { return 1.0f / (1.0f + expf(-x)); }
+static inline f64 duet_sigmoid_f64(f64 x) { return 1.0 / (1.0 + exp(-x)); }
+
+void duet_kernel(const void *const *args, void *out, void *scratch_v) {
+    (void)args; (void)scratch_v;
+    char *scratch = (char *)scratch_v; (void)scratch;
+    const f32 *a0 = (const f32 *)args[0];
+    const f32 *a1 = (const f32 *)args[1];
+    const f32 *a2 = (const f32 *)args[2];
+    const f32 *a3 = (const f32 *)args[3];
+    const f32 *a4 = (const f32 *)args[4];
+    const f32 *a5 = (const f32 *)args[5];
+    f32 *outp = (f32 *)out;
+    f32 *t0 = (f32 *)(scratch + 0);
+    f32 *t1 = (f32 *)(scratch + 8192);
+    f32 *bn_sc_batch_norm_4 = (f32 *)(scratch + 16384);
+    f32 *bn_sh_batch_norm_4 = (f32 *)(scratch + 16448);
+    {
+        /* depthwise_conv2d -> depthwise_conv2d_3 */
+        for (long i0 = 0; i0 < 1; ++i0) {
+            for (long i1 = 0; i1 < 8; ++i1) {
+                for (long i2 = 0; i2 < 16; ++i2) {
+                    for (long i3 = 0; i3 < 16; ++i3) {
+                        f32 acc = 0;
+                        for (long i4 = 0; i4 < 3; ++i4) {
+                            for (long i5 = 0; i5 < 3; ++i5) {
+                                long ih = i2 * 1 - 1 + i4;
+                                long iw = i3 * 1 - 1 + i5;
+                                if (ih >= 0 && ih < 16 && iw >= 0 && iw < 16) {
+                                    acc += a0[((i0 * 8 + i1) * 16 + ih) * 16 + iw] * a1[(i1 * 3 + i4) * 3 + i5];
+                                }
+                            }
+                        }
+                        t0[((i0 * 8 + i1) * 16 + i2) * 16 + i3] = acc;
+                    }
+                }
+            }
+        }
+    }
+    {
+        /* batch_norm -> batch_norm_4 */
+        for (long i6 = 0; i6 < 8; ++i6) {
+            bn_sc_batch_norm_4[i6] = a2[i6] / sqrtf(a5[i6] + (f32)(1e-05));
+            bn_sh_batch_norm_4[i6] = a3[i6] - a4[i6] * a2[i6] / sqrtf(a5[i6] + (f32)(1e-05));
+        }
+        for (long i7 = 0; i7 < 1; ++i7) {
+            for (long i8 = 0; i8 < 8; ++i8) {
+                for (long i9 = 0; i9 < 16; ++i9) {
+                    for (long i10 = 0; i10 < 16; ++i10) {
+                        t1[i7*2048 + i8*256 + i9*16 + i10] = t0[i7*2048 + i8*256 + i9*16 + i10] * bn_sc_batch_norm_4[i8] + bn_sh_batch_norm_4[i8];
+                    }
+                }
+            }
+        }
+    }
+    {
+        /* relu -> relu_5 */
+        for (long i11 = 0; i11 < 1; ++i11) {
+            for (long i12 = 0; i12 < 8; ++i12) {
+                for (long i13 = 0; i13 < 16; ++i13) {
+                    for (long i14 = 0; i14 < 16; ++i14) {
+                        f32 v0 = t1[i11*2048 + i12*256 + i13*16 + i14];
+                        outp[i11*2048 + i12*256 + i13*16 + i14] = duet_max_f32(v0, 0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef unsigned char u8;
+
+/* NaN-propagating min/max, matching np.maximum/np.minimum/np.max/np.min. */
+static inline f32 duet_max_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f32 duet_min_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+static inline f64 duet_max_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f64 duet_min_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+/* np.clip: lower bound first, upper bound wins on an inverted range. */
+static inline f32 duet_clip_f32(f32 x, f32 lo, f32 hi) {
+    f32 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f64 duet_clip_f64(f64 x, f64 lo, f64 hi) {
+    f64 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f32 duet_sigmoid_f32(f32 x) { return 1.0f / (1.0f + expf(-x)); }
+static inline f64 duet_sigmoid_f64(f64 x) { return 1.0 / (1.0 + exp(-x)); }
+
+void duet_kernel(const void *const *args, void *out, void *scratch_v) {
+    (void)args; (void)scratch_v;
+    char *scratch = (char *)scratch_v; (void)scratch;
+    const f32 *a0 = (const f32 *)args[0];
+    const f32 *a1 = (const f32 *)args[1];
+    const f32 *a2 = (const f32 *)args[2];
+    f32 *outp = (f32 *)out;
+    f32 *t0 = (f32 *)(scratch + 0);
+    {
+        /* dense -> dense_2 */
+        for (long m0 = 0; m0 < 8; m0 += 4) {
+            long mb = 8 - m0 < 4 ? 8 - m0 : 4;
+            for (long n0 = 0; n0 < 16; n0 += 4) {
+                long nb = 16 - n0 < 4 ? 16 - n0 : 4;
+                f32 acc[16];
+                for (long z = 0; z < 16; ++z) acc[z] = 0;
+                for (long k = 0; k < 16; ++k) {
+                    for (long mi = 0; mi < mb; ++mi) {
+                        f32 av = a0[0 + (m0 + mi) * 16 + k];
+                        for (long ni = 0; ni < nb; ++ni) {
+                            acc[mi * 4 + ni] += av * a1[0 + (n0 + ni) * 16 + k];
+                        }
+                    }
+                }
+                for (long mi = 0; mi < mb; ++mi) {
+                    for (long ni = 0; ni < nb; ++ni) {
+                        t0[0 + (m0 + mi) * 16 + n0 + ni] = acc[mi * 4 + ni];
+                    }
+                }
+            }
+        }
+    }
+    {
+        /* bias_add -> bias_add_3 */
+        for (long i0 = 0; i0 < 8; ++i0) {
+            for (long i1 = 0; i1 < 16; ++i1) {
+                f32 v0 = t0[i0*16 + i1];
+                f32 v1 = a2[i1];
+                outp[i0*16 + i1] = (v0 + v1);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef unsigned char u8;
+
+/* NaN-propagating min/max, matching np.maximum/np.minimum/np.max/np.min. */
+static inline f32 duet_max_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f32 duet_min_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+static inline f64 duet_max_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f64 duet_min_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+/* np.clip: lower bound first, upper bound wins on an inverted range. */
+static inline f32 duet_clip_f32(f32 x, f32 lo, f32 hi) {
+    f32 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f64 duet_clip_f64(f64 x, f64 lo, f64 hi) {
+    f64 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f32 duet_sigmoid_f32(f32 x) { return 1.0f / (1.0f + expf(-x)); }
+static inline f64 duet_sigmoid_f64(f64 x) { return 1.0 / (1.0 + exp(-x)); }
+
+void duet_kernel(const void *const *args, void *out, void *scratch_v) {
+    (void)args; (void)scratch_v;
+    char *scratch = (char *)scratch_v; (void)scratch;
+    const f32 *a0 = (const f32 *)args[0];
+    const f32 *a1 = (const f32 *)args[1];
+    const f32 *a2 = (const f32 *)args[2];
+    const f32 *a3 = (const f32 *)args[3];
+    const f32 *a4 = (const f32 *)args[4];
+    const f32 *a5 = (const f32 *)args[5];
+    f32 *outp = (f32 *)out;
+    f32 *t0 = (f32 *)(scratch + 0);
+    f32 *t1 = (f32 *)(scratch + 262144);
+    f32 *col_conv2d_0 = (f32 *)(scratch + 524288);
+    f32 *bn_sc_batch_norm_1 = (f32 *)(scratch + 634880);
+    f32 *bn_sh_batch_norm_1 = (f32 *)(scratch + 635136);
+    {
+        /* conv2d -> conv2d_0 */
+        for (long i0 = 0; i0 < 1; ++i0) {
+            for (long i1 = 0; i1 < 3; ++i1) {
+                for (long i2 = 0; i2 < 3; ++i2) {
+                    for (long i3 = 0; i3 < 3; ++i3) {
+                        long r = ((i1 * 3 + i2) * 3 + i3) * 1024;
+                        for (long i4 = 0; i4 < 32; ++i4) {
+                            long ih = i4 * 1 - 1 + i2;
+                            if (ih < 0 || ih >= 32) {
+                                for (long q = 0; q < 32; ++q) {
+                                    col_conv2d_0[r + i4 * 32 + q] = 0;
+                                }
+                                } else {
+                                    for (long q = 0; q < 32; ++q) {
+                                        long iw = q * 1 - 1 + i3;
+                                        col_conv2d_0[r + i4 * 32 + q] = (iw >= 0 && iw < 32) ? a0[((i0 * 3 + i1) * 32 + ih) * 32 + iw] : 0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for (long m0 = 0; m0 < 64; m0 += 4) {
+                    long mb = 64 - m0 < 4 ? 64 - m0 : 4;
+                    for (long n0 = 0; n0 < 1024; n0 += 4) {
+                        long nb = 1024 - n0 < 4 ? 1024 - n0 : 4;
+                        f32 acc[16];
+                        for (long z = 0; z < 16; ++z) acc[z] = 0;
+                        for (long k = 0; k < 27; ++k) {
+                            for (long mi = 0; mi < mb; ++mi) {
+                                f32 av = a1[0 + (m0 + mi) * 27 + k];
+                                for (long ni = 0; ni < nb; ++ni) {
+                                    acc[mi * 4 + ni] += av * col_conv2d_0[0 + k * 1024 + n0 + ni];
+                                }
+                            }
+                        }
+                        for (long mi = 0; mi < mb; ++mi) {
+                            for (long ni = 0; ni < nb; ++ni) {
+                                t0[i0 * 65536 + (m0 + mi) * 1024 + n0 + ni] = acc[mi * 4 + ni];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        {
+            /* batch_norm -> batch_norm_1 */
+            for (long i5 = 0; i5 < 64; ++i5) {
+                bn_sc_batch_norm_1[i5] = a2[i5] / sqrtf(a5[i5] + (f32)(1e-05));
+                bn_sh_batch_norm_1[i5] = a3[i5] - a4[i5] * a2[i5] / sqrtf(a5[i5] + (f32)(1e-05));
+            }
+            for (long i6 = 0; i6 < 1; ++i6) {
+                for (long i7 = 0; i7 < 64; ++i7) {
+                    for (long i8 = 0; i8 < 32; ++i8) {
+                        for (long i9 = 0; i9 < 32; ++i9) {
+                            t1[i6*65536 + i7*1024 + i8*32 + i9] = t0[i6*65536 + i7*1024 + i8*32 + i9] * bn_sc_batch_norm_1[i7] + bn_sh_batch_norm_1[i7];
+                        }
+                    }
+                }
+            }
+        }
+        {
+            /* relu -> relu_2 */
+            for (long i10 = 0; i10 < 1; ++i10) {
+                for (long i11 = 0; i11 < 64; ++i11) {
+                    for (long i12 = 0; i12 < 32; ++i12) {
+                        for (long i13 = 0; i13 < 32; ++i13) {
+                            f32 v0 = t1[i10*65536 + i11*1024 + i12*32 + i13];
+                            outp[i10*65536 + i11*1024 + i12*32 + i13] = duet_max_f32(v0, 0);
+                        }
+                    }
+                }
+            }
+        }
+}

@@ -1,0 +1,65 @@
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+typedef float f32;
+typedef double f64;
+typedef int32_t i32;
+typedef int64_t i64;
+typedef unsigned char u8;
+
+/* NaN-propagating min/max, matching np.maximum/np.minimum/np.max/np.min. */
+static inline f32 duet_max_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f32 duet_min_f32(f32 a, f32 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+static inline f64 duet_max_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a > b ? a : b;
+}
+static inline f64 duet_min_f64(f64 a, f64 b) {
+    if (a != a) return a; if (b != b) return b; return a < b ? a : b;
+}
+/* np.clip: lower bound first, upper bound wins on an inverted range. */
+static inline f32 duet_clip_f32(f32 x, f32 lo, f32 hi) {
+    f32 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f64 duet_clip_f64(f64 x, f64 lo, f64 hi) {
+    f64 w = x < lo ? lo : x; return w > hi ? hi : w;
+}
+static inline f32 duet_sigmoid_f32(f32 x) { return 1.0f / (1.0f + expf(-x)); }
+static inline f64 duet_sigmoid_f64(f64 x) { return 1.0 / (1.0 + exp(-x)); }
+
+void duet_kernel(const void *const *args, void *out, void *scratch_v) {
+    (void)args; (void)scratch_v;
+    char *scratch = (char *)scratch_v; (void)scratch;
+    const f32 *a0 = (const f32 *)args[0];
+    const f32 *a1 = (const f32 *)args[1];
+    const f32 *a2 = (const f32 *)args[2];
+    const f32 *a3 = (const f32 *)args[3];
+    f32 *outp = (f32 *)out;
+    {
+        /* concat -> concat_90 */
+        for (long i0 = 0; i0 < 1; ++i0) {
+            for (long i1 = 0; i1 < 16; ++i1) {
+                outp[i0 * 64 + (i1 + 0)] = a0[i0*16 + i1];
+            }
+        }
+        for (long i2 = 0; i2 < 1; ++i2) {
+            for (long i3 = 0; i3 < 16; ++i3) {
+                outp[i2 * 64 + (i3 + 16)] = a1[i2*16 + i3];
+            }
+        }
+        for (long i4 = 0; i4 < 1; ++i4) {
+            for (long i5 = 0; i5 < 16; ++i5) {
+                outp[i4 * 64 + (i5 + 32)] = a2[i4*16 + i5];
+            }
+        }
+        for (long i6 = 0; i6 < 1; ++i6) {
+            for (long i7 = 0; i7 < 16; ++i7) {
+                outp[i6 * 64 + (i7 + 48)] = a3[i6*16 + i7];
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+"""Golden codegen pins: rendered C for representative kernels.
+
+The native renderer's output *is* the numerics contract — a changed
+loop order, literal format, or accumulation pattern silently shifts
+results within (or out of) the ULP policy.  These fixtures pin the
+exact C source rendered for six representative fused kernels drawn
+from the zoo (GEMM + epilogue, im2col conv, depthwise conv, pooling,
+concat front-end) plus a recurrent LSTM step loop, so any
+renderer drift shows up as an explicit, reviewable fixture diff.
+
+Rendering is pure Python — no C compiler needed — so these run in every
+environment.  To regenerate after an *intentional* renderer change::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/regressions/test_golden_codegen.py -q
+
+and review/commit the fixture diff (bump RENDERER_VERSION so cached
+shared objects from the old renderer are invalidated).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.compiler.fusion import plan_fusion
+from repro.compiler.native.renderer import render_group
+from repro.compiler.pass_manager import PassManager, default_passes
+from repro.ir.builder import GraphBuilder
+from repro.models.zoo import build_model
+
+_FIXTURE_DIR = Path(__file__).parent / "fixtures" / "native_c"
+
+
+def _lstm_graph():
+    b = GraphBuilder("golden_lstm")
+    x = b.input("x", (2, 5, 8))
+    w_ih = b.const((32, 8), name="w_ih")
+    w_hh = b.const((32, 8), name="w_hh")
+    bias = b.const((32,), name="bias")
+    h = b.op("lstm", x, w_ih, w_hh, bias, hidden_size=8, name="lstm_out")
+    return b.build(h)
+
+
+def _groups_with_externals(graph):
+    """Fusion groups of the optimized graph, with kernel-external inputs
+    in the same order lowering computes them."""
+    opt = PassManager(default_passes(2)).run(graph)
+    for group in plan_fusion(opt):
+        members = set(group.node_ids)
+        external, seen = [], set()
+        for nid in group.node_ids:
+            for src in opt.node(nid).inputs:
+                if src not in members and src not in seen:
+                    seen.add(src)
+                    external.append(src)
+        yield opt, group, external
+
+
+def _render_first(graph, anchor_op: str) -> str:
+    for opt, group, external in _groups_with_externals(graph):
+        if any(opt.node(nid).op == anchor_op for nid in group.node_ids):
+            return render_group(opt, group, external).source
+    raise AssertionError(f"no fusion group with op {anchor_op!r} in {graph.name}")
+
+
+CASES = {
+    # kernel fixture            source graph                     anchor op
+    "mtdnn_dense_epilogue": (lambda: build_model("mtdnn", tiny=True), "dense"),
+    "vgg_conv_im2col": (lambda: build_model("vgg", tiny=True), "conv2d"),
+    "mobilenet_depthwise": (
+        lambda: build_model("mobilenet", tiny=True),
+        "depthwise_conv2d",
+    ),
+    "squeezenet_maxpool": (
+        lambda: build_model("squeezenet", tiny=True),
+        "max_pool2d",
+    ),
+    "wide_deep_concat": (
+        lambda: build_model("wide_deep", tiny=True),
+        "concat",
+    ),
+    "lstm_step_loop": (_lstm_graph, "lstm"),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_rendered_c_matches_golden(case):
+    build, anchor = CASES[case]
+    source = _render_first(build(), anchor)
+    path = _FIXTURE_DIR / f"{case}.c"
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        _FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        "REPRO_UPDATE_GOLDENS=1"
+    )
+    golden = path.read_text()
+    assert source == golden, (
+        f"{case}: rendered C drifted from the pinned fixture.  If the "
+        "change is intentional, bump RENDERER_VERSION and regenerate "
+        "with REPRO_UPDATE_GOLDENS=1, then review the diff."
+    )
